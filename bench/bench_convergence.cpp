@@ -1,0 +1,113 @@
+// Extension experiment X10: link-state convergence vs network size.
+//
+// The routing functionality the paper leaves to "protocols like OSPF"
+// has a cost of its own: after a topology change, routers disagree
+// until LSA flooding completes.  This bench builds ring+chord networks
+// of increasing size, measures (a) bootstrap convergence time, (b)
+// re-convergence time after a link failure, and (c) the LSA flood
+// volume — the scaling behaviour that decides how big a single IGP
+// area can get.
+//
+// Shape: convergence time grows with network diameter (not node
+// count); flood volume grows with edges x nodes.
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "net/link_state.hpp"
+#include "net/node.hpp"
+
+using namespace empls;
+
+namespace {
+
+class DummyNode : public net::Node {
+ public:
+  explicit DummyNode(std::string name) : Node(std::move(name)) {}
+  void receive(mpls::Packet, mpls::InterfaceId) override {}
+};
+
+struct Measurement {
+  double bootstrap_ms = 0;
+  double reconverge_ms = 0;
+  std::uint64_t floods = 0;
+  bool converged = false;
+  bool rerouted = false;
+};
+
+Measurement measure(unsigned n) {
+  net::Network net;
+  net::LinkStateRouting lsr(net, /*flood_hop_delay=*/1e-3);
+  std::vector<net::NodeId> nodes;
+  for (unsigned i = 0; i < n; ++i) {
+    std::string name(1, 'N');
+    name += std::to_string(i);
+    nodes.push_back(net.add_node(std::make_unique<DummyNode>(name)));
+  }
+  // Ring + every-4th chord: diameter ~n/4.
+  for (unsigned i = 0; i < n; ++i) {
+    net.connect(nodes[i], nodes[(i + 1) % n], 10e6, 1e-3);
+  }
+  for (unsigned i = 0; i < n; i += 4) {
+    net.connect(nodes[i], nodes[(i + n / 2) % n], 10e6, 1e-3);
+  }
+  lsr.add_all_routers();
+
+  Measurement m;
+  lsr.bootstrap();
+  net.run();
+  m.bootstrap_ms = lsr.last_change_at() * 1e3;
+  m.converged = lsr.converged();
+
+  // Fail a ring link and measure how long the news takes to settle.
+  const double fail_at = net.now();
+  net.set_connection_up(nodes[0], nodes[1], false);
+  lsr.notify_link_change(nodes[0], nodes[1]);
+  net.run();
+  m.reconverge_ms = (lsr.last_change_at() - fail_at) * 1e3;
+  m.converged = m.converged && lsr.converged();
+  m.floods = lsr.stats().floods_sent;
+  const auto path = lsr.path_from(nodes[0], nodes[1]);
+  m.rerouted = path.has_value() && path->size() > 2;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X10: link-state convergence vs network size ==\n\n");
+  bench::Checks checks;
+  bench::Table table({"routers", "bootstrap (ms)", "re-converge after "
+                      "failure (ms)", "LSA copies flooded"});
+  Measurement m8;
+  Measurement m32;
+  bool all_ok = true;
+  for (const unsigned n : {8u, 16u, 32u, 64u}) {
+    const auto m = measure(n);
+    all_ok = all_ok && m.converged && m.rerouted;
+    char boot[32];
+    char re[32];
+    std::snprintf(boot, sizeof boot, "%.1f", m.bootstrap_ms);
+    std::snprintf(re, sizeof re, "%.1f", m.reconverge_ms);
+    table.add_row({std::to_string(n), boot, re, std::to_string(m.floods)});
+    if (n == 8) {
+      m8 = m;
+    }
+    if (n == 32) {
+      m32 = m;
+    }
+  }
+  table.print();
+  table.write_csv("convergence.csv");
+
+  checks.expect_true("all sizes converged and rerouted", all_ok);
+  checks.expect_true("re-convergence grows with diameter",
+                     m32.reconverge_ms > m8.reconverge_ms);
+  checks.expect_true("flood volume grows superlinearly with size",
+                     m32.floods > 4 * m8.floods);
+  std::printf(
+      "\nshape: convergence tracks network diameter (flood hops), not node "
+      "count; flood volume is the scaling limit — the reason real IGPs "
+      "split into areas.\n");
+  return checks.exit_code();
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 16: simulation of a packet discard.
+//
+// Paper narrative: the level-2 table holds labels 1..10; label_lookup is
+// set to 27, which is not stored.  "When the lookup signal is made high,
+// the r_index signal iterates to process all label pairs stored at that
+// level.  After processing the last stored pair, no match has been found
+// so the lookup_done and packetdiscard signals are sent high ...
+// Signals label_out and operation_out remain unchanged."
+#include "figure_common.hpp"
+
+using namespace empls;
+
+int main() {
+  std::printf("== Figure 16: lookup miss -> packet discard ==\n");
+  bench::Checks checks;
+  bench::FigureRig rig(/*level=*/2);
+
+  rig.write_ten_pairs(2, /*first_index=*/1);
+
+  // Prime label_out / operation_out with a successful lookup so we can
+  // verify the miss leaves them unchanged.
+  const auto primed = rig.modifier.search(2, 7);
+  checks.expect_true("priming lookup hits", primed.found);
+
+  const std::size_t lookup_start = rig.trace.num_samples();
+  const auto result = rig.modifier.search(2, 27);
+  rig.modifier.sim().run(3);
+
+  checks.expect_true("label 27 is not found", !result.found);
+  checks.expect_eq("miss scans all ten entries (3n+5)", 35,
+                   static_cast<long long>(result.cycles));
+
+  const long done_at = rig.trace.find_first("lookup_done", 1, lookup_start);
+  const long discard_at =
+      rig.trace.find_first("packetdiscard", 1, lookup_start);
+  checks.expect_true("lookup_done goes high", done_at >= 0);
+  checks.expect_true("packetdiscard goes high", discard_at >= 0);
+  checks.expect_true("they rise together", done_at == discard_at);
+  if (done_at >= 0) {
+    const auto s = static_cast<std::size_t>(done_at);
+    checks.expect_eq(
+        "r_index processed the last stored pair", 9,
+        static_cast<long long>(rig.trace.value("r_index", s)));
+    checks.expect_eq(
+        "label_out remains unchanged", primed.label,
+        static_cast<long long>(rig.trace.value("label_out", s)));
+    checks.expect_eq(
+        "operation_out remains unchanged", primed.operation,
+        static_cast<long long>(rig.trace.value("operation_out", s)));
+  }
+
+  rig.emit("fig16.vcd", lookup_start > 3 ? lookup_start - 3 : 0,
+           rig.trace.num_samples());
+  return checks.exit_code();
+}

@@ -1,0 +1,166 @@
+// Extension experiment X7: router forwarding capacity vs information-
+// base occupancy — the system-level consequence of the 3n+5 search.
+//
+// A single LSR's label stack modifier is a serial datapath: its packet
+// rate is bounded by f(clk) / cycles-per-update.  With the paper's
+// linear search the bound collapses as the table fills:
+//
+//   n = 10   -> 50 MHz / (3*10+5+6)  ~ 1.2 M updates/s
+//   n = 1024 -> 50 MHz / (3*1024+5+6) ~ 16 k updates/s
+//
+// The bench offers increasing packet rates to a router whose swap entry
+// sits at a controlled table depth and measures delivered rate and
+// engine backlog; the CAM ablation shows the same router with a
+// constant-time information base for contrast.
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/embedded_router.hpp"
+#include "hw/cycle_model.hpp"
+#include "net/network.hpp"
+#include "rtl/clock_model.hpp"
+#include "sw/cam_engine.hpp"
+#include "sw/linear_engine.hpp"
+
+using namespace empls;
+
+namespace {
+
+struct Measurement {
+  double delivered_fraction = 0.0;
+  std::uint64_t overruns = 0;
+  std::size_t queue_peak = 0;
+};
+
+/// Offer `rate_pps` of back-to-back swaps for 50 ms; the swap entry sits
+/// at depth `hit_depth` of a table holding `occupancy` pairs.
+Measurement measure(bool cam, rtl::u32 occupancy, rtl::u32 hit_depth,
+                    double rate_pps) {
+  net::Network net;
+  core::RouterConfig cfg;
+  cfg.type = hw::RouterType::kLsr;
+  std::unique_ptr<sw::LabelEngine> engine;
+  if (cam) {
+    engine = std::make_unique<sw::CamEngine>();
+  } else {
+    engine = std::make_unique<sw::LinearEngine>();
+  }
+  auto router = std::make_unique<core::EmbeddedRouter>(
+      "LSR", std::move(engine), cfg);
+  auto* raw = router.get();
+  const auto lsr = net.add_node(std::move(router));
+
+  // Table: hit_depth-1 non-matching pairs, the ping-pong pair at
+  // hit_depth, filler to `occupancy`.
+  for (rtl::u32 i = 1; i <= occupancy; ++i) {
+    rtl::u32 out = 100000 + i;
+    if (i == hit_depth) {
+      out = 200001;
+    } else if (i == hit_depth + 1) {
+      out = 200000;
+    }
+    raw->engine().write_pair(
+        2, mpls::LabelPair{200000 + (i == hit_depth       ? 0
+                                     : i == hit_depth + 1 ? 1
+                                                          : 10 + i),
+                           out, mpls::LabelOp::kSwap});
+  }
+  // No next hops are programmed: packets are discarded after the
+  // engine, which is fine — this bench measures the datapath, counting
+  // completed swaps via the router's stats.
+
+  const double interval = 1.0 / rate_pps;
+  const std::uint64_t count = static_cast<std::uint64_t>(0.05 * rate_pps);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    net.events().schedule_at(static_cast<double>(i) * interval, [&net, lsr] {
+      mpls::Packet p;
+      p.dst = mpls::Ipv4Address::from_octets(10, 0, 0, 1);
+      p.stack.push(mpls::LabelEntry{200000, 0, false, 255});
+      net.inject(lsr, std::move(p));
+    });
+  }
+  net.run();
+
+  Measurement m;
+  const auto& s = raw->stats();
+  m.delivered_fraction =
+      static_cast<double>(s.swaps) / static_cast<double>(count);
+  m.overruns = s.engine_overruns;
+  m.queue_peak = s.engine_queue_peak;
+  return m;
+}
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f%%", v * 100);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X7: router capacity vs information-base occupancy ==\n\n");
+  bench::Checks checks;
+  const rtl::ClockModel clock;
+
+  const rtl::u64 shallow_capacity =
+      static_cast<rtl::u64>(clock.frequency_hz() /
+                            static_cast<double>(hw::update_swap_cycles(10)));
+  const rtl::u64 deep_capacity =
+      static_cast<rtl::u64>(clock.frequency_hz() /
+                            static_cast<double>(hw::update_swap_cycles(1024)));
+  std::printf("analytic capacity @50 MHz: hit depth 10 -> %llu pps, "
+              "hit depth 1024 -> %llu pps\n\n",
+              static_cast<unsigned long long>(shallow_capacity),
+              static_cast<unsigned long long>(deep_capacity));
+
+  bench::Table table({"info base", "offered (pps)", "engine completed",
+                      "overruns", "queue peak"});
+  struct Case {
+    bool cam;
+    rtl::u32 occupancy;
+    rtl::u32 depth;
+    double rate;
+    const char* label;
+  };
+  const Case cases[] = {
+      {false, 10, 10, 100e3, "linear n=10"},
+      {false, 10, 10, 1.5e6, "linear n=10"},
+      {false, 1024, 1024, 10e3, "linear n=1024"},
+      {false, 1024, 1024, 100e3, "linear n=1024"},
+      {true, 1024, 1024, 100e3, "CAM n=1024"},
+      {true, 1024, 1024, 1.5e6, "CAM n=1024"},
+  };
+  Measurement linear_deep_fast;
+  Measurement cam_deep_fast;
+  for (const auto& c : cases) {
+    const auto m = measure(c.cam, c.occupancy, c.depth, c.rate);
+    char rate_s[32];
+    std::snprintf(rate_s, sizeof rate_s, "%.0fk", c.rate / 1e3);
+    table.add_row({c.label, rate_s, pct(m.delivered_fraction),
+                   std::to_string(m.overruns), std::to_string(m.queue_peak)});
+    if (!c.cam && c.occupancy == 1024 && c.rate == 100e3) {
+      linear_deep_fast = m;
+    }
+    if (c.cam && c.rate == 100e3) {
+      cam_deep_fast = m;
+    }
+  }
+  table.print();
+  table.write_csv("router_capacity.csv");
+
+  checks.expect_true(
+      "full linear table saturates at 100k pps (completions << offered)",
+      linear_deep_fast.delivered_fraction < 0.5 &&
+          linear_deep_fast.overruns > 0);
+  checks.expect_true("CAM at the same load completes everything",
+                     cam_deep_fast.delivered_fraction > 0.999 &&
+                         cam_deep_fast.overruns == 0);
+  std::printf(
+      "\nshape: the paper's linear search caps a full router at ~%llu pps "
+      "— fine for 2005 edge links, three orders short of line rate; the "
+      "CAM organisation removes the occupancy dependence entirely.\n",
+      static_cast<unsigned long long>(deep_capacity));
+  return checks.exit_code();
+}

@@ -1,0 +1,80 @@
+// Reproduces the Section 5 scaling claim: "information can be retrieved
+// from the information base in linear time and other operations are done
+// in constant time."
+//
+// Sweeps the occupancy n and the hit position k on the RTL model,
+// verifies cycles = 3k+5 everywhere (slope 3, intercept 5), and shows
+// the constant-time operations stay flat across occupancy.
+#include <string>
+
+#include "bench_util.hpp"
+#include "hw/cycle_model.hpp"
+#include "hw/label_stack_modifier.hpp"
+#include "rtl/clock_model.hpp"
+
+using namespace empls;
+
+int main() {
+  std::printf("== Search scaling: linear lookups, constant-time ops ==\n\n");
+  bench::Checks checks;
+  const rtl::ClockModel clock;
+
+  // Linear search: hit position sweep at full occupancy.
+  {
+    hw::LabelStackModifier m;
+    for (rtl::u32 i = 0; i < 1024; ++i) {
+      m.write_pair(2, mpls::LabelPair{i + 1, 2000 + i, mpls::LabelOp::kSwap});
+    }
+    bench::Table table(
+        {"hit position k", "cycles (measured)", "3k+5", "time @50MHz (us)"});
+    bool linear = true;
+    for (rtl::u32 k : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u,
+                       1024u}) {
+      const auto r = m.search(2, k);
+      linear = linear && r.found && r.cycles == hw::search_cycles(k);
+      char us[32];
+      std::snprintf(us, sizeof us, "%.3f", clock.microseconds(r.cycles));
+      table.add_row({std::to_string(k), std::to_string(r.cycles),
+                     std::to_string(hw::search_cycles(k)), us});
+    }
+    table.print();
+    table.write_csv("search_scaling.csv");
+    checks.expect_true("search cycles == 3k+5 across the sweep", linear);
+
+    // Slope/intercept from the extremes: exactly 3 and 5.
+    const auto r1 = m.search(2, 1);
+    const auto r1024 = m.search(2, 1024);
+    const auto slope = (r1024.cycles - r1.cycles) / (1024 - 1);
+    checks.expect_eq("slope (cycles per entry)", 3,
+                     static_cast<long long>(slope));
+    checks.expect_eq("intercept", 5,
+                     static_cast<long long>(r1.cycles - 3));
+  }
+
+  // Constant-time operations: cost must not depend on occupancy.
+  {
+    std::printf("\n");
+    bench::Table table({"occupancy n", "write pair", "user push", "user pop",
+                        "reset"});
+    bool flat = true;
+    for (rtl::u32 n : {0u, 64u, 512u, 1023u}) {
+      hw::LabelStackModifier m;
+      for (rtl::u32 i = 0; i < n; ++i) {
+        m.write_pair(2,
+                     mpls::LabelPair{i + 1, 2000 + i, mpls::LabelOp::kSwap});
+      }
+      const auto w = m.write_pair(
+          2, mpls::LabelPair{5000, 6000, mpls::LabelOp::kSwap});
+      const auto pu = m.user_push(mpls::LabelEntry{9, 0, false, 64});
+      const auto po = m.user_pop();
+      const auto rs = m.do_reset();
+      flat = flat && w == 3 && pu == 3 && po == 3 && rs == 3;
+      table.add_row({std::to_string(n), std::to_string(w), std::to_string(pu),
+                     std::to_string(po), std::to_string(rs)});
+    }
+    table.print();
+    checks.expect_true("constant-time operations stay at 3 cycles", flat);
+  }
+
+  return checks.exit_code();
+}

@@ -1,0 +1,86 @@
+// Reproduces Table 6: "Processing times for different tasks" — worst-case
+// clock cycles for every operation of the label stack modifier, measured
+// on the cycle-accurate RTL model.
+//
+//   Operation                     Paper (worst case)
+//   Reset                         3
+//   push from the user            3
+//   pop from the user             3
+//   Write label pair              3
+//   Search information base       3n+5
+//   swap from the info base       6   (post-search tail)
+#include <string>
+
+#include "bench_util.hpp"
+#include "hw/cycle_model.hpp"
+#include "hw/label_stack_modifier.hpp"
+
+using namespace empls;
+
+int main() {
+  std::printf("== Table 6: processing times for different tasks ==\n\n");
+  bench::Checks checks;
+  bench::Table table({"Operation", "Paper (cycles)", "Measured (cycles)"});
+
+  hw::LabelStackModifier m;
+
+  // Reset.
+  const auto reset_cycles = m.do_reset();
+  table.add_row({"Reset", "3", std::to_string(reset_cycles)});
+  checks.expect_eq("reset", 3, static_cast<long long>(reset_cycles));
+
+  // User push / pop.
+  const auto push_cycles = m.user_push(mpls::LabelEntry{42, 0, false, 64});
+  table.add_row({"push from the user", "3", std::to_string(push_cycles)});
+  checks.expect_eq("user push", 3, static_cast<long long>(push_cycles));
+
+  const auto pop_cycles = m.user_pop();
+  table.add_row({"pop from the user", "3", std::to_string(pop_cycles)});
+  checks.expect_eq("user pop", 3, static_cast<long long>(pop_cycles));
+
+  // Write label pair.
+  const auto write_cycles =
+      m.write_pair(1, mpls::LabelPair{600, 500, mpls::LabelOp::kSwap});
+  table.add_row({"Write label pair", "3", std::to_string(write_cycles)});
+  checks.expect_eq("write label pair", 3,
+                   static_cast<long long>(write_cycles));
+
+  // Search: fill a level with n entries, search for the last (worst
+  // case); verify 3n+5 across a sweep.
+  bool search_formula_holds = true;
+  for (rtl::u32 n : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    hw::LabelStackModifier fresh;
+    for (rtl::u32 i = 0; i < n; ++i) {
+      fresh.write_pair(2, mpls::LabelPair{i + 1, 5000 + i,
+                                          mpls::LabelOp::kSwap});
+    }
+    const auto r = fresh.search(2, n);  // worst position: last entry
+    search_formula_holds =
+        search_formula_holds && r.found && r.cycles == 3ull * n + 5;
+    if (n == 1024) {
+      table.add_row({"Search information base (n=1024)", "3n+5 = 3077",
+                     std::to_string(r.cycles)});
+      checks.expect_eq("search n=1024", 3077,
+                       static_cast<long long>(r.cycles));
+    }
+  }
+  checks.expect_true("search cost is 3n+5 for n in {1,4,16,64,256,1024}",
+                     search_formula_holds);
+
+  // Swap from the information base: measure a full update whose search
+  // examines exactly one entry and subtract the search portion.
+  {
+    hw::LabelStackModifier fresh;
+    fresh.user_push(mpls::LabelEntry{40, 0, false, 64});
+    fresh.write_pair(2, mpls::LabelPair{40, 77, mpls::LabelOp::kSwap});
+    const auto r = fresh.update(2, hw::RouterType::kLsr, 0);
+    const auto tail = r.cycles - hw::search_cycles(1);
+    table.add_row({"swap from the information base", "6",
+                   std::to_string(tail)});
+    checks.expect_eq("swap tail", 6, static_cast<long long>(tail));
+  }
+
+  table.print();
+  table.write_csv("table6.csv");
+  return checks.exit_code();
+}

@@ -1,0 +1,114 @@
+// Shared helpers for the reproduction benches: aligned table printing
+// and pass/fail accounting against the paper's reported values.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace empls::bench {
+
+/// Simple fixed-width table writer for paper-style rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (const auto w : widths) {
+      std::printf("%s|", std::string(w + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+  /// Also emit the table as CSV (plot-ready artifact next to the
+  /// human-readable print).  Cells containing commas are quoted.
+  bool write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      return false;
+    }
+    auto emit = [&out](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) {
+          out << ',';
+        }
+        if (row[c].find(',') != std::string::npos) {
+          out << '"' << row[c] << '"';
+        } else {
+          out << row[c];
+        }
+      }
+      out << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) {
+      emit(row);
+    }
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Check accounting: every reproduced quantity is verified against the
+/// paper, and the bench exits non-zero if any diverges.
+class Checks {
+ public:
+  void expect_eq(const std::string& what, long long paper,
+                 long long measured) {
+    const bool ok = paper == measured;
+    std::printf("  [%s] %s: paper=%lld measured=%lld\n", ok ? "OK" : "MISMATCH",
+                what.c_str(), paper, measured);
+    failed_ += ok ? 0 : 1;
+  }
+
+  void expect_true(const std::string& what, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what.c_str());
+    failed_ += ok ? 0 : 1;
+  }
+
+  [[nodiscard]] int exit_code() const {
+    if (failed_ > 0) {
+      std::printf("\n%d check(s) FAILED\n", failed_);
+      return 1;
+    }
+    std::printf("\nall checks passed\n");
+    return 0;
+  }
+
+ private:
+  int failed_ = 0;
+};
+
+}  // namespace empls::bench

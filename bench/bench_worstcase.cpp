@@ -1,0 +1,72 @@
+// Reproduces the Section 4 worst-case analysis:
+//
+//   "Assuming that there are no delays between operations, the worst
+//    case number of cycles required to reset the architecture, push
+//    three stack entries, fill an entire level with 1024 label pairs and
+//    perform a swap would be 6167 cycles.  Therefore, an FPGA like the
+//    Altera Stratix EP1S40F780C5 with a 50MHz clock could perform those
+//    operations in approximately 0.123 ms."
+//
+// The sequence is executed on the cycle-accurate RTL model and the total
+// is cross-checked against the closed-form cost model.
+#include "bench_util.hpp"
+#include "hw/cycle_model.hpp"
+#include "hw/label_stack_modifier.hpp"
+#include "rtl/clock_model.hpp"
+
+using namespace empls;
+
+int main() {
+  std::printf("== Section 4 worst case: reprogram a full level ==\n\n");
+  bench::Checks checks;
+  bench::Table table({"Step", "Paper (cycles)", "Measured (cycles)"});
+
+  hw::LabelStackModifier m;
+  rtl::u64 total = 0;
+
+  const auto reset_c = m.do_reset();
+  table.add_row({"Reset the architecture", "3", std::to_string(reset_c)});
+  total += reset_c;
+
+  rtl::u64 push_c = 0;
+  for (rtl::u32 i = 0; i < 3; ++i) {
+    push_c += m.user_push(mpls::LabelEntry{100 + i, 0, false, 255});
+  }
+  table.add_row({"Push three stack entries", "9", std::to_string(push_c)});
+  total += push_c;
+
+  rtl::u64 fill_c = 0;
+  for (rtl::u32 i = 0; i < 1023; ++i) {
+    fill_c += m.write_pair(3, mpls::LabelPair{5000 + i, 9000 + i,
+                                              mpls::LabelOp::kSwap});
+  }
+  // Final pair matches the stack top so the closing swap's search scans
+  // the whole level (worst hit position).
+  fill_c += m.write_pair(3, mpls::LabelPair{102, 4242, mpls::LabelOp::kSwap});
+  table.add_row({"Fill an entire level (1024 pairs)", "3072",
+                 std::to_string(fill_c)});
+  total += fill_c;
+
+  const auto upd = m.update(3, hw::RouterType::kLsr, 0);
+  table.add_row({"Swap (search 3*1024+5, tail 6)", "3083",
+                 std::to_string(upd.cycles)});
+  total += upd.cycles;
+
+  table.add_row({"TOTAL", "6167", std::to_string(total)});
+  table.print();
+  table.write_csv("worstcase.csv");
+
+  checks.expect_true("swap not discarded", !upd.discarded);
+  checks.expect_eq("total worst-case cycles", 6167,
+                   static_cast<long long>(total));
+  checks.expect_eq("closed-form model agrees", 6167,
+                   static_cast<long long>(hw::worst_case_cycles(1024)));
+
+  const rtl::ClockModel clock;  // 50 MHz, the paper's Stratix target
+  std::printf("\nat %.0f MHz: %.5f ms (paper: ~0.123 ms)\n",
+              clock.frequency_hz() / 1e6, clock.milliseconds(total));
+  checks.expect_true("time within 0.122..0.125 ms",
+                     clock.milliseconds(total) > 0.122 &&
+                         clock.milliseconds(total) < 0.125);
+  return checks.exit_code();
+}

@@ -1,0 +1,63 @@
+// Shared scaffolding for the Figure 14-16 waveform reproductions.
+//
+// Each figure drives the information base exactly as the paper's
+// simulations do — ten label pairs written, then one lookup — while a
+// TraceRecorder samples the paper's signal set.  The benches render the
+// lookup window as an ASCII waveform, write a standard VCD file (open it
+// in GTKWave to see the figure), and verify the narrative events the
+// paper describes.
+#pragma once
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "hw/label_stack_modifier.hpp"
+#include "mpls/operations.hpp"
+#include "rtl/trace.hpp"
+
+namespace empls::bench {
+
+/// The paper's Figure 14 write set: "The operation is arbitrarily chosen
+/// for each label pair but no two consecutive entries are given the same
+/// operation."  This cycle (PUSH, SWAP, POP, ...) reproduces the
+/// published lookup result: entry 604 (5th, index 4) stores operation 3
+/// (SWAP), matching "The new label (504) and operation (3) then appear."
+inline mpls::LabelOp figure_op(unsigned i) {
+  static constexpr mpls::LabelOp kCycle[3] = {
+      mpls::LabelOp::kPush, mpls::LabelOp::kSwap, mpls::LabelOp::kPop};
+  return kCycle[i % 3];
+}
+
+struct FigureRig {
+  hw::LabelStackModifier modifier;
+  rtl::TraceRecorder trace;
+
+  explicit FigureRig(unsigned level) : trace(modifier.sim()) {
+    modifier.attach_figure_probes(trace, level);
+  }
+
+  /// Write the figure's ten pairs into `level`.  `first_index` is 600
+  /// for the level-1 figure (packet identifiers) and 1 for level 2
+  /// (old label values); new labels are 500..509 in both.
+  void write_ten_pairs(unsigned level, rtl::u32 first_index) {
+    for (rtl::u32 i = 0; i < 10; ++i) {
+      modifier.write_pair(
+          level, mpls::LabelPair{first_index + i, 500 + i, figure_op(i)});
+    }
+  }
+
+  /// Render the waveform window around the lookup and write the VCD.
+  void emit(const std::string& vcd_path, std::size_t window_first,
+            std::size_t window_last) {
+    std::printf("\n--- waveform (cycles %zu..%zu) ---\n", window_first,
+                window_last);
+    std::printf("%s", trace.render_ascii(window_first, window_last).c_str());
+    if (trace.write_vcd(vcd_path)) {
+      std::printf("--- full trace written to %s ---\n\n", vcd_path.c_str());
+    } else {
+      std::printf("--- could not write %s ---\n\n", vcd_path.c_str());
+    }
+  }
+};
+
+}  // namespace empls::bench

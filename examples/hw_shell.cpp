@@ -1,0 +1,220 @@
+// Interactive shell for the RTL label stack modifier: poke the paper's
+// hardware from a prompt, with live cycle counts and optional waveform
+// capture.  Also scriptable: pipe commands on stdin.
+//
+//   $ ./hw_shell
+//   mpls> write 1 600 500 swap
+//   ok: 3 cycles, level 1 holds 1 pairs
+//   mpls> search 1 600
+//   found: label=500 op=SWAP (8 cycles, 0.16 us @50MHz)
+//   mpls> help
+#include <cstdio>
+#include <unistd.h>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hw/cycle_model.hpp"
+#include "hw/label_stack_modifier.hpp"
+#include "rtl/clock_model.hpp"
+
+using namespace empls;
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "commands:\n"
+      "  reset                       reset the architecture (3 cycles)\n"
+      "  push <label> [cos] [ttl]    user push onto the label stack\n"
+      "  pop                         user pop\n"
+      "  write <level> <index> <label> <push|pop|swap|nop>\n"
+      "                              store a label pair\n"
+      "  search <level> <key>        bare information-base lookup\n"
+      "  read <level> <address>      read a stored pair back by address\n"
+      "  update <level> <ler|lsr> [pid] [cos] [ttl]\n"
+      "                              full update-stack flow\n"
+      "  stack                       show the label stack\n"
+      "  dump <level>                list a level's stored pairs\n"
+      "  quit\n");
+}
+
+std::optional<mpls::LabelOp> parse_op(const std::string& s) {
+  if (s == "push") {
+    return mpls::LabelOp::kPush;
+  }
+  if (s == "pop") {
+    return mpls::LabelOp::kPop;
+  }
+  if (s == "swap") {
+    return mpls::LabelOp::kSwap;
+  }
+  if (s == "nop") {
+    return mpls::LabelOp::kNop;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  hw::LabelStackModifier m;
+  const rtl::ClockModel clock;
+  const bool interactive = isatty(0) != 0;
+
+  if (interactive) {
+    std::printf("embedded MPLS label stack modifier shell "
+                "(50 MHz model; 'help' for commands)\n");
+  }
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("mpls> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    std::istringstream in(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (in >> t) {
+      tok.push_back(t);
+    }
+    if (tok.empty()) {
+      continue;
+    }
+    const std::string& cmd = tok[0];
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        print_help();
+      } else if (cmd == "reset") {
+        std::printf("ok: %llu cycles\n",
+                    static_cast<unsigned long long>(m.do_reset()));
+      } else if (cmd == "push" && tok.size() >= 2) {
+        mpls::LabelEntry e;
+        e.label = static_cast<rtl::u32>(std::stoul(tok[1]));
+        e.cos = tok.size() > 2
+                    ? static_cast<rtl::u8>(std::stoul(tok[2]))
+                    : 0;
+        e.ttl = tok.size() > 3
+                    ? static_cast<rtl::u8>(std::stoul(tok[3]))
+                    : 64;
+        const auto cycles = m.user_push(e);
+        std::printf("ok: %llu cycles, %s\n",
+                    static_cast<unsigned long long>(cycles),
+                    m.stack_view().to_string().c_str());
+      } else if (cmd == "pop") {
+        const auto cycles = m.user_pop();
+        std::printf("ok: %llu cycles, %s\n",
+                    static_cast<unsigned long long>(cycles),
+                    m.stack_view().to_string().c_str());
+      } else if (cmd == "write" && tok.size() == 5) {
+        const auto op = parse_op(tok[4]);
+        if (!op) {
+          std::printf("bad operation: %s\n", tok[4].c_str());
+          continue;
+        }
+        const auto level = static_cast<unsigned>(std::stoul(tok[1]));
+        if (!hw::InfoBase::valid_level(level)) {
+          std::printf("level must be 1..3\n");
+          continue;
+        }
+        const auto cycles = m.write_pair(
+            level, mpls::LabelPair{
+                       static_cast<rtl::u32>(std::stoul(tok[2])),
+                       static_cast<rtl::u32>(std::stoul(tok[3])), *op});
+        std::printf("ok: %llu cycles, level %u holds %llu pairs\n",
+                    static_cast<unsigned long long>(cycles), level,
+                    static_cast<unsigned long long>(m.level_count(level)));
+      } else if (cmd == "search" && tok.size() == 3) {
+        const auto level = static_cast<unsigned>(std::stoul(tok[1]));
+        if (!hw::InfoBase::valid_level(level)) {
+          std::printf("level must be 1..3\n");
+          continue;
+        }
+        const auto r =
+            m.search(level, static_cast<rtl::u32>(std::stoul(tok[2])));
+        if (r.found) {
+          std::printf("found: label=%u op=%s (%llu cycles, %.2f us "
+                      "@50MHz)\n",
+                      r.label,
+                      std::string(to_string(
+                                      static_cast<mpls::LabelOp>(r.operation)))
+                          .c_str(),
+                      static_cast<unsigned long long>(r.cycles),
+                      clock.microseconds(r.cycles));
+        } else {
+          std::printf("not found: packet would be discarded (%llu cycles, "
+                      "3n+5)\n",
+                      static_cast<unsigned long long>(r.cycles));
+        }
+      } else if (cmd == "read" && tok.size() == 3) {
+        const auto level = static_cast<unsigned>(std::stoul(tok[1]));
+        if (!hw::InfoBase::valid_level(level)) {
+          std::printf("level must be 1..3\n");
+          continue;
+        }
+        const auto r = m.read_pair(
+            level, static_cast<rtl::u16>(std::stoul(tok[2])));
+        if (r.valid) {
+          std::printf("[%s] index=%u label=%u op=%s (%llu cycles)\n",
+                      tok[2].c_str(), r.pair.index, r.pair.new_label,
+                      std::string(to_string(r.pair.op)).c_str(),
+                      static_cast<unsigned long long>(r.cycles));
+        } else {
+          std::printf("address %s beyond occupancy\n", tok[2].c_str());
+        }
+      } else if (cmd == "update" && tok.size() >= 3) {
+        const auto level = static_cast<unsigned>(std::stoul(tok[1]));
+        if (!hw::InfoBase::valid_level(level)) {
+          std::printf("level must be 1..3\n");
+          continue;
+        }
+        const auto type = tok[2] == "ler" ? hw::RouterType::kLer
+                                          : hw::RouterType::kLsr;
+        const rtl::u32 pid =
+            tok.size() > 3 ? static_cast<rtl::u32>(std::stoul(tok[3])) : 0;
+        const rtl::u8 cos =
+            tok.size() > 4 ? static_cast<rtl::u8>(std::stoul(tok[4])) : 0;
+        const rtl::u8 ttl =
+            tok.size() > 5 ? static_cast<rtl::u8>(std::stoul(tok[5])) : 64;
+        const auto r = m.update(level, type, pid, cos, ttl);
+        std::printf("%s: %llu cycles (%.2f us), %s\n",
+                    r.discarded
+                        ? "DISCARDED"
+                        : std::string(to_string(r.applied)).c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    clock.microseconds(r.cycles),
+                    m.stack_view().to_string().c_str());
+      } else if (cmd == "stack") {
+        std::printf("%s\n", m.stack_view().to_string().c_str());
+      } else if (cmd == "dump" && tok.size() == 2) {
+        const auto level = static_cast<unsigned>(std::stoul(tok[1]));
+        if (!hw::InfoBase::valid_level(level)) {
+          std::printf("level must be 1..3\n");
+          continue;
+        }
+        const auto n = m.level_count(level);
+        std::printf("level %u: %llu pairs\n", level,
+                    static_cast<unsigned long long>(n));
+        for (rtl::u64 i = 0; i < n; ++i) {
+          const auto r = m.read_pair(level, static_cast<rtl::u16>(i));
+          std::printf("  [%llu] index=%u label=%u op=%s\n",
+                      static_cast<unsigned long long>(i), r.pair.index,
+                      r.pair.new_label,
+                      std::string(to_string(r.pair.op)).c_str());
+        }
+      } else {
+        std::printf("unknown command (try 'help'): %s\n", cmd.c_str());
+      }
+    } catch (const std::exception&) {
+      std::printf("bad arguments for %s (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: drive the embedded label stack modifier directly.
+//
+// This is the smallest useful tour of the public API: reset the
+// architecture, let the (software) routing functionality store label
+// pairs in the information base, then process packets — an ingress push
+// keyed by packet identifier, a transit swap keyed by label, and an
+// egress pop — watching the label stack and the cycle costs of Table 6.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "hw/label_stack_modifier.hpp"
+#include "mpls/packet.hpp"
+#include "rtl/clock_model.hpp"
+
+using namespace empls;
+
+int main() {
+  hw::LabelStackModifier modifier;
+  const rtl::ClockModel clock;  // 50 MHz, the paper's FPGA target
+
+  std::printf("embedded MPLS label stack modifier — quickstart\n\n");
+
+  // 1. Reset the architecture (3 cycles).
+  const auto reset_cycles = modifier.do_reset();
+  std::printf("reset: %llu cycles\n",
+              static_cast<unsigned long long>(reset_cycles));
+
+  // 2. The routing functionality programs the information base:
+  //    level 1 (keyed by packet identifier): ingress PUSH for host
+  //    10.0.0.7; level 2 (keyed by label): a transit SWAP and an egress
+  //    POP.
+  const rtl::u32 pid = mpls::Ipv4Address::from_octets(10, 0, 0, 7).value;
+  modifier.write_pair(1, mpls::LabelPair{pid, 100, mpls::LabelOp::kPush});
+  modifier.write_pair(2, mpls::LabelPair{100, 200, mpls::LabelOp::kSwap});
+  modifier.write_pair(2, mpls::LabelPair{200, 0, mpls::LabelOp::kPop});
+  std::printf("programmed 3 label pairs (3 cycles each)\n\n");
+
+  // 3. Ingress LER: empty stack, level-1 lookup by packet identifier.
+  auto r = modifier.update(1, hw::RouterType::kLer, pid, /*cos=*/5,
+                           /*ttl=*/64);
+  std::printf("ingress update: %-4llu cycles (%.2f us)  -> %s\n",
+              static_cast<unsigned long long>(r.cycles),
+              clock.microseconds(r.cycles),
+              modifier.stack_view().to_string().c_str());
+
+  // 4. Transit LSR: swap the top label at level 2.
+  r = modifier.update(2, hw::RouterType::kLsr, 0);
+  std::printf("transit swap:   %-4llu cycles (%.2f us)  -> %s\n",
+              static_cast<unsigned long long>(r.cycles),
+              clock.microseconds(r.cycles),
+              modifier.stack_view().to_string().c_str());
+
+  // 5. Egress LER: pop; the stack empties and the packet would return
+  //    to its layer-2 network.
+  r = modifier.update(2, hw::RouterType::kLer, 0);
+  std::printf("egress pop:     %-4llu cycles (%.2f us)  -> %s\n",
+              static_cast<unsigned long long>(r.cycles),
+              clock.microseconds(r.cycles),
+              modifier.stack_view().to_string().c_str());
+
+  // 6. A lookup that misses discards the packet (Figure 16).
+  modifier.user_push(mpls::LabelEntry{999, 0, false, 64});
+  r = modifier.update(2, hw::RouterType::kLsr, 0);
+  std::printf("\nunknown label 999: discarded=%s (stack reset, %llu cycles)\n",
+              r.discarded ? "yes" : "no",
+              static_cast<unsigned long long>(r.cycles));
+  return 0;
+}

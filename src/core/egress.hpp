@@ -1,0 +1,36 @@
+// Egress packet processing interface (Figure 6).
+//
+// "Once the label stack has been modified, it is delivered to the egress
+// packet processing interface that replaces the label stack in the
+// initial packet and generates the new packet."  The modifier only
+// touches the label stack; this module finalises the rest: on a pop that
+// empties the stack (the packet leaves the MPLS domain), the decremented
+// TTL the datapath's counter holds is written back into the IP header.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpls/packet.hpp"
+#include "rtl/types.hpp"
+
+namespace empls::core {
+
+class EgressProcessor {
+ public:
+  /// Apply post-update fixups.  `ttl_after` is the datapath TTL counter
+  /// value after the operation (sw::UpdateOutcome::ttl_after).
+  static void finalize(mpls::Packet& packet, rtl::u8 ttl_after) noexcept {
+    if (packet.stack.empty()) {
+      packet.ip_ttl = ttl_after;  // TTL propagation on final pop
+    }
+  }
+
+  /// Generate the outgoing wire form.
+  [[nodiscard]] static std::vector<std::uint8_t> generate(
+      const mpls::Packet& packet) {
+    return packet.serialize();
+  }
+};
+
+}  // namespace empls::core

@@ -1,0 +1,188 @@
+#include "core/embedded_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "core/egress.hpp"
+#include "core/ingress.hpp"
+#include "net/network.hpp"
+
+namespace empls::core {
+
+EmbeddedRouter::EmbeddedRouter(std::string name,
+                               std::unique_ptr<sw::LabelEngine> engine,
+                               RouterConfig config)
+    : net::Node(std::move(name)),
+      engine_(std::move(engine)),
+      routing_(*engine_, config.label_base),
+      config_(config),
+      clock_(config.clock_hz) {
+  assert(engine_ != nullptr);
+}
+
+void EmbeddedRouter::count_op(mpls::LabelOp op) {
+  switch (op) {
+    case mpls::LabelOp::kPush:
+      ++stats_.pushes;
+      break;
+    case mpls::LabelOp::kPop:
+      ++stats_.pops;
+      break;
+    case mpls::LabelOp::kSwap:
+      ++stats_.swaps;
+      break;
+    case mpls::LabelOp::kNop:
+      break;
+  }
+}
+
+void EmbeddedRouter::set_policer(std::uint32_t flow_id,
+                                 const net::PolicerConfig& config) {
+  policers_.insert_or_assign(
+      flow_id,
+      std::make_pair(config,
+                     net::TokenBucket(config.rate_bps, config.burst_bytes)));
+}
+
+void EmbeddedRouter::receive(mpls::Packet packet, mpls::InterfaceId in_if) {
+  ++stats_.received;
+
+  // Ingress packet processing: wire validation + classification.
+  if (config_.validate_wire && !IngressProcessor::wire_round_trip_ok(packet)) {
+    ++stats_.malformed;
+    network()->notify_discard(id(), packet, "malformed");
+    return;
+  }
+  const auto cls = IngressProcessor::classify(packet);
+
+  // Penultimate-hop-popping egress: the packet arrives from a neighbour
+  // already unlabeled; if it is for a locally attached prefix it leaves
+  // the MPLS domain here without touching the label engine.
+  if (!cls.labeled && in_if != net::kInjectInterface &&
+      routing_.is_local(packet.dst)) {
+    ++stats_.delivered_local;
+    network()->deliver_local(id(), packet);
+    return;
+  }
+
+  // Ingress policing: unlabeled traffic is checked against its flow's
+  // contract before it may consume a label (and the reserved bandwidth
+  // behind it).
+  if (!cls.labeled) {
+    const auto policer = policers_.find(packet.flow_id);
+    if (policer != policers_.end() &&
+        !policer->second.second.conforms(packet.wire_size(),
+                                         network()->now())) {
+      if (policer->second.first.action == net::PolicerAction::kDrop) {
+        ++stats_.policer_drops;
+        network()->notify_discard(id(), packet, "policer");
+        return;
+      }
+      ++stats_.policer_demotions;
+      packet.cos = 0;  // remark to best effort
+    }
+  }
+
+  Pending work{std::move(packet), in_if, network()->now()};
+  if (!config_.serialize_engine) {
+    process(std::move(work));
+    return;
+  }
+  // The label stack modifier is a single datapath: one packet at a time.
+  if (engine_busy_) {
+    if (engine_queue_.size() >= config_.engine_queue_capacity) {
+      ++stats_.engine_overruns;
+      return;
+    }
+    engine_queue_.push_back(std::move(work));
+    stats_.engine_queue_peak =
+        std::max(stats_.engine_queue_peak, engine_queue_.size());
+    return;
+  }
+  engine_busy_ = true;
+  process(std::move(work));
+}
+
+void EmbeddedRouter::engine_done() {
+  if (engine_queue_.empty()) {
+    engine_busy_ = false;
+    return;
+  }
+  Pending next = std::move(engine_queue_.front());
+  engine_queue_.pop_front();
+  process(std::move(next));
+}
+
+void EmbeddedRouter::process(Pending work) {
+  net::Network* net = network();
+  mpls::Packet packet = std::move(work.packet);
+  stats_.engine_wait_time += net->now() - work.enqueued_at;
+
+  const auto cls = IngressProcessor::classify(packet);
+  const mpls::Packet before = tap_ ? packet : mpls::Packet();
+
+  // Label stack modifier.
+  auto outcome = engine_->update(packet, cls.level, config_.type);
+  double latency = outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
+                                         : config_.sw_update_latency_s;
+  stats_.engine_cycles += outcome.hw_cycles;
+
+  // Slow path: unlabeled packet with no exact hardware entry — ask the
+  // routing functionality to install one from its FEC prefixes, retry.
+  // Only an actual lookup miss qualifies (a TTL expiry would just
+  // re-expire).
+  if (outcome.discarded && outcome.reason == sw::DiscardReason::kMiss &&
+      !cls.labeled && config_.type == hw::RouterType::kLer) {
+    if (routing_.slow_path_install(cls.key)) {
+      ++stats_.slow_path_retries;
+      outcome = engine_->update(packet, cls.level, config_.type);
+      latency += outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
+                                       : config_.sw_update_latency_s;
+      stats_.engine_cycles += outcome.hw_cycles;
+    }
+  }
+
+  // The datapath is busy for the processing latency; only then does the
+  // next queued packet enter it.
+  if (config_.serialize_engine) {
+    net->events().schedule_in(latency, [this] { engine_done(); });
+  }
+
+  if (tap_) {
+    tap_(*this, before, packet, outcome.applied, outcome.discarded);
+  }
+  if (outcome.discarded) {
+    ++stats_.discarded;
+    net->notify_discard(id(), packet, sw::to_string(outcome.reason));
+    return;
+  }
+  count_op(outcome.applied);
+
+  // Next-hop resolution is software state keyed by the pre-update key.
+  const auto port = routing_.out_port(cls.level, cls.key);
+  if (!port) {
+    ++stats_.discarded;  // control plane never told us where this goes
+    net->notify_discard(id(), packet, "no-next-hop");
+    return;
+  }
+
+  // Egress packet processing, then launch after the processing latency.
+  EgressProcessor::finalize(packet, outcome.ttl_after);
+  const mpls::InterfaceId out = *port;
+  if (out == mpls::kLocalDeliver) {
+    ++stats_.delivered_local;
+    net->events().schedule_in(latency, [this, net,
+                                        p = std::move(packet)]() mutable {
+      net->deliver_local(id(), p);
+    });
+  } else {
+    ++stats_.forwarded;
+    net->events().schedule_in(latency,
+                              [this, out, p = std::move(packet)]() mutable {
+                                send(std::move(p), out);
+                              });
+  }
+}
+
+}  // namespace empls::core

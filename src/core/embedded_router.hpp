@@ -1,0 +1,128 @@
+// The embedded MPLS router (Figure 6): ingress packet processing →
+// label stack modifier (any LabelEngine: the cycle-accurate RTL, the
+// analytically-costed linear engine, or the software baselines) →
+// egress packet processing, with the routing functionality programming
+// the information base from the control plane.
+//
+// Per received packet:
+//   1. ingress processing classifies (level, key) and validates the wire
+//      form;
+//   2. the engine runs the update-stack flow on the label stack;
+//   3. a miss on an unlabeled packet falls back to the software slow
+//      path (FEC prefix lookup → install exact hardware entry → retry);
+//   4. processing latency is charged: the engine's modelled cycles at
+//      the configured clock for hardware engines, a fixed per-packet
+//      cost for pure-software engines;
+//   5. egress processing finalises the packet, which is then forwarded
+//      out the software-resolved port or delivered off the MPLS domain.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+
+#include "core/routing_functionality.hpp"
+#include "hw/commands.hpp"
+#include "net/node.hpp"
+#include "net/policer.hpp"
+#include "rtl/clock_model.hpp"
+#include "sw/engine.hpp"
+
+namespace empls::core {
+
+struct RouterConfig {
+  hw::RouterType type = hw::RouterType::kLsr;
+  /// Clock for converting engine cycles to time (paper: 50 MHz Stratix).
+  double clock_hz = rtl::ClockModel::kPaperFrequencyHz;
+  /// Charged when the engine reports no hardware cycle model (pure
+  /// software); default approximates a mid-2000s software router's
+  /// per-packet MPLS path.
+  double sw_update_latency_s = 2e-6;
+  /// Validate serialize/parse round trips on every packet.
+  bool validate_wire = true;
+  /// First label this router's allocator hands out (label spaces are
+  /// per-router; distinct bases make multi-router traces readable).
+  std::uint32_t label_base = mpls::kFirstUnreservedLabel;
+  /// The label stack modifier processes one packet at a time (the
+  /// hardware has a single datapath); arrivals queue for it.  Disable
+  /// to model an idealised infinitely-parallel engine.
+  bool serialize_engine = true;
+  /// Packets waiting for the engine beyond this bound are dropped
+  /// (input-queue overrun — the router is saturated).
+  std::size_t engine_queue_capacity = 256;
+};
+
+class EmbeddedRouter : public net::Node {
+ public:
+  EmbeddedRouter(std::string name, std::unique_ptr<sw::LabelEngine> engine,
+                 RouterConfig config = {});
+
+  void receive(mpls::Packet packet, mpls::InterfaceId in_if) override;
+
+  [[nodiscard]] RoutingFunctionality& routing() noexcept { return routing_; }
+  [[nodiscard]] sw::LabelEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const RouterConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Observation hook: called once per processed (non-malformed) packet
+  /// with the packet as it arrived, as it left the modifier, and the
+  /// operation applied (kNop when discarded).  Used by examples and
+  /// tests to watch label stacks evolve hop by hop.
+  using PacketTap = std::function<void(
+      const EmbeddedRouter&, const mpls::Packet& before,
+      const mpls::Packet& after, mpls::LabelOp applied, bool discarded)>;
+  void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+
+  /// Ingress policing: police unlabeled packets of `flow_id` against a
+  /// token bucket.  Excess is dropped or demoted to best effort per the
+  /// config (the data-plane half of admission control).
+  void set_policer(std::uint32_t flow_id, const net::PolicerConfig& config);
+
+  struct Stats {
+    std::uint64_t received = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t delivered_local = 0;
+    std::uint64_t discarded = 0;
+    std::uint64_t malformed = 0;
+    std::uint64_t slow_path_retries = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t engine_cycles = 0;   // modelled hardware cycles total
+    std::uint64_t engine_overruns = 0; // dropped: engine queue full
+    std::size_t engine_queue_peak = 0; // deepest engine backlog seen
+    double engine_wait_time = 0.0;     // total seconds spent queued
+    std::uint64_t policer_drops = 0;
+    std::uint64_t policer_demotions = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Pending {
+    mpls::Packet packet;
+    mpls::InterfaceId in_if;
+    double enqueued_at;
+  };
+
+  void count_op(mpls::LabelOp op);
+  /// Run the label engine on one packet and launch the result.
+  void process(Pending work);
+  /// Start the next queued packet, if any (engine just went idle).
+  void engine_done();
+
+  std::unique_ptr<sw::LabelEngine> engine_;
+  RoutingFunctionality routing_;
+  RouterConfig config_;
+  rtl::ClockModel clock_;
+  Stats stats_;
+  PacketTap tap_;
+  std::deque<Pending> engine_queue_;
+  bool engine_busy_ = false;
+  std::map<std::uint32_t, std::pair<net::PolicerConfig, net::TokenBucket>>
+      policers_;
+};
+
+}  // namespace empls::core

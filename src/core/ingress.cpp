@@ -1,0 +1,41 @@
+#include "core/ingress.hpp"
+
+#include <algorithm>
+
+namespace empls::core {
+
+IngressProcessor::Classification IngressProcessor::classify(
+    const mpls::Packet& packet) noexcept {
+  Classification c;
+  if (packet.stack.empty()) {
+    c.level = 1;
+    c.key = packet.packet_identifier();
+    c.labeled = false;
+  } else {
+    c.level = static_cast<unsigned>(
+        std::min<std::size_t>(packet.stack.size() + 1, 3));
+    c.key = packet.stack.top().label;
+    c.labeled = true;
+  }
+  return c;
+}
+
+std::optional<mpls::Packet> IngressProcessor::parse(
+    std::span<const std::uint8_t> bytes) {
+  return mpls::Packet::parse(bytes);
+}
+
+bool IngressProcessor::wire_round_trip_ok(const mpls::Packet& packet) {
+  const auto bytes = packet.serialize();
+  const auto reparsed = mpls::Packet::parse(bytes);
+  if (!reparsed) {
+    return false;
+  }
+  return reparsed->l2 == packet.l2 && reparsed->src == packet.src &&
+         reparsed->dst == packet.dst && reparsed->cos == packet.cos &&
+         reparsed->ip_ttl == packet.ip_ttl &&
+         reparsed->stack == packet.stack &&
+         reparsed->payload == packet.payload;
+}
+
+}  // namespace empls::core

@@ -1,0 +1,131 @@
+#include "core/replication.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace empls::core {
+
+namespace {
+
+ReplicationRunner::Estimate estimate(const std::vector<double>& samples) {
+  ReplicationRunner::Estimate e;
+  const auto n = samples.size();
+  if (n == 0) {
+    return e;
+  }
+  double sum = 0.0;
+  for (const double v : samples) {
+    sum += v;
+  }
+  e.mean = sum / static_cast<double>(n);
+  if (n >= 2) {
+    double ss = 0.0;
+    for (const double v : samples) {
+      ss += (v - e.mean) * (v - e.mean);
+    }
+    const double stddev = std::sqrt(ss / static_cast<double>(n - 1));
+    // Normal approximation: adequate for the replication counts used.
+    e.ci95 = 1.96 * stddev / std::sqrt(static_cast<double>(n));
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string ReplicationRunner::Estimate::to_string() const {
+  std::ostringstream out;
+  out << mean << " +- " << ci95;
+  return out.str();
+}
+
+std::string ReplicationRunner::Aggregate::to_string() const {
+  std::ostringstream out;
+  out << replications << " replications\n";
+  for (const auto& [id, f] : flows) {
+    out << "flow " << id << ": loss " << f.loss_rate.mean * 100 << "% +- "
+        << f.loss_rate.ci95 * 100 << "%, latency "
+        << f.mean_latency.mean * 1e3 << " +- " << f.mean_latency.ci95 * 1e3
+        << " ms, p99 " << f.p99_latency.mean * 1e3 << " ms\n";
+  }
+  return out.str();
+}
+
+std::variant<ReplicationRunner::Aggregate, net::ScenarioError>
+ReplicationRunner::run(const net::Scenario& scenario, unsigned replications,
+                       unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, replications);
+
+  std::vector<std::variant<ScenarioRunner::Report, net::ScenarioError>>
+      results(replications,
+              net::ScenarioError{0, "replication did not run"});
+
+  // Work queue: each worker claims replication indices; every
+  // replication builds a private Scenario with shifted seeds and runs a
+  // private Network.  No shared mutable state beyond the results slots.
+  std::atomic<unsigned> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const unsigned i = next.fetch_add(1);
+      if (i >= replications) {
+        return;
+      }
+      net::Scenario replica = scenario;
+      for (auto& flow : replica.flows) {
+        flow.seed = flow.seed * 1000003u + i + 1;
+      }
+      results[i] = ScenarioRunner::run(replica);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+
+  // Aggregate.
+  std::map<std::uint32_t, std::vector<double>> loss;
+  std::map<std::uint32_t, std::vector<double>> latency;
+  std::map<std::uint32_t, std::vector<double>> p99;
+  Aggregate agg;
+  agg.replications = replications;
+  for (auto& result : results) {
+    if (const auto* err = std::get_if<net::ScenarioError>(&result)) {
+      return *err;
+    }
+    const auto& report = std::get<ScenarioRunner::Report>(result);
+    for (const auto& [id, flow] : report.flows.flows()) {
+      loss[id].push_back(flow.loss_rate());
+      latency[id].push_back(flow.latency.mean());
+      p99[id].push_back(flow.latency.percentile(0.99));
+      agg.flows[id].total_sent += flow.sent;
+      agg.flows[id].total_delivered += flow.delivered;
+    }
+  }
+  for (auto& [id, f] : agg.flows) {
+    f.loss_rate = estimate(loss[id]);
+    f.mean_latency = estimate(latency[id]);
+    f.p99_latency = estimate(p99[id]);
+  }
+  return agg;
+}
+
+std::variant<ReplicationRunner::Aggregate, net::ScenarioError>
+ReplicationRunner::run_text(std::string_view text, unsigned replications,
+                            unsigned threads) {
+  auto parsed = net::Scenario::parse(text);
+  if (const auto* err = std::get_if<net::ScenarioError>(&parsed)) {
+    return *err;
+  }
+  return run(std::get<net::Scenario>(parsed), replications, threads);
+}
+
+}  // namespace empls::core

@@ -1,0 +1,59 @@
+// Parallel Monte-Carlo replication of scenarios.
+//
+// A single simulation run is one sample of the stochastic traffic
+// processes (Poisson arrivals, on/off bursts).  Reliable statements
+// about loss rates and latency percentiles need many independent
+// replications; this runner executes them concurrently on a thread
+// pool (each replication owns its whole Network — no shared mutable
+// state, so the parallelism is embarrassingly clean) and aggregates
+// per-flow means with 95% confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/scenario_runner.hpp"
+#include "net/scenario.hpp"
+
+namespace empls::core {
+
+class ReplicationRunner {
+ public:
+  /// Mean ± half-width of a 95% confidence interval over replications.
+  struct Estimate {
+    double mean = 0.0;
+    double ci95 = 0.0;
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  struct FlowAggregate {
+    Estimate loss_rate;
+    Estimate mean_latency;
+    Estimate p99_latency;
+    std::uint64_t total_sent = 0;
+    std::uint64_t total_delivered = 0;
+  };
+
+  struct Aggregate {
+    std::map<std::uint32_t, FlowAggregate> flows;
+    unsigned replications = 0;
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  /// Run `replications` copies of `scenario` with per-replication seed
+  /// offsets applied to every stochastic flow, using at most `threads`
+  /// worker threads (0 = hardware concurrency).  ScenarioError if any
+  /// replication fails to build.
+  static std::variant<Aggregate, net::ScenarioError> run(
+      const net::Scenario& scenario, unsigned replications,
+      unsigned threads = 0);
+
+  static std::variant<Aggregate, net::ScenarioError> run_text(
+      std::string_view text, unsigned replications, unsigned threads = 0);
+};
+
+}  // namespace empls::core

@@ -1,0 +1,140 @@
+#include "core/routing_functionality.hpp"
+
+namespace empls::core {
+
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+void RoutingFunctionality::reprogram_hardware() {
+  engine_->clear();
+  for (const auto& [key, pair] : programmed_) {
+    engine_->write_pair(key.first, pair);
+  }
+  ++hardware_reprograms_;
+}
+
+bool RoutingFunctionality::bind(unsigned level, rtl::u32 key,
+                                const LabelPair& pair,
+                                mpls::InterfaceId out_port) {
+  const auto mirror_key = std::make_pair(level, key);
+  const auto it = programmed_.find(mirror_key);
+  if (it != programmed_.end()) {
+    if (it->second == pair && out_ports_[mirror_key] == out_port) {
+      return true;  // identical binding: nothing to do
+    }
+    // Rebinding an existing key: the append-only, first-match hardware
+    // would keep serving the stale entry, so update the mirror and run
+    // the reset + reprogram flow the paper's worst case costs out.
+    it->second = pair;
+    out_ports_[mirror_key] = out_port;
+    reprogram_hardware();
+    return true;
+  }
+  if (!engine_->write_pair(level, pair)) {
+    return false;  // information-base level full
+  }
+  programmed_.emplace(mirror_key, pair);
+  out_ports_[mirror_key] = out_port;
+  return true;
+}
+
+bool RoutingFunctionality::program_ingress_exact(rtl::u32 packet_id,
+                                                 rtl::u32 out_label,
+                                                 mpls::InterfaceId out_port) {
+  return bind(1, packet_id, LabelPair{packet_id, out_label, LabelOp::kPush},
+              out_port);
+}
+
+bool RoutingFunctionality::program_ingress_prefix(const mpls::Prefix& fec,
+                                                  rtl::u32 out_label,
+                                                  mpls::InterfaceId out_port) {
+  // Software-only: hardware entries are installed per packet identifier
+  // by the slow path.  Reuse the FEC id if the prefix is already known.
+  std::uint32_t fec_id;
+  if (const auto existing = fec_.lookup_exact(fec)) {
+    fec_id = *existing;
+  } else {
+    fec_id = next_fec_id_++;
+    fec_.insert(fec, fec_id);
+  }
+  const mpls::Nhlfe nhlfe{LabelOp::kPush, out_label, out_port};
+  const auto previous = ftn_.bind(fec_id, nhlfe);
+  if (previous && !(*previous == nhlfe)) {
+    // The prefix now maps elsewhere: exact level-1 entries the slow
+    // path derived from the old binding are stale.  Drop any entry the
+    // prefix covers and reprogram; traffic re-installs them on demand.
+    bool purged = false;
+    for (auto it = programmed_.begin(); it != programmed_.end();) {
+      if (it->first.first == 1 &&
+          fec.contains(mpls::Ipv4Address{it->first.second})) {
+        out_ports_.erase(it->first);
+        it = programmed_.erase(it);
+        purged = true;
+      } else {
+        ++it;
+      }
+    }
+    if (purged) {
+      reprogram_hardware();
+    }
+  }
+  return true;
+}
+
+bool RoutingFunctionality::program_local(const mpls::Prefix& fec) {
+  if (!local_.lookup_exact(fec)) {
+    local_.insert(fec, next_fec_id_++);
+  }
+  return true;
+}
+
+bool RoutingFunctionality::program_swap(unsigned level, rtl::u32 in_label,
+                                        rtl::u32 out_label,
+                                        mpls::InterfaceId out_port) {
+  ilm_.bind(in_label, mpls::Nhlfe{LabelOp::kSwap, out_label, out_port});
+  return bind(level, in_label, LabelPair{in_label, out_label, LabelOp::kSwap},
+              out_port);
+}
+
+bool RoutingFunctionality::program_pop(unsigned level, rtl::u32 in_label,
+                                       mpls::InterfaceId out_port) {
+  ilm_.bind(in_label, mpls::Nhlfe{LabelOp::kPop, 0, out_port});
+  return bind(level, in_label, LabelPair{in_label, 0, LabelOp::kPop},
+              out_port);
+}
+
+bool RoutingFunctionality::program_push(unsigned level, rtl::u32 in_label,
+                                        rtl::u32 outer_label,
+                                        mpls::InterfaceId out_port) {
+  ilm_.bind(in_label, mpls::Nhlfe{LabelOp::kPush, outer_label, out_port});
+  return bind(level, in_label,
+              LabelPair{in_label, outer_label, LabelOp::kPush}, out_port);
+}
+
+std::optional<mpls::InterfaceId> RoutingFunctionality::out_port(
+    unsigned level, rtl::u32 key) const {
+  const auto it = out_ports_.find({level, key});
+  if (it == out_ports_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool RoutingFunctionality::slow_path_install(rtl::u32 packet_id) {
+  const auto fec_id = fec_.lookup(mpls::Ipv4Address{packet_id});
+  if (!fec_id) {
+    return false;
+  }
+  const auto nhlfe = ftn_.lookup(*fec_id);
+  if (!nhlfe) {
+    return false;
+  }
+  if (!program_ingress_exact(packet_id, nhlfe->out_label,
+                             nhlfe->out_interface)) {
+    return false;
+  }
+  ++slow_path_installs_;
+  return true;
+}
+
+}  // namespace empls::core

@@ -1,0 +1,108 @@
+// The router's software control-plane agent (Figure 6's "routing
+// functionality"): programs label pairs into the engine's information
+// base, keeps the software-side state the hardware cannot hold (next-hop
+// resolution, FEC prefixes, the label space), and serves the ingress
+// slow path that installs exact hardware entries on demand.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "mpls/fec.hpp"
+#include "mpls/tables.hpp"
+#include "net/mpls_node.hpp"
+#include "sw/engine.hpp"
+
+namespace empls::core {
+
+class RoutingFunctionality : public net::MplsNode {
+ public:
+  /// `first_label` seeds this router's label space.  Label spaces are
+  /// per-router, so overlapping values across routers are legal; a
+  /// distinct base per router just makes traces easier to read.
+  explicit RoutingFunctionality(
+      sw::LabelEngine& engine,
+      std::uint32_t first_label = mpls::kFirstUnreservedLabel)
+      : engine_(&engine), allocator_(first_label) {}
+
+  // ---- net::MplsNode (control-plane programming) ----
+  bool program_ingress_exact(rtl::u32 packet_id, rtl::u32 out_label,
+                             mpls::InterfaceId out_port) override;
+  bool program_ingress_prefix(const mpls::Prefix& fec, rtl::u32 out_label,
+                              mpls::InterfaceId out_port) override;
+  bool program_swap(unsigned level, rtl::u32 in_label, rtl::u32 out_label,
+                    mpls::InterfaceId out_port) override;
+  bool program_pop(unsigned level, rtl::u32 in_label,
+                   mpls::InterfaceId out_port) override;
+  bool program_push(unsigned level, rtl::u32 in_label, rtl::u32 outer_label,
+                    mpls::InterfaceId out_port) override;
+  bool program_local(const mpls::Prefix& fec) override;
+  mpls::LabelAllocator& label_allocator() override { return allocator_; }
+
+  /// True when `dst` falls in a locally attached prefix (PHP egress).
+  [[nodiscard]] bool is_local(mpls::Ipv4Address dst) const {
+    return local_.lookup(dst).has_value();
+  }
+
+  // ---- data-plane support ----
+
+  /// Next-hop resolution for the entry keyed (level, key); nullopt when
+  /// the control plane never programmed it.
+  [[nodiscard]] std::optional<mpls::InterfaceId> out_port(
+      unsigned level, rtl::u32 key) const;
+
+  /// Ingress slow path: an unlabeled packet missed the hardware level-1
+  /// table.  Consult the software FEC prefixes; on a hit, install the
+  /// exact (packet identifier → push) pair in hardware so subsequent
+  /// packets — and the immediate retry — take the fast path.
+  bool slow_path_install(rtl::u32 packet_id);
+
+  [[nodiscard]] std::uint64_t slow_path_installs() const noexcept {
+    return slow_path_installs_;
+  }
+
+  /// Times the hardware was fully reprogrammed (a rebind of an existing
+  /// entry forces the paper's reset + rewrite flow, Section 4's worst
+  /// case).
+  [[nodiscard]] std::uint64_t hardware_reprograms() const noexcept {
+    return hardware_reprograms_;
+  }
+
+  /// Software mirrors, exposed for tests and inspection.
+  [[nodiscard]] const mpls::FecTable& fec_table() const noexcept {
+    return fec_;
+  }
+  [[nodiscard]] const mpls::FtnTable& ftn_table() const noexcept {
+    return ftn_;
+  }
+  [[nodiscard]] const mpls::IlmTable& ilm_table() const noexcept {
+    return ilm_;
+  }
+
+ private:
+  bool bind(unsigned level, rtl::u32 key, const mpls::LabelPair& pair,
+            mpls::InterfaceId out_port);
+
+  /// Rebind-aware hardware programming: the hardware information base
+  /// is append-only with first-match-wins lookups, so changing an
+  /// existing binding requires the paper's reset-and-reprogram flow.
+  /// `programmed_` is the authoritative software mirror replayed into
+  /// the engine by reprogram_hardware().
+  void reprogram_hardware();
+
+  sw::LabelEngine* engine_;
+  mpls::LabelAllocator allocator_;
+  mpls::FecTable fec_;    // prefix → fec id
+  mpls::FtnTable ftn_;    // fec id → NHLFE (ingress bindings)
+  mpls::IlmTable ilm_;    // label → NHLFE mirror (levels 2/3, software view)
+  mpls::FecTable local_;  // locally attached prefixes (PHP egress)
+  std::map<std::pair<unsigned, rtl::u32>, mpls::LabelPair> programmed_;
+  std::map<std::pair<unsigned, rtl::u32>, mpls::InterfaceId> out_ports_;
+  std::uint32_t next_fec_id_ = 1;
+  std::uint64_t slow_path_installs_ = 0;
+  std::uint64_t hardware_reprograms_ = 0;
+};
+
+}  // namespace empls::core

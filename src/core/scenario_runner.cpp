@@ -1,0 +1,309 @@
+#include "core/scenario_runner.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "net/failure_detector.hpp"
+#include "net/oam.hpp"
+
+#include "sw/cam_engine.hpp"
+#include "sw/hash_engine.hpp"
+#include "sw/hw_engine.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::core {
+
+namespace {
+
+std::unique_ptr<sw::LabelEngine> make_engine(const std::string& kind) {
+  if (kind == "hash") {
+    return std::make_unique<sw::HashEngine>();
+  }
+  if (kind == "cam") {
+    return std::make_unique<sw::CamEngine>();
+  }
+  if (kind == "hw") {
+    return std::make_unique<sw::HwEngine>();
+  }
+  return std::make_unique<sw::LinearEngine>();
+}
+
+net::ScenarioError semantic_error(std::string message) {
+  return net::ScenarioError{0, std::move(message)};
+}
+
+}  // namespace
+
+std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
+    const net::Scenario& scenario) {
+  net::Network net(scenario.qos);
+  net::ControlPlane cp(net);
+  Report report;
+
+  // Routers.
+  std::map<std::string, net::NodeId> ids;
+  std::uint32_t label_base = 100;
+  for (const auto& decl : scenario.routers) {
+    RouterConfig cfg;
+    cfg.type = decl.is_ler ? hw::RouterType::kLer : hw::RouterType::kLsr;
+    cfg.clock_hz = decl.clock_hz;
+    cfg.label_base = label_base;
+    label_base += 1000;
+    auto router = std::make_unique<EmbeddedRouter>(
+        decl.name, make_engine(decl.engine), cfg);
+    auto* raw = router.get();
+    const auto id = net.add_node(std::move(router));
+    cp.register_router(id, &raw->routing());
+    ids.emplace(decl.name, id);
+  }
+  auto id_of = [&](const std::string& name) { return ids.at(name); };
+
+  // Links.
+  for (const auto& decl : scenario.links) {
+    net.connect(id_of(decl.a), id_of(decl.b), decl.bandwidth_bps,
+                decl.delay);
+  }
+
+  // Tunnels first (tunnel LSPs reference them), then LSPs.
+  std::map<std::string, net::TunnelId> tunnels;
+  for (const auto& decl : scenario.tunnels) {
+    std::vector<net::NodeId> path;
+    for (const auto& name : decl.path) {
+      path.push_back(id_of(name));
+    }
+    const auto tunnel = cp.establish_tunnel(path);
+    if (!tunnel) {
+      return semantic_error("tunnel could not be established: " + decl.name);
+    }
+    tunnels.emplace(decl.name, *tunnel);
+    ++report.tunnels_established;
+  }
+  for (const auto& decl : scenario.lsps) {
+    std::optional<net::LspId> lsp;
+    if (decl.cspf) {
+      lsp = cp.establish_lsp_cspf(id_of(decl.path.front()),
+                                  id_of(decl.path.back()), decl.fec,
+                                  decl.bw);
+    } else {
+      std::vector<net::NodeId> path;
+      for (const auto& name : decl.path) {
+        path.push_back(id_of(name));
+      }
+      net::LspOptions options;
+      options.bw = decl.bw;
+      options.php = decl.php;
+      options.allow_merge = decl.merge;
+      lsp = cp.establish_lsp(path, decl.fec, options);
+    }
+    if (!lsp) {
+      return semantic_error("lsp could not be established for " +
+                            decl.fec.to_string());
+    }
+    ++report.lsps_established;
+  }
+  for (const auto& decl : scenario.tunnel_lsps) {
+    const auto it = tunnels.find(decl.tunnel);
+    if (it == tunnels.end()) {
+      return semantic_error("unknown tunnel: " + decl.tunnel);
+    }
+    std::vector<net::NodeId> pre;
+    std::vector<net::NodeId> post;
+    for (const auto& name : decl.pre) {
+      pre.push_back(id_of(name));
+    }
+    for (const auto& name : decl.post) {
+      post.push_back(id_of(name));
+    }
+    if (!cp.establish_lsp_via_tunnel(pre, it->second, post, decl.fec,
+                                     decl.bw)) {
+      return semantic_error("lsp-via-tunnel could not be established for " +
+                            decl.fec.to_string());
+    }
+    ++report.lsps_established;
+  }
+
+  // Ingress policers.
+  for (const auto& decl : scenario.policers) {
+    net::PolicerConfig cfg;
+    cfg.rate_bps = decl.rate_bps;
+    cfg.burst_bytes = decl.burst_bytes;
+    cfg.action = decl.demote ? net::PolicerAction::kDemote
+                             : net::PolicerAction::kDrop;
+    net.node_as<EmbeddedRouter>(id_of(decl.ingress))
+        .set_policer(decl.flow_id, cfg);
+  }
+
+  // Delivery accounting (OAM probes use reserved flow ids and must not
+  // pollute the traffic statistics).
+  net.set_delivery_handler([&report, &net](net::NodeId,
+                                           const mpls::Packet& p) {
+    if (p.flow_id < net::kOamFlowBase) {
+      report.flows.on_delivered(p, net.now());
+    }
+  });
+
+  // Traffic sources (kept alive for the run's duration).
+  std::vector<std::unique_ptr<net::TrafficSource>> sources;
+  for (const auto& decl : scenario.flows) {
+    net::FlowSpec spec;
+    spec.flow_id = decl.id;
+    spec.ingress = id_of(decl.ingress);
+    spec.dst = *mpls::Ipv4Address::parse(decl.dst);
+    spec.cos = decl.cos;
+    spec.payload_bytes = decl.size;
+    spec.start = decl.start;
+    spec.stop = decl.stop;
+    if (decl.kind == "cbr") {
+      sources.push_back(std::make_unique<net::CbrSource>(
+          net, spec, &report.flows, decl.interval));
+    } else if (decl.kind == "poisson") {
+      sources.push_back(std::make_unique<net::PoissonSource>(
+          net, spec, &report.flows, decl.rate, decl.seed));
+    } else if (decl.kind == "video") {
+      sources.push_back(std::make_unique<net::VideoSource>(
+          net, spec, &report.flows, 1.0 / decl.fps, decl.ppf));
+    } else {
+      sources.push_back(std::make_unique<net::OnOffSource>(
+          net, spec, &report.flows, decl.rate, decl.mean_on, decl.mean_off,
+          decl.seed));
+    }
+    sources.back()->start();
+  }
+
+  // Failure / restoration events.
+  for (const auto& decl : scenario.link_events) {
+    const auto a = id_of(decl.a);
+    const auto b = id_of(decl.b);
+    const bool up = decl.up;
+    net.events().schedule_at(decl.at, [&net, a, b, up] {
+      net.set_connection_up(a, b, up);
+    });
+  }
+
+  // OAM probes (ping / traceroute directives).  Results are collected
+  // as report lines; the Oam agent must outlive the run.
+  std::optional<net::Oam> oam;
+  if (!scenario.oam_probes.empty()) {
+    oam.emplace(net);
+    for (const auto& decl : scenario.oam_probes) {
+      const auto ingress = id_of(decl.ingress);
+      const auto dst = *mpls::Ipv4Address::parse(decl.dst);
+      const std::string tag =
+          (decl.traceroute ? "traceroute " : "ping ") + decl.ingress +
+          " -> " + decl.dst;
+      net.events().schedule_at(decl.at, [&net, &report, &oam, ingress, dst,
+                                         tag, traceroute =
+                                             decl.traceroute] {
+        if (traceroute) {
+          oam->lsp_traceroute(ingress, dst, [&net, &report, tag](
+                                                const auto& r) {
+            std::string line = tag + ":";
+            for (const auto& hop : r.hops) {
+              line += " " + net.node(hop.node).name() +
+                      (hop.is_egress ? "[egress]" : "");
+            }
+            line += r.complete ? " (complete)" : " (incomplete)";
+            report.oam_results.push_back(std::move(line));
+          });
+        } else {
+          oam->lsp_ping(ingress, dst, [&net, &report, tag](const auto& r) {
+            std::string line = tag + ": ";
+            if (r.reachable) {
+              line += "reachable via " + net.node(*r.egress).name();
+            } else if (r.discarded_at) {
+              line += "FAILED at " + net.node(*r.discarded_at).name() +
+                      " (" + r.discard_reason + ")";
+            } else {
+              line += "FAILED (" + r.discard_reason + ")";
+            }
+            report.oam_results.push_back(std::move(line));
+          });
+        }
+      });
+    }
+  }
+
+  // Automatic restoration (the `autorepair` directive).
+  std::optional<net::FailureDetector> detector;
+  if (scenario.autorepair_hello) {
+    detector.emplace(net, cp, *scenario.autorepair_hello,
+                     scenario.autorepair_dead);
+    detector->watch_all();
+    detector->start(scenario.run_duration.value_or(
+        *scenario.autorepair_hello * 1000));
+  }
+
+  if (scenario.run_duration) {
+    net.run_until(*scenario.run_duration);
+    net.run();  // drain in-flight packets
+  } else {
+    net.run();
+  }
+  report.duration = net.now();
+  if (detector) {
+    report.failures_detected = detector->events().size();
+    for (const auto& event : detector->events()) {
+      report.lsps_rerouted += event.rerouted;
+    }
+  }
+
+  for (const auto& decl : scenario.routers) {
+    const auto& s = net.node_as<EmbeddedRouter>(id_of(decl.name)).stats();
+    report.routers.push_back(RouterRow{decl.name, s.received, s.forwarded,
+                                       s.delivered_local, s.discarded,
+                                       s.engine_cycles});
+  }
+  for (const auto& decl : scenario.links) {
+    // Report both directions of each declared connection.
+    for (const auto& [from, to] :
+         {std::pair{decl.a, decl.b}, std::pair{decl.b, decl.a}}) {
+      for (const auto& adj : net.adjacency(id_of(from))) {
+        if (adj.neighbor != id_of(to)) {
+          continue;
+        }
+        const auto& link = net.link_from(id_of(from), adj.port);
+        report.links.push_back(LinkRow{
+            from, to, link.utilization(), link.stats().tx_packets,
+            link.queue().total_stats().dropped});
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+std::variant<ScenarioRunner::Report, net::ScenarioError>
+ScenarioRunner::run_text(std::string_view text) {
+  auto parsed = net::Scenario::parse(text);
+  if (std::holds_alternative<net::ScenarioError>(parsed)) {
+    return std::get<net::ScenarioError>(parsed);
+  }
+  return run(std::get<net::Scenario>(parsed));
+}
+
+std::string ScenarioRunner::Report::to_string() const {
+  std::ostringstream out;
+  out << "simulated " << duration << " s, " << lsps_established << " LSPs, "
+      << tunnels_established << " tunnels\n\nflows:\n"
+      << flows.summary() << "\nrouters:\n";
+  for (const auto& r : routers) {
+    out << "  " << r.name << ": rx=" << r.received << " fwd=" << r.forwarded
+        << " local=" << r.delivered << " drop=" << r.discarded
+        << " engine_cycles=" << r.engine_cycles << '\n';
+  }
+  if (!oam_results.empty()) {
+    out << "\noam:\n";
+    for (const auto& line : oam_results) {
+      out << "  " << line << '\n';
+    }
+  }
+  out << "\nlinks:\n";
+  for (const auto& l : links) {
+    out << "  " << l.from << " -> " << l.to << ": util="
+        << l.utilization * 100.0 << "% tx=" << l.tx_packets
+        << " qdrop=" << l.queue_drops << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace empls::core

@@ -1,0 +1,63 @@
+// Executes a parsed net::Scenario: builds routers and links, signs the
+// declared LSPs, arms the traffic sources and failure events, runs the
+// simulation, and produces a per-flow / per-router / per-link report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/embedded_router.hpp"
+#include "net/ldp.hpp"
+#include "net/scenario.hpp"
+#include "net/stats.hpp"
+#include "net/traffic.hpp"
+
+namespace empls::core {
+
+class ScenarioRunner {
+ public:
+  struct RouterRow {
+    std::string name;
+    std::uint64_t received = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t discarded = 0;
+    std::uint64_t engine_cycles = 0;
+  };
+
+  struct LinkRow {
+    std::string from;
+    std::string to;
+    double utilization = 0;      // busy fraction of the run
+    std::uint64_t tx_packets = 0;
+    std::uint64_t queue_drops = 0;
+  };
+
+  struct Report {
+    net::FlowStats flows;
+    std::vector<RouterRow> routers;
+    std::vector<LinkRow> links;
+    std::uint64_t lsps_established = 0;
+    std::uint64_t tunnels_established = 0;
+    std::uint64_t failures_detected = 0;  // autorepair events
+    std::uint64_t lsps_rerouted = 0;
+    std::vector<std::string> oam_results;  // one line per ping/traceroute
+    net::SimTime duration = 0;
+
+    /// Human-readable summary tables.
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  /// Build and run `scenario`.  ScenarioError (line 0) on semantic
+  /// failures such as an LSP that cannot be established.
+  static std::variant<Report, net::ScenarioError> run(
+      const net::Scenario& scenario);
+
+  /// Convenience: parse + run.
+  static std::variant<Report, net::ScenarioError> run_text(
+      std::string_view text);
+};
+
+}  // namespace empls::core

@@ -1,0 +1,63 @@
+// Primary inputs of the label stack modifier.
+//
+// These correspond to the external signals of Figure 7: the desired
+// operation (`extOperation`), the data-in bus with its data-type selector
+// (stack entry / label pair / search index), the stack level, the router
+// type, and the packet identifier.  Inputs are level-sensitive: the
+// caller sets them and they stay stable until the main interface consumes
+// the operation at dispatch (which clears `op` only — data fields persist
+// for the duration of the operation, as a held bus would).
+#pragma once
+
+#include "rtl/types.hpp"
+
+namespace empls::hw {
+
+enum class ExtOp : rtl::u8 {
+  kNone = 0,
+  kReset,        // re-initialise the whole architecture
+  kUserPush,     // push a stack entry supplied on data-in
+  kUserPop,      // pop the top stack entry
+  kUpdateStack,  // full update flow: search info base, then push/pop/swap
+  kWritePair,    // store a label pair into an information-base level
+  kSearch,       // bare information-base lookup (the "read data" command)
+  kReadPair,     // read the pair stored at an address (the paper's
+                 // "search index when the user wants to read the
+                 // contents of the information base directly")
+};
+
+enum class RouterType : rtl::u8 {
+  kLer = 0,  // label edge router (logic low in the paper)
+  kLsr = 1,  // label switch router (logic high)
+};
+
+struct CommandInputs {
+  ExtOp op = ExtOp::kNone;
+
+  // kUserPush: the 32-bit encoded stack entry to push.
+  rtl::u32 stack_entry_in = 0;
+
+  // kWritePair: the label pair to store.
+  rtl::u32 pair_index = 0;  // packet identifier (level 1) or label
+  rtl::u32 pair_label = 0;  // 20-bit new label
+  rtl::u8 pair_op = 0;      // 2-bit operation code
+
+  // kWritePair / kSearch / kUpdateStack: target level, 1..3 (the
+  // "Stack level" input of Figure 7).
+  rtl::u8 level = 1;
+
+  // kSearch: the lookup key (`packetid` for level 1, `label_lookup`
+  // for levels 2 and 3 in the paper's simulations).
+  rtl::u32 search_key = 0;
+
+  // kReadPair: the entry address to read back (10 bits).
+  rtl::u16 read_address = 0;
+
+  // kUpdateStack context.
+  RouterType router_type = RouterType::kLsr;
+  rtl::u32 packet_identifier = 0;  // level-1 key when the stack is empty
+  rtl::u8 cos_in = 0;              // CoS from the control path (ingress push)
+  rtl::u8 ttl_in = 0;              // TTL from the control path (ingress push)
+};
+
+}  // namespace empls::hw

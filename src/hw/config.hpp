@@ -1,0 +1,35 @@
+// Architectural parameters of the label stack modifier, fixed by the
+// paper (Figures 12-13 and Section 4).
+#pragma once
+
+#include "rtl/types.hpp"
+
+namespace empls::hw {
+
+/// Information-base levels (one per label-stack nesting level).
+inline constexpr unsigned kNumLevels = 3;
+
+/// "Each memory component supports 1 KB of label pairs."
+inline constexpr rtl::u64 kLevelDepth = 1024;
+
+/// Index memory width per level: level 1 stores the 32-bit packet
+/// identifier; levels 2 and 3 store 20-bit labels.
+inline constexpr unsigned kIndexBitsLevel1 = 32;
+inline constexpr unsigned kIndexBitsOther = 20;
+
+inline constexpr unsigned kLabelMemBits = 20;
+inline constexpr unsigned kOpMemBits = 2;
+
+/// Address counters are 10 bits (1024 entries); occupancy counts need one
+/// more bit to represent the "completely full" value 1024.
+inline constexpr unsigned kAddrBits = 10;
+inline constexpr unsigned kOccupancyBits = 11;
+
+/// The hardware label stack holds at most three 32-bit entries.
+inline constexpr unsigned kStackDepth = 3;
+inline constexpr unsigned kStackEntryBits = 32;
+inline constexpr unsigned kStackSizeBits = 2;
+
+inline constexpr unsigned kTtlCounterBits = 8;
+
+}  // namespace empls::hw

@@ -1,0 +1,71 @@
+// Analytic cycle-cost model — Table 6 of the paper, plus derived
+// quantities.  The RTL model in this directory is calibrated to land on
+// these numbers exactly (tests/hw/test_timing.cpp asserts it); the
+// network simulator and the benches use the closed forms when running
+// the full RTL per packet would be wasteful.
+#pragma once
+
+#include "rtl/types.hpp"
+
+namespace empls::hw {
+
+/// Table 6, constant-time rows (worst-case clock cycles).
+inline constexpr rtl::u64 kResetCycles = 3;
+inline constexpr rtl::u64 kUserPushCycles = 3;
+inline constexpr rtl::u64 kUserPopCycles = 3;
+inline constexpr rtl::u64 kWritePairCycles = 3;
+
+/// Reading a stored pair back by address (extension of the paper's
+/// read-index data type): issue, wait, latch, handshake — constant.
+inline constexpr rtl::u64 kReadPairCycles = 5;
+
+/// Post-search tail of the update flow: SWAP and POP take 6 cycles, a
+/// nested PUSH 7 (extra PUSH OLD state), an ingress PUSH 6.
+inline constexpr rtl::u64 kSwapTailCycles = 6;
+inline constexpr rtl::u64 kPopTailCycles = 6;
+inline constexpr rtl::u64 kPushIngressTailCycles = 6;
+inline constexpr rtl::u64 kPushNestedTailCycles = 7;
+
+/// Tail of an update whose search missed (DISCARD PACKET + handshake).
+inline constexpr rtl::u64 kMissDiscardTailCycles = 2;
+
+/// Tail of an update whose verification failed (REMOVE TOP, UPDATE TTL,
+/// VERIFY INFO, DISCARD, handshake).
+inline constexpr rtl::u64 kVerifyDiscardTailCycles = 5;
+
+/// Table 6: searching the information base costs 3n+5 cycles where n is
+/// the number of entries examined (the stored total on a miss, the hit
+/// position — 1-based — on a hit).
+constexpr rtl::u64 search_cycles(rtl::u64 entries_examined) noexcept {
+  return 3 * entries_examined + 5;
+}
+
+/// Full update-stack flows (search + tail).
+constexpr rtl::u64 update_swap_cycles(rtl::u64 hit_position) noexcept {
+  return search_cycles(hit_position) + kSwapTailCycles;
+}
+constexpr rtl::u64 update_pop_cycles(rtl::u64 hit_position) noexcept {
+  return search_cycles(hit_position) + kPopTailCycles;
+}
+constexpr rtl::u64 update_push_cycles(rtl::u64 hit_position,
+                                      bool stack_was_empty) noexcept {
+  return search_cycles(hit_position) +
+         (stack_was_empty ? kPushIngressTailCycles : kPushNestedTailCycles);
+}
+constexpr rtl::u64 update_miss_cycles(rtl::u64 stored_entries) noexcept {
+  return search_cycles(stored_entries) + kMissDiscardTailCycles;
+}
+
+/// Section 4's worst case: reset, push three stack entries, fill an
+/// entire level with `level_capacity` pairs, then swap with a
+/// worst-position search.  6167 cycles for the paper's 1024-entry level.
+constexpr rtl::u64 worst_case_cycles(rtl::u64 level_capacity = 1024) noexcept {
+  return kResetCycles + 3 * kUserPushCycles +
+         level_capacity * kWritePairCycles + update_swap_cycles(level_capacity);
+}
+
+static_assert(worst_case_cycles(1024) == 6167,
+              "must reproduce the paper's Section 4 worst case");
+static_assert(search_cycles(1024) == 3077);
+
+}  // namespace empls::hw

@@ -1,0 +1,55 @@
+#include "hw/datapath.hpp"
+
+namespace empls::hw {
+
+void Datapath::issue_clear_stack_side() {
+  stack_.issue_clear();
+  ttl_counter_.clear();
+  current_entry_.load(0);
+}
+
+void Datapath::issue_clear_info_side() {
+  info_base_.clear_all_occupancy();
+  label_out_.load(0);
+  operation_out_.load(0);
+  index_out_.load(0);
+  item_found_.set(false);
+}
+
+void Datapath::reset() {
+  stack_.reset();
+  info_base_.reset();
+  ttl_counter_.reset();
+  current_entry_.reset();
+  label_out_.reset();
+  operation_out_.reset();
+  index_out_.reset();
+  item_found_.reset(false);
+  lookup_done_.reset();
+  packet_discard_.reset();
+}
+
+void Datapath::compute() {
+  stack_.compute();
+  info_base_.compute();
+  ttl_counter_.compute();
+  current_entry_.compute();
+  label_out_.compute();
+  operation_out_.compute();
+  index_out_.compute();
+}
+
+void Datapath::commit() {
+  stack_.commit();
+  info_base_.commit();
+  ttl_counter_.commit();
+  current_entry_.commit();
+  label_out_.commit();
+  operation_out_.commit();
+  index_out_.commit();
+  item_found_.commit();
+  lookup_done_.commit();
+  packet_discard_.commit();
+}
+
+}  // namespace empls::hw

@@ -1,0 +1,95 @@
+// The label stack modifier data path (Figure 12).
+//
+// Aggregates the hardware label stack, the information base, the TTL
+// counter, the current-entry register (the entry being modified), the
+// search-result registers (label_out / operation_out, what Figures 14-16
+// plot), and the output strobes lookup_done / packetdiscard.
+//
+// The control unit's state machines drive these elements during their
+// compute phases; the data path owns the storage and the clocking.
+#pragma once
+
+#include "hw/config.hpp"
+#include "hw/hw_stack.hpp"
+#include "hw/info_base.hpp"
+#include "rtl/counter.hpp"
+#include "rtl/register.hpp"
+#include "rtl/sim_object.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::hw {
+
+class Datapath : public rtl::SimObject {
+ public:
+  Datapath() = default;
+
+  HwLabelStack& stack() noexcept { return stack_; }
+  const HwLabelStack& stack() const noexcept { return stack_; }
+
+  InfoBase& info_base() noexcept { return info_base_; }
+  const InfoBase& info_base() const noexcept { return info_base_; }
+
+  rtl::Counter& ttl_counter() noexcept { return ttl_counter_; }
+  [[nodiscard]] rtl::u64 ttl() const noexcept { return ttl_counter_.q(); }
+
+  /// Register holding the stack entry currently being modified (the
+  /// word captured by REMOVE TOP).
+  rtl::Register& current_entry() noexcept { return current_entry_; }
+  [[nodiscard]] rtl::u32 current_entry_word() const noexcept {
+    return static_cast<rtl::u32>(current_entry_.q());
+  }
+
+  // ---- search result ports (Figures 14-16 signals) ----
+  rtl::Register& label_out_reg() noexcept { return label_out_; }
+  rtl::Register& operation_out_reg() noexcept { return operation_out_; }
+  [[nodiscard]] rtl::u32 label_out() const noexcept {
+    return static_cast<rtl::u32>(label_out_.q());
+  }
+  [[nodiscard]] rtl::u8 operation_out() const noexcept {
+    return static_cast<rtl::u8>(operation_out_.q());
+  }
+
+  /// Read-pair output: the stored index at the probed address (the
+  /// label/operation reuse label_out / operation_out).
+  rtl::Register& index_out_reg() noexcept { return index_out_; }
+  [[nodiscard]] rtl::u32 index_out() const noexcept {
+    return static_cast<rtl::u32>(index_out_.q());
+  }
+
+  rtl::Wire<bool>& item_found_wire() noexcept { return item_found_; }
+  [[nodiscard]] bool item_found() const noexcept { return item_found_.get(); }
+
+  rtl::Pulse& lookup_done_pulse() noexcept { return lookup_done_; }
+  [[nodiscard]] bool lookup_done() const noexcept {
+    return lookup_done_.get();
+  }
+
+  rtl::Pulse& packet_discard_pulse() noexcept { return packet_discard_; }
+  [[nodiscard]] bool packet_discard() const noexcept {
+    return packet_discard_.get();
+  }
+
+  /// Clear stack-side state (reset phase 1).
+  void issue_clear_stack_side();
+
+  /// Clear info-base occupancy and result registers (reset phase 2).
+  void issue_clear_info_side();
+
+  void reset() override;
+  void compute() override;
+  void commit() override;
+
+ private:
+  HwLabelStack stack_;
+  InfoBase info_base_;
+  rtl::Counter ttl_counter_{kTtlCounterBits};
+  rtl::Register current_entry_{kStackEntryBits};
+  rtl::Register label_out_{kLabelMemBits};
+  rtl::Register operation_out_{kOpMemBits};
+  rtl::Register index_out_{kIndexBitsLevel1};
+  rtl::Wire<bool> item_found_{false};
+  rtl::Pulse lookup_done_;
+  rtl::Pulse packet_discard_;
+};
+
+}  // namespace empls::hw

@@ -1,0 +1,93 @@
+// The hardware label stack: three 32-bit entry registers and a size
+// counter (the STACK block plus "Number of stack items" of Figure 12).
+//
+// The stack stores *encoded* entries (mpls::encode format).  Entry 0 is
+// the bottom; the top is entry size-1.  Push/pop/rewrite are datapath
+// actions issued during a compute phase and visible one edge later.
+#pragma once
+
+#include <array>
+
+#include "hw/config.hpp"
+#include "rtl/counter.hpp"
+#include "rtl/sim_object.hpp"
+#include "rtl/types.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::hw {
+
+class HwLabelStack : public rtl::SimObject {
+ public:
+  HwLabelStack()
+      : entries_{rtl::WireU(kStackEntryBits), rtl::WireU(kStackEntryBits),
+                 rtl::WireU(kStackEntryBits)},
+        size_(kStackSizeBits) {}
+
+  [[nodiscard]] rtl::u64 size() const noexcept { return size_.q(); }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] bool full() const noexcept { return size() >= kStackDepth; }
+
+  /// Committed top-of-stack word.  Meaningless when empty.
+  [[nodiscard]] rtl::u32 top_word() const noexcept {
+    const rtl::u64 s = size();
+    return s == 0 ? 0 : static_cast<rtl::u32>(entries_[s - 1].get());
+  }
+
+  /// Committed word at depth `i` from the bottom (0 = bottom).
+  [[nodiscard]] rtl::u32 word_at(unsigned i) const noexcept {
+    return static_cast<rtl::u32>(entries_[i].get());
+  }
+
+  // ---- datapath actions (call during a compute phase) ----
+
+  /// Push `word` on top.  Undefined if full (callers verify first; the
+  /// verify state of the control unit discards such packets).
+  void issue_push(rtl::u32 word) {
+    const rtl::u64 s = size();
+    if (s < kStackDepth) {
+      entries_[s].set(word);
+      size_.increment();
+    }
+  }
+
+  /// Remove the top entry (callers read top_word() in the same phase to
+  /// capture it, as the datapath's entry register does).
+  void issue_pop() {
+    if (size() > 0) {
+      size_.decrement();
+    }
+  }
+
+  /// Overwrite the top entry in place.
+  void issue_rewrite_top(rtl::u32 word) {
+    const rtl::u64 s = size();
+    if (s > 0) {
+      entries_[s - 1].set(word);
+    }
+  }
+
+  /// Empty the stack (packet discard / reset).
+  void issue_clear() { size_.clear(); }
+
+  void reset() override {
+    for (auto& e : entries_) {
+      e.reset(0);
+    }
+    size_.reset();
+  }
+
+  void compute() override { size_.compute(); }
+
+  void commit() override {
+    for (auto& e : entries_) {
+      e.commit();
+    }
+    size_.commit();
+  }
+
+ private:
+  std::array<rtl::WireU, kStackDepth> entries_;
+  rtl::Counter size_;
+};
+
+}  // namespace empls::hw

@@ -1,0 +1,93 @@
+#include "hw/info_base.hpp"
+
+#include <cassert>
+
+namespace empls::hw {
+
+void InfoBaseLevel::issue_write_pair(rtl::u64 index, rtl::u64 label,
+                                     rtl::u64 op) {
+  const rtl::u64 addr = count();
+  if (addr >= kLevelDepth) {
+    return;  // level full: write is dropped
+  }
+  index_mem_.issue_write(addr, index);
+  label_mem_.issue_write(addr, label);
+  op_mem_.issue_write(addr, op);
+  w_index_.increment();
+}
+
+void InfoBaseLevel::issue_read_at_r() { issue_read_at(r_index_.q()); }
+
+void InfoBaseLevel::issue_read_at(rtl::u64 addr) {
+  assert(addr < kLevelDepth);
+  index_mem_.issue_read(addr);
+  label_mem_.issue_read(addr);
+  op_mem_.issue_read(addr);
+}
+
+void InfoBaseLevel::reset() {
+  index_mem_.reset();
+  label_mem_.reset();
+  op_mem_.reset();
+  w_index_.reset();
+  r_index_.reset();
+}
+
+void InfoBaseLevel::compute() {
+  index_mem_.compute();
+  label_mem_.compute();
+  op_mem_.compute();
+  w_index_.compute();
+  r_index_.compute();
+}
+
+void InfoBaseLevel::commit() {
+  index_mem_.commit();
+  label_mem_.commit();
+  op_mem_.commit();
+  w_index_.commit();
+  r_index_.commit();
+}
+
+InfoBase::InfoBase() {
+  levels_[0] = std::make_unique<InfoBaseLevel>(kIndexBitsLevel1);
+  for (unsigned i = 1; i < kNumLevels; ++i) {
+    levels_[i] = std::make_unique<InfoBaseLevel>(kIndexBitsOther);
+  }
+}
+
+InfoBaseLevel& InfoBase::level(unsigned level) {
+  assert(valid_level(level));
+  return *levels_[level - 1];
+}
+
+const InfoBaseLevel& InfoBase::level(unsigned level) const {
+  assert(valid_level(level));
+  return *levels_[level - 1];
+}
+
+void InfoBase::clear_all_occupancy() {
+  for (auto& l : levels_) {
+    l->clear_occupancy();
+  }
+}
+
+void InfoBase::reset() {
+  for (auto& l : levels_) {
+    l->reset();
+  }
+}
+
+void InfoBase::compute() {
+  for (auto& l : levels_) {
+    l->compute();
+  }
+}
+
+void InfoBase::commit() {
+  for (auto& l : levels_) {
+    l->commit();
+  }
+}
+
+}  // namespace empls::hw

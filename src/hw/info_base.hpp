@@ -1,0 +1,126 @@
+// The information base: three levels of (index, label, operation)
+// memories with read/write address counters (Figures 12-13).
+//
+// Level 1 is keyed by the 32-bit packet identifier; levels 2 and 3 by a
+// 20-bit label.  Each level holds up to 1024 label pairs appended in
+// write order; `w_index` counts occupancy and `r_index` is the search
+// scan position the paper's Figures 14-16 plot.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "hw/config.hpp"
+#include "rtl/counter.hpp"
+#include "rtl/memory.hpp"
+#include "rtl/sim_object.hpp"
+#include "rtl/types.hpp"
+
+namespace empls::hw {
+
+/// One level: index / label / operation memory components plus the two
+/// address counters of Figure 13.
+class InfoBaseLevel : public rtl::SimObject {
+ public:
+  explicit InfoBaseLevel(unsigned index_bits)
+      : index_bits_(index_bits),
+        index_mem_(index_bits, kLevelDepth),
+        label_mem_(kLabelMemBits, kLevelDepth),
+        op_mem_(kOpMemBits, kLevelDepth),
+        w_index_(kOccupancyBits),
+        r_index_(kOccupancyBits) {}
+
+  [[nodiscard]] unsigned index_bits() const noexcept { return index_bits_; }
+
+  /// Occupancy: number of stored pairs (the paper's `w_index`).
+  [[nodiscard]] rtl::u64 count() const noexcept { return w_index_.q(); }
+  [[nodiscard]] bool full() const noexcept { return count() >= kLevelDepth; }
+
+  /// Current scan position (the paper's `r_index`).
+  [[nodiscard]] rtl::u64 r_index() const noexcept { return r_index_.q(); }
+
+  // ---- datapath actions (call during a compute phase) ----
+
+  /// Append a pair at w_index and advance it.  Ignored when full (the
+  /// level keeps its contents; callers observe full() beforehand).
+  void issue_write_pair(rtl::u64 index, rtl::u64 label, rtl::u64 op);
+
+  /// Reset the scan position to entry 0.
+  void clear_r_index() { r_index_.clear(); }
+
+  /// Issue synchronous reads of all three components at r_index; data is
+  /// valid on the read ports one cycle later.
+  void issue_read_at_r();
+
+  /// Issue reads at a direct address (the read-address mux's external
+  /// path, used by the read-pair command).  Same one-cycle latency.
+  void issue_read_at(rtl::u64 addr);
+
+  /// Advance the scan position by one entry.
+  void advance_r_index() { r_index_.increment(); }
+
+  /// Forget all stored pairs (occupancy to zero; cells keep stale data,
+  /// as clearing a real BRAM would take 1024 cycles the paper's 3-cycle
+  /// reset does not spend).
+  void clear_occupancy() { w_index_.clear(); }
+
+  // ---- registered read ports (valid one cycle after issue_read_at_r) ----
+  [[nodiscard]] rtl::u64 index_out() const noexcept {
+    return index_mem_.read_data();
+  }
+  [[nodiscard]] rtl::u64 label_out() const noexcept {
+    return label_mem_.read_data();
+  }
+  [[nodiscard]] rtl::u64 op_out() const noexcept { return op_mem_.read_data(); }
+
+  // ---- test backdoors ----
+  [[nodiscard]] rtl::u64 peek_index(rtl::u64 addr) const {
+    return index_mem_.peek(addr);
+  }
+  [[nodiscard]] rtl::u64 peek_label(rtl::u64 addr) const {
+    return label_mem_.peek(addr);
+  }
+  [[nodiscard]] rtl::u64 peek_op(rtl::u64 addr) const {
+    return op_mem_.peek(addr);
+  }
+
+  void reset() override;
+  void compute() override;
+  void commit() override;
+
+ private:
+  unsigned index_bits_;
+  rtl::SyncMemory index_mem_;
+  rtl::SyncMemory label_mem_;
+  rtl::SyncMemory op_mem_;
+  rtl::Counter w_index_;
+  rtl::Counter r_index_;
+};
+
+/// The three-level information base.
+class InfoBase : public rtl::SimObject {
+ public:
+  InfoBase();
+
+  /// Level access, `level` in 1..3 (the paper numbers levels from 1).
+  [[nodiscard]] InfoBaseLevel& level(unsigned level);
+  [[nodiscard]] const InfoBaseLevel& level(unsigned level) const;
+
+  /// True when `level` is a valid level number.
+  [[nodiscard]] static constexpr bool valid_level(unsigned level) noexcept {
+    return level >= 1 && level <= kNumLevels;
+  }
+
+  /// Drop all stored pairs in every level (the reset flow).
+  void clear_all_occupancy();
+
+  void reset() override;
+  void compute() override;
+  void commit() override;
+
+ private:
+  // Level 1 has the wide (32-bit) index memory.
+  std::array<std::unique_ptr<InfoBaseLevel>, kNumLevels> levels_;
+};
+
+}  // namespace empls::hw

@@ -1,0 +1,80 @@
+#include "hw/infobase_fsm.hpp"
+
+#include <cassert>
+
+#include "hw/main_fsm.hpp"
+#include "hw/search_fsm.hpp"
+
+namespace empls::hw {
+
+bool InfoBaseFsm::ready() const noexcept {
+  if (state() == State::kIdle) {
+    return true;
+  }
+  // Look through to the search FSM's terminal edge so main returns to
+  // IDLE on the same edge we do (bare lookup = 3k+5 cycles total).
+  return state() == State::kSearchEnable && search_fsm_ != nullptr &&
+         search_fsm_->finished();
+}
+
+void InfoBaseFsm::reset() { state_.reset(State::kIdle); }
+
+void InfoBaseFsm::compute() {
+  switch (state_.get()) {
+    case State::kIdle: {
+      assert(main_fsm_ != nullptr);
+      if (main_fsm_->grant_info_base()) {
+        switch (inputs_->op) {
+          case ExtOp::kWritePair:
+            state_.set(State::kWritePair);
+            break;
+          case ExtOp::kReadPair:
+            state_.set(State::kReadIssue);
+            break;
+          default:
+            state_.set(State::kSearchEnable);
+            break;
+        }
+      }
+      break;
+    }
+    case State::kWritePair: {
+      assert(InfoBase::valid_level(inputs_->level));
+      dp_->info_base()
+          .level(inputs_->level)
+          .issue_write_pair(inputs_->pair_index, inputs_->pair_label,
+                            inputs_->pair_op);
+      state_.set(State::kIdle);
+      break;
+    }
+    case State::kSearchEnable:
+      assert(search_fsm_ != nullptr);
+      if (search_fsm_->finished()) {
+        state_.set(State::kIdle);
+      }
+      break;
+    case State::kReadIssue: {
+      assert(InfoBase::valid_level(inputs_->level));
+      const rtl::u64 addr =
+          rtl::truncate(inputs_->read_address, kAddrBits);
+      dp_->info_base().level(inputs_->level).issue_read_at(addr);
+      state_.set(State::kReadWait);
+      break;
+    }
+    case State::kReadWait:
+      state_.set(State::kReadLatch);
+      break;
+    case State::kReadLatch: {
+      const InfoBaseLevel& lvl = dp_->info_base().level(inputs_->level);
+      dp_->index_out_reg().load(lvl.index_out());
+      dp_->label_out_reg().load(lvl.label_out());
+      dp_->operation_out_reg().load(lvl.op_out());
+      state_.set(State::kIdle);
+      break;
+    }
+  }
+}
+
+void InfoBaseFsm::commit() { state_.commit(); }
+
+}  // namespace empls::hw

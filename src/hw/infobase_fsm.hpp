@@ -1,0 +1,63 @@
+// The information base interface state machine (Figure 10).
+//
+// Enabled by the main interface for the two user-facing information-base
+// operations: writing a label pair (WRITE PAIR, a direct datapath
+// manipulation) and reading data (SEARCH ENABLE, which hands off to the
+// search state machine and waits for it).
+#pragma once
+
+#include "hw/commands.hpp"
+#include "hw/datapath.hpp"
+#include "rtl/sim_object.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::hw {
+
+class MainFsm;
+class SearchFsm;
+
+class InfoBaseFsm : public rtl::SimObject {
+ public:
+  enum class State : rtl::u8 {
+    kIdle,
+    kWritePair,     // append (index, label, op) at the level's w_index
+    kSearchEnable,  // search FSM active on our behalf
+    kReadIssue,     // read-pair: drive the external read address
+    kReadWait,      // read-pair: memory output registering
+    kReadLatch,     // read-pair: capture into the output registers
+  };
+
+  InfoBaseFsm(Datapath& dp, const CommandInputs& inputs)
+      : dp_(&dp), inputs_(&inputs) {}
+
+  void connect(const MainFsm* main_fsm, const SearchFsm* search_fsm) {
+    main_fsm_ = main_fsm;
+    search_fsm_ = search_fsm;
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_.get(); }
+
+  /// Combinational ready seen by the main interface.  Looks through to
+  /// the search FSM's terminal edge so a bare lookup completes in
+  /// exactly 3k+5 cycles end to end.
+  [[nodiscard]] bool ready() const noexcept;
+
+  /// Combinational request seen by the search FSM.
+  [[nodiscard]] bool search_requested() const noexcept {
+    return state() == State::kSearchEnable;
+  }
+
+  void reset() override;
+  void compute() override;
+  void commit() override;
+
+ private:
+  Datapath* dp_;
+  const CommandInputs* inputs_;
+  const MainFsm* main_fsm_ = nullptr;
+  const SearchFsm* search_fsm_ = nullptr;
+
+  rtl::Wire<State> state_{State::kIdle};
+};
+
+}  // namespace empls::hw

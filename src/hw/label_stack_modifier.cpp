@@ -1,0 +1,204 @@
+#include "hw/label_stack_modifier.hpp"
+
+namespace empls::hw {
+
+LabelStackModifier::LabelStackModifier()
+    : main_(dp_, inputs_),
+      stack_(dp_, inputs_),
+      ib_(dp_, inputs_),
+      search_(dp_, inputs_) {
+  main_.connect(&stack_, &ib_);
+  stack_.connect(&main_, &search_);
+  ib_.connect(&main_, &search_);
+  search_.connect(&stack_, &ib_);
+  sim_.add(&dp_);
+  sim_.add(&main_);
+  sim_.add(&stack_);
+  sim_.add(&ib_);
+  sim_.add(&search_);
+  sim_.reset();
+}
+
+void LabelStackModifier::issue_reset() {
+  assert(ready());
+  inputs_.op = ExtOp::kReset;
+}
+
+void LabelStackModifier::issue_user_push(const mpls::LabelEntry& entry) {
+  assert(ready());
+  inputs_.op = ExtOp::kUserPush;
+  inputs_.stack_entry_in = mpls::encode(entry);
+}
+
+void LabelStackModifier::issue_user_pop() {
+  assert(ready());
+  inputs_.op = ExtOp::kUserPop;
+}
+
+void LabelStackModifier::issue_write_pair(unsigned level,
+                                          const mpls::LabelPair& pair) {
+  assert(ready());
+  assert(InfoBase::valid_level(level));
+  inputs_.op = ExtOp::kWritePair;
+  inputs_.level = static_cast<rtl::u8>(level);
+  inputs_.pair_index = pair.index;
+  inputs_.pair_label = pair.new_label;
+  inputs_.pair_op = static_cast<rtl::u8>(pair.op);
+}
+
+void LabelStackModifier::issue_search(unsigned level, rtl::u32 key) {
+  assert(ready());
+  assert(InfoBase::valid_level(level));
+  inputs_.op = ExtOp::kSearch;
+  inputs_.level = static_cast<rtl::u8>(level);
+  inputs_.search_key = key;
+}
+
+void LabelStackModifier::issue_read_pair(unsigned level, rtl::u16 address) {
+  assert(ready());
+  assert(InfoBase::valid_level(level));
+  inputs_.op = ExtOp::kReadPair;
+  inputs_.level = static_cast<rtl::u8>(level);
+  inputs_.read_address = address;
+}
+
+void LabelStackModifier::issue_update(unsigned level, RouterType type,
+                                      rtl::u32 packet_id, rtl::u8 cos_in,
+                                      rtl::u8 ttl_in) {
+  assert(ready());
+  assert(InfoBase::valid_level(level));
+  inputs_.op = ExtOp::kUpdateStack;
+  inputs_.level = static_cast<rtl::u8>(level);
+  inputs_.router_type = type;
+  inputs_.packet_identifier = packet_id;
+  inputs_.cos_in = cos_in;
+  inputs_.ttl_in = ttl_in;
+}
+
+rtl::u64 LabelStackModifier::run_to_idle(rtl::u64 max_cycles) {
+  rtl::u64 n = 0;
+  do {
+    sim_.step();
+    ++n;
+  } while (!ready() && n < max_cycles);
+  assert(ready() && "label stack modifier wedged: max_cycles exceeded");
+  return n;
+}
+
+rtl::u64 LabelStackModifier::do_reset() {
+  issue_reset();
+  return run_to_idle();
+}
+
+rtl::u64 LabelStackModifier::user_push(const mpls::LabelEntry& entry) {
+  issue_user_push(entry);
+  return run_to_idle();
+}
+
+rtl::u64 LabelStackModifier::user_pop() {
+  issue_user_pop();
+  return run_to_idle();
+}
+
+rtl::u64 LabelStackModifier::write_pair(unsigned level,
+                                        const mpls::LabelPair& pair) {
+  issue_write_pair(level, pair);
+  return run_to_idle();
+}
+
+LabelStackModifier::SearchResult LabelStackModifier::search(unsigned level,
+                                                            rtl::u32 key) {
+  issue_search(level, key);
+  SearchResult r;
+  r.cycles = run_to_idle();
+  r.found = item_found();
+  if (r.found) {
+    r.label = label_out();
+    r.operation = operation_out();
+  }
+  return r;
+}
+
+LabelStackModifier::ReadPairResult LabelStackModifier::read_pair(
+    unsigned level, rtl::u16 address) {
+  const bool valid = address < level_count(level);
+  issue_read_pair(level, address);
+  ReadPairResult r;
+  r.cycles = run_to_idle();
+  r.valid = valid;
+  r.pair.index = dp_.index_out();
+  r.pair.new_label = label_out();
+  r.pair.op = static_cast<mpls::LabelOp>(operation_out());
+  return r;
+}
+
+LabelStackModifier::UpdateResult LabelStackModifier::update(
+    unsigned level, RouterType type, rtl::u32 packet_id, rtl::u8 cos_in,
+    rtl::u8 ttl_in) {
+  issue_update(level, type, packet_id, cos_in, ttl_in);
+  UpdateResult r;
+  // packet_discard is a one-cycle pulse; watch for it while running.
+  rtl::u64 n = 0;
+  bool discarded = false;
+  do {
+    sim_.step();
+    ++n;
+    discarded = discarded || packet_discard();
+  } while (!ready());
+  r.cycles = n;
+  r.discarded = discarded;
+  r.applied = discarded ? mpls::LabelOp::kNop
+                        : static_cast<mpls::LabelOp>(operation_out());
+  return r;
+}
+
+mpls::LabelStack LabelStackModifier::stack_view() const {
+  mpls::LabelStack out;
+  const rtl::u64 n = dp_.stack().size();
+  for (rtl::u64 i = 0; i < n; ++i) {
+    out.push(mpls::decode(dp_.stack().word_at(static_cast<unsigned>(i))));
+  }
+  return out;
+}
+
+void LabelStackModifier::attach_figure_probes(rtl::TraceRecorder& trace,
+                                              unsigned level) {
+  assert(InfoBase::valid_level(level));
+  const InfoBaseLevel& lvl = dp_.info_base().level(level);
+  // Names follow the paper's Figures 14-16.
+  trace.add_probe("level", 2, [level]() -> rtl::u64 { return level; });
+  trace.add_probe_bool("save", [this] {
+    return ib_.state() == InfoBaseFsm::State::kWritePair;
+  });
+  trace.add_probe_bool("lookup",
+                       [this] { return !search_.idle(); });
+  if (level == 1) {
+    // Figure 14 drives `packetid` both when saving pairs and when looking
+    // one up; mirror that by showing whichever role is active.
+    trace.add_probe("packetid", 32, [this]() -> rtl::u64 {
+      return ib_.state() == InfoBaseFsm::State::kWritePair
+                 ? inputs_.pair_index
+                 : inputs_.search_key;
+    });
+  } else {
+    trace.add_probe("label_lookup", 20,
+                    [this]() -> rtl::u64 { return inputs_.search_key; });
+    trace.add_probe("old_label", 20,
+                    [this]() -> rtl::u64 { return inputs_.pair_index; });
+  }
+  trace.add_probe("new_label", 20,
+                  [this]() -> rtl::u64 { return inputs_.pair_label; });
+  trace.add_probe("operation_in", 2,
+                  [this]() -> rtl::u64 { return inputs_.pair_op; });
+  trace.add_probe("w_index", 11, [&lvl]() -> rtl::u64 { return lvl.count(); });
+  trace.add_probe("r_index", 11,
+                  [&lvl]() -> rtl::u64 { return lvl.r_index(); });
+  trace.add_probe("label_out", 20,
+                  [this]() -> rtl::u64 { return label_out(); });
+  trace.add_probe("operation_out", 2,
+                  [this]() -> rtl::u64 { return operation_out(); });
+  trace.add_probe_bool("lookup_done", [this] { return lookup_done(); });
+  trace.add_probe_bool("packetdiscard", [this] { return packet_discard(); });
+}
+
+}  // namespace empls::hw

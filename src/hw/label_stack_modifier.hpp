@@ -1,0 +1,130 @@
+// Top level of the embedded label stack modifier (Figure 7): control
+// unit (four state machines) + data path, clocked by a Simulator.
+//
+// Usage: issue_* sets the primary inputs (the caller is the packet
+// processing interface or the routing functionality), then run_to_idle()
+// advances the clock until the main interface returns to IDLE, returning
+// the cycle count — the quantity Table 6 reports.  The blocking wrappers
+// (search(), update(), ...) bundle issue + run + result extraction.
+#pragma once
+
+#include <cassert>
+
+#include "hw/commands.hpp"
+#include "hw/cycle_model.hpp"
+#include "hw/datapath.hpp"
+#include "hw/infobase_fsm.hpp"
+#include "hw/main_fsm.hpp"
+#include "hw/search_fsm.hpp"
+#include "hw/stack_fsm.hpp"
+#include "mpls/label.hpp"
+#include "mpls/label_stack.hpp"
+#include "mpls/operations.hpp"
+#include "mpls/tables.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/trace.hpp"
+
+namespace empls::hw {
+
+class LabelStackModifier {
+ public:
+  LabelStackModifier();
+  LabelStackModifier(const LabelStackModifier&) = delete;
+  LabelStackModifier& operator=(const LabelStackModifier&) = delete;
+
+  // ---- non-blocking command interface (primary inputs) ----
+  void issue_reset();
+  void issue_user_push(const mpls::LabelEntry& entry);
+  void issue_user_pop();
+  void issue_write_pair(unsigned level, const mpls::LabelPair& pair);
+  void issue_search(unsigned level, rtl::u32 key);
+  void issue_read_pair(unsigned level, rtl::u16 address);
+  void issue_update(unsigned level, RouterType type, rtl::u32 packet_id,
+                    rtl::u8 cos_in, rtl::u8 ttl_in);
+
+  /// Advance the clock until the architecture is idle again; returns the
+  /// number of cycles consumed (asserts if `max_cycles` is exceeded).
+  rtl::u64 run_to_idle(rtl::u64 max_cycles = 1u << 20);
+
+  // ---- blocking wrappers ----
+  struct SearchResult {
+    bool found = false;
+    rtl::u32 label = 0;
+    rtl::u8 operation = 0;
+    rtl::u64 cycles = 0;
+  };
+  struct UpdateResult {
+    bool discarded = false;
+    mpls::LabelOp applied = mpls::LabelOp::kNop;  // kNop when discarded
+    rtl::u64 cycles = 0;
+  };
+
+  struct ReadPairResult {
+    bool valid = false;  // address below the level's occupancy
+    mpls::LabelPair pair;
+    rtl::u64 cycles = 0;
+  };
+
+  rtl::u64 do_reset();
+  rtl::u64 user_push(const mpls::LabelEntry& entry);
+  rtl::u64 user_pop();
+  rtl::u64 write_pair(unsigned level, const mpls::LabelPair& pair);
+  SearchResult search(unsigned level, rtl::u32 key);
+  ReadPairResult read_pair(unsigned level, rtl::u16 address);
+  UpdateResult update(unsigned level, RouterType type, rtl::u32 packet_id,
+                      rtl::u8 cos_in = 0, rtl::u8 ttl_in = 0);
+
+  // ---- state inspection ----
+  [[nodiscard]] bool ready() const noexcept {
+    return main_.idle() && inputs_.op == ExtOp::kNone;
+  }
+  /// Decoded copy of the hardware label stack (bottom..top re-derived).
+  [[nodiscard]] mpls::LabelStack stack_view() const;
+  [[nodiscard]] rtl::u64 stack_size() const noexcept {
+    return dp_.stack().size();
+  }
+  [[nodiscard]] rtl::u32 label_out() const noexcept { return dp_.label_out(); }
+  [[nodiscard]] rtl::u8 operation_out() const noexcept {
+    return dp_.operation_out();
+  }
+  [[nodiscard]] bool item_found() const noexcept { return dp_.item_found(); }
+  [[nodiscard]] bool lookup_done() const noexcept {
+    return dp_.lookup_done();
+  }
+  [[nodiscard]] bool packet_discard() const noexcept {
+    return dp_.packet_discard();
+  }
+  [[nodiscard]] rtl::u64 level_count(unsigned level) const {
+    return dp_.info_base().level(level).count();
+  }
+
+  rtl::Simulator& sim() noexcept { return sim_; }
+  Datapath& datapath() noexcept { return dp_; }
+  [[nodiscard]] const Datapath& datapath() const noexcept { return dp_; }
+  [[nodiscard]] const CommandInputs& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] const MainFsm& main_fsm() const noexcept { return main_; }
+  [[nodiscard]] const StackFsm& stack_fsm() const noexcept { return stack_; }
+  [[nodiscard]] const InfoBaseFsm& infobase_fsm() const noexcept {
+    return ib_;
+  }
+  [[nodiscard]] const SearchFsm& search_fsm() const noexcept {
+    return search_;
+  }
+
+  /// Attach the signal set the paper's Figures 14-16 plot, scoped to one
+  /// information-base level.
+  void attach_figure_probes(rtl::TraceRecorder& trace, unsigned level);
+
+ private:
+  CommandInputs inputs_;
+  Datapath dp_;
+  MainFsm main_;
+  StackFsm stack_;
+  InfoBaseFsm ib_;
+  SearchFsm search_;
+  rtl::Simulator sim_;
+};
+
+}  // namespace empls::hw

@@ -1,0 +1,60 @@
+#include "hw/main_fsm.hpp"
+
+#include <cassert>
+
+#include "hw/infobase_fsm.hpp"
+#include "hw/stack_fsm.hpp"
+
+namespace empls::hw {
+
+void MainFsm::reset() {
+  state_.reset(State::kIdle);
+  consume_op_ = false;
+}
+
+void MainFsm::compute() {
+  switch (state_.get()) {
+    case State::kIdle:
+      if (inputs_->op == ExtOp::kReset) {
+        state_.set(State::kReset1);
+        consume_op_ = true;
+      } else if (grant_label()) {
+        state_.set(State::kLabelActive);
+        consume_op_ = true;
+      } else if (grant_info_base()) {
+        state_.set(State::kInfoBaseActive);
+        consume_op_ = true;
+      }
+      break;
+    case State::kReset1:
+      dp_->issue_clear_stack_side();
+      state_.set(State::kReset2);
+      break;
+    case State::kReset2:
+      dp_->issue_clear_info_side();
+      state_.set(State::kIdle);
+      break;
+    case State::kLabelActive:
+      assert(stack_fsm_ != nullptr);
+      if (stack_fsm_->ready()) {
+        state_.set(State::kIdle);
+      }
+      break;
+    case State::kInfoBaseActive:
+      assert(ib_fsm_ != nullptr);
+      if (ib_fsm_->ready()) {
+        state_.set(State::kIdle);
+      }
+      break;
+  }
+}
+
+void MainFsm::commit() {
+  state_.commit();
+  if (consume_op_) {
+    inputs_->op = ExtOp::kNone;
+    consume_op_ = false;
+  }
+}
+
+}  // namespace empls::hw

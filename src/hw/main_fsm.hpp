@@ -1,0 +1,73 @@
+// The main interface state machine (Figure 8).
+//
+// Serialises the architecture: at most one of the label stack interface
+// and the information base interface is active at a time.  Grants are
+// Mealy (combinational) outputs of the committed IDLE state plus the
+// pending external operation, so the granted FSM dispatches on the same
+// edge the main interface leaves IDLE — the handshake the 3-cycle
+// user-operation timings of Table 6 require.
+//
+// The main interface also owns the 3-cycle architecture reset (clear the
+// stack side, then the information-base side) and consumes the external
+// operation code at dispatch.
+#pragma once
+
+#include "hw/commands.hpp"
+#include "hw/datapath.hpp"
+#include "rtl/sim_object.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::hw {
+
+class StackFsm;
+class InfoBaseFsm;
+
+class MainFsm : public rtl::SimObject {
+ public:
+  enum class State : rtl::u8 {
+    kIdle,
+    kReset1,         // clear label stack, TTL counter, entry register
+    kReset2,         // clear information-base occupancy, result registers
+    kLabelActive,    // label stack interface owns the datapath
+    kInfoBaseActive  // information base interface owns the datapath
+  };
+
+  MainFsm(Datapath& dp, CommandInputs& inputs) : dp_(&dp), inputs_(&inputs) {}
+
+  void connect(const StackFsm* stack_fsm, const InfoBaseFsm* ib_fsm) {
+    stack_fsm_ = stack_fsm;
+    ib_fsm_ = ib_fsm;
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_.get(); }
+  [[nodiscard]] bool idle() const noexcept { return state() == State::kIdle; }
+
+  /// Combinational grant to the label stack interface.
+  [[nodiscard]] bool grant_label() const noexcept {
+    return idle() && (inputs_->op == ExtOp::kUserPush ||
+                      inputs_->op == ExtOp::kUserPop ||
+                      inputs_->op == ExtOp::kUpdateStack);
+  }
+
+  /// Combinational grant to the information base interface.
+  [[nodiscard]] bool grant_info_base() const noexcept {
+    return idle() && (inputs_->op == ExtOp::kWritePair ||
+                      inputs_->op == ExtOp::kSearch ||
+                      inputs_->op == ExtOp::kReadPair);
+  }
+
+  void reset() override;
+  void compute() override;
+  void commit() override;
+
+ private:
+  Datapath* dp_;
+  CommandInputs* inputs_;
+  const StackFsm* stack_fsm_ = nullptr;
+  const InfoBaseFsm* ib_fsm_ = nullptr;
+
+  rtl::Wire<State> state_{State::kIdle};
+  bool consume_op_ = false;  // clear inputs_->op at this edge's commit
+};
+
+}  // namespace empls::hw

@@ -1,0 +1,199 @@
+#include "hw/packet_pipeline.hpp"
+
+#include <cassert>
+
+namespace empls::hw {
+
+PacketPipeline::PacketPipeline(RouterType type, unsigned bus_bytes_per_cycle)
+    : type_(type), bus_bytes_(bus_bytes_per_cycle) {
+  assert(bus_bytes_ >= 1);
+  // The pipeline FSM shares the modifier's clock.
+  modifier_.sim().add(this);
+  reset();
+}
+
+void PacketPipeline::reset() {
+  state_.reset(State::kIdle);
+  wire_in_.clear();
+  parsed_ = mpls::Packet();
+  level_ = 1;
+  dma_remaining_ = 0;
+  push_index_ = 0;
+  command_issued_ = false;
+  discarded_ = false;
+  ttl_after_ = 0;
+  drained_.clear();
+  ingress_count_ = 0;
+  update_count_ = 0;
+  egress_count_ = 0;
+}
+
+void PacketPipeline::compute() {
+  switch (state_.get()) {
+    case State::kIdle:
+    case State::kDone:
+      break;
+
+    case State::kLoadHeader:
+      ++ingress_count_;
+      if (--dma_remaining_ == 0) {
+        if (parsed_.stack.empty()) {
+          state_.set(parsed_.payload.empty() ? State::kPushStack
+                                             : State::kLoadPayload);
+          dma_remaining_ = dma_cycles(parsed_.payload.size());
+        } else {
+          state_.set(State::kLoadShim);
+          dma_remaining_ = parsed_.stack.size();  // one word per entry
+        }
+      }
+      break;
+
+    case State::kLoadShim:
+      ++ingress_count_;
+      if (--dma_remaining_ == 0) {
+        if (parsed_.payload.empty()) {
+          state_.set(State::kPushStack);
+        } else {
+          state_.set(State::kLoadPayload);
+          dma_remaining_ = dma_cycles(parsed_.payload.size());
+        }
+      }
+      break;
+
+    case State::kLoadPayload:
+      ++ingress_count_;
+      if (--dma_remaining_ == 0) {
+        state_.set(State::kPushStack);
+      }
+      break;
+
+    case State::kPushStack:
+      // Handshake: issue a command when the modifier is ready, observe
+      // its completion on the next ready edge (one acknowledge edge per
+      // command, on top of the modifier's own 3 cycles).
+      ++ingress_count_;
+      if (modifier_.ready()) {
+        if (command_issued_) {
+          command_issued_ = false;
+          ++push_index_;
+        }
+        if (push_index_ >= parsed_.stack.size()) {
+          // Stack delivered; hand over to the modifier.
+          modifier_.issue_update(level_, type_, parsed_.packet_identifier(),
+                                 parsed_.cos, parsed_.ip_ttl);
+          command_issued_ = true;
+          state_.set(State::kUpdate);
+        } else {
+          // Push bottom-first so the hardware rebuilds the stack in
+          // order (wire order is top first).
+          const auto depth = parsed_.stack.size() - 1 - push_index_;
+          modifier_.issue_user_push(parsed_.stack.at(depth));
+          command_issued_ = true;
+        }
+      }
+      break;
+
+    case State::kUpdate:
+      ++update_count_;
+      discarded_ = discarded_ || modifier_.packet_discard();
+      if (modifier_.ready() && command_issued_) {
+        command_issued_ = false;
+        ttl_after_ = static_cast<rtl::u8>(modifier_.datapath().ttl());
+        state_.set(discarded_ ? State::kDone : State::kDrainStack);
+      }
+      break;
+
+    case State::kDrainStack:
+      ++egress_count_;
+      if (modifier_.ready()) {
+        if (command_issued_) {
+          command_issued_ = false;
+        }
+        if (modifier_.stack_size() == 0) {
+          state_.set(State::kEmit);
+          // Emit the rebuilt wire image: header + new shim + payload.
+          const std::size_t out_bytes = mpls::kPacketHeaderBytes +
+                                        drained_.size() * 4 +
+                                        parsed_.payload.size();
+          dma_remaining_ = dma_cycles(out_bytes);
+        } else {
+          drained_.push_back(
+              modifier_.stack_view().top());  // capture before the pop
+          modifier_.issue_user_pop();
+          command_issued_ = true;
+        }
+      }
+      break;
+
+    case State::kEmit:
+      ++egress_count_;
+      if (--dma_remaining_ == 0) {
+        state_.set(State::kDone);
+      }
+      break;
+  }
+}
+
+void PacketPipeline::commit() { state_.commit(); }
+
+PacketPipeline::Result PacketPipeline::process(const mpls::Packet& in,
+                                               unsigned level) {
+  assert(state_.get() == State::kIdle || state_.get() == State::kDone);
+  Result result;
+
+  // Wire-level entry: the pipeline consumes the serialised packet, so a
+  // malformed wire image is rejected before any cycles are charged
+  // (mirroring the parser logic a real header-validation stage runs as
+  // the bytes stream in).
+  wire_in_ = in.serialize();
+  const auto reparsed = mpls::Packet::parse(wire_in_);
+  if (!reparsed) {
+    result.malformed = true;
+    return result;
+  }
+  parsed_ = *reparsed;
+  parsed_.id = in.id;
+  parsed_.flow_id = in.flow_id;
+  parsed_.created_at = in.created_at;
+  level_ = level;
+  dma_remaining_ = dma_cycles(mpls::kPacketHeaderBytes);
+  push_index_ = 0;
+  command_issued_ = false;
+  discarded_ = false;
+  drained_.clear();
+  ingress_count_ = 0;
+  update_count_ = 0;
+  egress_count_ = 0;
+  state_.reset(State::kLoadHeader);
+
+  const rtl::u64 start = modifier_.sim().cycle();
+  const rtl::u64 consumed = modifier_.sim().run_until(
+      [this] { return state_.get() == State::kDone; }, 1u << 20);
+  assert(consumed < (1u << 20) && "pipeline wedged");
+  (void)consumed;
+  result.cycles = modifier_.sim().cycle() - start;
+  result.ingress_cycles = ingress_count_;
+  result.update_cycles = update_count_;
+  result.egress_cycles = egress_count_;
+  result.discarded = discarded_;
+  result.applied = discarded_
+                       ? mpls::LabelOp::kNop
+                       : static_cast<mpls::LabelOp>(modifier_.operation_out());
+  state_.reset(State::kIdle);
+
+  if (!discarded_) {
+    // Rebuild the outgoing packet: original header/payload with the
+    // modified label stack (drained top-first).
+    result.packet = parsed_;
+    result.packet.stack.clear();
+    for (auto it = drained_.rbegin(); it != drained_.rend(); ++it) {
+      result.packet.stack.push(*it);
+    }
+    if (result.packet.stack.empty()) {
+      result.packet.ip_ttl = ttl_after_;  // egress TTL write-back
+    }
+  }
+  return result;
+}
+
+}  // namespace empls::hw

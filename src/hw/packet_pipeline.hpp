@@ -1,0 +1,100 @@
+// Hardware packet processing interface (Figure 6's third block).
+//
+// The paper leaves ingress/egress packet processing "in either domain";
+// this is the hardware option: a store-and-forward pipeline clocked on
+// the same simulator as the label stack modifier, moving packet bytes
+// over a 32-bit bus (4 bytes per cycle at the paper's 50 MHz ≈ 1.6 Gb/s
+// of packet bandwidth) and driving the modifier's command interface
+// directly:
+//
+//   INGRESS  load header (4 cycles) → load shim (1 cycle / entry) →
+//            load payload (1 cycle / 4 bytes) →
+//            push entries bottom-first into the modifier (3 cycles each)
+//   UPDATE   the modifier's update-stack flow (Table 6 cycles)
+//   EGRESS   drain the modified stack (user pop, 3 cycles / entry) →
+//            emit header + new shim + payload (1 cycle / 4 bytes)
+//
+// The pipeline FSM reports a per-phase cycle breakdown, which
+// bench_pipeline (X8) compares against software packet processing.
+#pragma once
+
+#include <vector>
+
+#include "hw/label_stack_modifier.hpp"
+#include "mpls/packet.hpp"
+
+namespace empls::hw {
+
+class PacketPipeline : public rtl::SimObject {
+ public:
+  enum class State : rtl::u8 {
+    kIdle,
+    kLoadHeader,   // DMA the 16-byte header
+    kLoadShim,     // DMA shim words (one stack entry per cycle)
+    kLoadPayload,  // DMA payload bytes, 4 per cycle
+    kPushStack,    // hand entries to the modifier, bottom first
+    kUpdate,       // modifier runs the update-stack flow
+    kDrainStack,   // pop the modified stack back out, top first
+    kEmit,         // serialise header + new shim + payload
+    kDone,
+  };
+
+  struct Result {
+    mpls::Packet packet;     // valid when !discarded && !malformed
+    bool discarded = false;  // modifier discarded the packet
+    bool malformed = false;  // wire parse failed at ingress
+    mpls::LabelOp applied = mpls::LabelOp::kNop;  // operation_out register
+    rtl::u64 cycles = 0;     // total pipeline occupancy
+    rtl::u64 ingress_cycles = 0;
+    rtl::u64 update_cycles = 0;
+    rtl::u64 egress_cycles = 0;
+  };
+
+  /// `bus_bytes_per_cycle`: DMA width (the paper-era default is a
+  /// 32-bit bus).
+  explicit PacketPipeline(RouterType type, unsigned bus_bytes_per_cycle = 4);
+
+  /// Process one packet through ingress → modifier → egress and return
+  /// the rebuilt packet plus the cycle breakdown.  `level` is the
+  /// information-base level for labeled packets (the stack-level input).
+  Result process(const mpls::Packet& in, unsigned level);
+
+  LabelStackModifier& modifier() noexcept { return modifier_; }
+  [[nodiscard]] const LabelStackModifier& modifier() const noexcept {
+    return modifier_;
+  }
+  [[nodiscard]] State state() const noexcept { return state_.get(); }
+
+  // SimObject (the pipeline FSM itself).
+  void reset() override;
+  void compute() override;
+  void commit() override;
+
+ private:
+  [[nodiscard]] rtl::u64 dma_cycles(std::size_t bytes) const noexcept {
+    return (bytes + bus_bytes_ - 1) / bus_bytes_;
+  }
+
+  RouterType type_;
+  unsigned bus_bytes_;
+  LabelStackModifier modifier_;
+
+  rtl::Wire<State> state_{State::kIdle};
+
+  // Per-packet working set (loaded by process(), consumed by compute()).
+  std::vector<rtl::u8> wire_in_;
+  mpls::Packet parsed_;
+  unsigned level_ = 1;
+  rtl::u64 dma_remaining_ = 0;  // cycles left in the current DMA burst
+  std::size_t push_index_ = 0;  // next stack entry to push (bottom first)
+  bool command_issued_ = false;
+  bool discarded_ = false;
+  rtl::u8 ttl_after_ = 0;
+  std::vector<mpls::LabelEntry> drained_;  // top first
+  // Phase accounting (cycles counted by phase at each edge).
+  rtl::u64 ingress_count_ = 0;
+  rtl::u64 update_count_ = 0;
+  rtl::u64 egress_count_ = 0;
+};
+
+}  // namespace empls::hw

@@ -1,0 +1,115 @@
+#include "hw/search_fsm.hpp"
+
+#include <cassert>
+
+#include "hw/infobase_fsm.hpp"
+#include "hw/stack_fsm.hpp"
+#include "mpls/label.hpp"
+#include "rtl/comparator.hpp"
+
+namespace empls::hw {
+
+void SearchFsm::reset() {
+  state_.reset(State::kIdle);
+  requester_ = Requester::kNone;
+  level_ = 1;
+  key_ = 0;
+  total_ = 0;
+  scanned_ = 0;
+}
+
+void SearchFsm::do_init() {
+  // Latch the search parameters.  For the label stack interface the key
+  // and level depend on the stack: an empty stack (ingress LER) searches
+  // level 1 by packet identifier; otherwise the top label is looked up
+  // at the caller-provided stack level.
+  if (requester_ == Requester::kStack) {
+    if (dp_->stack().empty()) {
+      level_ = 1;
+      key_ = inputs_->packet_identifier;
+    } else {
+      level_ = inputs_->level;
+      key_ = mpls::decode(dp_->stack().top_word()).label;
+    }
+  } else {
+    level_ = inputs_->level;
+    key_ = inputs_->search_key;
+  }
+  assert(InfoBase::valid_level(level_));
+  InfoBaseLevel& lvl = dp_->info_base().level(level_);
+  lvl.clear_r_index();
+  total_ = lvl.count();
+  scanned_ = 0;
+  dp_->item_found_wire().set(false);
+}
+
+void SearchFsm::do_compare() {
+  InfoBaseLevel& lvl = dp_->info_base().level(level_);
+  // The datapath's 32-bit comparator serves level 1 (packet identifiers)
+  // and the 20-bit comparator serves levels 2 and 3 (labels).
+  const bool match = rtl::compare_eq(lvl.index_out(), key_, lvl.index_bits());
+  ++scanned_;
+  if (match) {
+    state_.set(State::kFound);
+  } else if (scanned_ >= total_) {
+    state_.set(State::kMiss);
+  } else {
+    lvl.advance_r_index();
+    state_.set(State::kRead);
+  }
+}
+
+void SearchFsm::compute() {
+  switch (state_.get()) {
+    case State::kIdle: {
+      assert(stack_fsm_ != nullptr && ib_fsm_ != nullptr);
+      if (stack_fsm_->search_requested()) {
+        requester_ = Requester::kStack;
+        state_.set(State::kInit);
+      } else if (ib_fsm_->search_requested()) {
+        requester_ = Requester::kInfoBase;
+        state_.set(State::kInit);
+      }
+      break;
+    }
+    case State::kInit:
+      do_init();
+      state_.set(State::kPrime);
+      break;
+    case State::kPrime:
+      // Pipeline-fill edge ("WAIT FOR READ VALUE"): r_index is now
+      // committed at zero.  Empty levels have nothing to scan.
+      state_.set(total_ == 0 ? State::kMiss : State::kRead);
+      break;
+    case State::kRead:
+      dp_->info_base().level(level_).issue_read_at_r();
+      state_.set(State::kWait);
+      break;
+    case State::kWait:
+      // WAIT FOR INFO: the synchronous memories register their outputs.
+      state_.set(State::kCompare);
+      break;
+    case State::kCompare:
+      do_compare();
+      break;
+    case State::kFound: {
+      InfoBaseLevel& lvl = dp_->info_base().level(level_);
+      dp_->label_out_reg().load(lvl.label_out());
+      dp_->operation_out_reg().load(lvl.op_out());
+      dp_->item_found_wire().set(true);
+      dp_->lookup_done_pulse().fire();
+      state_.set(State::kIdle);
+      break;
+    }
+    case State::kMiss:
+      dp_->item_found_wire().set(false);
+      dp_->lookup_done_pulse().fire();
+      dp_->packet_discard_pulse().fire();
+      state_.set(State::kIdle);
+      break;
+  }
+}
+
+void SearchFsm::commit() { state_.commit(); }
+
+}  // namespace empls::hw

@@ -1,0 +1,93 @@
+// The search state machine (Figure 11).
+//
+// Enabled by either the label stack interface (update-stack flow) or the
+// information base interface (bare lookup).  Scans the occupied entries
+// of one information-base level linearly; on a hit it latches the stored
+// label and operation into the datapath's result registers and pulses
+// lookup_done; on a miss it pulses lookup_done and packetdiscard.
+//
+// Timing (calibrated against Table 6): a search that examines k entries
+// completes in 3k+5 cycles measured at the modifier's interface —
+// 2 dispatch edges (main/requester handoff), INIT, PRIME (the paper's
+// "WAIT FOR READ VALUE" pipeline-fill state), then 3 cycles per entry
+// (READ / WAIT FOR INFO / COMPARE), and one result edge.
+#pragma once
+
+#include "hw/commands.hpp"
+#include "hw/datapath.hpp"
+#include "rtl/sim_object.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::hw {
+
+class StackFsm;
+class InfoBaseFsm;
+
+class SearchFsm : public rtl::SimObject {
+ public:
+  enum class State : rtl::u8 {
+    kIdle,
+    kInit,     // latch key/level/occupancy, clear r_index
+    kPrime,    // pipeline fill; routes empty levels straight to kMiss
+    kRead,     // issue synchronous reads at r_index
+    kWait,     // WAIT FOR INFO: memory output registering
+    kCompare,  // comparator decides hit / next entry / exhausted
+    kFound,    // latch label_out/operation_out, pulse lookup_done
+    kMiss,     // pulse lookup_done + packetdiscard
+  };
+
+  SearchFsm(Datapath& dp, const CommandInputs& inputs)
+      : dp_(&dp), inputs_(&inputs) {}
+
+  /// Wire up requesters (called once by the top level).
+  void connect(const StackFsm* stack_fsm, const InfoBaseFsm* ib_fsm) {
+    stack_fsm_ = stack_fsm;
+    ib_fsm_ = ib_fsm;
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_.get(); }
+  [[nodiscard]] bool idle() const noexcept { return state() == State::kIdle; }
+
+  /// Combinational "search complete" strobe: true during the terminal
+  /// (kFound / kMiss) action edge.  Requesters and the look-through
+  /// ready chain key off this.
+  [[nodiscard]] bool finished() const noexcept {
+    return state() == State::kFound || state() == State::kMiss;
+  }
+
+  /// Valid during finished(): did the scan hit?
+  [[nodiscard]] bool found() const noexcept {
+    return state() == State::kFound;
+  }
+
+  /// Scan statistics for tests: entries examined by the last search.
+  [[nodiscard]] rtl::u64 entries_examined() const noexcept {
+    return scanned_;
+  }
+
+  void reset() override;
+  void compute() override;
+  void commit() override;
+
+ private:
+  enum class Requester : rtl::u8 { kNone, kStack, kInfoBase };
+
+  void do_init();
+  void do_compare();
+
+  Datapath* dp_;
+  const CommandInputs* inputs_;
+  const StackFsm* stack_fsm_ = nullptr;
+  const InfoBaseFsm* ib_fsm_ = nullptr;
+
+  rtl::Wire<State> state_{State::kIdle};
+
+  // Internal registers of the search datapath (latched at dispatch/INIT).
+  Requester requester_ = Requester::kNone;
+  unsigned level_ = 1;
+  rtl::u64 key_ = 0;
+  rtl::u64 total_ = 0;    // occupancy of the level when the search began
+  rtl::u64 scanned_ = 0;  // entries compared so far
+};
+
+}  // namespace empls::hw

@@ -1,0 +1,203 @@
+#include "hw/stack_fsm.hpp"
+
+#include <cassert>
+
+#include "hw/main_fsm.hpp"
+#include "hw/search_fsm.hpp"
+#include "mpls/label.hpp"
+#include "mpls/operations.hpp"
+
+namespace empls::hw {
+
+using mpls::LabelOp;
+
+rtl::u32 StackFsm::with_s_bit(rtl::u32 word) const noexcept {
+  return static_cast<rtl::u32>(
+      rtl::insert_bits(word, 8, 1, dp_->stack().empty() ? 1 : 0));
+}
+
+void StackFsm::reset() {
+  state_.reset(State::kIdle);
+  was_empty_ = false;
+  orig_ttl_ = 0;
+  orig_size_ = 0;
+}
+
+void StackFsm::do_dispatch() {
+  switch (inputs_->op) {
+    case ExtOp::kUserPush:
+      state_.set(State::kUserPush);
+      break;
+    case ExtOp::kUserPop:
+      state_.set(State::kUserPop);
+      break;
+    case ExtOp::kUpdateStack:
+      was_empty_ = dp_->stack().empty();
+      orig_size_ = dp_->stack().size();
+      state_.set(State::kSearchEnable);
+      break;
+    default:
+      break;  // not a label stack operation
+  }
+}
+
+void StackFsm::do_remove_top() {
+  if (!was_empty_) {
+    const rtl::u32 top = dp_->stack().top_word();
+    dp_->current_entry().load(top);
+    orig_ttl_ = mpls::decode(top).ttl;
+    dp_->ttl_counter().load(orig_ttl_);
+    dp_->stack().issue_pop();
+  } else {
+    // Ingress: nothing to remove; the TTL comes from the control path
+    // (the paper's `ttlsource` mux selecting the external value).
+    dp_->current_entry().load(0);
+    orig_ttl_ = inputs_->ttl_in;
+    dp_->ttl_counter().load(orig_ttl_);
+  }
+  state_.set(State::kUpdateTtl);
+}
+
+void StackFsm::do_verify() {
+  const auto op = static_cast<LabelOp>(dp_->operation_out());
+
+  // TTL expired after the decrement?  orig_ttl_ <= 1 covers both the
+  // decrement-to-zero case and a malformed zero input that would wrap.
+  const bool ttl_expired = orig_ttl_ <= 1;
+
+  bool consistent = true;
+  switch (op) {
+    case LabelOp::kNop:
+      consistent = false;  // empty info-base slot: nothing to apply
+      break;
+    case LabelOp::kPop:
+    case LabelOp::kSwap:
+      // Cannot pop/swap a label that was never there.
+      consistent = !was_empty_;
+      break;
+    case LabelOp::kPush:
+      // Result depth is orig_size_+1; the hardware stack holds 3.
+      consistent = orig_size_ < kStackDepth;
+      break;
+  }
+  // An LSR must not process unlabeled packets (level-1 lookups are the
+  // ingress LER's job — the paper's `rtrtype` signal).
+  if (was_empty_ && inputs_->router_type == RouterType::kLsr) {
+    consistent = false;
+  }
+  if (was_empty_ && op != LabelOp::kPush) {
+    consistent = false;
+  }
+
+  if (ttl_expired || !consistent) {
+    state_.set(State::kDiscard);
+    return;
+  }
+  switch (op) {
+    case LabelOp::kPop:
+      state_.set(State::kUpdateTop);
+      break;
+    case LabelOp::kSwap:
+      state_.set(State::kPushNew);
+      break;
+    case LabelOp::kPush:
+      state_.set(was_empty_ ? State::kPushNew : State::kPushOld);
+      break;
+    case LabelOp::kNop:
+      state_.set(State::kDiscard);  // unreachable; defensive
+      break;
+  }
+}
+
+void StackFsm::do_push_new() {
+  // Build the entry that carries the new label.  CoS comes from the
+  // removed entry (swap / nested push) or the control path (ingress
+  // push); the TTL is the decremented counter value; the S bit reflects
+  // the committed (post-remove / post-push-old) stack occupancy.
+  const rtl::u8 cos = was_empty_
+                          ? inputs_->cos_in
+                          : mpls::decode(dp_->current_entry_word()).cos;
+  mpls::LabelEntry e;
+  e.label = dp_->label_out();
+  e.cos = cos;
+  e.ttl = static_cast<rtl::u8>(dp_->ttl());
+  e.bottom = false;  // overwritten by with_s_bit
+  dp_->stack().issue_push(with_s_bit(mpls::encode(e)));
+  state_.set(State::kComplete);
+}
+
+void StackFsm::compute() {
+  switch (state_.get()) {
+    case State::kIdle:
+      assert(main_fsm_ != nullptr);
+      if (main_fsm_->grant_label()) {
+        do_dispatch();
+      }
+      break;
+    case State::kUserPush:
+      if (dp_->stack().full()) {
+        dp_->packet_discard_pulse().fire();
+      } else {
+        dp_->stack().issue_push(with_s_bit(inputs_->stack_entry_in));
+      }
+      state_.set(State::kIdle);
+      break;
+    case State::kUserPop:
+      dp_->stack().issue_pop();
+      state_.set(State::kIdle);
+      break;
+    case State::kSearchEnable:
+      assert(search_fsm_ != nullptr);
+      if (search_fsm_->finished()) {
+        state_.set(search_fsm_->found() ? State::kRemoveTop
+                                        : State::kDiscard);
+      }
+      break;
+    case State::kRemoveTop:
+      do_remove_top();
+      break;
+    case State::kUpdateTtl:
+      dp_->ttl_counter().decrement();
+      state_.set(State::kVerify);
+      break;
+    case State::kVerify:
+      do_verify();
+      break;
+    case State::kUpdateTop: {
+      // Pop: propagate the decremented TTL into the newly exposed top
+      // entry ("modifying the new top stack entry for pop").  Popping
+      // the last label leaves the stack empty; nothing to rewrite.
+      if (!dp_->stack().empty()) {
+        rtl::u32 w = dp_->stack().top_word();
+        w = static_cast<rtl::u32>(
+            rtl::insert_bits(w, 0, 8, dp_->ttl()));
+        dp_->stack().issue_rewrite_top(w);
+      }
+      state_.set(State::kComplete);
+      break;
+    }
+    case State::kPushOld: {
+      // Push flow: re-push the removed entry with the decremented TTL.
+      rtl::u32 w = dp_->current_entry_word();
+      w = static_cast<rtl::u32>(rtl::insert_bits(w, 0, 8, dp_->ttl()));
+      dp_->stack().issue_push(with_s_bit(w));
+      state_.set(State::kPushNew);
+      break;
+    }
+    case State::kPushNew:
+      do_push_new();
+      break;
+    case State::kDiscard:
+      dp_->stack().issue_clear();
+      dp_->packet_discard_pulse().fire();
+      state_.set(State::kIdle);
+      break;
+    case State::kComplete:
+      state_.set(State::kIdle);
+      break;
+  }
+}
+
+void StackFsm::commit() { state_.commit(); }
+
+}  // namespace empls::hw

@@ -1,0 +1,86 @@
+// The label stack interface state machine (Figure 9).
+//
+// Direct user pushes and pops execute immediately (3-cycle operations).
+// The update-stack command runs the full flow: SEARCH ENABLE →
+// (miss → DISCARD PACKET) / (hit → REMOVE TOP → UPDATE TTL →
+// VERIFY INFO → {UPDATE TOP | PUSH NEW | PUSH OLD→PUSH NEW}) → COMPLETE.
+//
+// Timing (calibrated against Table 6): the post-search portion of a SWAP
+// or POP costs 6 cycles, a PUSH onto a non-empty stack 7; an ingress
+// PUSH onto an empty stack skips PUSH OLD and also costs 6.
+#pragma once
+
+#include "hw/commands.hpp"
+#include "hw/datapath.hpp"
+#include "rtl/sim_object.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::hw {
+
+class MainFsm;
+class SearchFsm;
+
+class StackFsm : public rtl::SimObject {
+ public:
+  enum class State : rtl::u8 {
+    kIdle,
+    kUserPush,
+    kUserPop,
+    kSearchEnable,
+    kRemoveTop,
+    kUpdateTtl,
+    kVerify,
+    kUpdateTop,  // pop: rewrite the newly exposed top's TTL
+    kPushOld,    // push: re-push the original entry (decremented TTL)
+    kPushNew,    // push/swap: push the entry carrying the new label
+    kDiscard,    // reset the label stack, pulse packetdiscard
+    kComplete,   // signal completion to the main interface
+  };
+
+  StackFsm(Datapath& dp, const CommandInputs& inputs)
+      : dp_(&dp), inputs_(&inputs) {}
+
+  void connect(const MainFsm* main_fsm, const SearchFsm* search_fsm) {
+    main_fsm_ = main_fsm;
+    search_fsm_ = search_fsm;
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_.get(); }
+
+  /// Combinational ready seen by the main interface.
+  [[nodiscard]] bool ready() const noexcept {
+    return state() == State::kIdle;
+  }
+
+  /// Combinational request seen by the search FSM.
+  [[nodiscard]] bool search_requested() const noexcept {
+    return state() == State::kSearchEnable;
+  }
+
+  void reset() override;
+  void compute() override;
+  void commit() override;
+
+ private:
+  void do_dispatch();
+  void do_remove_top();
+  void do_verify();
+  void do_push_new();
+
+  /// Encode S bit from the committed (current) stack emptiness.
+  [[nodiscard]] rtl::u32 with_s_bit(rtl::u32 word) const noexcept;
+
+  Datapath* dp_;
+  const CommandInputs* inputs_;
+  const MainFsm* main_fsm_ = nullptr;
+  const SearchFsm* search_fsm_ = nullptr;
+
+  rtl::Wire<State> state_{State::kIdle};
+
+  // Latched at dispatch / along the flow.
+  bool was_empty_ = false;    // stack empty when the update began
+  rtl::u8 orig_ttl_ = 0;      // TTL before decrement (expiry check)
+  rtl::u64 orig_size_ = 0;    // stack size when the update began
+};
+
+}  // namespace empls::hw

@@ -1,0 +1,164 @@
+#include "mpls/fec.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace empls::mpls {
+
+namespace {
+
+std::uint32_t prefix_mask(std::uint8_t length) noexcept {
+  return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+}
+
+/// Bit `depth` of `addr`, counted from the most significant bit.
+bool addr_bit(std::uint32_t addr, unsigned depth) noexcept {
+  return ((addr >> (31 - depth)) & 1) != 0;
+}
+
+}  // namespace
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return std::nullopt;
+  }
+  auto net = Ipv4Address::parse(text.substr(0, slash));
+  if (!net) {
+    return std::nullopt;
+  }
+  unsigned len = 0;
+  const char* begin = text.data() + slash + 1;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, len);
+  if (ec != std::errc{} || ptr != end || ptr == begin || len > 32) {
+    return std::nullopt;
+  }
+  return Prefix{*net, static_cast<std::uint8_t>(len)}.canonical();
+}
+
+bool Prefix::contains(Ipv4Address addr) const noexcept {
+  const std::uint32_t m = prefix_mask(length);
+  return (addr.value & m) == (network.value & m);
+}
+
+Prefix Prefix::canonical() const noexcept {
+  return Prefix{Ipv4Address{network.value & prefix_mask(length)}, length};
+}
+
+std::string Prefix::to_string() const {
+  std::ostringstream out;
+  out << network.to_string() << '/' << static_cast<unsigned>(length);
+  return out.str();
+}
+
+struct FecTable::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<std::uint32_t> fec_id;
+};
+
+FecTable::FecTable() : root_(std::make_unique<Node>()) {}
+FecTable::~FecTable() = default;
+FecTable::FecTable(FecTable&&) noexcept = default;
+FecTable& FecTable::operator=(FecTable&&) noexcept = default;
+
+std::optional<std::uint32_t> FecTable::insert(const Prefix& prefix,
+                                              std::uint32_t fec_id) {
+  const Prefix p = prefix.canonical();
+  Node* node = root_.get();
+  for (unsigned depth = 0; depth < p.length; ++depth) {
+    const int b = addr_bit(p.network.value, depth) ? 1 : 0;
+    if (!node->child[b]) {
+      node->child[b] = std::make_unique<Node>();
+    }
+    node = node->child[b].get();
+  }
+  const auto previous = node->fec_id;
+  node->fec_id = fec_id;
+  if (!previous) {
+    ++size_;
+  }
+  return previous;
+}
+
+bool FecTable::erase(const Prefix& prefix) {
+  const Prefix p = prefix.canonical();
+  Node* node = root_.get();
+  for (unsigned depth = 0; depth < p.length; ++depth) {
+    const int b = addr_bit(p.network.value, depth) ? 1 : 0;
+    if (!node->child[b]) {
+      return false;
+    }
+    node = node->child[b].get();
+  }
+  if (!node->fec_id) {
+    return false;
+  }
+  node->fec_id.reset();
+  --size_;
+  return true;
+}
+
+std::optional<std::uint32_t> FecTable::lookup(Ipv4Address addr) const {
+  const Node* node = root_.get();
+  std::optional<std::uint32_t> best = node->fec_id;
+  for (unsigned depth = 0; depth < 32 && node != nullptr; ++depth) {
+    const int b = addr_bit(addr.value, depth) ? 1 : 0;
+    node = node->child[b].get();
+    if (node != nullptr && node->fec_id) {
+      best = node->fec_id;
+    }
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> FecTable::lookup_exact(
+    const Prefix& prefix) const {
+  const Prefix p = prefix.canonical();
+  const Node* node = root_.get();
+  for (unsigned depth = 0; depth < p.length; ++depth) {
+    const int b = addr_bit(p.network.value, depth) ? 1 : 0;
+    node = node->child[b].get();
+    if (node == nullptr) {
+      return std::nullopt;
+    }
+  }
+  return node->fec_id;
+}
+
+std::vector<std::pair<Prefix, std::uint32_t>> FecTable::entries() const {
+  std::vector<std::pair<Prefix, std::uint32_t>> out;
+
+  struct Frame {
+    const Node* node;
+    std::uint32_t net;
+    unsigned depth;
+  };
+  std::vector<Frame> work{{root_.get(), 0, 0}};
+  while (!work.empty()) {
+    const Frame f = work.back();
+    work.pop_back();
+    if (f.node == nullptr) {
+      continue;
+    }
+    if (f.node->fec_id) {
+      out.emplace_back(
+          Prefix{Ipv4Address{f.net}, static_cast<std::uint8_t>(f.depth)},
+          *f.node->fec_id);
+    }
+    if (f.depth >= 32) {
+      continue;
+    }
+    work.push_back({f.node->child[0].get(), f.net, f.depth + 1});
+    work.push_back({f.node->child[1].get(),
+                    f.net | (std::uint32_t{1} << (31 - f.depth)), f.depth + 1});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.network.value, a.first.length) <
+           std::tie(b.first.network.value, b.first.length);
+  });
+  return out;
+}
+
+}  // namespace empls::mpls

@@ -1,0 +1,76 @@
+// Forwarding Equivalence Classes.
+//
+// An ingress LER classifies each unlabeled packet into a FEC — here an
+// IPv4 destination prefix — and the FTN table (fec.hpp + tables.hpp) maps
+// that FEC to the label operation to apply.  Classification uses
+// longest-prefix match over a binary trie, the standard structure a
+// software control plane would keep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpls/packet.hpp"
+
+namespace empls::mpls {
+
+/// IPv4 prefix: the high `length` bits of `network` are significant.
+struct Prefix {
+  Ipv4Address network{};
+  std::uint8_t length = 0;  // 0..32
+
+  /// Parse "a.b.c.d/len".
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// True when `addr` falls inside this prefix.
+  [[nodiscard]] bool contains(Ipv4Address addr) const noexcept;
+
+  /// Canonical form: host bits cleared.
+  [[nodiscard]] Prefix canonical() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+};
+
+/// Longest-prefix-match table mapping prefixes to a FEC id chosen by the
+/// caller (the control plane uses the id to index its FTN entries).
+class FecTable {
+ public:
+  FecTable();
+  ~FecTable();
+  FecTable(FecTable&&) noexcept;
+  FecTable& operator=(FecTable&&) noexcept;
+  FecTable(const FecTable&) = delete;
+  FecTable& operator=(const FecTable&) = delete;
+
+  /// Insert or overwrite the binding for `prefix`.  Returns the previous
+  /// FEC id when one existed.
+  std::optional<std::uint32_t> insert(const Prefix& prefix,
+                                      std::uint32_t fec_id);
+
+  /// Remove the binding for exactly `prefix` (not covered sub-prefixes).
+  bool erase(const Prefix& prefix);
+
+  /// Longest-prefix match; nullopt when no prefix covers `addr`.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(Ipv4Address addr) const;
+
+  /// Exact-prefix lookup.
+  [[nodiscard]] std::optional<std::uint32_t> lookup_exact(
+      const Prefix& prefix) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// All (prefix, fec_id) bindings, in ascending (network, length) order.
+  [[nodiscard]] std::vector<std::pair<Prefix, std::uint32_t>> entries() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace empls::mpls

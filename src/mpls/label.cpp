@@ -1,0 +1,36 @@
+#include "mpls/label.hpp"
+
+#include <sstream>
+
+namespace empls::mpls {
+
+std::uint32_t encode(const LabelEntry& e) noexcept {
+  std::uint32_t w = 0;
+  w |= (e.label & kMaxLabel) << 12;
+  w |= static_cast<std::uint32_t>(e.cos & kMaxCos) << 9;
+  w |= static_cast<std::uint32_t>(e.bottom ? 1 : 0) << 8;
+  w |= e.ttl;
+  return w;
+}
+
+LabelEntry decode(std::uint32_t word) noexcept {
+  LabelEntry e;
+  e.label = (word >> 12) & kMaxLabel;
+  e.cos = static_cast<std::uint8_t>((word >> 9) & kMaxCos);
+  e.bottom = ((word >> 8) & 1) != 0;
+  e.ttl = static_cast<std::uint8_t>(word & 0xFF);
+  return e;
+}
+
+bool is_well_formed(const LabelEntry& e) noexcept {
+  return e.label <= kMaxLabel && e.cos <= kMaxCos;
+}
+
+std::string to_string(const LabelEntry& e) {
+  std::ostringstream out;
+  out << "label=" << e.label << " cos=" << static_cast<unsigned>(e.cos)
+      << " S=" << (e.bottom ? 1 : 0) << " ttl=" << static_cast<unsigned>(e.ttl);
+  return out.str();
+}
+
+}  // namespace empls::mpls

@@ -1,0 +1,62 @@
+// MPLS label stack entry (Figure 5 of the paper; RFC 3032 wire layout).
+//
+//   | label (20 bits) | CoS (3 bits) | S (1 bit) | TTL (8 bits) |
+//    31            12   11         9   8           7           0
+//
+// The paper calls the 3-bit field "CoS" (the RFC's EXP/Traffic Class);
+// this library keeps the paper's name.  The embedded implementation never
+// modifies CoS bits; the S bit marks the bottom of the stack; the TTL is
+// decremented at each router and the packet is discarded at zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace empls::mpls {
+
+/// Field widths of a label stack entry.
+inline constexpr unsigned kLabelBits = 20;
+inline constexpr unsigned kCosBits = 3;
+inline constexpr unsigned kTtlBits = 8;
+
+inline constexpr std::uint32_t kMaxLabel = (1u << kLabelBits) - 1;
+inline constexpr std::uint8_t kMaxCos = (1u << kCosBits) - 1;
+inline constexpr std::uint8_t kMaxTtl = 0xFF;
+
+/// Reserved label values (RFC 3032 §2.1).
+inline constexpr std::uint32_t kLabelIpv4ExplicitNull = 0;
+inline constexpr std::uint32_t kLabelRouterAlert = 1;
+inline constexpr std::uint32_t kLabelIpv6ExplicitNull = 2;
+inline constexpr std::uint32_t kLabelImplicitNull = 3;
+inline constexpr std::uint32_t kFirstUnreservedLabel = 16;
+
+/// One 32-bit label stack entry.
+struct LabelEntry {
+  std::uint32_t label = 0;  // 20 bits
+  std::uint8_t cos = 0;     // 3 bits
+  bool bottom = false;      // S bit
+  std::uint8_t ttl = 0;     // 8 bits
+
+  friend bool operator==(const LabelEntry&, const LabelEntry&) = default;
+};
+
+/// Pack an entry into its 32-bit wire form.  Fields wider than their
+/// declared width are truncated, as a hardware register would.
+[[nodiscard]] std::uint32_t encode(const LabelEntry& e) noexcept;
+
+/// Unpack a 32-bit wire word.
+[[nodiscard]] LabelEntry decode(std::uint32_t word) noexcept;
+
+/// True when every field is within its declared width (no truncation
+/// would occur on encode).
+[[nodiscard]] bool is_well_formed(const LabelEntry& e) noexcept;
+
+/// True for the reserved label range 0..15 (RFC 3032 §2.1).
+[[nodiscard]] constexpr bool is_reserved_label(std::uint32_t label) noexcept {
+  return label < kFirstUnreservedLabel;
+}
+
+/// "label=42 cos=5 S=1 ttl=64" — for logs, examples and test diagnostics.
+[[nodiscard]] std::string to_string(const LabelEntry& e);
+
+}  // namespace empls::mpls

@@ -1,0 +1,41 @@
+// Label operations as stored in the information base.
+//
+// The operation memory component is 2 bits wide (Figure 13), so exactly
+// four operations are encodable.  Figure 14 of the paper shows operation
+// value 3 being returned for a stored pair; with alternating operations
+// over ten entries this is consistent with the encoding below, which is
+// also the natural NOP/PUSH/POP/SWAP order (DESIGN.md §5.1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace empls::mpls {
+
+enum class LabelOp : std::uint8_t {
+  kNop = 0,   // no operation stored / empty information-base slot
+  kPush = 1,  // push a new entry on top of the stack
+  kPop = 2,   // remove the top entry
+  kSwap = 3,  // replace the top label with the stored new label
+};
+
+/// Number of bits the operation memory component provides.
+inline constexpr unsigned kOperationBits = 2;
+
+constexpr bool is_valid_op(std::uint8_t raw) noexcept { return raw < 4; }
+
+constexpr std::string_view to_string(LabelOp op) noexcept {
+  switch (op) {
+    case LabelOp::kNop:
+      return "NOP";
+    case LabelOp::kPush:
+      return "PUSH";
+    case LabelOp::kPop:
+      return "POP";
+    case LabelOp::kSwap:
+      return "SWAP";
+  }
+  return "?";
+}
+
+}  // namespace empls::mpls

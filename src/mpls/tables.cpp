@@ -1,0 +1,111 @@
+#include "mpls/tables.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace empls::mpls {
+
+std::string Nhlfe::to_string() const {
+  std::ostringstream out;
+  out << "nhlfe{" << mpls::to_string(op);
+  if (op == LabelOp::kPush || op == LabelOp::kSwap) {
+    out << " out_label=" << out_label;
+  }
+  if (out_interface == kLocalDeliver) {
+    out << " -> local";
+  } else {
+    out << " -> if" << out_interface;
+  }
+  out << '}';
+  return out.str();
+}
+
+std::optional<Nhlfe> IlmTable::bind(std::uint32_t in_label,
+                                    const Nhlfe& nhlfe) {
+  const auto it = map_.find(in_label);
+  std::optional<Nhlfe> previous;
+  if (it != map_.end()) {
+    previous = it->second;
+  }
+  map_.insert_or_assign(in_label, nhlfe);
+  return previous;
+}
+
+bool IlmTable::unbind(std::uint32_t in_label) {
+  return map_.erase(in_label) > 0;
+}
+
+std::optional<Nhlfe> IlmTable::lookup(std::uint32_t in_label) const {
+  const auto it = map_.find(in_label);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<LabelPair> IlmTable::to_label_pairs() const {
+  std::vector<LabelPair> out;
+  out.reserve(map_.size());
+  for (const auto& [in_label, nhlfe] : map_) {
+    out.push_back(LabelPair{in_label, nhlfe.out_label, nhlfe.op});
+  }
+  std::sort(out.begin(), out.end(), [](const LabelPair& a, const LabelPair& b) {
+    return a.index < b.index;
+  });
+  return out;
+}
+
+std::optional<Nhlfe> FtnTable::bind(std::uint32_t fec_id, const Nhlfe& nhlfe) {
+  const auto it = map_.find(fec_id);
+  std::optional<Nhlfe> previous;
+  if (it != map_.end()) {
+    previous = it->second;
+  }
+  map_.insert_or_assign(fec_id, nhlfe);
+  return previous;
+}
+
+bool FtnTable::unbind(std::uint32_t fec_id) { return map_.erase(fec_id) > 0; }
+
+std::optional<Nhlfe> FtnTable::lookup(std::uint32_t fec_id) const {
+  const auto it = map_.find(fec_id);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<LabelPair> FtnTable::to_label_pairs() const {
+  std::vector<LabelPair> out;
+  out.reserve(map_.size());
+  for (const auto& [fec_id, nhlfe] : map_) {
+    out.push_back(LabelPair{fec_id, nhlfe.out_label, nhlfe.op});
+  }
+  std::sort(out.begin(), out.end(), [](const LabelPair& a, const LabelPair& b) {
+    return a.index < b.index;
+  });
+  return out;
+}
+
+std::optional<std::uint32_t> LabelAllocator::allocate() {
+  // Scan upward from the cursor, skipping values claimed by reserve().
+  while (next_ <= kMaxLabel && in_use_.contains(next_)) {
+    ++next_;
+  }
+  if (next_ > kMaxLabel) {
+    return std::nullopt;
+  }
+  in_use_.insert(next_);
+  return next_++;
+}
+
+bool LabelAllocator::reserve(std::uint32_t label) {
+  if (label < kFirstUnreservedLabel || label > kMaxLabel) {
+    return false;
+  }
+  return in_use_.insert(label).second;
+}
+
+void LabelAllocator::release(std::uint32_t label) { in_use_.erase(label); }
+
+}  // namespace empls::mpls

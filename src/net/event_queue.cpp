@@ -1,0 +1,41 @@
+#include "net/event_queue.hpp"
+
+#include <cassert>
+
+namespace empls::net {
+
+void EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t EventQueue::run_until(SimTime until) {
+  std::uint64_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= until) {
+    // Move the event out before popping so the callback may schedule
+    // further events safely.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+std::uint64_t EventQueue::run() {
+  std::uint64_t executed = 0;
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace empls::net

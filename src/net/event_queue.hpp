@@ -1,0 +1,60 @@
+// Discrete-event scheduler for the network simulator.
+//
+// Events are (time, sequence, callback); ties in time run in scheduling
+// order, making runs fully deterministic.  Time is in seconds (double):
+// the scales involved (nanosecond transmissions, millisecond windows)
+// stay well inside the 2^53 integer-exact range.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace empls::net {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at` (>= now()).
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_in(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Run events until the queue drains or `until` is passed (events
+  /// scheduled later than `until` stay queued).  Returns the number of
+  /// events executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Run until the queue drains.
+  std::uint64_t run();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace empls::net

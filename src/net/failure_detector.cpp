@@ -1,0 +1,85 @@
+#include "net/failure_detector.hpp"
+
+namespace empls::net {
+
+void FailureDetector::watch(NodeId a, NodeId b) {
+  for (const auto& w : watches_) {
+    if ((w.a == a && w.b == b) || (w.a == b && w.b == a)) {
+      return;  // already watched
+    }
+  }
+  watches_.push_back(Watch{a, b, 0, false});
+}
+
+void FailureDetector::watch_all() {
+  for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+    for (const auto& adj : net_->adjacency(id)) {
+      if (id < adj.neighbor) {
+        watch(id, adj.neighbor);
+      }
+    }
+  }
+}
+
+void FailureDetector::start(SimTime stop_at) {
+  stop_at_ = stop_at;
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  if (net_->now() + hello_ <= stop_at_) {
+    net_->events().schedule_in(hello_, [this] { poll(); });
+  }
+}
+
+bool FailureDetector::connection_up(const Watch& w) const {
+  // A connection is alive while at least one direction carries hellos;
+  // an IGP adjacency needs both, so treat any down direction as a miss.
+  for (const auto& adj : net_->adjacency(w.a)) {
+    if (adj.neighbor == w.b && !net_->link_from(w.a, adj.port).is_up()) {
+      return false;
+    }
+  }
+  for (const auto& adj : net_->adjacency(w.b)) {
+    if (adj.neighbor == w.a && !net_->link_from(w.b, adj.port).is_up()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FailureDetector::poll() {
+  for (auto& w : watches_) {
+    if (connection_up(w)) {
+      w.missed = 0;
+      w.declared = false;  // recovered links re-arm detection
+      continue;
+    }
+    if (w.declared) {
+      continue;
+    }
+    if (++w.missed < dead_multiplier_) {
+      continue;
+    }
+    // Dead interval elapsed: declare the failure and restore the LSPs
+    // that crossed the connection.
+    w.declared = true;
+    if (on_failure_) {
+      on_failure_(w.a, w.b);
+    }
+    FailureEvent event{net_->now(), w.a, w.b, 0, 0};
+    for (const LspId id : cp_->lsps_using(w.a, w.b)) {
+      if (cp_->reroute_lsp(id)) {
+        ++event.rerouted;
+      } else {
+        ++event.unrestorable;
+      }
+    }
+    events_.push_back(event);
+  }
+  if (net_->now() + hello_ <= stop_at_) {
+    net_->events().schedule_in(hello_, [this] { poll(); });
+  }
+}
+
+}  // namespace empls::net

@@ -1,0 +1,544 @@
+#include "net/ldp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace empls::net {
+
+void ControlPlane::register_router(NodeId id, MplsNode* router) {
+  assert(router != nullptr);
+  routers_[id] = router;
+}
+
+MplsNode* ControlPlane::router(NodeId id) const {
+  const auto it = routers_.find(id);
+  return it == routers_.end() ? nullptr : it->second;
+}
+
+std::optional<ControlPlane::Hop> ControlPlane::find_hop(NodeId from,
+                                                        NodeId to,
+                                                        double bw) const {
+  for (const auto& adj : net_->adjacency(from)) {
+    if (adj.neighbor != to) {
+      continue;
+    }
+    if (!net_->link_from(from, adj.port).is_up()) {
+      continue;
+    }
+    const auto it = reserved_.find({from, adj.port});
+    const double used = it == reserved_.end() ? 0.0 : it->second;
+    if (adj.bandwidth_bps - used >= bw) {
+      return Hop{adj.port, adj.bandwidth_bps};
+    }
+  }
+  return std::nullopt;
+}
+
+void ControlPlane::reserve(NodeId from, mpls::InterfaceId port, double bw) {
+  if (bw > 0.0) {
+    reserved_[{from, port}] += bw;
+  }
+}
+
+double ControlPlane::residual_bw(NodeId from, NodeId to) const {
+  for (const auto& adj : net_->adjacency(from)) {
+    if (adj.neighbor != to) {
+      continue;
+    }
+    const auto it = reserved_.find({from, adj.port});
+    const double used = it == reserved_.end() ? 0.0 : it->second;
+    return adj.bandwidth_bps - used;
+  }
+  return 0.0;
+}
+
+std::optional<std::vector<NodeId>> ControlPlane::compute_path(
+    NodeId from, NodeId to, double bw) const {
+  // Dijkstra on propagation delay, with a small per-hop cost so equal-
+  // delay topologies prefer fewer hops.  Links lacking `bw` residual are
+  // pruned (the "constraint" of constraint-based routing).
+  constexpr double kHopEpsilon = 1e-9;
+  const std::size_t n = net_->num_nodes();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<NodeId> prev(n, static_cast<NodeId>(-1));
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[from] = 0.0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) {
+      continue;
+    }
+    if (u == to) {
+      break;
+    }
+    for (const auto& adj : net_->adjacency(u)) {
+      if (!net_->link_from(u, adj.port).is_up()) {
+        continue;
+      }
+      const auto it = reserved_.find({u, adj.port});
+      const double used = it == reserved_.end() ? 0.0 : it->second;
+      if (adj.bandwidth_bps - used < bw) {
+        continue;
+      }
+      const double nd = d + adj.prop_delay + kHopEpsilon;
+      if (nd < dist[adj.neighbor]) {
+        dist[adj.neighbor] = nd;
+        prev[adj.neighbor] = u;
+        heap.emplace(nd, adj.neighbor);
+      }
+    }
+  }
+  if (!std::isfinite(dist[to])) {
+    return std::nullopt;
+  }
+  std::vector<NodeId> path;
+  for (NodeId v = to; v != from; v = prev[v]) {
+    path.push_back(v);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<LspId> ControlPlane::establish_lsp(
+    const std::vector<NodeId>& path, const mpls::Prefix& fec,
+    const LspOptions& options) {
+  const double bw = options.bw;
+  if (path.size() < 2) {
+    return std::nullopt;
+  }
+  if (options.php && path.size() < 3) {
+    return std::nullopt;  // PHP needs ingress, penultimate, egress
+  }
+
+  // Label merging: find the first downstream node already carrying this
+  // FEC; programming stops there and the existing segment is reused.
+  std::optional<std::size_t> merge_at;
+  if (options.allow_merge) {
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (fec_labels_.contains({fec.to_string(), path[i]})) {
+        merge_at = i;
+        break;
+      }
+    }
+  }
+  // Index of the last node this call programs toward.
+  const std::size_t last = merge_at.value_or(path.size() - 1);
+
+  // Admission over the programmed prefix of the path.
+  std::vector<Hop> hops;
+  for (std::size_t i = 0; i <= last; ++i) {
+    if (router(path[i]) == nullptr) {
+      return std::nullopt;
+    }
+    if (i < last) {
+      const auto hop = find_hop(path[i], path[i + 1], bw);
+      if (!hop) {
+        return std::nullopt;
+      }
+      hops.push_back(*hop);
+    }
+  }
+
+  // Downstream label allocation: labels[i] is what path[i+1] expects.
+  // With PHP the egress never receives a label; with merging the final
+  // label is the merged-into LSP's (borrowed, not allocated here).
+  const std::size_t last_labeled_node =
+      merge_at ? *merge_at : (options.php ? path.size() - 2 : last);
+  std::vector<rtl::u32> labels;
+  auto roll_back = [&] {
+    for (std::size_t j = 0; j < labels.size(); ++j) {
+      router(path[j + 1])->label_allocator().release(labels[j]);
+    }
+  };
+  for (std::size_t i = 1; i <= last_labeled_node && !merge_at; ++i) {
+    const auto label = router(path[i])->label_allocator().allocate();
+    if (!label) {
+      roll_back();
+      return std::nullopt;
+    }
+    labels.push_back(*label);
+  }
+  if (merge_at) {
+    for (std::size_t i = 1; i < *merge_at; ++i) {
+      const auto label = router(path[i])->label_allocator().allocate();
+      if (!label) {
+        roll_back();
+        return std::nullopt;
+      }
+      labels.push_back(*label);
+    }
+    labels.push_back(fec_labels_.at({fec.to_string(), path[*merge_at]}));
+  }
+  if (labels.empty()) {
+    return std::nullopt;  // degenerate (cannot happen for valid paths)
+  }
+
+  // Program: ingress prefix → push, transit swaps at level 2, then the
+  // tail per mode: plain egress pop, PHP pop + local prefix, or nothing
+  // past a merge point.
+  router(path.front())
+      ->program_ingress_prefix(fec, labels.front(), hops.front().port);
+  const std::size_t swaps_end = merge_at      ? *merge_at
+                                : options.php ? path.size() - 2
+                                              : path.size() - 1;
+  for (std::size_t i = 1; i < swaps_end; ++i) {
+    router(path[i])->program_swap(2, labels[i - 1], labels[i], hops[i].port);
+  }
+  if (!merge_at) {
+    if (options.php) {
+      router(path[path.size() - 2])
+          ->program_pop(2, labels.back(), hops.back().port);
+      router(path.back())->program_local(fec);
+    } else {
+      router(path.back())->program_pop(2, labels.back(), mpls::kLocalDeliver);
+    }
+  }
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    reserve(path[i], hops[i].port, bw);
+  }
+  // Register this LSP's labels so later merge-enabled LSPs can join.
+  const std::size_t owned = merge_at ? labels.size() - 1 : labels.size();
+  for (std::size_t i = 0; i < owned; ++i) {
+    fec_labels_.emplace(std::make_pair(fec.to_string(), path[i + 1]),
+                        labels[i]);
+  }
+
+  lsps_.push_back(LspRecord{path, labels, fec, bw, std::nullopt,
+                            options.php, merge_at});
+  return LspId{static_cast<std::uint32_t>(lsps_.size() - 1)};
+}
+
+std::optional<LspId> ControlPlane::reroute_lsp(LspId id) {
+  if (id.value >= lsps_.size()) {
+    return std::nullopt;
+  }
+  const LspRecord old = lsps_[id.value];  // copy: teardown mutates
+  if (old.via_tunnel || old.labels.empty()) {
+    return std::nullopt;  // tunnelled LSPs and dead records not handled
+  }
+  teardown_lsp(id);
+  const auto path =
+      compute_path(old.path.front(), old.path.back(), old.reserved_bw);
+  if (!path) {
+    return std::nullopt;
+  }
+  LspOptions options;
+  options.bw = old.reserved_bw;
+  options.php = old.php;
+  return establish_lsp(*path, old.fec, options);
+}
+
+std::optional<LspId> ControlPlane::establish_lsp_cspf(NodeId ingress,
+                                                      NodeId egress,
+                                                      const mpls::Prefix& fec,
+                                                      double bw) {
+  const auto path = compute_path(ingress, egress, bw);
+  if (!path) {
+    return std::nullopt;
+  }
+  return establish_lsp(*path, fec, bw);
+}
+
+std::optional<TunnelId> ControlPlane::establish_tunnel(
+    const std::vector<NodeId>& path, double bw) {
+  // Need head, at least one interior node (the penultimate popper), tail.
+  if (path.size() < 3) {
+    return std::nullopt;
+  }
+  std::vector<Hop> hops;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (router(path[i]) == nullptr) {
+      return std::nullopt;
+    }
+    if (i + 1 < path.size()) {
+      const auto hop = find_hop(path[i], path[i + 1], bw);
+      if (!hop) {
+        return std::nullopt;
+      }
+      hops.push_back(*hop);
+    }
+  }
+  // Outer labels for the interior: outer_labels[i] expected by path[i+1].
+  // The tail never sees the outer label (penultimate-hop popping), so the
+  // last interior hop needs no allocation at the tail.
+  std::vector<rtl::u32> outer;
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const auto label = router(path[i])->label_allocator().allocate();
+    if (!label) {
+      for (std::size_t j = 0; j < outer.size(); ++j) {
+        router(path[j + 1])->label_allocator().release(outer[j]);
+      }
+      return std::nullopt;
+    }
+    outer.push_back(*label);
+  }
+  // Interior swaps at level 3 (packets in the tunnel carry 2-deep
+  // stacks); penultimate hop pops toward the tail.
+  for (std::size_t i = 1; i + 2 < path.size(); ++i) {
+    router(path[i])->program_swap(3, outer[i - 1], outer[i], hops[i].port);
+  }
+  router(path[path.size() - 2])
+      ->program_pop(3, outer.back(), hops.back().port);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    reserve(path[i], hops[i].port, bw);
+  }
+
+  tunnels_.push_back(TunnelRecord{path, outer, bw});
+  return TunnelId{static_cast<std::uint32_t>(tunnels_.size() - 1)};
+}
+
+std::optional<rtl::u32> ControlPlane::allocate_shared(MplsNode& owner,
+                                                      MplsNode& also_at) {
+  for (int tries = 0; tries < 4096; ++tries) {
+    const auto v = owner.label_allocator().allocate();
+    if (!v) {
+      return std::nullopt;
+    }
+    if (also_at.label_allocator().reserve(*v)) {
+      return v;
+    }
+    owner.label_allocator().release(*v);
+  }
+  return std::nullopt;
+}
+
+std::optional<LspId> ControlPlane::establish_lsp_via_tunnel(
+    const std::vector<NodeId>& pre_path, TunnelId tunnel_id,
+    const std::vector<NodeId>& post_path, const mpls::Prefix& fec,
+    double bw) {
+  // pre_path needs >= 2 nodes: the ingress pushes one label and the
+  // tunnel head pushes the outer one — the hardware applies one
+  // operation per router visit, so ingress and head must be distinct.
+  if (pre_path.size() < 2 || post_path.empty() ||
+      tunnel_id.value >= tunnels_.size()) {
+    return std::nullopt;
+  }
+  const TunnelRecord& tun = tunnels_[tunnel_id.value];
+  if (pre_path.back() != tun.path.front() ||
+      post_path.front() != tun.path.back()) {
+    return std::nullopt;  // tunnel endpoints must join the segments
+  }
+  const NodeId head = pre_path.back();
+  const NodeId tail = post_path.front();
+
+  // Admission on the non-tunnel segments.
+  std::vector<Hop> pre_hops;
+  for (std::size_t i = 0; i + 1 < pre_path.size(); ++i) {
+    if (router(pre_path[i]) == nullptr) {
+      return std::nullopt;
+    }
+    const auto hop = find_hop(pre_path[i], pre_path[i + 1], bw);
+    if (!hop) {
+      return std::nullopt;
+    }
+    pre_hops.push_back(*hop);
+  }
+  std::vector<Hop> post_hops;
+  for (std::size_t i = 0; i + 1 < post_path.size(); ++i) {
+    const auto hop = find_hop(post_path[i], post_path[i + 1], bw);
+    if (!hop) {
+      return std::nullopt;
+    }
+    post_hops.push_back(*hop);
+  }
+  for (const NodeId id : post_path) {
+    if (router(id) == nullptr) {
+      return std::nullopt;
+    }
+  }
+
+  // Labels before the tunnel: expected by pre_path[1..p-1]; the label
+  // that crosses the tunnel must be valid at BOTH head and tail because
+  // the hardware PUSH re-pushes it unchanged.
+  std::vector<rtl::u32> labels;
+  for (std::size_t i = 1; i + 1 < pre_path.size(); ++i) {
+    const auto label = router(pre_path[i])->label_allocator().allocate();
+    if (!label) {
+      return std::nullopt;
+    }
+    labels.push_back(*label);
+  }
+  const auto crossing = allocate_shared(*router(head), *router(tail));
+  if (!crossing) {
+    return std::nullopt;
+  }
+  labels.push_back(*crossing);
+  // Labels after the tunnel: expected by post_path[1..].
+  for (std::size_t i = 1; i < post_path.size(); ++i) {
+    const auto label = router(post_path[i])->label_allocator().allocate();
+    if (!label) {
+      return std::nullopt;
+    }
+    labels.push_back(*label);
+  }
+
+  // Program the pre segment: ingress push, swaps up to the head.
+  router(pre_path.front())
+      ->program_ingress_prefix(fec, labels.front(), pre_hops.front().port);
+  for (std::size_t i = 1; i + 1 < pre_path.size(); ++i) {
+    router(pre_path[i])->program_swap(2, labels[i - 1], labels[i],
+                                      pre_hops[i].port);
+  }
+  // Tunnel head: push the tunnel's first outer label over the crossing
+  // label; forward into the tunnel.
+  const auto head_hop = find_hop(tun.path[0], tun.path[1], 0.0);
+  if (!head_hop) {
+    return std::nullopt;
+  }
+  router(head)->program_push(2, *crossing, tun.outer_labels.front(),
+                             head_hop->port);
+  // Post segment: the tail sees the crossing label (outer popped by PHP).
+  const std::size_t post_base = labels.size() - (post_path.size() - 1);
+  if (post_path.size() == 1) {
+    router(tail)->program_pop(2, *crossing, mpls::kLocalDeliver);
+  } else {
+    router(tail)->program_swap(2, *crossing, labels[post_base],
+                               post_hops.front().port);
+    for (std::size_t i = 1; i + 1 < post_path.size(); ++i) {
+      router(post_path[i])->program_swap(2, labels[post_base + i - 1],
+                                         labels[post_base + i],
+                                         post_hops[i].port);
+    }
+    router(post_path.back())
+        ->program_pop(2, labels.back(), mpls::kLocalDeliver);
+  }
+
+  for (std::size_t i = 0; i + 1 < pre_path.size(); ++i) {
+    reserve(pre_path[i], pre_hops[i].port, bw);
+  }
+  for (std::size_t i = 0; i + 1 < post_path.size(); ++i) {
+    reserve(post_path[i], post_hops[i].port, bw);
+  }
+
+  std::vector<NodeId> full_path = pre_path;
+  full_path.insert(full_path.end(), post_path.begin(), post_path.end());
+  lsps_.push_back(
+      LspRecord{full_path, labels, fec, bw, tunnel_id, false, std::nullopt});
+  return LspId{static_cast<std::uint32_t>(lsps_.size() - 1)};
+}
+
+std::optional<LspId> ControlPlane::reoptimize_lsp(LspId id) {
+  if (id.value >= lsps_.size()) {
+    return std::nullopt;
+  }
+  const LspRecord old = lsps_[id.value];
+  if (old.via_tunnel || old.labels.empty()) {
+    return std::nullopt;
+  }
+  const auto path =
+      compute_path(old.path.front(), old.path.back(), old.reserved_bw);
+  if (!path || *path == old.path) {
+    return std::nullopt;  // nothing better (or nothing at all)
+  }
+  // Make: the new LSP's ingress binding overwrites the FTN entry, so
+  // traffic switches as soon as this succeeds.
+  LspOptions options;
+  options.bw = old.reserved_bw;
+  options.php = old.php;
+  const auto replacement = establish_lsp(*path, old.fec, options);
+  if (!replacement) {
+    return std::nullopt;  // keep the old LSP: no harm done
+  }
+  // Break: release the old path.
+  teardown_lsp(id);
+  return replacement;
+}
+
+void ControlPlane::teardown_lsp(LspId id) {
+  assert(id.value < lsps_.size());
+  LspRecord& rec = lsps_[id.value];
+  // Release labels back to their owners — except a merge label, which
+  // belongs to the LSP merged into.  (With a tunnel, the crossing label
+  // was additionally reserved at the head; release there too.)
+  const std::size_t owned =
+      rec.merged_at ? rec.labels.size() - 1 : rec.labels.size();
+  for (std::size_t i = 0; i < owned && i + 1 < rec.path.size(); ++i) {
+    MplsNode* r = router(rec.path[i + 1]);
+    if (r != nullptr) {
+      r->label_allocator().release(rec.labels[i]);
+    }
+    fec_labels_.erase({rec.fec.to_string(), rec.path[i + 1]});
+  }
+  rec.labels.clear();
+  // Bandwidth: recompute is complex with shared hops; release the
+  // recorded amount along stored path hops (best effort).
+  for (std::size_t i = 0; i + 1 < rec.path.size(); ++i) {
+    for (const auto& adj : net_->adjacency(rec.path[i])) {
+      if (adj.neighbor == rec.path[i + 1]) {
+        auto it = reserved_.find({rec.path[i], adj.port});
+        if (it != reserved_.end()) {
+          it->second = std::max(0.0, it->second - rec.reserved_bw);
+        }
+        break;
+      }
+    }
+  }
+  rec.reserved_bw = 0.0;
+}
+
+std::optional<std::pair<mpls::InterfaceId, double>> ControlPlane::admit_hop(
+    NodeId from, NodeId to, double bw) const {
+  const auto hop = find_hop(from, to, bw);
+  if (!hop) {
+    return std::nullopt;
+  }
+  return std::make_pair(hop->port, hop->bandwidth);
+}
+
+void ControlPlane::release_hop(NodeId from, mpls::InterfaceId port,
+                               double bw) {
+  const auto it = reserved_.find({from, port});
+  if (it != reserved_.end()) {
+    it->second = std::max(0.0, it->second - bw);
+  }
+}
+
+LspId ControlPlane::adopt(LspRecord record) {
+  // Register the labels for future merges, mirroring establish_lsp.
+  const std::size_t owned =
+      record.merged_at ? record.labels.size() - 1 : record.labels.size();
+  for (std::size_t i = 0; i < owned && i + 1 < record.path.size(); ++i) {
+    fec_labels_.emplace(
+        std::make_pair(record.fec.to_string(), record.path[i + 1]),
+        record.labels[i]);
+  }
+  lsps_.push_back(std::move(record));
+  return LspId{static_cast<std::uint32_t>(lsps_.size() - 1)};
+}
+
+std::vector<LspId> ControlPlane::lsps_using(NodeId a, NodeId b) const {
+  std::vector<LspId> out;
+  for (std::size_t i = 0; i < lsps_.size(); ++i) {
+    const LspRecord& rec = lsps_[i];
+    if (rec.labels.empty()) {
+      continue;  // torn down
+    }
+    for (std::size_t h = 0; h + 1 < rec.path.size(); ++h) {
+      const bool crosses = (rec.path[h] == a && rec.path[h + 1] == b) ||
+                           (rec.path[h] == b && rec.path[h + 1] == a);
+      if (crosses) {
+        out.push_back(LspId{static_cast<std::uint32_t>(i)});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+const LspRecord& ControlPlane::lsp(LspId id) const {
+  assert(id.value < lsps_.size());
+  return lsps_[id.value];
+}
+
+const TunnelRecord& ControlPlane::tunnel(TunnelId id) const {
+  assert(id.value < tunnels_.size());
+  return tunnels_[id.value];
+}
+
+}  // namespace empls::net

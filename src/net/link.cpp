@@ -1,0 +1,61 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace empls::net {
+
+Link::Link(EventQueue& events, Node* dst, mpls::InterfaceId dst_in_if,
+           double bandwidth_bps, SimTime prop_delay_s, QosConfig qos)
+    : events_(&events),
+      dst_(dst),
+      dst_in_if_(dst_in_if),
+      bandwidth_(bandwidth_bps),
+      prop_delay_(prop_delay_s),
+      queue_(std::move(qos)) {
+  assert(bandwidth_ > 0.0);
+  assert(prop_delay_ >= 0.0);
+}
+
+void Link::transmit(mpls::Packet packet) {
+  if (!up_) {
+    ++stats_.failed_drops;
+    return;
+  }
+  queue_.enqueue(std::move(packet));
+  if (!busy_) {
+    start_next();
+  }
+}
+
+void Link::start_next() {
+  auto next = queue_.dequeue();
+  if (!next) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const double bits = static_cast<double>(next->wire_size()) * 8.0;
+  const SimTime tx_time = bits / bandwidth_;
+  stats_.tx_packets += 1;
+  stats_.tx_bytes += next->wire_size();
+  stats_.busy_time += tx_time;
+
+  // At transmission end: launch the packet down the propagation pipe
+  // (which never blocks) and pick up the next queued packet.
+  events_->schedule_in(tx_time, [this, p = *std::move(next)]() mutable {
+    events_->schedule_in(prop_delay_, [this, p = std::move(p)]() mutable {
+      dst_->receive(std::move(p), dst_in_if_);
+    });
+    start_next();
+  });
+}
+
+double Link::utilization() const noexcept {
+  const SimTime now = events_->now();
+  return now > 0.0 ? stats_.busy_time / now : 0.0;
+}
+
+}  // namespace empls::net

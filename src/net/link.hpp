@@ -1,0 +1,67 @@
+// Directed link: an output port's CoS queue set, a transmitter that
+// serialises packets at the link rate, and a propagation pipe to the
+// destination node's input interface.
+//
+// A bidirectional connection is two Links (one per direction), each with
+// its own queues — as real router line cards have.
+#pragma once
+
+#include <cstdint>
+
+#include "mpls/packet.hpp"
+#include "mpls/tables.hpp"
+#include "net/event_queue.hpp"
+#include "net/qos.hpp"
+
+namespace empls::net {
+
+class Node;
+
+struct LinkStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t failed_drops = 0;  // offered while the link was down
+  SimTime busy_time = 0.0;         // total transmission time
+};
+
+class Link {
+ public:
+  Link(EventQueue& events, Node* dst, mpls::InterfaceId dst_in_if,
+       double bandwidth_bps, SimTime prop_delay_s, QosConfig qos);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Enqueue for transmission; starts the transmitter when idle.
+  /// Queue-full drops are recorded in the queue stats.
+  void transmit(mpls::Packet packet);
+
+  [[nodiscard]] double bandwidth_bps() const noexcept { return bandwidth_; }
+  [[nodiscard]] SimTime prop_delay() const noexcept { return prop_delay_; }
+  [[nodiscard]] const CosQueueSet& queue() const noexcept { return queue_; }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+  /// Fraction of elapsed time the transmitter was busy.
+  [[nodiscard]] double utilization() const noexcept;
+
+  /// Failure injection: a downed link drops everything offered to it
+  /// (packets already in flight complete — the wire is cut at the
+  /// transmitter).  The control plane's path computation skips down
+  /// links.
+  void set_up(bool up) noexcept { up_ = up; }
+  [[nodiscard]] bool is_up() const noexcept { return up_; }
+
+ private:
+  void start_next();
+
+  EventQueue* events_;
+  Node* dst_;
+  mpls::InterfaceId dst_in_if_;
+  double bandwidth_;
+  SimTime prop_delay_;
+  CosQueueSet queue_;
+  bool busy_ = false;
+  bool up_ = true;
+  LinkStats stats_;
+};
+
+}  // namespace empls::net

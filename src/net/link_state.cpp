@@ -1,0 +1,178 @@
+#include "net/link_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace empls::net {
+
+void LinkStateRouting::add_router(NodeId id) {
+  agents_.emplace(id, Lsdb{});
+  next_seq_.emplace(id, 1);
+}
+
+void LinkStateRouting::add_all_routers() {
+  for (NodeId id = 0; id < net_->num_nodes(); ++id) {
+    add_router(id);
+  }
+}
+
+LinkStateRouting::Lsa LinkStateRouting::originate(NodeId id) {
+  Lsa lsa;
+  lsa.origin = id;
+  lsa.seq = next_seq_[id]++;
+  for (const auto& adj : net_->adjacency(id)) {
+    if (!agents_.contains(adj.neighbor)) {
+      continue;  // neighbour not running the protocol
+    }
+    if (!net_->link_from(id, adj.port).is_up()) {
+      continue;
+    }
+    // One entry per neighbour (cheapest parallel link).
+    const auto existing = std::find_if(
+        lsa.links.begin(), lsa.links.end(),
+        [&](const auto& l) { return l.first == adj.neighbor; });
+    if (existing == lsa.links.end()) {
+      lsa.links.emplace_back(adj.neighbor, adj.prop_delay);
+    } else {
+      existing->second = std::min(existing->second, adj.prop_delay);
+    }
+  }
+  ++stats_.lsas_originated;
+  return lsa;
+}
+
+void LinkStateRouting::bootstrap() {
+  for (const auto& [id, lsdb] : agents_) {
+    (void)lsdb;
+    receive(id, originate(id));  // self-install + flood
+  }
+}
+
+void LinkStateRouting::notify_link_change(NodeId a, NodeId b) {
+  // Both endpoints re-describe their adjacencies.
+  for (const NodeId id : {a, b}) {
+    if (agents_.contains(id)) {
+      receive(id, originate(id));
+    }
+  }
+}
+
+void LinkStateRouting::flood_from(NodeId id, const Lsa& lsa) {
+  for (const auto& adj : net_->adjacency(id)) {
+    if (!agents_.contains(adj.neighbor)) {
+      continue;
+    }
+    // Flooding uses the links themselves: a dead link carries no LSAs.
+    if (!net_->link_from(id, adj.port).is_up()) {
+      continue;
+    }
+    ++stats_.floods_sent;
+    const NodeId to = adj.neighbor;
+    net_->events().schedule_in(
+        hop_delay_, [this, to, lsa] { receive(to, lsa); });
+  }
+}
+
+void LinkStateRouting::receive(NodeId at, Lsa lsa) {
+  auto& lsdb = agents_.at(at);
+  const auto it = lsdb.find(lsa.origin);
+  if (it != lsdb.end() && it->second.seq >= lsa.seq) {
+    ++stats_.floods_stale;
+    return;  // old news: do not re-flood (this terminates the flood)
+  }
+  ++stats_.floods_accepted;
+  lsdb[lsa.origin] = lsa;
+  last_change_ = net_->now();
+  flood_from(at, lsa);
+}
+
+std::optional<std::vector<NodeId>> LinkStateRouting::path_from(
+    NodeId viewpoint, NodeId dst) const {
+  const auto agent = agents_.find(viewpoint);
+  if (agent == agents_.end()) {
+    return std::nullopt;
+  }
+  const Lsdb& lsdb = agent->second;
+  if (viewpoint == dst) {
+    return std::vector<NodeId>{viewpoint};
+  }
+
+  // Dijkstra over the viewpoint's database.  An adjacency counts only
+  // if BOTH endpoints advertise it (the standard two-way check).
+  auto advertises = [&lsdb](NodeId from, NodeId to) -> std::optional<double> {
+    const auto it = lsdb.find(from);
+    if (it == lsdb.end()) {
+      return std::nullopt;
+    }
+    for (const auto& [neighbor, cost] : it->second.links) {
+      if (neighbor == to) {
+        return cost;
+      }
+    }
+    return std::nullopt;
+  };
+
+  std::map<NodeId, double> dist;
+  std::map<NodeId, NodeId> prev;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[viewpoint] = 0.0;
+  heap.emplace(0.0, viewpoint);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) {
+      continue;
+    }
+    const auto it = lsdb.find(u);
+    if (it == lsdb.end()) {
+      continue;
+    }
+    for (const auto& [v, cost] : it->second.links) {
+      if (!advertises(v, u)) {
+        continue;  // one-way report: not yet (or no longer) usable
+      }
+      const double nd = d + cost + 1e-9;
+      if (!dist.contains(v) || nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (!dist.contains(dst)) {
+    return std::nullopt;
+  }
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != viewpoint; v = prev.at(v)) {
+    path.push_back(v);
+  }
+  path.push_back(viewpoint);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool LinkStateRouting::converged() const {
+  const Lsdb* reference = nullptr;
+  for (const auto& [id, lsdb] : agents_) {
+    (void)id;
+    if (reference == nullptr) {
+      reference = &lsdb;
+      continue;
+    }
+    if (lsdb.size() != reference->size()) {
+      return false;
+    }
+    for (const auto& [origin, lsa] : lsdb) {
+      const auto it = reference->find(origin);
+      if (it == reference->end() || it->second.seq != lsa.seq) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace empls::net

@@ -1,0 +1,99 @@
+// Distributed link-state routing (OSPF-lite).
+//
+// The paper assumes "several protocols exist (LDP, OSPF, RSVP...)" feed
+// the MPLS control plane; ControlPlane::compute_path cheats by reading
+// the global topology.  This module removes the cheat: every router
+// runs a link-state agent that
+//
+//   * originates a Link State Advertisement (LSA) describing its own
+//     adjacencies (cost = propagation delay) with a sequence number,
+//   * floods LSAs to its neighbours over simulated time (per-hop flood
+//     delay), re-flooding only strictly newer information, and
+//   * answers path queries by running SPF (Dijkstra) over ITS OWN link
+//     state database — which may be stale while the network converges.
+//
+// Convergence — the window in which different routers disagree about
+// the topology — is therefore measurable, and bench_convergence (X10)
+// sweeps it against network size.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace empls::net {
+
+class LinkStateRouting {
+ public:
+  /// `flood_hop_delay`: LSA propagation + processing per flooding hop
+  /// (real IGPs: link delay + a pacing timer).
+  explicit LinkStateRouting(Network& net, SimTime flood_hop_delay = 1e-3)
+      : net_(&net), hop_delay_(flood_hop_delay) {}
+  LinkStateRouting(const LinkStateRouting&) = delete;
+  LinkStateRouting& operator=(const LinkStateRouting&) = delete;
+
+  /// Enroll a router in the protocol.
+  void add_router(NodeId id);
+
+  /// Enroll every node in the network.
+  void add_all_routers();
+
+  /// Originate initial LSAs everywhere and start flooding.  The network
+  /// converges over simulated time; run the event queue and check
+  /// converged().
+  void bootstrap();
+
+  /// A router noticed one of its links change (failure detection,
+  /// interface event): it re-originates its LSA — both endpoints do —
+  /// and the news floods out.
+  void notify_link_change(NodeId a, NodeId b);
+
+  /// SPF over `viewpoint`'s own database.  nullopt when the viewpoint
+  /// currently believes `dst` unreachable (possibly stale!).
+  [[nodiscard]] std::optional<std::vector<NodeId>> path_from(
+      NodeId viewpoint, NodeId dst) const;
+
+  /// True when every enrolled router's database is identical.
+  [[nodiscard]] bool converged() const;
+
+  /// Time of the most recent database change anywhere — after the event
+  /// queue drains, (last_change_at - failure time) is the convergence
+  /// time.
+  [[nodiscard]] SimTime last_change_at() const noexcept {
+    return last_change_;
+  }
+
+  struct Stats {
+    std::uint64_t lsas_originated = 0;
+    std::uint64_t floods_sent = 0;      // LSA copies handed to neighbours
+    std::uint64_t floods_accepted = 0;  // copies that were news
+    std::uint64_t floods_stale = 0;     // copies dropped as old news
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Lsa {
+    NodeId origin = 0;
+    std::uint64_t seq = 0;
+    // (neighbor, cost) for each up adjacency at origination time.
+    std::vector<std::pair<NodeId, double>> links;
+  };
+  /// Per-router link state database: origin → freshest LSA seen.
+  using Lsdb = std::map<NodeId, Lsa>;
+
+  [[nodiscard]] Lsa originate(NodeId id);
+  void flood_from(NodeId id, const Lsa& lsa);
+  void receive(NodeId at, Lsa lsa);
+
+  Network* net_;
+  SimTime hop_delay_;
+  std::map<NodeId, Lsdb> agents_;
+  std::map<NodeId, std::uint64_t> next_seq_;
+  SimTime last_change_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace empls::net

@@ -1,0 +1,108 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace empls::net {
+
+void Node::send(mpls::Packet packet, mpls::InterfaceId out_if) {
+  assert(out_if < ports_.size() && "send on unknown port");
+  ports_[out_if]->transmit(std::move(packet));
+}
+
+NodeId Network::add_node(std::unique_ptr<Node> node) {
+  assert(node != nullptr);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node->net_ = this;
+  node->id_ = id;
+  nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
+  return id;
+}
+
+Node& Network::node(NodeId id) {
+  assert(id < nodes_.size());
+  return *nodes_[id];
+}
+
+const Node& Network::node(NodeId id) const {
+  assert(id < nodes_.size());
+  return *nodes_[id];
+}
+
+Network::PortPair Network::connect(NodeId a, NodeId b, double bandwidth_bps,
+                                   SimTime prop_delay_s) {
+  return connect(a, b, bandwidth_bps, prop_delay_s, default_qos_);
+}
+
+Network::PortPair Network::connect(NodeId a, NodeId b, double bandwidth_bps,
+                                   SimTime prop_delay_s,
+                                   const QosConfig& qos) {
+  assert(a != b && "self-connections are not meaningful");
+  Node& na = node(a);
+  Node& nb = node(b);
+
+  // Each side receives on the same-numbered interface it sends on.
+  const auto a_port = static_cast<mpls::InterfaceId>(na.ports_.size());
+  const auto b_port = static_cast<mpls::InterfaceId>(nb.ports_.size());
+
+  links_.push_back(std::make_unique<Link>(events_, &nb, b_port,
+                                          bandwidth_bps, prop_delay_s, qos));
+  na.ports_.push_back(links_.back().get());
+  links_.push_back(std::make_unique<Link>(events_, &na, a_port,
+                                          bandwidth_bps, prop_delay_s, qos));
+  nb.ports_.push_back(links_.back().get());
+
+  adjacency_[a].push_back(Adjacency{b, a_port, bandwidth_bps, prop_delay_s});
+  adjacency_[b].push_back(Adjacency{a, b_port, bandwidth_bps, prop_delay_s});
+  return PortPair{a_port, b_port};
+}
+
+Link& Network::link_from(NodeId id, mpls::InterfaceId port) {
+  Node& n = node(id);
+  assert(port < n.ports_.size());
+  return *n.ports_[port];
+}
+
+const Link& Network::link_from(NodeId id, mpls::InterfaceId port) const {
+  const Node& n = node(id);
+  assert(port < n.ports_.size());
+  return *n.ports_[port];
+}
+
+const std::vector<Network::Adjacency>& Network::adjacency(NodeId id) const {
+  assert(id < adjacency_.size());
+  return adjacency_[id];
+}
+
+void Network::set_connection_up(NodeId a, NodeId b, bool up) {
+  for (const auto& adj : adjacency(a)) {
+    if (adj.neighbor == b) {
+      link_from(a, adj.port).set_up(up);
+    }
+  }
+  for (const auto& adj : adjacency(b)) {
+    if (adj.neighbor == a) {
+      link_from(b, adj.port).set_up(up);
+    }
+  }
+}
+
+void Network::inject(NodeId id, mpls::Packet packet) {
+  node(id).receive(std::move(packet), kInjectInterface);
+}
+
+void Network::deliver_local(NodeId egress, const mpls::Packet& packet) {
+  ++delivered_;
+  for (const auto& handler : delivery_) {
+    handler(egress, packet);
+  }
+}
+
+void Network::notify_discard(NodeId where, const mpls::Packet& packet,
+                             std::string_view reason) {
+  for (const auto& handler : discard_) {
+    handler(where, packet, reason);
+  }
+}
+
+}  // namespace empls::net

@@ -1,0 +1,122 @@
+// The network: owns nodes, directed links and the event queue; provides
+// the builder API (add_node / connect), topology queries for the control
+// plane, traffic injection, and local-delivery dispatch for packets that
+// leave the MPLS domain at an egress LER.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/event_queue.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace empls::net {
+
+class Network {
+ public:
+  explicit Network(QosConfig default_qos = {})
+      : default_qos_(std::move(default_qos)) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] SimTime now() const noexcept { return events_.now(); }
+
+  /// Take ownership of `node`; returns its id.
+  NodeId add_node(std::unique_ptr<Node> node);
+
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Downcast helper for topology-building code that knows the type.
+  template <typename T>
+  [[nodiscard]] T& node_as(NodeId id) {
+    return dynamic_cast<T&>(node(id));
+  }
+
+  struct PortPair {
+    mpls::InterfaceId a_to_b;  // port index on node a
+    mpls::InterfaceId b_to_a;  // port index on node b
+  };
+
+  /// Create a bidirectional connection (two directed links) between `a`
+  /// and `b`.  Returns the port index each side sends on.
+  PortPair connect(NodeId a, NodeId b, double bandwidth_bps,
+                   SimTime prop_delay_s);
+  PortPair connect(NodeId a, NodeId b, double bandwidth_bps,
+                   SimTime prop_delay_s, const QosConfig& qos);
+
+  /// The directed link node `id` transmits on through local port `port`.
+  [[nodiscard]] Link& link_from(NodeId id, mpls::InterfaceId port);
+  [[nodiscard]] const Link& link_from(NodeId id,
+                                      mpls::InterfaceId port) const;
+
+  struct Adjacency {
+    NodeId neighbor;
+    mpls::InterfaceId port;  // local port on the source node
+    double bandwidth_bps;
+    SimTime prop_delay;
+  };
+  [[nodiscard]] const std::vector<Adjacency>& adjacency(NodeId id) const;
+
+  /// Failure injection: take one directed link (or both directions of a
+  /// connection) down or up.
+  void set_link_up(NodeId id, mpls::InterfaceId port, bool up) {
+    link_from(id, port).set_up(up);
+  }
+  void set_connection_up(NodeId a, NodeId b, bool up);
+
+  /// Hand a packet to a node as locally injected traffic.
+  void inject(NodeId id, mpls::Packet packet);
+
+  /// Called by egress routers when a packet leaves the MPLS domain.
+  /// Handlers are multicast: add_ appends, set_ replaces them all.
+  using DeliveryHandler =
+      std::function<void(NodeId egress, const mpls::Packet&)>;
+  void set_delivery_handler(DeliveryHandler handler) {
+    delivery_.clear();
+    delivery_.push_back(std::move(handler));
+  }
+  void add_delivery_handler(DeliveryHandler handler) {
+    delivery_.push_back(std::move(handler));
+  }
+  void deliver_local(NodeId egress, const mpls::Packet& packet);
+
+  /// Called by routers when a packet is dropped in processing (TTL
+  /// expiry, missing binding, malformed wire form, no next hop).  OAM
+  /// traceroute and diagnostics subscribe here.
+  using DiscardHandler = std::function<void(
+      NodeId where, const mpls::Packet&, std::string_view reason)>;
+  void add_discard_handler(DiscardHandler handler) {
+    discard_.push_back(std::move(handler));
+  }
+  void notify_discard(NodeId where, const mpls::Packet& packet,
+                      std::string_view reason);
+
+  [[nodiscard]] std::uint64_t delivered_count() const noexcept {
+    return delivered_;
+  }
+
+  /// Run the event loop (forwards to the event queue).
+  std::uint64_t run_until(SimTime until) { return events_.run_until(until); }
+  std::uint64_t run() { return events_.run(); }
+
+ private:
+  QosConfig default_qos_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<DeliveryHandler> delivery_;
+  std::vector<DiscardHandler> discard_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace empls::net

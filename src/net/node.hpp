@@ -1,0 +1,55 @@
+// Node base class: anything attached to the network that can receive
+// packets on interfaces and send packets out of its ports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpls/packet.hpp"
+#include "mpls/tables.hpp"
+
+namespace empls::net {
+
+class Network;
+class Link;
+
+using NodeId = std::uint32_t;
+
+/// Pseudo-interface a locally injected packet arrives on.
+inline constexpr mpls::InterfaceId kInjectInterface = 0xFFFFFFFE;
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  virtual ~Node() = default;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t num_ports() const noexcept {
+    return ports_.size();
+  }
+
+  /// A packet arrives on interface `in_if` (kInjectInterface for local
+  /// injection by a traffic source).
+  virtual void receive(mpls::Packet packet, mpls::InterfaceId in_if) = 0;
+
+ protected:
+  /// Transmit out of local port `out_if` (the directed link's queue and
+  /// scheduler take it from here).
+  void send(mpls::Packet packet, mpls::InterfaceId out_if);
+
+  [[nodiscard]] Network* network() const noexcept { return net_; }
+
+ private:
+  friend class Network;
+
+  std::string name_;
+  Network* net_ = nullptr;
+  NodeId id_ = 0;
+  std::vector<Link*> ports_;  // outgoing directed links, by port index
+};
+
+}  // namespace empls::net

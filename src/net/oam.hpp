@@ -1,0 +1,100 @@
+// MPLS OAM: LSP ping and traceroute (in the spirit of RFC 4379).
+//
+// Operating an MPLS network requires verifying that LSPs actually carry
+// traffic end to end, and locating the hop that black-holes them when
+// they do not:
+//
+//   * lsp_ping injects a probe at the ingress and reports whether (and
+//     where, and when) it left the MPLS domain — or which router
+//     discarded it and why;
+//   * lsp_traceroute injects probes with increasing IP TTL; each one
+//     expires one hop deeper (the routers' TTL handling discards it and
+//     reports the location), mapping the LSP's data-plane path hop by
+//     hop, exactly the trick IP traceroute plays.
+//
+// Probes are ordinary packets with flow ids from a reserved OAM range,
+// observed through the network's delivery/discard handler multicast.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace empls::net {
+
+/// Flow ids at and above this value are OAM probes.
+inline constexpr std::uint32_t kOamFlowBase = 0xFFF00000;
+
+class Oam {
+ public:
+  explicit Oam(Network& net);
+  Oam(const Oam&) = delete;
+  Oam& operator=(const Oam&) = delete;
+
+  struct PingResult {
+    bool reachable = false;
+    std::optional<NodeId> egress;        // where it left the domain
+    std::optional<NodeId> discarded_at;  // or where it died
+    std::string discard_reason;
+    SimTime latency = 0.0;  // injection to delivery/discard observation
+  };
+  using PingCallback = std::function<void(const PingResult&)>;
+
+  /// Probe the LSP carrying `dst` from `ingress`.  `done` fires (via
+  /// the event queue) on delivery, discard, or after `timeout`.
+  void lsp_ping(NodeId ingress, mpls::Ipv4Address dst, PingCallback done,
+                SimTime timeout = 1.0, std::uint8_t cos = 6);
+
+  struct TracerouteHop {
+    unsigned ttl;         // probe TTL that produced this answer
+    NodeId node;          // who answered
+    bool is_egress;       // delivered (end of path) vs TTL expiry
+    SimTime latency;      // injection to observation
+  };
+  struct TracerouteResult {
+    std::vector<TracerouteHop> hops;
+    bool complete = false;  // reached the egress
+  };
+  using TracerouteCallback = std::function<void(const TracerouteResult&)>;
+
+  /// Map the data-plane path toward `dst` hop by hop (probes with TTL
+  /// 1, 2, ... up to `max_ttl`, sent sequentially).
+  void lsp_traceroute(NodeId ingress, mpls::Ipv4Address dst,
+                      TracerouteCallback done, unsigned max_ttl = 16,
+                      SimTime per_probe_timeout = 0.5,
+                      std::uint8_t cos = 6);
+
+ private:
+  struct Probe {
+    std::uint32_t flow_id;
+    SimTime injected_at;
+    bool settled = false;
+    std::function<void(bool delivered, NodeId where,
+                       std::string_view reason)>
+        observe;
+  };
+
+  void settle(std::uint32_t flow, bool delivered, NodeId where,
+              std::string_view reason);
+  std::uint32_t inject_probe(NodeId ingress, mpls::Ipv4Address dst,
+                             std::uint8_t cos, std::uint8_t ttl,
+                             SimTime timeout,
+                             std::function<void(bool, NodeId,
+                                                std::string_view)>
+                                 observe);
+  void traceroute_step(std::shared_ptr<TracerouteResult> result,
+                       NodeId ingress, mpls::Ipv4Address dst, unsigned ttl,
+                       unsigned max_ttl, SimTime timeout, std::uint8_t cos,
+                       TracerouteCallback done);
+
+  Network* net_;
+  std::uint32_t next_flow_ = kOamFlowBase;
+  std::vector<Probe> probes_;
+};
+
+}  // namespace empls::net

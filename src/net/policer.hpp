@@ -1,0 +1,70 @@
+// Token-bucket traffic policing.
+//
+// The paper lists "packet classification, admission control" among the
+// QoS functions MPLS serves.  LSP-level admission lives in the control
+// plane (bandwidth reservation); this is the data-plane half: an
+// ingress LER polices each flow against its traffic contract.  A
+// classic token bucket — `rate` tokens (bytes) per second, at most
+// `burst` accumulated — passes conforming packets; excess traffic is
+// either dropped or demoted to a lower class (colour-aware remarking)
+// before it can crowd the reserved classes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "net/event_queue.hpp"
+
+namespace empls::net {
+
+class TokenBucket {
+ public:
+  /// `rate_bps` in bits/second; `burst_bytes` caps the bucket.
+  TokenBucket(double rate_bps, double burst_bytes)
+      : rate_bytes_per_s_(rate_bps / 8.0), burst_(burst_bytes),
+        tokens_(burst_bytes) {}
+
+  /// True when a packet of `bytes` conforms at time `now` (tokens are
+  /// consumed only on conformance).
+  bool conforms(std::size_t bytes, SimTime now) {
+    refill(now);
+    const auto need = static_cast<double>(bytes);
+    if (tokens_ >= need) {
+      tokens_ -= need;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+  [[nodiscard]] double rate_bps() const noexcept {
+    return rate_bytes_per_s_ * 8.0;
+  }
+
+ private:
+  void refill(SimTime now) {
+    if (now > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_bytes_per_s_);
+      last_ = now;
+    }
+  }
+
+  double rate_bytes_per_s_;
+  double burst_;
+  double tokens_;
+  SimTime last_ = 0.0;
+};
+
+/// What happens to non-conforming packets.
+enum class PolicerAction : std::uint8_t {
+  kDrop,    // discard excess
+  kDemote,  // remark excess to CoS 0 (best effort) and forward
+};
+
+struct PolicerConfig {
+  double rate_bps = 0;
+  double burst_bytes = 1500;
+  PolicerAction action = PolicerAction::kDrop;
+};
+
+}  // namespace empls::net

@@ -1,0 +1,508 @@
+#include "net/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace empls::net {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') {
+      break;  // trailing comment
+    }
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::optional<double> parse_number(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  double v = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Split "key=value"; returns nullopt for non-option tokens.
+std::optional<std::pair<std::string, std::string>> split_option(
+    const std::string& tok) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return std::nullopt;
+  }
+  return std::make_pair(tok.substr(0, eq), tok.substr(eq + 1));
+}
+
+}  // namespace
+
+std::optional<double> parse_bandwidth(std::string_view text) {
+  double scale = 1.0;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'k':
+        scale = 1e3;
+        text.remove_suffix(1);
+        break;
+      case 'M':
+        scale = 1e6;
+        text.remove_suffix(1);
+        break;
+      case 'G':
+        scale = 1e9;
+        text.remove_suffix(1);
+        break;
+      default:
+        break;
+    }
+  }
+  const auto v = parse_number(text);
+  if (!v || *v <= 0) {
+    return std::nullopt;
+  }
+  return *v * scale;
+}
+
+std::optional<SimTime> parse_time(std::string_view text) {
+  double scale = 1.0;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    scale = 1e-3;
+    text.remove_suffix(2);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "us") {
+    scale = 1e-6;
+    text.remove_suffix(2);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "ns") {
+    scale = 1e-9;
+    text.remove_suffix(2);
+  } else if (!text.empty() && text.back() == 's') {
+    text.remove_suffix(1);
+  }
+  const auto v = parse_number(text);
+  if (!v || *v < 0) {
+    return std::nullopt;
+  }
+  return *v * scale;
+}
+
+bool Scenario::has_router(const std::string& name) const {
+  return std::any_of(routers.begin(), routers.end(),
+                     [&](const RouterDecl& r) { return r.name == name; });
+}
+
+std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
+  Scenario s;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+
+  auto error = [&](const std::string& message) {
+    return ScenarioError{line_no, message};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "qos") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (tokens[i] == "strict") {
+          s.qos.scheduler = SchedulerKind::kStrictPriority;
+        } else if (tokens[i] == "fifo") {
+          s.qos.scheduler = SchedulerKind::kFifo;
+        } else if (tokens[i] == "wrr") {
+          s.qos.scheduler = SchedulerKind::kWeightedRoundRobin;
+        } else if (tokens[i] == "red") {
+          s.qos.drop = DropPolicy::kRed;
+        } else if (const auto opt = split_option(tokens[i]);
+                   opt && opt->first == "capacity") {
+          const auto v = parse_number(opt->second);
+          if (!v || *v < 1) {
+            return error("bad qos capacity: " + opt->second);
+          }
+          s.qos.queue_capacity = static_cast<std::size_t>(*v);
+        } else {
+          return error("unknown qos option: " + tokens[i]);
+        }
+      }
+    } else if (cmd == "router") {
+      if (tokens.size() < 3) {
+        return error("router needs: router <name> ler|lsr [options]");
+      }
+      RouterDecl r;
+      r.name = tokens[1];
+      if (tokens[2] == "ler") {
+        r.is_ler = true;
+      } else if (tokens[2] == "lsr") {
+        r.is_ler = false;
+      } else {
+        return error("router type must be ler or lsr, got " + tokens[2]);
+      }
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const auto opt = split_option(tokens[i]);
+        if (!opt) {
+          return error("bad router option: " + tokens[i]);
+        }
+        if (opt->first == "engine") {
+          if (opt->second != "linear" && opt->second != "hash" &&
+              opt->second != "cam" && opt->second != "hw") {
+            return error("unknown engine: " + opt->second);
+          }
+          r.engine = opt->second;
+        } else if (opt->first == "clock") {
+          const auto v = parse_bandwidth(opt->second);  // same suffixes
+          if (!v) {
+            return error("bad clock: " + opt->second);
+          }
+          r.clock_hz = *v;
+        } else {
+          return error("unknown router option: " + opt->first);
+        }
+      }
+      if (s.has_router(r.name)) {
+        return error("duplicate router: " + r.name);
+      }
+      s.routers.push_back(std::move(r));
+    } else if (cmd == "link") {
+      if (tokens.size() != 5) {
+        return error("link needs: link <a> <b> <bandwidth> <delay>");
+      }
+      LinkDecl l;
+      l.a = tokens[1];
+      l.b = tokens[2];
+      if (!s.has_router(l.a) || !s.has_router(l.b)) {
+        return error("link references undeclared router");
+      }
+      const auto bw = parse_bandwidth(tokens[3]);
+      const auto delay = parse_time(tokens[4]);
+      if (!bw) {
+        return error("bad bandwidth: " + tokens[3]);
+      }
+      if (!delay) {
+        return error("bad delay: " + tokens[4]);
+      }
+      l.bandwidth_bps = *bw;
+      l.delay = *delay;
+      s.links.push_back(std::move(l));
+    } else if (cmd == "lsp" || cmd == "lsp-cspf") {
+      if (tokens.size() < 4) {
+        return error(cmd + " needs: " + cmd + " <prefix> <nodes...>");
+      }
+      LspDecl l;
+      const auto fec = mpls::Prefix::parse(tokens[1]);
+      if (!fec) {
+        return error("bad prefix: " + tokens[1]);
+      }
+      l.fec = *fec;
+      l.cspf = cmd == "lsp-cspf";
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "php") {
+          l.php = true;
+        } else if (tokens[i] == "merge") {
+          l.merge = true;
+        } else if (const auto opt = split_option(tokens[i])) {
+          if (opt->first != "bw") {
+            return error("unknown lsp option: " + opt->first);
+          }
+          const auto bw = parse_bandwidth(opt->second);
+          if (!bw) {
+            return error("bad bw: " + opt->second);
+          }
+          l.bw = *bw;
+        } else {
+          if (!s.has_router(tokens[i])) {
+            return error("lsp references undeclared router: " + tokens[i]);
+          }
+          l.path.push_back(tokens[i]);
+        }
+      }
+      if (l.path.size() < 2) {
+        return error("lsp needs at least two nodes");
+      }
+      if (l.cspf && l.path.size() != 2) {
+        return error("lsp-cspf takes exactly ingress and egress");
+      }
+      s.lsps.push_back(std::move(l));
+    } else if (cmd == "tunnel") {
+      if (tokens.size() < 5) {
+        return error("tunnel needs: tunnel <name> <n1> <n2> <n3> ...");
+      }
+      TunnelDecl t;
+      t.name = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (!s.has_router(tokens[i])) {
+          return error("tunnel references undeclared router: " + tokens[i]);
+        }
+        t.path.push_back(tokens[i]);
+      }
+      s.tunnels.push_back(std::move(t));
+    } else if (cmd == "lsp-via-tunnel") {
+      // lsp-via-tunnel <prefix> pre <n..> tunnel <name> post <n..> [bw=]
+      if (tokens.size() < 8) {
+        return error("lsp-via-tunnel needs pre/tunnel/post sections");
+      }
+      LspViaTunnelDecl l;
+      const auto fec = mpls::Prefix::parse(tokens[1]);
+      if (!fec) {
+        return error("bad prefix: " + tokens[1]);
+      }
+      l.fec = *fec;
+      enum { kNone, kPre, kPost } section = kNone;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "pre") {
+          section = kPre;
+        } else if (tokens[i] == "post") {
+          section = kPost;
+        } else if (tokens[i] == "tunnel") {
+          if (i + 1 >= tokens.size()) {
+            return error("tunnel section needs a name");
+          }
+          l.tunnel = tokens[++i];
+          section = kNone;
+        } else if (const auto opt = split_option(tokens[i])) {
+          if (opt->first != "bw") {
+            return error("unknown option: " + opt->first);
+          }
+          const auto bw = parse_bandwidth(opt->second);
+          if (!bw) {
+            return error("bad bw: " + opt->second);
+          }
+          l.bw = *bw;
+        } else if (section == kPre || section == kPost) {
+          if (!s.has_router(tokens[i])) {
+            return error("lsp-via-tunnel references undeclared router: " +
+                         tokens[i]);
+          }
+          (section == kPre ? l.pre : l.post).push_back(tokens[i]);
+        } else {
+          return error("unexpected token: " + tokens[i]);
+        }
+      }
+      if (l.pre.empty() || l.post.empty() || l.tunnel.empty()) {
+        return error("lsp-via-tunnel needs pre nodes, a tunnel and post "
+                     "nodes");
+      }
+      s.tunnel_lsps.push_back(std::move(l));
+    } else if (cmd == "flow") {
+      if (tokens.size() < 5) {
+        return error("flow needs: flow <kind> <id> <ingress> <dst> [opts]");
+      }
+      FlowDecl f;
+      f.kind = tokens[1];
+      if (f.kind != "cbr" && f.kind != "poisson" && f.kind != "video" &&
+          f.kind != "onoff") {
+        return error("unknown flow kind: " + f.kind);
+      }
+      const auto id = parse_number(tokens[2]);
+      if (!id || *id < 0) {
+        return error("bad flow id: " + tokens[2]);
+      }
+      f.id = static_cast<std::uint32_t>(*id);
+      f.ingress = tokens[3];
+      if (!s.has_router(f.ingress)) {
+        return error("flow ingress not declared: " + f.ingress);
+      }
+      if (!mpls::Ipv4Address::parse(tokens[4])) {
+        return error("bad destination address: " + tokens[4]);
+      }
+      f.dst = tokens[4];
+      for (std::size_t i = 5; i < tokens.size(); ++i) {
+        const auto opt = split_option(tokens[i]);
+        if (!opt) {
+          return error("bad flow option: " + tokens[i]);
+        }
+        const auto& [key, value] = *opt;
+        if (key == "cos") {
+          const auto v = parse_number(value);
+          if (!v || *v < 0 || *v > 7) {
+            return error("cos must be 0..7");
+          }
+          f.cos = static_cast<std::uint8_t>(*v);
+        } else if (key == "size") {
+          const auto v = parse_number(value);
+          if (!v || *v < 0) {
+            return error("bad size");
+          }
+          f.size = static_cast<std::size_t>(*v);
+        } else if (key == "start") {
+          const auto v = parse_time(value);
+          if (!v) {
+            return error("bad start");
+          }
+          f.start = *v;
+        } else if (key == "stop") {
+          const auto v = parse_time(value);
+          if (!v) {
+            return error("bad stop");
+          }
+          f.stop = *v;
+        } else if (key == "interval") {
+          const auto v = parse_time(value);
+          if (!v || *v <= 0) {
+            return error("bad interval");
+          }
+          f.interval = *v;
+        } else if (key == "rate") {
+          const auto v = parse_number(value);
+          if (!v || *v <= 0) {
+            return error("bad rate");
+          }
+          f.rate = *v;
+        } else if (key == "seed") {
+          const auto v = parse_number(value);
+          if (!v) {
+            return error("bad seed");
+          }
+          f.seed = static_cast<std::uint64_t>(*v);
+        } else if (key == "fps") {
+          const auto v = parse_number(value);
+          if (!v || *v <= 0) {
+            return error("bad fps");
+          }
+          f.fps = *v;
+        } else if (key == "ppf") {
+          const auto v = parse_number(value);
+          if (!v || *v < 1) {
+            return error("bad ppf");
+          }
+          f.ppf = static_cast<unsigned>(*v);
+        } else if (key == "on") {
+          const auto v = parse_time(value);
+          if (!v || *v <= 0) {
+            return error("bad on duration");
+          }
+          f.mean_on = *v;
+        } else if (key == "off") {
+          const auto v = parse_time(value);
+          if (!v || *v <= 0) {
+            return error("bad off duration");
+          }
+          f.mean_off = *v;
+        } else {
+          return error("unknown flow option: " + key);
+        }
+      }
+      s.flows.push_back(std::move(f));
+    } else if (cmd == "fail" || cmd == "restore") {
+      if (tokens.size() != 4) {
+        return error(cmd + " needs: " + cmd + " <time> <a> <b>");
+      }
+      LinkEventDecl e;
+      const auto at = parse_time(tokens[1]);
+      if (!at) {
+        return error("bad time: " + tokens[1]);
+      }
+      e.at = *at;
+      e.a = tokens[2];
+      e.b = tokens[3];
+      if (!s.has_router(e.a) || !s.has_router(e.b)) {
+        return error(cmd + " references undeclared router");
+      }
+      e.up = cmd == "restore";
+      s.link_events.push_back(std::move(e));
+    } else if (cmd == "police") {
+      if (tokens.size() < 4) {
+        return error("police needs: police <ingress> <flow-id> <rate> "
+                     "[burst=N] [demote]");
+      }
+      Scenario::PolicerDecl p;
+      p.ingress = tokens[1];
+      if (!s.has_router(p.ingress)) {
+        return error("police ingress not declared: " + p.ingress);
+      }
+      const auto flow = parse_number(tokens[2]);
+      if (!flow || *flow < 0) {
+        return error("bad flow id: " + tokens[2]);
+      }
+      p.flow_id = static_cast<std::uint32_t>(*flow);
+      const auto rate = parse_bandwidth(tokens[3]);
+      if (!rate) {
+        return error("bad rate: " + tokens[3]);
+      }
+      p.rate_bps = *rate;
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        if (tokens[i] == "demote") {
+          p.demote = true;
+        } else if (const auto opt = split_option(tokens[i]);
+                   opt && opt->first == "burst") {
+          const auto v = parse_number(opt->second);
+          if (!v || *v <= 0) {
+            return error("bad burst: " + opt->second);
+          }
+          p.burst_bytes = *v;
+        } else {
+          return error("unknown police option: " + tokens[i]);
+        }
+      }
+      s.policers.push_back(std::move(p));
+    } else if (cmd == "ping" || cmd == "traceroute") {
+      if (tokens.size() != 4) {
+        return error(cmd + " needs: " + cmd + " <time> <ingress> <dst>");
+      }
+      OamDecl o;
+      const auto at = parse_time(tokens[1]);
+      if (!at) {
+        return error("bad time: " + tokens[1]);
+      }
+      o.at = *at;
+      o.traceroute = cmd == "traceroute";
+      o.ingress = tokens[2];
+      if (!s.has_router(o.ingress)) {
+        return error(cmd + " ingress not declared: " + o.ingress);
+      }
+      if (!mpls::Ipv4Address::parse(tokens[3])) {
+        return error("bad destination address: " + tokens[3]);
+      }
+      o.dst = tokens[3];
+      s.oam_probes.push_back(std::move(o));
+    } else if (cmd == "autorepair") {
+      if (tokens.size() < 2) {
+        return error("autorepair needs a hello interval");
+      }
+      const auto hello = parse_time(tokens[1]);
+      if (!hello || *hello <= 0) {
+        return error("bad hello interval: " + tokens[1]);
+      }
+      s.autorepair_hello = *hello;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto opt = split_option(tokens[i]);
+        if (!opt || opt->first != "dead") {
+          return error("unknown autorepair option: " + tokens[i]);
+        }
+        const auto v = parse_number(opt->second);
+        if (!v || *v < 1) {
+          return error("bad dead multiplier: " + opt->second);
+        }
+        s.autorepair_dead = static_cast<unsigned>(*v);
+      }
+    } else if (cmd == "run") {
+      if (tokens.size() != 2) {
+        return error("run needs a duration");
+      }
+      const auto v = parse_time(tokens[1]);
+      if (!v) {
+        return error("bad duration: " + tokens[1]);
+      }
+      s.run_duration = *v;
+    } else {
+      return error("unknown directive: " + cmd);
+    }
+  }
+  return s;
+}
+
+}  // namespace empls::net

@@ -1,0 +1,158 @@
+// Scenario description language: a small line-oriented text format that
+// declares a topology, label switched paths and traffic, so whole
+// experiments can be written as config files instead of C++ (see
+// examples/scenario_sim.cpp and examples/*.scn).
+//
+//   # comments and blank lines are ignored
+//   qos strict|fifo|wrr [capacity=64] [red]
+//   router <name> ler|lsr [engine=linear|hash|cam|hw] [clock=50M]
+//   link <a> <b> <bandwidth> <delay>          # e.g. link A B 100M 1ms
+//   lsp <prefix> <n1> <n2> ... [bw=2M] [php] [merge]
+//   lsp-cspf <prefix> <ingress> <egress> [bw=2M]
+//   tunnel <name> <n1> <n2> <n3> ...
+//   lsp-via-tunnel <prefix> pre <n..> tunnel <name> post <n..> [bw=1M]
+//   flow cbr <id> <ingress> <dst> [cos=6] [size=160] [interval=20ms]
+//            [start=0s] [stop=1s]
+//   flow poisson <id> <ingress> <dst> [rate=500] [seed=1] [...]
+//   flow video <id> <ingress> <dst> [fps=30] [ppf=8] [...]
+//   fail <time> <a> <b>        # cut both directions of a connection
+//   restore <time> <a> <b>
+//   autorepair <hello> [dead=3]   # failure detection + auto reroute
+//   police <ingress> <flow-id> <rate> [burst=1500] [demote]
+//   ping <time> <ingress> <dst>        # OAM reachability probe
+//   traceroute <time> <ingress> <dst>  # OAM path mapping
+//   run <duration>             # optional; defaults to run-to-idle
+//
+// This header is the pure data model + parser; execution lives in
+// core/scenario_runner.hpp (the runner needs the router classes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mpls/fec.hpp"
+#include "net/event_queue.hpp"
+#include "net/qos.hpp"
+
+namespace empls::net {
+
+struct ScenarioError {
+  int line = 0;
+  std::string message;
+};
+
+struct RouterDecl {
+  std::string name;
+  bool is_ler = false;
+  std::string engine = "linear";  // linear | hash | cam | hw
+  double clock_hz = 50e6;
+};
+
+struct LinkDecl {
+  std::string a;
+  std::string b;
+  double bandwidth_bps = 0;
+  SimTime delay = 0;
+};
+
+struct LspDecl {
+  mpls::Prefix fec;
+  std::vector<std::string> path;  // explicit route, or {ingress, egress}
+  bool cspf = false;
+  double bw = 0;
+  bool php = false;
+  bool merge = false;
+};
+
+struct TunnelDecl {
+  std::string name;
+  std::vector<std::string> path;
+};
+
+struct LspViaTunnelDecl {
+  mpls::Prefix fec;
+  std::vector<std::string> pre;
+  std::string tunnel;
+  std::vector<std::string> post;
+  double bw = 0;
+};
+
+struct FlowDecl {
+  std::string kind;  // cbr | poisson | video | onoff
+  std::uint32_t id = 0;
+  std::string ingress;
+  std::string dst;  // dotted quad
+  std::uint8_t cos = 0;
+  std::size_t size = 160;
+  SimTime start = 0;
+  SimTime stop = 1.0;
+  // kind-specific:
+  SimTime interval = 20e-3;  // cbr
+  double rate = 100;         // poisson / onoff packets per second
+  std::uint64_t seed = 1;    // poisson / onoff
+  double fps = 30;           // video frames per second
+  unsigned ppf = 8;          // video packets per frame
+  SimTime mean_on = 50e-3;   // onoff
+  SimTime mean_off = 50e-3;  // onoff
+};
+
+struct LinkEventDecl {
+  SimTime at = 0;
+  std::string a;
+  std::string b;
+  bool up = false;
+};
+
+/// `ping <time> <ingress> <dst>` / `traceroute <time> <ingress> <dst>`:
+/// run an OAM probe during the simulation; results appear in the report.
+struct OamDecl {
+  SimTime at = 0;
+  bool traceroute = false;
+  std::string ingress;
+  std::string dst;
+};
+
+class Scenario {
+ public:
+  /// Parse scenario text; ScenarioError carries the offending line.
+  static std::variant<Scenario, ScenarioError> parse(std::string_view text);
+
+  QosConfig qos;
+  std::vector<RouterDecl> routers;
+  std::vector<LinkDecl> links;
+  std::vector<LspDecl> lsps;
+  std::vector<TunnelDecl> tunnels;
+  std::vector<LspViaTunnelDecl> tunnel_lsps;
+  /// `police <ingress> <flow-id> <rate> [burst=1500] [demote]`.
+  struct PolicerDecl {
+    std::string ingress;
+    std::uint32_t flow_id = 0;
+    double rate_bps = 0;
+    double burst_bytes = 1500;
+    bool demote = false;
+  };
+
+  std::vector<FlowDecl> flows;
+  std::vector<LinkEventDecl> link_events;
+  std::vector<OamDecl> oam_probes;
+  std::vector<PolicerDecl> policers;
+  std::optional<SimTime> run_duration;
+  /// `autorepair <hello_interval> [dead=N]`: arm a failure detector
+  /// over all links that reroutes LSPs off dead connections.
+  std::optional<SimTime> autorepair_hello;
+  unsigned autorepair_dead = 3;
+
+  [[nodiscard]] bool has_router(const std::string& name) const;
+};
+
+/// "100M" → 1e8, "2.5G" → 2.5e9, "64k" → 64000, bare number → bits/s.
+std::optional<double> parse_bandwidth(std::string_view text);
+
+/// "20ms" → 0.02, "50us" → 5e-5, "1s"/"1" → 1.0, "3ns" → 3e-9.
+std::optional<SimTime> parse_time(std::string_view text);
+
+}  // namespace empls::net

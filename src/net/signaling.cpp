@@ -1,0 +1,170 @@
+#include "net/signaling.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace empls::net {
+
+bool SignalingProtocol::signal_lsp(const std::vector<NodeId>& path,
+                                   const mpls::Prefix& fec, double bw,
+                                   Callback done) {
+  if (path.size() < 2) {
+    return false;
+  }
+  for (const NodeId id : path) {
+    if (cp_->router_for(id) == nullptr) {
+      return false;
+    }
+  }
+  auto session = std::make_shared<Session>();
+  session->path = path;
+  session->fec = fec;
+  session->bw = bw;
+  session->started_at = net_->now();
+  session->done = std::move(done);
+
+  // The PATH message leaves the ingress after local processing.
+  net_->events().schedule_in(
+      proc_, [this, session] { path_message(session, 0); });
+  return true;
+}
+
+SimTime SignalingProtocol::hop_delay(const Session& s, std::size_t i) const {
+  for (const auto& adj : net_->adjacency(s.path[i])) {
+    if (adj.neighbor == s.path[i + 1] &&
+        (s.ports.size() <= i || adj.port == s.ports[i])) {
+      return adj.prop_delay;
+    }
+  }
+  return 0.0;
+}
+
+void SignalingProtocol::path_message(std::shared_ptr<Session> s,
+                                     std::size_t hop) {
+  ++stats_.path_messages;
+  // Admission for the hop leaving this node (egress admits trivially).
+  if (hop + 1 < s->path.size()) {
+    const auto admitted = cp_->admit_hop(s->path[hop], s->path[hop + 1],
+                                         s->bw);
+    if (!admitted) {
+      // Refused: PATH_ERR back toward the ingress, releasing tentative
+      // reservations behind us.
+      ++stats_.path_err_messages;
+      if (hop == 0) {
+        fail(s, 0);
+      } else {
+        const std::size_t prev = hop - 1;
+        net_->events().schedule_in(
+            hop_delay(*s, prev) + proc_,
+            [this, s, prev] { path_err_message(s, prev); });
+      }
+      return;
+    }
+    s->ports.push_back(admitted->first);
+    cp_->reserve_hop(s->path[hop], admitted->first, s->bw);
+    // Forward the PATH to the next hop.
+    net_->events().schedule_in(
+        hop_delay(*s, hop) + proc_,
+        [this, s, hop] { path_message(s, hop + 1); });
+    return;
+  }
+  // Reached the egress: start the RESV pass (labels + programming).
+  resv_message(s, hop);
+}
+
+void SignalingProtocol::resv_message(std::shared_ptr<Session> s,
+                                     std::size_t hop) {
+  ++stats_.resv_messages;
+  MplsNode* node = cp_->router_for(s->path[hop]);
+  assert(node != nullptr);
+  const std::size_t last = s->path.size() - 1;
+
+  // Label-exhaustion abort: release every tentative reservation and the
+  // labels announced so far (owned by path[hop+1..last]).
+  auto abort_resv = [&] {
+    for (std::size_t i = 0; i < s->ports.size(); ++i) {
+      cp_->release_hop(s->path[i], s->ports[i], s->bw);
+    }
+    for (std::size_t i = 0; i < s->labels.size(); ++i) {
+      MplsNode* owner = cp_->router_for(s->path[hop + 1 + i]);
+      if (owner != nullptr) {
+        owner->label_allocator().release(s->labels[i]);
+      }
+    }
+    fail(s, hop);
+  };
+
+  if (hop == last) {
+    // Egress: allocate the label it expects and program the pop.
+    const auto label = node->label_allocator().allocate();
+    if (!label) {
+      abort_resv();
+      return;
+    }
+    s->labels.insert(s->labels.begin(), *label);
+    node->program_pop(2, *label, mpls::kLocalDeliver);
+  } else if (hop > 0) {
+    // Transit: allocate the label this node expects and swap it into
+    // the label the downstream node announced.
+    const auto label = node->label_allocator().allocate();
+    if (!label) {
+      abort_resv();
+      return;
+    }
+    s->labels.insert(s->labels.begin(), *label);
+    node->program_swap(2, *label, s->labels[1], s->ports[hop]);
+  } else {
+    // Ingress: bind the FEC to the first announced label; done.
+    node->program_ingress_prefix(s->fec, s->labels.front(), s->ports[0]);
+    complete(s);
+    return;
+  }
+  const std::size_t prev = hop - 1;
+  net_->events().schedule_in(hop_delay(*s, prev) + proc_,
+                             [this, s, prev] { resv_message(s, prev); });
+}
+
+void SignalingProtocol::path_err_message(std::shared_ptr<Session> s,
+                                         std::size_t hop) {
+  ++stats_.path_err_messages;
+  // Release this node's tentative reservation.
+  if (hop < s->ports.size()) {
+    cp_->release_hop(s->path[hop], s->ports[hop], s->bw);
+  }
+  if (hop == 0) {
+    fail(s, s->ports.size());
+    return;
+  }
+  const std::size_t prev = hop - 1;
+  net_->events().schedule_in(
+      hop_delay(*s, prev) + proc_,
+      [this, s, prev] { path_err_message(s, prev); });
+}
+
+void SignalingProtocol::complete(const std::shared_ptr<Session>& s) {
+  ++stats_.setups_completed;
+  LspRecord record;
+  record.path = s->path;
+  record.labels = s->labels;
+  record.fec = s->fec;
+  record.reserved_bw = s->bw;
+  Result result;
+  result.lsp = cp_->adopt(std::move(record));
+  result.setup_latency = net_->now() - s->started_at;
+  if (s->done) {
+    s->done(result);
+  }
+}
+
+void SignalingProtocol::fail(const std::shared_ptr<Session>& s,
+                             std::size_t failed_hop) {
+  ++stats_.setups_failed;
+  Result result;
+  result.setup_latency = net_->now() - s->started_at;
+  result.failed_hop = failed_hop;
+  if (s->done) {
+    s->done(result);
+  }
+}
+
+}  // namespace empls::net

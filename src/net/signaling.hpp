@@ -1,0 +1,98 @@
+// Message-based LSP signaling (CR-LDP / RSVP-TE style).
+//
+// The paper assumes "routing functionality" — label path creation and
+// distribution — runs in software and names RSVP-TE and CR-LDP as the
+// protocols that do it.  ControlPlane::establish_lsp models the *result*
+// of that signalling instantaneously; this module models the signalling
+// itself, so LSP setup takes simulated time and can fail mid-path:
+//
+//   * a PATH (label request) message travels ingress → egress along the
+//     explicit route, performing admission control and tentatively
+//     reserving bandwidth at each hop;
+//   * a RESV (label mapping) message travels egress → ingress,
+//     allocating a label at each hop (downstream allocation) and
+//     programming the router's information base as it passes;
+//   * on an admission failure, a PATH_ERR travels back toward the
+//     ingress releasing the tentative reservations.
+//
+// Message hops cost the link's propagation delay plus a configurable
+// per-hop control-plane processing time.  When the RESV reaches the
+// ingress, the LSP is adopted into the ControlPlane's record table and
+// the caller's completion callback fires with the measured setup
+// latency — the quantity bench_setup_latency sweeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mpls/fec.hpp"
+#include "net/ldp.hpp"
+#include "net/network.hpp"
+
+namespace empls::net {
+
+class SignalingProtocol {
+ public:
+  /// Outcome handed to the completion callback.
+  struct Result {
+    std::optional<LspId> lsp;  // nullopt on setup failure
+    SimTime setup_latency = 0.0;
+    /// Index of the hop that refused admission (failure only).
+    std::optional<std::size_t> failed_hop;
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  /// `per_hop_processing`: control-plane work per message per node
+  /// (default 50 us — a mid-2000s software control plane).
+  SignalingProtocol(Network& net, ControlPlane& cp,
+                    SimTime per_hop_processing = 50e-6)
+      : net_(&net), cp_(&cp), proc_(per_hop_processing) {}
+  SignalingProtocol(const SignalingProtocol&) = delete;
+  SignalingProtocol& operator=(const SignalingProtocol&) = delete;
+
+  /// Begin signalling an LSP along `path`.  `done` fires (via the event
+  /// queue) when the RESV returns to the ingress or the setup fails.
+  /// Returns false only for immediately malformed requests (short path,
+  /// unregistered routers).
+  bool signal_lsp(const std::vector<NodeId>& path, const mpls::Prefix& fec,
+                  double bw, Callback done);
+
+  struct Stats {
+    std::uint64_t path_messages = 0;
+    std::uint64_t resv_messages = 0;
+    std::uint64_t path_err_messages = 0;
+    std::uint64_t setups_completed = 0;
+    std::uint64_t setups_failed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Session {
+    std::vector<NodeId> path;
+    std::vector<mpls::InterfaceId> ports;  // ports[i]: path[i] -> path[i+1]
+    std::vector<rtl::u32> labels;          // filled by the RESV pass
+    mpls::Prefix fec;
+    double bw = 0.0;
+    SimTime started_at = 0.0;
+    Callback done;
+  };
+
+  /// Propagation delay of the (first) link path[i] -> path[i+1].
+  [[nodiscard]] SimTime hop_delay(const Session& s, std::size_t i) const;
+
+  void path_message(std::shared_ptr<Session> s, std::size_t hop);
+  void resv_message(std::shared_ptr<Session> s, std::size_t hop);
+  void path_err_message(std::shared_ptr<Session> s, std::size_t hop);
+  void complete(const std::shared_ptr<Session>& s);
+  void fail(const std::shared_ptr<Session>& s, std::size_t failed_hop);
+
+  Network* net_;
+  ControlPlane* cp_;
+  SimTime proc_;
+  Stats stats_;
+};
+
+}  // namespace empls::net

@@ -1,0 +1,88 @@
+// Measurement helpers: latency distributions and per-flow accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpls/packet.hpp"
+#include "net/event_queue.hpp"
+
+namespace empls::net {
+
+/// Streaming latency statistics with exact percentiles (all samples are
+/// kept; simulation scales make that cheap).
+class LatencyStats {
+ public:
+  void record(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] double min() const noexcept { return count() ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count() ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count() ? sum_ / static_cast<double>(count()) : 0.0;
+  }
+  /// Exact percentile, p in [0,1].  0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Per-flow delivery accounting, fed by the traffic sources (on_sent) and
+/// the network's delivery handler (on_delivered).
+class FlowStats {
+ public:
+  void on_sent(const mpls::Packet& packet);
+  void on_delivered(const mpls::Packet& packet, SimTime now);
+
+  struct Flow {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t bytes_delivered = 0;
+    LatencyStats latency;
+    /// RFC 3550 interarrival jitter estimate (smoothed |Δtransit|,
+    /// gain 1/16) — the metric VoIP playout buffers are sized by.
+    double jitter = 0.0;
+    double last_transit = -1.0;
+
+    [[nodiscard]] double loss_rate() const noexcept {
+      return sent == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(delivered) /
+                             static_cast<double>(sent);
+    }
+  };
+
+  [[nodiscard]] const Flow& flow(std::uint32_t flow_id) const;
+  [[nodiscard]] bool has_flow(std::uint32_t flow_id) const {
+    return flows_.contains(flow_id);
+  }
+  [[nodiscard]] const std::map<std::uint32_t, Flow>& flows() const noexcept {
+    return flows_;
+  }
+
+  [[nodiscard]] std::uint64_t total_sent() const noexcept {
+    return total_sent_;
+  }
+  [[nodiscard]] std::uint64_t total_delivered() const noexcept {
+    return total_delivered_;
+  }
+
+  /// "flow 3: sent=100 delivered=98 loss=2.0% mean=1.23ms p99=4.5ms" rows.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::map<std::uint32_t, Flow> flows_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
+};
+
+}  // namespace empls::net

@@ -1,0 +1,90 @@
+#include "net/traffic.hpp"
+
+namespace empls::net {
+
+void TrafficSource::emit() {
+  mpls::Packet p;
+  p.l2 = mpls::L2Type::kEthernet;
+  p.src = spec_.src;
+  p.dst = spec_.dst;
+  p.cos = spec_.cos;
+  p.ip_ttl = 64;
+  p.payload.assign(spec_.payload_bytes, 0xAB);
+  p.id = sent_;
+  p.flow_id = spec_.flow_id;
+  p.created_at = net_->now();
+  ++sent_;
+  if (stats_ != nullptr) {
+    stats_->on_sent(p);
+  }
+  net_->inject(spec_.ingress, std::move(p));
+}
+
+void CbrSource::start() {
+  net_->events().schedule_at(spec_.start, [this] { tick(); });
+}
+
+void CbrSource::tick() {
+  if (net_->now() >= spec_.stop) {
+    return;
+  }
+  emit();
+  net_->events().schedule_in(interval_, [this] { tick(); });
+}
+
+void PoissonSource::start() {
+  net_->events().schedule_at(spec_.start, [this] { tick(); });
+}
+
+void PoissonSource::tick() {
+  if (net_->now() >= spec_.stop) {
+    return;
+  }
+  emit();
+  std::exponential_distribution<double> gap(rate_);
+  net_->events().schedule_in(gap(rng_), [this] { tick(); });
+}
+
+void VideoSource::start() {
+  net_->events().schedule_at(spec_.start, [this] { frame(); });
+}
+
+void VideoSource::frame() {
+  if (net_->now() >= spec_.stop) {
+    return;
+  }
+  // A frame's packets are injected back to back; the ingress link's
+  // transmitter serialises them.
+  for (unsigned i = 0; i < packets_per_frame_; ++i) {
+    emit();
+  }
+  net_->events().schedule_in(frame_interval_, [this] { frame(); });
+}
+
+void OnOffSource::start() {
+  net_->events().schedule_at(spec_.start, [this] { begin_burst(); });
+}
+
+void OnOffSource::begin_burst() {
+  if (net_->now() >= spec_.stop) {
+    return;
+  }
+  std::exponential_distribution<double> on(1.0 / mean_on_);
+  tick(net_->now() + on(rng_));
+}
+
+void OnOffSource::tick(SimTime burst_end) {
+  if (net_->now() >= spec_.stop) {
+    return;
+  }
+  if (net_->now() >= burst_end) {
+    std::exponential_distribution<double> off(1.0 / mean_off_);
+    net_->events().schedule_in(off(rng_), [this] { begin_burst(); });
+    return;
+  }
+  emit();
+  net_->events().schedule_in(1.0 / rate_,
+                             [this, burst_end] { tick(burst_end); });
+}
+
+}  // namespace empls::net

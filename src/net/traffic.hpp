@@ -1,0 +1,128 @@
+// Traffic generators for the workloads the paper's introduction
+// motivates: VoIP (constant bit rate, small packets, latency-critical),
+// streaming video (periodic frame bursts), and bursty best-effort data
+// (on/off with Poisson arrivals inside bursts).
+//
+// Each source schedules itself on the network's event queue, stamps
+// packets with flow id / creation time / CoS, reports sends to a
+// FlowStats collector, and injects at an ingress node.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+
+#include "mpls/packet.hpp"
+#include "net/network.hpp"
+#include "net/stats.hpp"
+
+namespace empls::net {
+
+struct FlowSpec {
+  std::uint32_t flow_id = 0;
+  NodeId ingress = 0;
+  mpls::Ipv4Address src{};
+  mpls::Ipv4Address dst{};
+  std::uint8_t cos = 0;
+  std::size_t payload_bytes = 160;
+  SimTime start = 0.0;
+  SimTime stop = 1.0;
+};
+
+class TrafficSource {
+ public:
+  TrafficSource(Network& net, FlowSpec spec, FlowStats* stats)
+      : net_(&net), spec_(spec), stats_(stats) {}
+  TrafficSource(const TrafficSource&) = delete;
+  TrafficSource& operator=(const TrafficSource&) = delete;
+  virtual ~TrafficSource() = default;
+
+  /// Arm the source (schedules the first packet at spec.start).
+  virtual void start() = 0;
+
+  [[nodiscard]] const FlowSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+
+ protected:
+  /// Build, account and inject one packet at the current sim time.
+  void emit();
+
+  Network* net_;
+  FlowSpec spec_;
+  FlowStats* stats_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Constant bit rate: one packet every `interval` seconds (VoIP: 20 ms
+/// voice frames).
+class CbrSource : public TrafficSource {
+ public:
+  CbrSource(Network& net, FlowSpec spec, FlowStats* stats, SimTime interval)
+      : TrafficSource(net, spec, stats), interval_(interval) {}
+
+  void start() override;
+
+ private:
+  void tick();
+  SimTime interval_;
+};
+
+/// Poisson arrivals at a mean rate (packets/second) — aggregate
+/// best-effort data traffic.
+class PoissonSource : public TrafficSource {
+ public:
+  PoissonSource(Network& net, FlowSpec spec, FlowStats* stats,
+                double rate_pps, std::uint64_t seed = 1)
+      : TrafficSource(net, spec, stats), rate_(rate_pps), rng_(seed) {}
+
+  void start() override;
+
+ private:
+  void tick();
+  double rate_;
+  std::mt19937_64 rng_;
+};
+
+/// Periodic frame bursts: every `frame_interval`, `packets_per_frame`
+/// packets injected back to back (streaming video: e.g. 30 fps frames
+/// fragmented into MTU-sized packets).
+class VideoSource : public TrafficSource {
+ public:
+  VideoSource(Network& net, FlowSpec spec, FlowStats* stats,
+              SimTime frame_interval, unsigned packets_per_frame)
+      : TrafficSource(net, spec, stats),
+        frame_interval_(frame_interval),
+        packets_per_frame_(packets_per_frame) {}
+
+  void start() override;
+
+ private:
+  void frame();
+  SimTime frame_interval_;
+  unsigned packets_per_frame_;
+};
+
+/// On/off source: exponentially distributed burst and idle durations;
+/// CBR at `rate_pps` while on.
+class OnOffSource : public TrafficSource {
+ public:
+  OnOffSource(Network& net, FlowSpec spec, FlowStats* stats, double rate_pps,
+              SimTime mean_on, SimTime mean_off, std::uint64_t seed = 1)
+      : TrafficSource(net, spec, stats),
+        rate_(rate_pps),
+        mean_on_(mean_on),
+        mean_off_(mean_off),
+        rng_(seed) {}
+
+  void start() override;
+
+ private:
+  void begin_burst();
+  void tick(SimTime burst_end);
+  double rate_;
+  SimTime mean_on_;
+  SimTime mean_off_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace empls::net

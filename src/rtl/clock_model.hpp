@@ -1,0 +1,54 @@
+// Cycle-count → wall-clock conversion.
+//
+// The paper evaluates the architecture on an Altera Stratix
+// EP1S40F780C5 at 50 MHz and reports task times as cycles / f(clk)
+// (Section 4: 6167 cycles ≈ 0.123 ms).  ClockModel encapsulates that
+// conversion so benches and the network simulator charge hardware
+// processing latency consistently.
+#pragma once
+
+#include <chrono>
+
+#include "rtl/types.hpp"
+
+namespace empls::rtl {
+
+class ClockModel {
+ public:
+  /// Default frequency matches the paper's target device.
+  static constexpr double kPaperFrequencyHz = 50.0e6;
+
+  constexpr explicit ClockModel(double frequency_hz = kPaperFrequencyHz)
+      : frequency_hz_(frequency_hz) {}
+
+  [[nodiscard]] constexpr double frequency_hz() const noexcept {
+    return frequency_hz_;
+  }
+
+  [[nodiscard]] constexpr double period_seconds() const noexcept {
+    return 1.0 / frequency_hz_;
+  }
+
+  [[nodiscard]] constexpr double seconds(u64 cycles) const noexcept {
+    return static_cast<double>(cycles) / frequency_hz_;
+  }
+
+  [[nodiscard]] constexpr double microseconds(u64 cycles) const noexcept {
+    return seconds(cycles) * 1e6;
+  }
+
+  [[nodiscard]] constexpr double milliseconds(u64 cycles) const noexcept {
+    return seconds(cycles) * 1e3;
+  }
+
+  /// Nanoseconds as a duration, rounded to the nearest integer ns.
+  [[nodiscard]] std::chrono::nanoseconds duration(u64 cycles) const {
+    return std::chrono::nanoseconds(
+        static_cast<long long>(seconds(cycles) * 1e9 + 0.5));
+  }
+
+ private:
+  double frequency_hz_;
+};
+
+}  // namespace empls::rtl

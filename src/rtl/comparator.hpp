@@ -1,0 +1,31 @@
+// Combinational equality comparators.
+//
+// The data path instantiates three comparators (32-, 20- and 10-bit,
+// Figure 12) so index and label values can be compared while searching
+// the information base.  Combinational logic has no state, so these are
+// plain functions; the width is part of the comparison because the RTL
+// comparator only sees the declared number of bits.
+#pragma once
+
+#include "rtl/types.hpp"
+
+namespace empls::rtl {
+
+/// a == b over the low `width` bits, as a hardware equality comparator of
+/// that width would report.
+constexpr bool compare_eq(u64 a, u64 b, unsigned width) noexcept {
+  return truncate(a, width) == truncate(b, width);
+}
+
+/// Named instances matching the paper's data path.
+constexpr bool compare_eq32(u64 a, u64 b) noexcept {
+  return compare_eq(a, b, 32);
+}
+constexpr bool compare_eq20(u64 a, u64 b) noexcept {
+  return compare_eq(a, b, 20);
+}
+constexpr bool compare_eq10(u64 a, u64 b) noexcept {
+  return compare_eq(a, b, 10);
+}
+
+}  // namespace empls::rtl

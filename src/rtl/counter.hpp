@@ -1,0 +1,81 @@
+// Up/down counter with load and clear, modelled on the datapath counters
+// of Figure 12/13: the TTL counter, the label-stack size counter, and the
+// read/write address counters inside each information-base memory
+// component.
+//
+// Command precedence follows common RTL practice: clear > load >
+// increment/decrement.  Commands are issued during a compute() phase and
+// take effect at the following commit(), i.e. one clock edge later.
+#pragma once
+
+#include "rtl/sim_object.hpp"
+#include "rtl/types.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::rtl {
+
+class Counter : public SimObject {
+ public:
+  explicit Counter(unsigned width, u64 reset_value = 0)
+      : q_(width, reset_value), reset_value_(truncate(reset_value, width)) {}
+
+  [[nodiscard]] u64 q() const noexcept { return q_.get(); }
+  [[nodiscard]] unsigned width() const noexcept { return q_.width(); }
+
+  /// Clear to zero at the next edge.
+  void clear() noexcept { cmd_ = Cmd::kClear; }
+
+  /// Load `v` at the next edge.
+  void load(u64 v) noexcept {
+    cmd_ = Cmd::kLoad;
+    load_value_ = v;
+  }
+
+  /// Count up by one at the next edge (wraps at the declared width).
+  void increment() noexcept { cmd_ = Cmd::kIncr; }
+
+  /// Count down by one at the next edge (wraps at the declared width).
+  void decrement() noexcept { cmd_ = Cmd::kDecr; }
+
+  void reset() override {
+    q_.reset(reset_value_);
+    cmd_ = Cmd::kHold;
+    load_value_ = 0;
+  }
+
+  // Commands are applied during commit() rather than compute() so that a
+  // driving FSM may issue them at any point of the compute phase without
+  // caring whether this counter was evaluated before or after it.
+  void compute() override {}
+
+  void commit() override {
+    switch (cmd_) {
+      case Cmd::kHold:
+        break;
+      case Cmd::kClear:
+        q_.set(0);
+        break;
+      case Cmd::kLoad:
+        q_.set(load_value_);
+        break;
+      case Cmd::kIncr:
+        q_.set(q_.get() + 1);
+        break;
+      case Cmd::kDecr:
+        q_.set(q_.get() - 1);
+        break;
+    }
+    q_.commit();
+    cmd_ = Cmd::kHold;
+  }
+
+ private:
+  enum class Cmd { kHold, kClear, kLoad, kIncr, kDecr };
+
+  WireU q_;
+  u64 reset_value_;
+  Cmd cmd_ = Cmd::kHold;
+  u64 load_value_ = 0;
+};
+
+}  // namespace empls::rtl

@@ -1,0 +1,98 @@
+// Synchronous single-cycle-latency RAM, modelling the FPGA block-RAM
+// components of the information base (Figure 13: index / label /
+// operation components, each 1K entries deep).
+//
+// Semantics mirror an Altera M4K-style synchronous RAM:
+//   * issue_read(addr) during a compute phase → read_data() returns the
+//     stored word starting the *next* cycle (the search FSM's
+//     WAIT FOR INFO state exists precisely to absorb this latency);
+//   * issue_write(addr, data) during a compute phase → the word is stored
+//     at the next clock edge.
+// Read-during-write to the same address returns the OLD data (read-first
+// mode), which is the conservative FPGA default.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "rtl/sim_object.hpp"
+#include "rtl/types.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::rtl {
+
+class SyncMemory : public SimObject {
+ public:
+  SyncMemory(unsigned data_width, u64 depth)
+      : data_width_(data_width), store_(depth, 0), rdata_(data_width, 0) {
+    assert(depth > 0);
+  }
+
+  [[nodiscard]] unsigned data_width() const noexcept { return data_width_; }
+  [[nodiscard]] u64 depth() const noexcept { return store_.size(); }
+
+  /// Registered read port: data for the address issued on the previous
+  /// edge.
+  [[nodiscard]] u64 read_data() const noexcept { return rdata_.get(); }
+
+  /// Issue a read of `addr`; read_data() is valid one cycle later.
+  void issue_read(u64 addr) noexcept {
+    assert(addr < store_.size());
+    read_pending_ = true;
+    read_addr_ = addr;
+  }
+
+  /// Issue a write of `data` to `addr`, effective at the next edge.
+  void issue_write(u64 addr, u64 data) noexcept {
+    assert(addr < store_.size());
+    write_pending_ = true;
+    write_addr_ = addr;
+    write_data_ = truncate(data, data_width_);
+  }
+
+  /// Test-visibility backdoor: committed contents, bypassing the port.
+  [[nodiscard]] u64 peek(u64 addr) const noexcept {
+    assert(addr < store_.size());
+    return store_[addr];
+  }
+
+  /// Test-setup backdoor: store directly, bypassing port timing.
+  void poke(u64 addr, u64 data) noexcept {
+    assert(addr < store_.size());
+    store_[addr] = truncate(data, data_width_);
+  }
+
+  void reset() override {
+    std::fill(store_.begin(), store_.end(), 0);
+    rdata_.reset(0);
+    read_pending_ = false;
+    write_pending_ = false;
+  }
+
+  void compute() override {}
+
+  void commit() override {
+    // Read-first: latch old contents before any same-cycle write lands.
+    if (read_pending_) {
+      rdata_.set(store_[read_addr_]);
+    }
+    rdata_.commit();
+    if (write_pending_) {
+      store_[write_addr_] = write_data_;
+    }
+    read_pending_ = false;
+    write_pending_ = false;
+  }
+
+ private:
+  unsigned data_width_;
+  std::vector<u64> store_;
+  WireU rdata_;
+  bool read_pending_ = false;
+  u64 read_addr_ = 0;
+  bool write_pending_ = false;
+  u64 write_addr_ = 0;
+  u64 write_data_ = 0;
+};
+
+}  // namespace empls::rtl

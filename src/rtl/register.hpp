@@ -1,0 +1,37 @@
+// A clocked register with load-enable, modelled on the datapath's
+// "new/modified label entry" register (Figure 12 of the paper).
+//
+// Control inputs (load) are applied by the driving module during its
+// compute() phase; the new value becomes visible only after commit(),
+// giving D-flip-flop semantics without any sensitivity to the order in
+// which sibling modules' compute() methods run.
+#pragma once
+
+#include "rtl/sim_object.hpp"
+#include "rtl/types.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::rtl {
+
+class Register : public SimObject {
+ public:
+  explicit Register(unsigned width, u64 reset_value = 0)
+      : q_(width, reset_value), reset_value_(truncate(reset_value, width)) {}
+
+  /// Committed register output.
+  [[nodiscard]] u64 q() const noexcept { return q_.get(); }
+  [[nodiscard]] unsigned width() const noexcept { return q_.width(); }
+
+  /// Load `v` at the next clock edge (call during a compute phase).
+  void load(u64 v) noexcept { q_.set(v); }
+
+  void reset() override { q_.reset(reset_value_); }
+  void compute() override {}
+  void commit() override { q_.commit(); }
+
+ private:
+  WireU q_;
+  u64 reset_value_;
+};
+
+}  // namespace empls::rtl

@@ -1,0 +1,37 @@
+// Base interface for everything driven by the simulation clock.
+//
+// The kernel models a single synchronous clock domain with two-phase
+// updates, mirroring how flip-flops behave in RTL:
+//
+//   compute():  read only *committed* (previous-edge) state of self and
+//               peers, derive next-state values.  Must not make new state
+//               visible to other objects.
+//   commit():   atomically publish the next-state values computed above.
+//
+// Because every object's compute() runs before any commit(), evaluation
+// order between sibling objects is irrelevant — exactly the property a
+// bank of flip-flops clocked by the same edge has.  Cross-module
+// communication therefore behaves as registered (Moore) outputs, which is
+// how the paper's handshake signals (enable / done / ready) are drawn.
+#pragma once
+
+namespace empls::rtl {
+
+class SimObject {
+ public:
+  SimObject() = default;
+  SimObject(const SimObject&) = delete;
+  SimObject& operator=(const SimObject&) = delete;
+  virtual ~SimObject() = default;
+
+  /// Synchronous reset: return all architectural state to power-on values.
+  virtual void reset() = 0;
+
+  /// Phase 1 of a clock edge: compute next state from committed state.
+  virtual void compute() = 0;
+
+  /// Phase 2 of a clock edge: publish next state.
+  virtual void commit() = 0;
+};
+
+}  // namespace empls::rtl

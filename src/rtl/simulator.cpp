@@ -1,0 +1,55 @@
+#include "rtl/simulator.hpp"
+
+#include <cassert>
+
+namespace empls::rtl {
+
+void Simulator::add(SimObject* obj) {
+  assert(obj != nullptr);
+  objects_.push_back(obj);
+}
+
+void Simulator::set_sampler(std::function<void(u64)> sampler) {
+  sampler_ = std::move(sampler);
+}
+
+void Simulator::reset() {
+  for (SimObject* o : objects_) {
+    o->reset();
+  }
+  cycle_ = 0;
+  if (sampler_) {
+    sampler_(cycle_);
+  }
+}
+
+void Simulator::step() {
+  for (SimObject* o : objects_) {
+    o->compute();
+  }
+  for (SimObject* o : objects_) {
+    o->commit();
+  }
+  ++cycle_;
+  if (sampler_) {
+    sampler_(cycle_);
+  }
+}
+
+void Simulator::run(u64 n) {
+  for (u64 i = 0; i < n; ++i) {
+    step();
+  }
+}
+
+u64 Simulator::run_until(const std::function<bool()>& done, u64 max_cycles) {
+  for (u64 i = 0; i < max_cycles; ++i) {
+    if (done()) {
+      return i;
+    }
+    step();
+  }
+  return max_cycles;
+}
+
+}  // namespace empls::rtl

@@ -1,0 +1,52 @@
+// Single-clock-domain simulation driver.
+//
+// A Simulator owns no hardware; modules register themselves (or are
+// registered by their enclosing design) and the simulator advances the
+// common clock: one step() = one rising edge = every module's compute()
+// followed by every module's commit(), then one trace sample.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rtl/sim_object.hpp"
+#include "rtl/types.hpp"
+
+namespace empls::rtl {
+
+class Simulator {
+ public:
+  /// Register a module.  Pointers are non-owning; modules must outlive
+  /// the simulator.  Registration order does not affect results (see
+  /// SimObject's two-phase contract).
+  void add(SimObject* obj);
+
+  /// Install a callback sampled once per clock edge, after commit.
+  /// Used by the trace recorder.
+  void set_sampler(std::function<void(u64 cycle)> sampler);
+
+  /// Synchronously reset every module and the cycle counter.
+  void reset();
+
+  /// Advance one clock edge.
+  void step();
+
+  /// Advance `n` clock edges.
+  void run(u64 n);
+
+  /// Advance until `done()` is true, at most `max_cycles` edges.
+  /// Returns the number of edges consumed, or `max_cycles` if the
+  /// predicate never held (callers treat that as a timeout).
+  u64 run_until(const std::function<bool()>& done, u64 max_cycles);
+
+  /// Edges elapsed since the last reset().
+  [[nodiscard]] u64 cycle() const noexcept { return cycle_; }
+
+ private:
+  std::vector<SimObject*> objects_;
+  std::function<void(u64)> sampler_;
+  u64 cycle_ = 0;
+};
+
+}  // namespace empls::rtl

@@ -1,0 +1,191 @@
+#include "rtl/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+namespace empls::rtl {
+
+TraceRecorder::TraceRecorder(Simulator& sim) {
+  sim.set_sampler([this](u64 cycle) { sample(cycle); });
+}
+
+void TraceRecorder::add_probe(std::string name, unsigned width,
+                              std::function<u64()> read) {
+  assert(width >= 1 && width <= 64);
+  probes_.push_back(Probe{std::move(name), width, std::move(read)});
+  samples_.emplace_back();
+}
+
+void TraceRecorder::add_probe_bool(std::string name,
+                                   std::function<bool()> read) {
+  add_probe(std::move(name), 1,
+            [r = std::move(read)]() -> u64 { return r() ? 1 : 0; });
+}
+
+void TraceRecorder::sample(u64 cycle) {
+  cycles_.push_back(cycle);
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    samples_[p].push_back(probes_[p].read());
+  }
+}
+
+u64 TraceRecorder::value(std::size_t p, std::size_t s) const {
+  assert(p < probes_.size() && s < samples_[p].size());
+  return samples_[p][s];
+}
+
+u64 TraceRecorder::value(const std::string& name, std::size_t s) const {
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    if (probes_[p].name == name) {
+      return value(p, s);
+    }
+  }
+  assert(false && "unknown probe name");
+  return 0;
+}
+
+long TraceRecorder::find_first(const std::string& name, u64 v,
+                               std::size_t from) const {
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    if (probes_[p].name != name) {
+      continue;
+    }
+    for (std::size_t s = from; s < samples_[p].size(); ++s) {
+      if (samples_[p][s] == v) {
+        return static_cast<long>(s);
+      }
+    }
+    return -1;
+  }
+  return -1;
+}
+
+namespace {
+
+// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+std::string to_binary(u64 v, unsigned width) {
+  std::string s(width, '0');
+  for (unsigned b = 0; b < width; ++b) {
+    if ((v >> b) & 1) {
+      s[width - 1 - b] = '1';
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+bool TraceRecorder::write_vcd(const std::string& path,
+                              const std::string& top_name) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "$date reproduction of Peterkin & Ionescu, Embedded MPLS "
+         "Architecture $end\n";
+  out << "$version embedded_mpls TraceRecorder $end\n";
+  out << "$timescale 10ns $end\n";
+  out << "$scope module " << top_name << " $end\n";
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    out << "$var wire " << probes_[p].width << ' ' << vcd_id(p) << ' '
+        << probes_[p].name << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<u64> last(probes_.size(), ~u64{0});
+  for (std::size_t s = 0; s < cycles_.size(); ++s) {
+    bool stamped = false;
+    for (std::size_t p = 0; p < probes_.size(); ++p) {
+      const u64 v = samples_[p][s];
+      if (v == last[p]) {
+        continue;
+      }
+      if (!stamped) {
+        out << '#' << cycles_[s] << '\n';
+        stamped = true;
+      }
+      if (probes_[p].width == 1) {
+        out << (v & 1) << vcd_id(p) << '\n';
+      } else {
+        out << 'b' << to_binary(v, probes_[p].width) << ' ' << vcd_id(p)
+            << '\n';
+      }
+      last[p] = v;
+    }
+  }
+  out << '#' << (cycles_.empty() ? 0 : cycles_.back() + 1) << '\n';
+  return static_cast<bool>(out);
+}
+
+std::string TraceRecorder::render_ascii(std::size_t first,
+                                        std::size_t last) const {
+  last = std::min(last, num_samples());
+  if (first >= last) {
+    return {};
+  }
+  std::ostringstream out;
+
+  std::size_t name_w = 5;
+  for (const Probe& p : probes_) {
+    name_w = std::max(name_w, p.name.size());
+  }
+
+  // Header: cycle ruler, one label attempted every 10 columns (labels
+  // that would overlap a previous one are dropped).
+  std::string ruler;
+  for (std::size_t s = first; s < last; ++s) {
+    const std::size_t col = s - first;
+    if (col % 10 == 0 && ruler.size() <= col) {
+      ruler.append(col - ruler.size(), ' ');
+      ruler += std::to_string(cycles_[s]);
+    }
+  }
+  if (ruler.size() > last - first) {
+    ruler.resize(last - first);
+  }
+  out << std::string(name_w, ' ') << " |" << ruler << '\n';
+
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    out << probes_[p].name << std::string(name_w - probes_[p].name.size(), ' ')
+        << " |";
+    if (probes_[p].width == 1) {
+      for (std::size_t s = first; s < last; ++s) {
+        out << (samples_[p][s] ? '#' : '_');
+      }
+    } else {
+      // Print the value at each change point, padded with '.' until the
+      // next change.
+      std::size_t s = first;
+      while (s < last) {
+        std::size_t run_end = s + 1;
+        while (run_end < last && samples_[p][run_end] == samples_[p][s]) {
+          ++run_end;
+        }
+        std::string v = std::to_string(samples_[p][s]);
+        const std::size_t run = run_end - s;
+        if (v.size() >= run) {
+          v.resize(run > 0 ? run : 1);
+          out << v;
+        } else {
+          out << v << std::string(run - v.size(), '.');
+        }
+        s = run_end;
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace empls::rtl

@@ -1,0 +1,77 @@
+// Waveform capture: probes, a per-cycle recorder, a VCD writer and an
+// ASCII renderer.
+//
+// The paper's evaluation (Figures 14-16) consists of simulator waveform
+// screenshots.  The benches reproduce them by attaching probes to the
+// same signals (save, lookup, packetid / label_lookup, w_index, r_index,
+// label_out, operation_out, lookup_done, packetdiscard), dumping a VCD
+// file that any waveform viewer opens, and printing an ASCII rendering so
+// the figure is visible directly in bench output.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rtl/simulator.hpp"
+#include "rtl/types.hpp"
+
+namespace empls::rtl {
+
+/// A named signal to sample: `read` must return the committed value.
+struct Probe {
+  std::string name;
+  unsigned width = 1;
+  std::function<u64()> read;
+};
+
+/// Records the value of every probe at every clock edge.
+class TraceRecorder {
+ public:
+  /// Attach to `sim`: installs itself as the simulator's sampler.
+  explicit TraceRecorder(Simulator& sim);
+
+  /// Add a probe before simulation starts.
+  void add_probe(std::string name, unsigned width, std::function<u64()> read);
+
+  /// Convenience for boolean strobes.
+  void add_probe_bool(std::string name, std::function<bool()> read);
+
+  [[nodiscard]] std::size_t num_samples() const noexcept {
+    return samples_.empty() ? 0 : samples_.front().size();
+  }
+  [[nodiscard]] std::size_t num_probes() const noexcept {
+    return probes_.size();
+  }
+
+  /// Value of probe `p` at sample (cycle) `s`.
+  [[nodiscard]] u64 value(std::size_t p, std::size_t s) const;
+
+  /// Value of the named probe at sample `s` (asserts the name exists).
+  [[nodiscard]] u64 value(const std::string& name, std::size_t s) const;
+
+  /// First sample index at which the named probe equals `v`, or -1.
+  [[nodiscard]] long find_first(const std::string& name, u64 v,
+                                std::size_t from = 0) const;
+
+  /// Write the full trace as a VCD file (10 ns timescale = 100 MHz view;
+  /// cycle numbers are what matter).  Returns false on I/O failure.
+  bool write_vcd(const std::string& path,
+                 const std::string& top_name = "label_stack_modifier") const;
+
+  /// Render samples [first, last) as an ASCII waveform table, one row per
+  /// probe.  Multi-bit probes print values at change points; single-bit
+  /// probes print pulse art.
+  [[nodiscard]] std::string render_ascii(std::size_t first,
+                                         std::size_t last) const;
+
+ private:
+  void sample(u64 cycle);
+
+  std::vector<Probe> probes_;
+  // samples_[probe][cycle]
+  std::vector<std::vector<u64>> samples_;
+  std::vector<u64> cycles_;
+};
+
+}  // namespace empls::rtl

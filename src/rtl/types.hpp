@@ -1,0 +1,50 @@
+// Fixed-width integer aliases and bit-field utilities shared by the
+// cycle-accurate hardware model.
+//
+// The label stack modifier manipulates narrow fields (20-bit labels,
+// 3-bit CoS, 2-bit operations, 10-bit memory addresses).  All hardware
+// values are carried in unsigned integers wide enough for the field and
+// masked to their declared width at module boundaries, so a C++ value can
+// never hold state that the modelled register could not.
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+#include <type_traits>
+
+namespace empls::rtl {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// All-ones mask for the low `bits` bits (bits in [0,64]).
+constexpr u64 mask_width(unsigned bits) noexcept {
+  return bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1;
+}
+
+/// Truncate `v` to `bits` bits, the way assignment to a hardware register
+/// of that width would.
+constexpr u64 truncate(u64 v, unsigned bits) noexcept {
+  return v & mask_width(bits);
+}
+
+/// Extract the field of width `bits` starting at bit `lsb`.
+constexpr u64 extract_bits(u64 v, unsigned lsb, unsigned bits) noexcept {
+  return (v >> lsb) & mask_width(bits);
+}
+
+/// Return `v` with the field of width `bits` at `lsb` replaced by `field`.
+constexpr u64 insert_bits(u64 v, unsigned lsb, unsigned bits,
+                          u64 field) noexcept {
+  const u64 m = mask_width(bits) << lsb;
+  return (v & ~m) | ((field << lsb) & m);
+}
+
+/// True when `v` fits in `bits` bits.
+constexpr bool fits(u64 v, unsigned bits) noexcept {
+  return truncate(v, bits) == v;
+}
+
+}  // namespace empls::rtl

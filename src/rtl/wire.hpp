@@ -1,0 +1,93 @@
+// Registered signal primitives.
+//
+// Wire<T> is the kernel's unit of state: a value with a shadow "next"
+// slot.  compute() phases write the shadow via set(); commit() makes it
+// visible via get().  A Wire left unset during a cycle holds its value,
+// like a flip-flop with a feedback mux.
+//
+// WireU is the width-checked unsigned specialisation used for datapath
+// buses; Pulse is a one-cycle strobe that self-clears unless re-asserted.
+#pragma once
+
+#include <cassert>
+
+#include "rtl/types.hpp"
+
+namespace empls::rtl {
+
+template <typename T>
+class Wire {
+ public:
+  Wire() = default;
+  explicit Wire(const T& initial) : cur_(initial), next_(initial) {}
+
+  /// Committed value, as visible to every module this cycle.
+  [[nodiscard]] const T& get() const noexcept { return cur_; }
+
+  /// Schedule `v` to become visible after the next commit().
+  void set(const T& v) noexcept { next_ = v; }
+
+  /// Publish the scheduled value (called by the owning module's commit()).
+  void commit() noexcept { cur_ = next_; }
+
+  /// Synchronous reset to `v` (immediately visible).
+  void reset(const T& v = T{}) noexcept {
+    cur_ = v;
+    next_ = v;
+  }
+
+ private:
+  T cur_{};
+  T next_{};
+};
+
+/// Unsigned bus of a fixed declared width.  Values are truncated to the
+/// width on write, so the model cannot carry more state than the RTL
+/// register it stands for.
+class WireU {
+ public:
+  explicit WireU(unsigned width, u64 initial = 0)
+      : width_(width), cur_(truncate(initial, width)), next_(cur_) {
+    assert(width >= 1 && width <= 64);
+  }
+
+  [[nodiscard]] u64 get() const noexcept { return cur_; }
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+  void set(u64 v) noexcept { next_ = truncate(v, width_); }
+  void commit() noexcept { cur_ = next_; }
+  void reset(u64 v = 0) noexcept {
+    cur_ = truncate(v, width_);
+    next_ = cur_;
+  }
+
+ private:
+  unsigned width_;
+  u64 cur_;
+  u64 next_;
+};
+
+/// One-cycle strobe: reads back high only for the cycle after fire() was
+/// called.  Modules call clear() at the top of compute() and fire() when
+/// the condition holds, giving VCD-visible single-cycle pulses such as the
+/// paper's `lookup_done`.
+class Pulse {
+ public:
+  [[nodiscard]] bool get() const noexcept { return cur_; }
+  void fire() noexcept { next_ = true; }
+  void clear() noexcept { next_ = false; }
+  void commit() noexcept {
+    cur_ = next_;
+    next_ = false;
+  }
+  void reset() noexcept {
+    cur_ = false;
+    next_ = false;
+  }
+
+ private:
+  bool cur_ = false;
+  bool next_ = false;
+};
+
+}  // namespace empls::rtl

@@ -1,0 +1,18 @@
+#include "sw/cam_engine.hpp"
+
+#include "hw/cycle_model.hpp"
+
+namespace empls::sw {
+
+UpdateOutcome CamEngine::update(mpls::Packet& packet, unsigned level,
+                                hw::RouterType router_type) {
+  UpdateOutcome out = inner_.update(packet, level, router_type);
+  // Same behaviour; replace the linear search component of the modelled
+  // cost with the CAM's constant-time search.
+  const rtl::u64 linear_search =
+      hw::search_cycles(inner_.last_entries_examined());
+  out.hw_cycles = out.hw_cycles - linear_search + kCamSearchCycles;
+  return out;
+}
+
+}  // namespace empls::sw

@@ -1,0 +1,54 @@
+// Ablation engine: the information base as a content-addressable memory.
+//
+// The paper's linear search costs 3n+5 cycles because one comparator
+// scans the level sequentially.  An FPGA could instead instantiate one
+// comparator per entry and resolve any lookup in a constant number of
+// cycles — at the resource cost of 1024 parallel comparators and a
+// priority encoder per level.  bench_ablation_search quantifies this
+// design point against the paper's; CamEngine provides its behaviour and
+// cycle model (behaviour is identical to the other engines, only the
+// modelled cost differs).
+#pragma once
+
+#include "sw/linear_engine.hpp"
+
+namespace empls::sw {
+
+/// Constant search cost: broadcast key (1), parallel compare (1),
+/// priority encode (1), read match (1), register result (1) — plus the
+/// same 2-cycle dispatch handshake as the paper's design.
+inline constexpr rtl::u64 kCamSearchCycles = 7;
+
+/// Rough resource proxy: comparator bit-slices per level (one n-bit
+/// comparator per entry vs. the paper's single shared one).
+inline constexpr rtl::u64 cam_comparator_bits(rtl::u64 entries,
+                                              unsigned index_bits) noexcept {
+  return entries * index_bits;
+}
+
+class CamEngine : public LabelEngine {
+ public:
+  explicit CamEngine(std::size_t level_capacity = 1024)
+      : inner_(level_capacity) {}
+
+  [[nodiscard]] std::string_view name() const override { return "cam"; }
+
+  void clear() override { inner_.clear(); }
+  bool write_pair(unsigned level, const mpls::LabelPair& pair) override {
+    return inner_.write_pair(level, pair);
+  }
+  [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
+                                                      rtl::u32 key) override {
+    return inner_.lookup(level, key);
+  }
+  UpdateOutcome update(mpls::Packet& packet, unsigned level,
+                       hw::RouterType router_type) override;
+  [[nodiscard]] std::size_t level_size(unsigned level) const override {
+    return inner_.level_size(level);
+  }
+
+ private:
+  LinearEngine inner_;
+};
+
+}  // namespace empls::sw

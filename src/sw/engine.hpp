@@ -1,0 +1,93 @@
+// Common interface over every label-processing engine: the cycle-accurate
+// hardware model and the software baselines.
+//
+// The paper argues core MPLS tasks belong in hardware while "most
+// existing MPLS solutions are entirely software based".  This interface
+// lets the benches and the network simulator swap engines freely:
+//
+//   * HwEngine     — adapter over the RTL label stack modifier
+//   * LinearEngine — software mirror of the hardware algorithm (also the
+//                    golden model for differential tests)
+//   * HashEngine   — modern hash-map software router
+//   * CamEngine    — ablation: hardware with a content-addressable
+//                    information base (parallel compare, constant-time)
+//
+// update() consumes a Packet, applies the information-base operation to
+// its label stack in place, and reports the outcome plus the modelled
+// hardware cost in clock cycles (0 when the engine has no hardware
+// model, i.e. pure software measured by wall clock instead).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "hw/commands.hpp"
+#include "mpls/packet.hpp"
+#include "mpls/tables.hpp"
+#include "rtl/types.hpp"
+
+namespace empls::sw {
+
+/// Why an update discarded the packet (populated when discarded).
+enum class DiscardReason : rtl::u8 {
+  kNone = 0,
+  kMiss,          // no information-base entry for the key
+  kTtlExpired,    // TTL reached zero after the decrement
+  kInconsistent,  // VERIFY INFO failure: bad op / overflow / router type
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DiscardReason r) noexcept {
+  switch (r) {
+    case DiscardReason::kNone:
+      return "none";
+    case DiscardReason::kMiss:
+      return "no-label-binding";
+    case DiscardReason::kTtlExpired:
+      return "ttl-expired";
+    case DiscardReason::kInconsistent:
+      return "inconsistent-operation";
+  }
+  return "?";
+}
+
+struct UpdateOutcome {
+  bool discarded = false;
+  DiscardReason reason = DiscardReason::kNone;
+  mpls::LabelOp applied = mpls::LabelOp::kNop;
+  /// TTL value the operation produced (the datapath TTL counter): what
+  /// egress processing writes back into the IP header on a final pop.
+  rtl::u8 ttl_after = 0;
+  /// Modelled hardware cost; 0 for pure-software engines.
+  rtl::u64 hw_cycles = 0;
+};
+
+class LabelEngine {
+ public:
+  LabelEngine() = default;
+  LabelEngine(const LabelEngine&) = delete;
+  LabelEngine& operator=(const LabelEngine&) = delete;
+  virtual ~LabelEngine() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Drop all programmed label pairs.
+  virtual void clear() = 0;
+
+  /// Program one pair into a level (1..3).  Returns false when the level
+  /// is full (1024 pairs, matching the hardware).
+  virtual bool write_pair(unsigned level, const mpls::LabelPair& pair) = 0;
+
+  /// Bare lookup: first stored pair whose index matches `key`.
+  [[nodiscard]] virtual std::optional<mpls::LabelPair> lookup(
+      unsigned level, rtl::u32 key) = 0;
+
+  /// Full update-stack flow on `packet` (level selection for non-empty
+  /// stacks follows the caller's `level`; empty stacks use level 1 and
+  /// the packet identifier, as the hardware does).
+  virtual UpdateOutcome update(mpls::Packet& packet, unsigned level,
+                               hw::RouterType router_type) = 0;
+
+  [[nodiscard]] virtual std::size_t level_size(unsigned level) const = 0;
+};
+
+}  // namespace empls::sw

@@ -1,0 +1,48 @@
+// Hash-map software baseline: what a modern software MPLS router (e.g. a
+// kernel forwarding table) does instead of a linear scan.  O(1) expected
+// lookups regardless of table occupancy — the comparison point for the
+// paper's linear-time hardware search.
+//
+// Duplicate-index writes keep the FIRST binding, matching the hardware's
+// first-match-wins scan order, so all engines stay bit-identical in
+// behaviour.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "sw/engine.hpp"
+
+namespace empls::sw {
+
+class HashEngine : public LabelEngine {
+ public:
+  explicit HashEngine(std::size_t level_capacity = 1024)
+      : capacity_(level_capacity) {}
+
+  [[nodiscard]] std::string_view name() const override { return "hash"; }
+
+  void clear() override;
+  bool write_pair(unsigned level, const mpls::LabelPair& pair) override;
+  [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
+                                                      rtl::u32 key) override;
+  UpdateOutcome update(mpls::Packet& packet, unsigned level,
+                       hw::RouterType router_type) override;
+  [[nodiscard]] std::size_t level_size(unsigned level) const override;
+
+ private:
+  struct Stored {
+    rtl::u32 new_label;
+    mpls::LabelOp op;
+  };
+
+  std::unordered_map<rtl::u32, Stored>& level_ref(unsigned level);
+  [[nodiscard]] const std::unordered_map<rtl::u32, Stored>& level_ref(
+      unsigned level) const;
+  [[nodiscard]] static rtl::u32 key_mask(unsigned level) noexcept;
+
+  std::size_t capacity_;
+  std::array<std::unordered_map<rtl::u32, Stored>, 3> levels_;
+};
+
+}  // namespace empls::sw

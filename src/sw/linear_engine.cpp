@@ -1,0 +1,89 @@
+#include "sw/linear_engine.hpp"
+
+#include <cassert>
+
+#include "hw/cycle_model.hpp"
+#include "sw/semantics.hpp"
+
+namespace empls::sw {
+
+std::vector<mpls::LabelPair>& LinearEngine::level_ref(unsigned level) {
+  assert(level >= 1 && level <= 3);
+  return levels_[level - 1];
+}
+
+const std::vector<mpls::LabelPair>& LinearEngine::level_ref(
+    unsigned level) const {
+  assert(level >= 1 && level <= 3);
+  return levels_[level - 1];
+}
+
+void LinearEngine::clear() {
+  for (auto& l : levels_) {
+    l.clear();
+  }
+}
+
+bool LinearEngine::write_pair(unsigned level, const mpls::LabelPair& pair) {
+  auto& l = level_ref(level);
+  if (l.size() >= capacity_) {
+    return false;
+  }
+  l.push_back(pair);
+  return true;
+}
+
+std::optional<mpls::LabelPair> LinearEngine::lookup(unsigned level,
+                                                    rtl::u32 key) {
+  const auto& l = level_ref(level);
+  // Level 1 compares the full 32-bit packet identifier; levels 2 and 3
+  // compare 20-bit labels, matching the datapath's comparators.
+  const rtl::u32 mask =
+      level == 1 ? ~rtl::u32{0} : static_cast<rtl::u32>(mpls::kMaxLabel);
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if ((l[i].index & mask) == (key & mask)) {
+      last_examined_ = i + 1;
+      return l[i];
+    }
+  }
+  last_examined_ = l.size();
+  return std::nullopt;
+}
+
+UpdateOutcome LinearEngine::update(mpls::Packet& packet, unsigned level,
+                                   hw::RouterType router_type) {
+  const UpdateKey k = update_key(packet, level);
+  const bool was_empty = packet.stack.empty();
+  const auto found = lookup(k.level, k.key);
+  UpdateOutcome out = apply_update(packet, found, router_type);
+
+  // Modelled hardware cost of the identical run (Table 6).
+  const rtl::u64 search = hw::search_cycles(last_examined_);
+  if (out.discarded) {
+    out.hw_cycles = search + (found ? hw::kVerifyDiscardTailCycles
+                                    : hw::kMissDiscardTailCycles);
+  } else {
+    switch (out.applied) {
+      case mpls::LabelOp::kSwap:
+        out.hw_cycles = search + hw::kSwapTailCycles;
+        break;
+      case mpls::LabelOp::kPop:
+        out.hw_cycles = search + hw::kPopTailCycles;
+        break;
+      case mpls::LabelOp::kPush:
+        out.hw_cycles = search + (was_empty ? hw::kPushIngressTailCycles
+                                            : hw::kPushNestedTailCycles);
+        break;
+      case mpls::LabelOp::kNop:
+        out.hw_cycles = search;
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t LinearEngine::level_size(unsigned level) const {
+  return level_ref(level).size();
+}
+
+}  // namespace empls::sw

@@ -1,0 +1,36 @@
+#include "sw/pipeline_engine.hpp"
+
+#include <cassert>
+
+namespace empls::sw {
+
+UpdateOutcome PipelineEngine::update(mpls::Packet& packet, unsigned level,
+                                     hw::RouterType router_type) {
+  assert(router_type == type_ &&
+         "PacketPipeline's router type is fixed at construction");
+  (void)router_type;
+  const rtl::u8 orig_ttl =
+      packet.stack.empty() ? packet.ip_ttl : packet.stack.top().ttl;
+  const auto r = pipe_.process(packet, level);
+
+  UpdateOutcome out;
+  out.hw_cycles = r.cycles;
+  if (r.malformed || r.discarded) {
+    out.discarded = true;
+    out.reason = r.malformed ? DiscardReason::kInconsistent
+                 : !pipe_.modifier().item_found()
+                     ? DiscardReason::kMiss
+                 : orig_ttl <= 1 ? DiscardReason::kTtlExpired
+                                 : DiscardReason::kInconsistent;
+    packet.stack.clear();
+    return out;
+  }
+  // The pipeline rebuilt the packet; reflect it into the caller's.
+  out.ttl_after =
+      r.packet.stack.empty() ? r.packet.ip_ttl : r.packet.stack.top().ttl;
+  out.applied = r.applied;
+  packet = r.packet;
+  return out;
+}
+
+}  // namespace empls::sw

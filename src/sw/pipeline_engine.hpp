@@ -1,0 +1,59 @@
+// LabelEngine over the full hardware packet pipeline: ingress DMA +
+// stack transfer + label stack modifier + egress DMA, all cycle-counted
+// on the RTL simulator.  Where HwEngine charges only the modifier and
+// the stack transfers, PipelineEngine charges the complete Figure 6
+// hardware path including byte movement — the most faithful (and most
+// expensive to simulate) engine available to the network model.
+#pragma once
+
+#include "hw/packet_pipeline.hpp"
+#include "sw/engine.hpp"
+
+namespace empls::sw {
+
+class PipelineEngine : public LabelEngine {
+ public:
+  /// The pipeline needs the router type at construction (it owns the
+  /// update command); `update()` asserts the same type is passed.
+  explicit PipelineEngine(hw::RouterType type, unsigned bus_bytes = 4)
+      : type_(type), pipe_(type, bus_bytes) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "hw-pipeline";
+  }
+
+  void clear() override { pipe_.modifier().do_reset(); }
+
+  bool write_pair(unsigned level, const mpls::LabelPair& pair) override {
+    if (pipe_.modifier().level_count(level) >= hw::kLevelDepth) {
+      return false;
+    }
+    pipe_.modifier().write_pair(level, pair);
+    return true;
+  }
+
+  [[nodiscard]] std::optional<mpls::LabelPair> lookup(
+      unsigned level, rtl::u32 key) override {
+    const auto r = pipe_.modifier().search(level, key);
+    if (!r.found) {
+      return std::nullopt;
+    }
+    return mpls::LabelPair{key, r.label,
+                           static_cast<mpls::LabelOp>(r.operation)};
+  }
+
+  UpdateOutcome update(mpls::Packet& packet, unsigned level,
+                       hw::RouterType router_type) override;
+
+  [[nodiscard]] std::size_t level_size(unsigned level) const override {
+    return static_cast<std::size_t>(pipe_.modifier().level_count(level));
+  }
+
+  hw::PacketPipeline& pipeline() noexcept { return pipe_; }
+
+ private:
+  hw::RouterType type_;
+  hw::PacketPipeline pipe_;
+};
+
+}  // namespace empls::sw

@@ -1,0 +1,111 @@
+#include "sw/semantics.hpp"
+
+#include "mpls/label.hpp"
+
+namespace empls::sw {
+
+using mpls::LabelEntry;
+using mpls::LabelOp;
+
+UpdateKey update_key(const mpls::Packet& packet, unsigned level) noexcept {
+  if (packet.stack.empty()) {
+    return UpdateKey{1, packet.packet_identifier()};
+  }
+  return UpdateKey{level, packet.stack.top().label};
+}
+
+UpdateOutcome apply_update(mpls::Packet& packet,
+                           const std::optional<mpls::LabelPair>& found,
+                           hw::RouterType router_type) {
+  UpdateOutcome out;
+  auto discard = [&](DiscardReason reason) {
+    packet.stack.clear();
+    out.discarded = true;
+    out.reason = reason;
+    out.applied = LabelOp::kNop;
+  };
+
+  if (!found) {
+    discard(DiscardReason::kMiss);
+    return out;
+  }
+
+  const bool was_empty = packet.stack.empty();
+  const std::size_t orig_size = packet.stack.size();
+
+  // REMOVE TOP + UPDATE TTL: capture the entry being modified and the
+  // decremented TTL.  For an ingress (empty-stack) update the TTL comes
+  // from the control path — the packet's IP TTL.
+  LabelEntry removed{};
+  rtl::u8 orig_ttl = 0;
+  if (!was_empty) {
+    removed = *packet.stack.pop();
+    orig_ttl = removed.ttl;
+  } else {
+    orig_ttl = packet.ip_ttl;
+  }
+  const rtl::u8 new_ttl = static_cast<rtl::u8>(orig_ttl - 1);
+  out.ttl_after = new_ttl;
+
+  // VERIFY INFO.
+  const bool ttl_expired = orig_ttl <= 1;
+  bool consistent = true;
+  switch (found->op) {
+    case LabelOp::kNop:
+      consistent = false;
+      break;
+    case LabelOp::kPop:
+    case LabelOp::kSwap:
+      consistent = !was_empty;
+      break;
+    case LabelOp::kPush:
+      consistent = orig_size < mpls::LabelStack::kHardwareDepth;
+      break;
+  }
+  if (was_empty && router_type == hw::RouterType::kLsr) {
+    consistent = false;
+  }
+  if (was_empty && found->op != LabelOp::kPush) {
+    consistent = false;
+  }
+  if (ttl_expired || !consistent) {
+    discard(ttl_expired ? DiscardReason::kTtlExpired
+                        : DiscardReason::kInconsistent);
+    return out;
+  }
+
+  // Apply.
+  switch (found->op) {
+    case LabelOp::kPop:
+      // The top is already removed; propagate the decremented TTL into
+      // the newly exposed entry, if any.
+      if (!packet.stack.empty()) {
+        packet.stack.rewrite_top(packet.stack.top().label, new_ttl);
+      }
+      break;
+    case LabelOp::kSwap:
+      packet.stack.push(
+          LabelEntry{found->new_label, removed.cos, false, new_ttl});
+      break;
+    case LabelOp::kPush:
+      if (!was_empty) {
+        // Re-push the original entry with the decremented TTL, then the
+        // new outer label carrying the same CoS and TTL.
+        packet.stack.push(
+            LabelEntry{removed.label, removed.cos, false, new_ttl});
+        packet.stack.push(
+            LabelEntry{found->new_label, removed.cos, false, new_ttl});
+      } else {
+        // Ingress push: CoS from the control path (the packet's class).
+        packet.stack.push(
+            LabelEntry{found->new_label, packet.cos, false, new_ttl});
+      }
+      break;
+    case LabelOp::kNop:
+      break;  // unreachable: verified above
+  }
+  out.applied = found->op;
+  return out;
+}
+
+}  // namespace empls::sw

@@ -1,0 +1,36 @@
+// The label-update semantics shared by every software engine — a direct
+// transcription of the control unit's REMOVE TOP / UPDATE TTL /
+// VERIFY INFO / apply flow (Figure 9), factored out so the linear, hash
+// and CAM engines differ only in how they find the pair, never in what
+// they do with it.  Differential tests pin the hardware model to this
+// function.
+#pragma once
+
+#include <optional>
+
+#include "hw/commands.hpp"
+#include "mpls/packet.hpp"
+#include "mpls/tables.hpp"
+#include "sw/engine.hpp"
+
+namespace empls::sw {
+
+/// The search key / level the update flow uses for `packet`:
+/// empty stack → (level 1, packet identifier); otherwise → (caller's
+/// level, top label).
+struct UpdateKey {
+  unsigned level = 1;
+  rtl::u32 key = 0;
+};
+[[nodiscard]] UpdateKey update_key(const mpls::Packet& packet,
+                                   unsigned level) noexcept;
+
+/// Apply the verify + modify portion of the update flow, given the pair
+/// the search produced (`found == nullopt` means a miss).  Mutates
+/// `packet.stack` exactly as the hardware datapath would; on any
+/// discard, the stack is reset.  Does not fill UpdateOutcome::hw_cycles.
+UpdateOutcome apply_update(mpls::Packet& packet,
+                           const std::optional<mpls::LabelPair>& found,
+                           hw::RouterType router_type);
+
+}  // namespace empls::sw

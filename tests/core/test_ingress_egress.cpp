@@ -1,0 +1,88 @@
+// Unit tests for the packet processing interfaces: classification,
+// wire-level parsing and the egress fixups.
+#include <gtest/gtest.h>
+
+#include "core/egress.hpp"
+#include "core/ingress.hpp"
+
+namespace empls::core {
+namespace {
+
+using mpls::LabelEntry;
+
+TEST(Ingress, ClassifyUnlabeledUsesLevel1AndPid) {
+  mpls::Packet p;
+  p.dst = *mpls::Ipv4Address::parse("10.1.2.3");
+  const auto c = IngressProcessor::classify(p);
+  EXPECT_EQ(c.level, 1u);
+  EXPECT_EQ(c.key, p.packet_identifier());
+  EXPECT_FALSE(c.labeled);
+}
+
+TEST(Ingress, ClassifyLabeledLevelsByDepth) {
+  mpls::Packet p;
+  p.stack.push(LabelEntry{100, 0, false, 64});
+  auto c = IngressProcessor::classify(p);
+  EXPECT_EQ(c.level, 2u) << "depth 1 -> level 2";
+  EXPECT_EQ(c.key, 100u);
+  EXPECT_TRUE(c.labeled);
+
+  p.stack.push(LabelEntry{200, 0, false, 64});
+  c = IngressProcessor::classify(p);
+  EXPECT_EQ(c.level, 3u) << "depth 2 -> level 3";
+  EXPECT_EQ(c.key, 200u);
+
+  p.stack.push(LabelEntry{300, 0, false, 64});
+  c = IngressProcessor::classify(p);
+  EXPECT_EQ(c.level, 3u) << "depth 3 shares level 3 (DESIGN.md 5.6)";
+  EXPECT_EQ(c.key, 300u);
+}
+
+TEST(Ingress, ParseAcceptsWellFormedWire) {
+  mpls::Packet p;
+  p.stack.push(LabelEntry{7, 3, false, 9});
+  p.payload = {1, 2, 3};
+  const auto parsed = IngressProcessor::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->stack, p.stack);
+}
+
+TEST(Ingress, ParseRejectsGarbage) {
+  std::vector<std::uint8_t> garbage(40, 0xFF);
+  EXPECT_FALSE(IngressProcessor::parse(garbage).has_value());
+}
+
+TEST(Ingress, WireRoundTripDetectsHiddenCorruption) {
+  mpls::Packet p;
+  p.dst = *mpls::Ipv4Address::parse("10.0.0.1");
+  p.payload = {9, 9};
+  EXPECT_TRUE(IngressProcessor::wire_round_trip_ok(p));
+  // A one-entry shim whose S bit is clear never terminates: the stack
+  // parser (and therefore ingress processing) must reject it.
+  const std::vector<std::uint8_t> unterminated{0x00, 0x06, 0x40, 0x40};
+  EXPECT_FALSE(mpls::LabelStack::parse(unterminated).has_value());
+}
+
+TEST(Egress, FinalizeWritesTtlBackOnEmptyStack) {
+  mpls::Packet p;
+  p.ip_ttl = 64;
+  EgressProcessor::finalize(p, 59);
+  EXPECT_EQ(p.ip_ttl, 59u) << "TTL propagation on the final pop";
+}
+
+TEST(Egress, FinalizeLeavesLabeledPacketAlone) {
+  mpls::Packet p;
+  p.ip_ttl = 64;
+  p.stack.push(LabelEntry{5, 0, false, 60});
+  EgressProcessor::finalize(p, 59);
+  EXPECT_EQ(p.ip_ttl, 64u);
+}
+
+TEST(Egress, GenerateMatchesSerialize) {
+  mpls::Packet p;
+  p.payload = {5, 6, 7};
+  EXPECT_EQ(EgressProcessor::generate(p), p.serialize());
+}
+
+}  // namespace
+}  // namespace empls::core

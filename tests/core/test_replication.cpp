@@ -1,0 +1,77 @@
+// Tests for the parallel Monte-Carlo replication runner: determinism
+// across thread counts, confidence-interval behaviour, error paths.
+#include <gtest/gtest.h>
+
+#include "core/replication.hpp"
+
+namespace empls::core {
+namespace {
+
+constexpr const char* kStochasticScenario = R"(
+qos fifo capacity=8
+router A ler
+router B ler
+link A B 2M 1ms
+lsp 10.1.0.0/16 A B
+flow poisson 1 A 10.1.0.5 rate=900 size=250 seed=5 stop=0.5
+)";
+
+using Aggregate = ReplicationRunner::Aggregate;
+
+Aggregate run_ok(unsigned reps, unsigned threads) {
+  auto result =
+      ReplicationRunner::run_text(kStochasticScenario, reps, threads);
+  if (const auto* err = std::get_if<net::ScenarioError>(&result)) {
+    ADD_FAILURE() << err->message;
+    return {};
+  }
+  return std::get<Aggregate>(std::move(result));
+}
+
+TEST(Replication, AggregateIsIndependentOfThreadCount) {
+  const auto serial = run_ok(8, 1);
+  const auto parallel = run_ok(8, 4);
+  ASSERT_EQ(serial.flows.size(), 1u);
+  ASSERT_EQ(parallel.flows.size(), 1u);
+  const auto& s = serial.flows.at(1);
+  const auto& p = parallel.flows.at(1);
+  EXPECT_EQ(s.total_sent, p.total_sent);
+  EXPECT_EQ(s.total_delivered, p.total_delivered);
+  EXPECT_DOUBLE_EQ(s.loss_rate.mean, p.loss_rate.mean);
+  EXPECT_DOUBLE_EQ(s.mean_latency.mean, p.mean_latency.mean);
+}
+
+TEST(Replication, ReplicationsActuallyDiffer) {
+  // With per-replication seed shifts, the Poisson sample counts differ
+  // between replications, so the CI is non-zero.
+  const auto agg = run_ok(6, 2);
+  const auto& f = agg.flows.at(1);
+  EXPECT_EQ(agg.replications, 6u);
+  EXPECT_GT(f.total_sent, 0u);
+  EXPECT_GT(f.mean_latency.mean, 1e-3) << "at least the propagation delay";
+  EXPECT_GT(f.mean_latency.ci95, 0.0)
+      << "independent replications must not be identical";
+}
+
+TEST(Replication, MoreReplicationsTightenTheInterval) {
+  const auto few = run_ok(4, 4);
+  const auto many = run_ok(24, 4);
+  EXPECT_LT(many.flows.at(1).mean_latency.ci95,
+            few.flows.at(1).mean_latency.ci95 * 1.5)
+      << "CI should shrink (roughly 1/sqrt(n)) as replications grow";
+}
+
+TEST(Replication, ParseErrorsPropagate) {
+  const auto result = ReplicationRunner::run_text("bogus\n", 4, 2);
+  ASSERT_TRUE(std::holds_alternative<net::ScenarioError>(result));
+}
+
+TEST(Replication, ReportRenders) {
+  const auto agg = run_ok(3, 3);
+  const auto text = agg.to_string();
+  EXPECT_NE(text.find("3 replications"), std::string::npos);
+  EXPECT_NE(text.find("flow 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace empls::core

@@ -1,0 +1,114 @@
+// Unit tests for the routing functionality: engine programming, next-hop
+// resolution, and the ingress slow path.
+#include <gtest/gtest.h>
+
+#include "core/routing_functionality.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::core {
+namespace {
+
+using mpls::LabelOp;
+
+struct Rig {
+  sw::LinearEngine engine;
+  RoutingFunctionality routing{engine};
+};
+
+TEST(RoutingFunctionality, ProgramIngressExactWritesHardware) {
+  Rig rig;
+  ASSERT_TRUE(rig.routing.program_ingress_exact(0x0A000001, 55, 2));
+  const auto pair = rig.engine.lookup(1, 0x0A000001);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->new_label, 55u);
+  EXPECT_EQ(pair->op, LabelOp::kPush);
+  EXPECT_EQ(rig.routing.out_port(1, 0x0A000001), 2u);
+}
+
+TEST(RoutingFunctionality, ProgramSwapPopPush) {
+  Rig rig;
+  ASSERT_TRUE(rig.routing.program_swap(2, 100, 200, 1));
+  ASSERT_TRUE(rig.routing.program_pop(2, 300, mpls::kLocalDeliver));
+  ASSERT_TRUE(rig.routing.program_push(2, 400, 500, 3));
+
+  EXPECT_EQ(rig.engine.lookup(2, 100)->op, LabelOp::kSwap);
+  EXPECT_EQ(rig.engine.lookup(2, 300)->op, LabelOp::kPop);
+  EXPECT_EQ(rig.engine.lookup(2, 400)->op, LabelOp::kPush);
+  EXPECT_EQ(rig.engine.lookup(2, 400)->new_label, 500u);
+  EXPECT_EQ(rig.routing.out_port(2, 100), 1u);
+  EXPECT_EQ(rig.routing.out_port(2, 300), mpls::kLocalDeliver);
+  EXPECT_FALSE(rig.routing.out_port(2, 999).has_value());
+  EXPECT_FALSE(rig.routing.out_port(3, 100).has_value())
+      << "next-hop state is per level";
+
+  // The software ILM mirror tracks the bindings.
+  EXPECT_EQ(rig.routing.ilm_table().size(), 3u);
+}
+
+TEST(RoutingFunctionality, PrefixProgrammingIsSoftwareOnly) {
+  Rig rig;
+  ASSERT_TRUE(rig.routing.program_ingress_prefix(
+      *mpls::Prefix::parse("10.0.0.0/8"), 55, 2));
+  EXPECT_EQ(rig.engine.level_size(1), 0u)
+      << "no hardware entry until traffic arrives";
+  EXPECT_EQ(rig.routing.fec_table().size(), 1u);
+  EXPECT_EQ(rig.routing.ftn_table().size(), 1u);
+}
+
+TEST(RoutingFunctionality, SlowPathInstallsExactEntry) {
+  Rig rig;
+  rig.routing.program_ingress_prefix(*mpls::Prefix::parse("10.0.0.0/8"), 55,
+                                     2);
+  EXPECT_TRUE(rig.routing.slow_path_install(0x0A010203));
+  EXPECT_EQ(rig.routing.slow_path_installs(), 1u);
+  const auto pair = rig.engine.lookup(1, 0x0A010203);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->new_label, 55u);
+  EXPECT_EQ(rig.routing.out_port(1, 0x0A010203), 2u);
+}
+
+TEST(RoutingFunctionality, SlowPathFailsOutsideAnyPrefix) {
+  Rig rig;
+  rig.routing.program_ingress_prefix(*mpls::Prefix::parse("10.0.0.0/8"), 55,
+                                     2);
+  EXPECT_FALSE(rig.routing.slow_path_install(0xC0A80001));
+  EXPECT_EQ(rig.routing.slow_path_installs(), 0u);
+  EXPECT_EQ(rig.engine.level_size(1), 0u);
+}
+
+TEST(RoutingFunctionality, SlowPathUsesLongestPrefix) {
+  Rig rig;
+  rig.routing.program_ingress_prefix(*mpls::Prefix::parse("10.0.0.0/8"), 55,
+                                     2);
+  rig.routing.program_ingress_prefix(*mpls::Prefix::parse("10.1.0.0/16"), 66,
+                                     3);
+  ASSERT_TRUE(rig.routing.slow_path_install(0x0A010203));
+  EXPECT_EQ(rig.engine.lookup(1, 0x0A010203)->new_label, 66u);
+  EXPECT_EQ(rig.routing.out_port(1, 0x0A010203), 3u);
+}
+
+TEST(RoutingFunctionality, ReprogrammingPrefixReusesFecId) {
+  Rig rig;
+  const auto p = *mpls::Prefix::parse("10.0.0.0/8");
+  rig.routing.program_ingress_prefix(p, 55, 2);
+  rig.routing.program_ingress_prefix(p, 77, 4);  // new binding, same FEC
+  EXPECT_EQ(rig.routing.fec_table().size(), 1u);
+  ASSERT_TRUE(rig.routing.slow_path_install(0x0A000001));
+  EXPECT_EQ(rig.engine.lookup(1, 0x0A000001)->new_label, 77u);
+}
+
+TEST(RoutingFunctionality, WriteFailurePropagates) {
+  sw::LinearEngine tiny(/*level_capacity=*/1);
+  RoutingFunctionality routing(tiny);
+  EXPECT_TRUE(routing.program_swap(2, 1, 2, 0));
+  EXPECT_FALSE(routing.program_swap(2, 3, 4, 0)) << "level full";
+}
+
+TEST(RoutingFunctionality, AllocatorSeededByFirstLabel) {
+  sw::LinearEngine engine;
+  RoutingFunctionality routing(engine, /*first_label=*/500);
+  EXPECT_EQ(routing.label_allocator().allocate(), 500u);
+}
+
+}  // namespace
+}  // namespace empls::core

@@ -1,0 +1,217 @@
+// Integration tests for the scenario runner: text in, verified network
+// behaviour out.
+#include <gtest/gtest.h>
+
+#include "core/scenario_runner.hpp"
+#include "net/oam.hpp"
+
+namespace empls::core {
+namespace {
+
+using Report = ScenarioRunner::Report;
+
+Report run_ok(std::string_view text) {
+  auto result = ScenarioRunner::run_text(text);
+  if (const auto* err = std::get_if<net::ScenarioError>(&result)) {
+    ADD_FAILURE() << "line " << err->line << ": " << err->message;
+    return {};
+  }
+  return std::get<Report>(std::move(result));
+}
+
+TEST(ScenarioRunner, LinearLspDeliversCbr) {
+  const auto report = run_ok(R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 cos=5 interval=10ms stop=0.0999
+run 0.2
+)");
+  EXPECT_EQ(report.lsps_established, 1u);
+  EXPECT_EQ(report.flows.flow(1).sent, 10u);
+  EXPECT_EQ(report.flows.flow(1).delivered, 10u);
+  ASSERT_EQ(report.routers.size(), 3u);
+  EXPECT_EQ(report.routers[2].delivered, 10u);
+  EXPECT_GT(report.routers[1].engine_cycles, 0u);
+}
+
+TEST(ScenarioRunner, FailureEventCausesLoss) {
+  const auto report = run_ok(R"(
+router A ler
+router B ler
+link A B 10M 1ms
+lsp 10.1.0.0/16 A B
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.0999
+fail 0.055 A B
+run 0.2
+)");
+  // Packets at 0..50ms delivered (6), at 60..90ms dropped (4).
+  EXPECT_EQ(report.flows.flow(1).sent, 10u);
+  EXPECT_EQ(report.flows.flow(1).delivered, 6u);
+}
+
+TEST(ScenarioRunner, RestoreBringsTheLinkBack) {
+  const auto report = run_ok(R"(
+router A ler
+router B ler
+link A B 10M 1ms
+lsp 10.1.0.0/16 A B
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.0999
+fail 0.015 A B
+restore 0.045 A B
+run 0.2
+)");
+  // Lost: packets at 20, 30, 40 ms.
+  EXPECT_EQ(report.flows.flow(1).delivered, 7u);
+}
+
+TEST(ScenarioRunner, TunnelScenarioWorksEndToEnd) {
+  const auto report = run_ok(R"(
+router A ler
+router B lsr
+router X lsr
+router C lsr
+router D ler
+link A B 10M 1ms
+link B X 10M 1ms
+link X C 10M 1ms
+link C D 10M 1ms
+tunnel T1 B X C
+lsp-via-tunnel 10.3.0.0/16 pre A B tunnel T1 post C D
+flow cbr 3 A 10.3.0.7 interval=20ms stop=0.0999
+)");
+  EXPECT_EQ(report.tunnels_established, 1u);
+  EXPECT_EQ(report.lsps_established, 1u);
+  EXPECT_EQ(report.flows.flow(3).delivered, 5u);
+}
+
+TEST(ScenarioRunner, HwEngineScenario) {
+  const auto report = run_ok(R"(
+router A ler engine=hw
+router B ler engine=hw
+link A B 10M 1ms
+lsp 10.9.0.0/16 A B
+flow cbr 1 A 10.9.0.1 interval=20ms stop=0.0599
+)");
+  EXPECT_EQ(report.flows.flow(1).delivered, 3u);
+}
+
+TEST(ScenarioRunner, AutorepairRestoresAfterFailure) {
+  const auto report = run_ok(R"(
+router A ler
+router B lsr
+router C lsr
+router D ler
+link A B 100M 1ms
+link B D 100M 1ms
+link B C 100M 2ms
+link C D 100M 2ms
+lsp 10.1.0.0/16 A B D
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.9999
+fail 0.3 B D
+autorepair 10ms dead=3
+run 1
+)");
+  EXPECT_EQ(report.failures_detected, 1u);
+  EXPECT_EQ(report.lsps_rerouted, 1u);
+  // ~30 ms detection at 100 pps: lose about 3-5 packets, not the whole
+  // remaining 70.
+  const auto& flow = report.flows.flow(1);
+  const auto lost = flow.sent - flow.delivered;
+  EXPECT_GE(lost, 2u);
+  EXPECT_LE(lost, 6u);
+}
+
+TEST(ScenarioRunner, UnplaceableLspIsASemanticError) {
+  const auto result = ScenarioRunner::run_text(R"(
+router A ler
+router B ler
+link A B 1M 1ms
+lsp 10.1.0.0/16 A B bw=5M
+)");
+  ASSERT_TRUE(std::holds_alternative<net::ScenarioError>(result));
+  EXPECT_NE(std::get<net::ScenarioError>(result).message.find("lsp"),
+            std::string::npos);
+}
+
+TEST(ScenarioRunner, OamDirectivesReportResults) {
+  const auto report = run_ok(R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+ping 0.1 A 10.1.0.5
+traceroute 0.2 A 10.1.0.5
+ping 0.3 A 172.16.0.1
+run 0.5
+)");
+  ASSERT_EQ(report.oam_results.size(), 3u);
+  EXPECT_NE(report.oam_results[0].find("reachable via C"),
+            std::string::npos);
+  EXPECT_NE(report.oam_results[1].find("(complete)"), std::string::npos);
+  EXPECT_NE(report.oam_results[1].find("C[egress]"), std::string::npos);
+  EXPECT_NE(report.oam_results[2].find("FAILED at A"), std::string::npos);
+  EXPECT_NE(report.to_string().find("oam:"), std::string::npos);
+  // Probes must not appear in the traffic statistics.
+  for (const auto& [id, flow] : report.flows.flows()) {
+    EXPECT_LT(id, net::kOamFlowBase) << "OAM probe leaked into FlowStats";
+    (void)flow;
+  }
+}
+
+TEST(ScenarioRunner, LinkRowsReportUtilization) {
+  const auto report = run_ok(R"(
+router A ler
+router B ler
+link A B 10M 1ms
+lsp 10.1.0.0/16 A B
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.0999
+)");
+  ASSERT_EQ(report.links.size(), 2u);  // both directions
+  EXPECT_EQ(report.links[0].from, "A");
+  EXPECT_EQ(report.links[0].tx_packets, 10u);
+  EXPECT_GT(report.links[0].utilization, 0.0);
+  EXPECT_EQ(report.links[1].tx_packets, 0u);
+}
+
+TEST(ScenarioRunner, PoliceDirectiveClipsTheFlow) {
+  const auto report = run_ok(R"(
+router A ler
+router B ler
+link A B 10M 1ms
+lsp 10.1.0.0/16 A B
+flow cbr 1 A 10.1.0.5 size=160 interval=10ms stop=0.9999
+police A 1 70k burst=400
+run 1
+)");
+  const auto delivered = report.flows.flow(1).delivered;
+  EXPECT_GE(delivered, 40u);
+  EXPECT_LE(delivered, 60u) << "policer clipped ~half the offered rate";
+}
+
+TEST(ScenarioRunner, ParseErrorsPropagate) {
+  const auto result = ScenarioRunner::run_text("nonsense\n");
+  ASSERT_TRUE(std::holds_alternative<net::ScenarioError>(result));
+  EXPECT_EQ(std::get<net::ScenarioError>(result).line, 1);
+}
+
+TEST(ScenarioRunner, ReportRendersTables) {
+  const auto report = run_ok(R"(
+router A ler
+router B ler
+link A B 10M 1ms
+lsp 10.1.0.0/16 A B
+flow cbr 1 A 10.1.0.5 interval=20ms stop=0.0399
+)");
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("flow 1"), std::string::npos);
+  EXPECT_NE(text.find("A: rx="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace empls::core

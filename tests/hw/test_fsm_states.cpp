@@ -1,0 +1,155 @@
+// Control-unit invariants: the main interface serialises the label stack
+// and information base interfaces ("ensure the remaining state machines
+// are not working at the same time"), grants are Mealy outputs of IDLE,
+// and every flow returns the whole control unit to idle.
+#include <gtest/gtest.h>
+
+#include "hw/label_stack_modifier.hpp"
+
+namespace empls::hw {
+namespace {
+
+using mpls::LabelEntry;
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+/// Step until ready, asserting the mutual-exclusion invariant at every
+/// cycle: the two datapath-owning interfaces are never simultaneously
+/// out of IDLE.
+void run_checking_exclusion(LabelStackModifier& m) {
+  do {
+    m.sim().step();
+    const bool stack_active = m.stack_fsm().state() != StackFsm::State::kIdle;
+    const bool ib_active = m.infobase_fsm().state() != InfoBaseFsm::State::kIdle;
+    ASSERT_FALSE(stack_active && ib_active)
+        << "label stack and info base interfaces active together at cycle "
+        << m.sim().cycle();
+  } while (!m.ready());
+}
+
+TEST(ControlUnit, MutualExclusionAcrossAllFlows) {
+  LabelStackModifier m;
+  m.issue_user_push(LabelEntry{40, 0, false, 64});
+  run_checking_exclusion(m);
+  m.issue_write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  run_checking_exclusion(m);
+  m.issue_search(2, 40);
+  run_checking_exclusion(m);
+  m.issue_update(2, RouterType::kLsr, 0, 0, 0);
+  run_checking_exclusion(m);
+  m.issue_user_pop();
+  run_checking_exclusion(m);
+  m.issue_reset();
+  run_checking_exclusion(m);
+}
+
+TEST(ControlUnit, AllFsmsIdleWhenReady) {
+  LabelStackModifier m;
+  m.user_push(LabelEntry{40, 0, false, 64});
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  m.update(2, RouterType::kLsr, 0);
+  EXPECT_EQ(m.main_fsm().state(), MainFsm::State::kIdle);
+  EXPECT_EQ(m.stack_fsm().state(), StackFsm::State::kIdle);
+  EXPECT_EQ(m.infobase_fsm().state(), InfoBaseFsm::State::kIdle);
+  EXPECT_TRUE(m.search_fsm().idle());
+}
+
+TEST(ControlUnit, GrantsAreOnlyAssertedInIdleWithAPendingOp) {
+  LabelStackModifier m;
+  EXPECT_FALSE(m.main_fsm().grant_label()) << "no operation pending";
+  EXPECT_FALSE(m.main_fsm().grant_info_base());
+
+  m.issue_user_push(LabelEntry{1, 0, false, 64});
+  EXPECT_TRUE(m.main_fsm().grant_label());
+  EXPECT_FALSE(m.main_fsm().grant_info_base());
+  m.sim().step();  // dispatch consumes the operation
+  EXPECT_FALSE(m.main_fsm().grant_label())
+      << "grant drops once the operation is consumed";
+  m.run_to_idle();
+}
+
+TEST(ControlUnit, OperationConsumedExactlyOnce) {
+  LabelStackModifier m;
+  m.issue_user_push(LabelEntry{1, 0, false, 64});
+  m.run_to_idle();
+  EXPECT_EQ(m.stack_size(), 1u);
+  // Nothing pending: further cycles must not re-execute the push.
+  m.sim().run(20);
+  EXPECT_EQ(m.stack_size(), 1u);
+}
+
+TEST(ControlUnit, SearchFsmVisitsExpectedStates) {
+  LabelStackModifier m;
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  m.issue_search(2, 40);
+
+  std::vector<SearchFsm::State> seen;
+  do {
+    m.sim().step();
+    if (seen.empty() || seen.back() != m.search_fsm().state()) {
+      seen.push_back(m.search_fsm().state());
+    }
+  } while (!m.ready());
+
+  const std::vector<SearchFsm::State> expected = {
+      SearchFsm::State::kIdle,  SearchFsm::State::kInit,
+      SearchFsm::State::kPrime, SearchFsm::State::kRead,
+      SearchFsm::State::kWait,  SearchFsm::State::kCompare,
+      SearchFsm::State::kFound, SearchFsm::State::kIdle};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ControlUnit, UpdateFlowVisitsFigure9States) {
+  LabelStackModifier m;
+  m.user_push(LabelEntry{40, 0, false, 64});
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  m.issue_update(2, RouterType::kLsr, 0, 0, 0);
+
+  std::vector<StackFsm::State> seen;
+  do {
+    m.sim().step();
+    if (seen.empty() || seen.back() != m.stack_fsm().state()) {
+      seen.push_back(m.stack_fsm().state());
+    }
+  } while (!m.ready());
+
+  const std::vector<StackFsm::State> expected = {
+      StackFsm::State::kSearchEnable, StackFsm::State::kRemoveTop,
+      StackFsm::State::kUpdateTtl,    StackFsm::State::kVerify,
+      StackFsm::State::kPushNew,      StackFsm::State::kComplete,
+      StackFsm::State::kIdle};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ControlUnit, MissRoutesToDiscardState) {
+  LabelStackModifier m;
+  m.user_push(LabelEntry{40, 0, false, 64});
+  m.issue_update(2, RouterType::kLsr, 0, 0, 0);
+  bool discard_state_seen = false;
+  do {
+    m.sim().step();
+    discard_state_seen = discard_state_seen ||
+                         m.stack_fsm().state() == StackFsm::State::kDiscard;
+  } while (!m.ready());
+  EXPECT_TRUE(discard_state_seen)
+      << "Figure 9: 'No item found' -> DISCARD PACKET";
+}
+
+TEST(ControlUnit, BackToBackOperationsDoNotInterfere) {
+  LabelStackModifier m;
+  for (rtl::u32 i = 0; i < 50; ++i) {
+    m.write_pair(2, LabelPair{i + 1, 100 + i, LabelOp::kSwap});
+  }
+  // Interleave searches and stack ops; each must see consistent state.
+  for (rtl::u32 i = 1; i <= 50; ++i) {
+    const auto r = m.search(2, i);
+    ASSERT_TRUE(r.found) << i;
+    ASSERT_EQ(r.label, 99u + i);
+    m.user_push(LabelEntry{i, 0, false, 64});
+    m.user_pop();
+  }
+  EXPECT_EQ(m.stack_size(), 0u);
+}
+
+}  // namespace
+}  // namespace empls::hw

@@ -1,0 +1,124 @@
+// Unit tests for the information base: per-level memories, address
+// counters, occupancy, and capacity behaviour.
+#include <gtest/gtest.h>
+
+#include "hw/info_base.hpp"
+#include "rtl/simulator.hpp"
+
+namespace empls::hw {
+namespace {
+
+struct Rig {
+  rtl::Simulator sim;
+  InfoBase ib;
+  Rig() {
+    sim.add(&ib);
+    sim.reset();
+  }
+  void write(unsigned level, rtl::u64 index, rtl::u64 label, rtl::u64 op) {
+    ib.level(level).issue_write_pair(index, label, op);
+    sim.step();
+  }
+};
+
+TEST(InfoBase, ThreeLevelsWithPaperWidths) {
+  InfoBase ib;
+  EXPECT_EQ(ib.level(1).index_bits(), 32u)
+      << "level 1 indexes 32-bit packet identifiers";
+  EXPECT_EQ(ib.level(2).index_bits(), 20u);
+  EXPECT_EQ(ib.level(3).index_bits(), 20u);
+  EXPECT_TRUE(InfoBase::valid_level(1));
+  EXPECT_TRUE(InfoBase::valid_level(3));
+  EXPECT_FALSE(InfoBase::valid_level(0));
+  EXPECT_FALSE(InfoBase::valid_level(4));
+}
+
+TEST(InfoBase, WriteAppendsAtWIndex) {
+  Rig rig;
+  rig.write(1, 600, 500, 1);
+  rig.write(1, 601, 501, 2);
+  EXPECT_EQ(rig.ib.level(1).count(), 2u);
+  EXPECT_EQ(rig.ib.level(1).peek_index(0), 600u);
+  EXPECT_EQ(rig.ib.level(1).peek_label(0), 500u);
+  EXPECT_EQ(rig.ib.level(1).peek_op(0), 1u);
+  EXPECT_EQ(rig.ib.level(1).peek_index(1), 601u);
+}
+
+TEST(InfoBase, LevelsAreIndependent) {
+  Rig rig;
+  rig.write(1, 600, 500, 1);
+  rig.write(2, 7, 70, 3);
+  rig.write(3, 8, 80, 2);
+  EXPECT_EQ(rig.ib.level(1).count(), 1u);
+  EXPECT_EQ(rig.ib.level(2).count(), 1u);
+  EXPECT_EQ(rig.ib.level(3).count(), 1u);
+  EXPECT_EQ(rig.ib.level(2).peek_index(0), 7u);
+  EXPECT_EQ(rig.ib.level(3).peek_index(0), 8u);
+}
+
+TEST(InfoBase, LevelTwoTruncatesIndexTo20Bits) {
+  // Levels 2/3 store 20-bit labels; wider values are truncated on write,
+  // exactly as the narrower index memory would store them.
+  Rig rig;
+  rig.write(2, 0x12ABCDE, 0x3FFFFF, 0x7);
+  EXPECT_EQ(rig.ib.level(2).peek_index(0), 0x2ABCDEu & 0xFFFFFu);
+  EXPECT_EQ(rig.ib.level(2).peek_label(0), 0xFFFFFu);
+  EXPECT_EQ(rig.ib.level(2).peek_op(0), 0x3u) << "operation memory is 2 bits";
+}
+
+TEST(InfoBase, ReadPortHasOneCycleLatency) {
+  Rig rig;
+  rig.write(2, 40, 77, 3);
+  rig.ib.level(2).clear_r_index();
+  rig.sim.step();
+  rig.ib.level(2).issue_read_at_r();
+  rig.sim.step();
+  EXPECT_EQ(rig.ib.level(2).index_out(), 40u);
+  EXPECT_EQ(rig.ib.level(2).label_out(), 77u);
+  EXPECT_EQ(rig.ib.level(2).op_out(), 3u);
+}
+
+TEST(InfoBase, RIndexAdvances) {
+  Rig rig;
+  rig.ib.level(2).clear_r_index();
+  rig.sim.step();
+  EXPECT_EQ(rig.ib.level(2).r_index(), 0u);
+  rig.ib.level(2).advance_r_index();
+  rig.sim.step();
+  EXPECT_EQ(rig.ib.level(2).r_index(), 1u);
+}
+
+TEST(InfoBase, FullLevelDropsWrites) {
+  Rig rig;
+  for (rtl::u64 i = 0; i < kLevelDepth; ++i) {
+    rig.write(3, i, i, 1);
+  }
+  EXPECT_TRUE(rig.ib.level(3).full());
+  EXPECT_EQ(rig.ib.level(3).count(), kLevelDepth);
+  rig.write(3, 9999, 9999, 1);
+  EXPECT_EQ(rig.ib.level(3).count(), kLevelDepth)
+      << "writes to a full level are dropped";
+  EXPECT_EQ(rig.ib.level(3).peek_index(kLevelDepth - 1), kLevelDepth - 1)
+      << "existing contents undisturbed";
+}
+
+TEST(InfoBase, ClearOccupancyForgetsEntriesCheaply) {
+  Rig rig;
+  rig.write(1, 600, 500, 1);
+  rig.ib.clear_all_occupancy();
+  rig.sim.step();
+  EXPECT_EQ(rig.ib.level(1).count(), 0u);
+  // The cells still hold stale data (a real BRAM is not wiped by the
+  // 3-cycle reset); occupancy is the validity boundary.
+  EXPECT_EQ(rig.ib.level(1).peek_index(0), 600u);
+}
+
+TEST(InfoBase, OccupancyCounterHoldsFullValue) {
+  // 1024 does not fit in the 10-bit address counter; the occupancy
+  // counter is 11 bits wide so "completely full" is representable.
+  EXPECT_GE(kOccupancyBits, 11u);
+  EXPECT_EQ(rtl::mask_width(kOccupancyBits), 2047u);
+}
+
+}  // namespace
+}  // namespace empls::hw

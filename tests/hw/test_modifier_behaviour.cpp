@@ -1,0 +1,265 @@
+// Behavioural tests for the label stack modifier: the semantics of every
+// update flow (Figure 9) — swap/pop/push application, CoS preservation,
+// TTL decrement and expiry, S-bit maintenance, and every discard branch
+// of VERIFY INFO.
+#include <gtest/gtest.h>
+
+#include "hw/label_stack_modifier.hpp"
+
+namespace empls::hw {
+namespace {
+
+using mpls::LabelEntry;
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+LabelEntry entry(rtl::u32 label, rtl::u8 cos = 0, rtl::u8 ttl = 64) {
+  return LabelEntry{label, cos, false, ttl};
+}
+
+TEST(UserOps, PushSetsSBitFromOccupancy) {
+  LabelStackModifier m;
+  m.user_push(entry(10));
+  m.user_push(entry(20));
+  const auto v = m.stack_view();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.at(1).bottom) << "first pushed entry is the bottom";
+  EXPECT_FALSE(v.at(0).bottom);
+  EXPECT_TRUE(v.s_bit_invariant_holds());
+}
+
+TEST(UserOps, PushOnFullStackDiscardsAndKeepsContents) {
+  LabelStackModifier m;
+  m.user_push(entry(1));
+  m.user_push(entry(2));
+  m.user_push(entry(3));
+  m.issue_user_push(entry(4));
+  bool discard_seen = false;
+  do {
+    m.sim().step();
+    discard_seen = discard_seen || m.packet_discard();
+  } while (!m.ready());
+  EXPECT_TRUE(discard_seen);
+  EXPECT_EQ(m.stack_size(), 3u);
+  EXPECT_EQ(m.stack_view().top().label, 3u);
+}
+
+TEST(UserOps, PopOnEmptyStackIsHarmless) {
+  LabelStackModifier m;
+  EXPECT_EQ(m.user_pop(), 3u);
+  EXPECT_EQ(m.stack_size(), 0u);
+}
+
+TEST(UpdateSwap, RewritesLabelPreservesCosDecrementsTtl) {
+  LabelStackModifier m;
+  m.user_push(entry(40, /*cos=*/6, /*ttl=*/100));
+  m.write_pair(2, LabelPair{40, 1234, LabelOp::kSwap});
+  const auto r = m.update(2, RouterType::kLsr, 0);
+  EXPECT_FALSE(r.discarded);
+  EXPECT_EQ(r.applied, LabelOp::kSwap);
+  const auto v = m.stack_view();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.top().label, 1234u);
+  EXPECT_EQ(v.top().cos, 6u) << "the embedded implementation never "
+                                "modifies CoS bits";
+  EXPECT_EQ(v.top().ttl, 99u);
+  EXPECT_TRUE(v.top().bottom);
+}
+
+TEST(UpdatePop, PropagatesTtlIntoExposedEntry) {
+  LabelStackModifier m;
+  m.user_push(entry(10, 2, 50));   // inner
+  m.user_push(entry(20, 5, 90));   // outer
+  m.write_pair(3, LabelPair{20, 0, LabelOp::kPop});
+  const auto r = m.update(3, RouterType::kLsr, 0);
+  EXPECT_FALSE(r.discarded);
+  const auto v = m.stack_view();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.top().label, 10u);
+  EXPECT_EQ(v.top().ttl, 89u) << "decremented outer TTL carried down";
+  EXPECT_EQ(v.top().cos, 2u) << "inner CoS untouched";
+  EXPECT_TRUE(v.top().bottom);
+}
+
+TEST(UpdatePop, LastLabelLeavesEmptyStack) {
+  LabelStackModifier m;
+  m.user_push(entry(10));
+  m.write_pair(2, LabelPair{10, 0, LabelOp::kPop});
+  const auto r = m.update(2, RouterType::kLer, 0);
+  EXPECT_FALSE(r.discarded);
+  EXPECT_EQ(m.stack_size(), 0u);
+  EXPECT_EQ(m.datapath().ttl(), 63u)
+      << "the TTL counter holds the value egress processing writes back";
+}
+
+TEST(UpdatePush, NestedPushPreservesInnerLabel) {
+  LabelStackModifier m;
+  m.user_push(entry(40, 3, 80));
+  m.write_pair(2, LabelPair{40, 999, LabelOp::kPush});
+  const auto r = m.update(2, RouterType::kLsr, 0);
+  EXPECT_FALSE(r.discarded);
+  const auto v = m.stack_view();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at(0).label, 999u) << "new outer label on top";
+  EXPECT_EQ(v.at(1).label, 40u) << "old label re-pushed unchanged";
+  EXPECT_EQ(v.at(0).ttl, 79u);
+  EXPECT_EQ(v.at(1).ttl, 79u) << "both carry the decremented TTL";
+  EXPECT_EQ(v.at(0).cos, 3u);
+  EXPECT_TRUE(v.s_bit_invariant_holds());
+}
+
+TEST(UpdatePush, IngressPushUsesControlPathCosAndTtl) {
+  LabelStackModifier m;
+  m.write_pair(1, LabelPair{0xC0A80005, 321, LabelOp::kPush});
+  const auto r = m.update(1, RouterType::kLer, 0xC0A80005, /*cos=*/7,
+                          /*ttl=*/64);
+  EXPECT_FALSE(r.discarded);
+  const auto v = m.stack_view();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.top().label, 321u);
+  EXPECT_EQ(v.top().cos, 7u);
+  EXPECT_EQ(v.top().ttl, 63u);
+  EXPECT_TRUE(v.top().bottom);
+}
+
+// ---- VERIFY INFO discard branches ----
+
+TEST(Discard, SearchMissResetsStack) {
+  LabelStackModifier m;
+  m.user_push(entry(40));
+  const auto r = m.update(2, RouterType::kLsr, 0);  // level 2 is empty
+  EXPECT_TRUE(r.discarded);
+  EXPECT_EQ(m.stack_size(), 0u) << "DISCARD PACKET resets the label stack";
+}
+
+TEST(Discard, TtlExpiryAfterDecrement) {
+  LabelStackModifier m;
+  m.user_push(entry(40, 0, /*ttl=*/1));
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  const auto r = m.update(2, RouterType::kLsr, 0);
+  EXPECT_TRUE(r.discarded) << "TTL 1 expires after the decrement";
+  EXPECT_EQ(m.stack_size(), 0u);
+}
+
+TEST(Discard, TtlZeroInputDoesNotWrapToLife) {
+  LabelStackModifier m;
+  m.user_push(entry(40, 0, /*ttl=*/0));
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  EXPECT_TRUE(m.update(2, RouterType::kLsr, 0).discarded);
+}
+
+TEST(Discard, NopOperationIsInconsistent) {
+  LabelStackModifier m;
+  m.user_push(entry(40));
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kNop});
+  EXPECT_TRUE(m.update(2, RouterType::kLsr, 0).discarded);
+}
+
+TEST(Discard, PushOverflowingTheStack) {
+  LabelStackModifier m;
+  m.user_push(entry(1));
+  m.user_push(entry(2));
+  m.user_push(entry(3));
+  m.write_pair(3, LabelPair{3, 99, LabelOp::kPush});
+  EXPECT_TRUE(m.update(3, RouterType::kLsr, 0).discarded)
+      << "a 4-deep stack does not fit the hardware";
+  EXPECT_EQ(m.stack_size(), 0u);
+}
+
+TEST(Discard, LsrRejectsUnlabeledPackets) {
+  LabelStackModifier m;
+  m.write_pair(1, LabelPair{1234, 55, LabelOp::kPush});
+  EXPECT_TRUE(m.update(1, RouterType::kLsr, 1234).discarded)
+      << "level-1 ingress lookups are the LER's job";
+}
+
+TEST(Discard, EmptyStackNonPushOperation) {
+  LabelStackModifier m;
+  m.write_pair(1, LabelPair{1234, 55, LabelOp::kSwap});
+  EXPECT_TRUE(m.update(1, RouterType::kLer, 1234).discarded)
+      << "only PUSH makes sense on an empty stack";
+}
+
+// ---- search result details ----
+
+TEST(Search, FirstMatchWinsOnDuplicateIndices) {
+  LabelStackModifier m;
+  m.write_pair(2, LabelPair{40, 111, LabelOp::kSwap});
+  m.write_pair(2, LabelPair{40, 222, LabelOp::kPop});
+  const auto r = m.search(2, 40);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.label, 111u);
+  EXPECT_EQ(r.operation, static_cast<rtl::u8>(LabelOp::kSwap));
+}
+
+TEST(Search, LevelOneUsesFull32BitCompare) {
+  LabelStackModifier m;
+  m.write_pair(1, LabelPair{0x100004, 111, LabelOp::kPush});
+  // 0x200004 agrees in the low 20 bits but not the full identifier.
+  EXPECT_FALSE(m.search(1, 0x200004).found);
+  EXPECT_TRUE(m.search(1, 0x100004).found);
+}
+
+TEST(Search, LevelTwoUses20BitCompare) {
+  LabelStackModifier m;
+  m.write_pair(2, LabelPair{0x00004, 111, LabelOp::kSwap});
+  EXPECT_TRUE(m.search(2, 0x00004).found);
+  EXPECT_FALSE(m.search(2, 0x00005).found);
+}
+
+TEST(ReadPair, ReadsBackStoredPairs) {
+  LabelStackModifier m;
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  m.write_pair(2, LabelPair{41, 88, LabelOp::kPop});
+  const auto r0 = m.read_pair(2, 0);
+  EXPECT_TRUE(r0.valid);
+  EXPECT_EQ(r0.pair, (LabelPair{40, 77, LabelOp::kSwap}));
+  const auto r1 = m.read_pair(2, 1);
+  EXPECT_TRUE(r1.valid);
+  EXPECT_EQ(r1.pair, (LabelPair{41, 88, LabelOp::kPop}));
+}
+
+TEST(ReadPair, ConstantFiveCycles) {
+  LabelStackModifier m;
+  for (rtl::u32 i = 0; i < 100; ++i) {
+    m.write_pair(3, LabelPair{i + 1, i, LabelOp::kSwap});
+  }
+  EXPECT_EQ(m.read_pair(3, 0).cycles, kReadPairCycles);
+  EXPECT_EQ(m.read_pair(3, 99).cycles, kReadPairCycles)
+      << "read-back is address-indexed, not a search";
+}
+
+TEST(ReadPair, BeyondOccupancyIsInvalid) {
+  LabelStackModifier m;
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  EXPECT_FALSE(m.read_pair(2, 5).valid);
+}
+
+TEST(Reset, ClearsStackInfoBaseAndOutputs) {
+  LabelStackModifier m;
+  m.user_push(entry(1));
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  m.search(2, 40);
+  EXPECT_EQ(m.label_out(), 77u);
+  m.do_reset();
+  EXPECT_EQ(m.stack_size(), 0u);
+  EXPECT_EQ(m.level_count(2), 0u);
+  EXPECT_EQ(m.label_out(), 0u);
+  EXPECT_EQ(m.operation_out(), 0u);
+  EXPECT_FALSE(m.item_found());
+}
+
+TEST(Reset, ArchitectureIsReusableAfterReset) {
+  LabelStackModifier m;
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  m.do_reset();
+  m.user_push(entry(40));
+  m.write_pair(2, LabelPair{40, 88, LabelOp::kSwap});
+  const auto r = m.update(2, RouterType::kLsr, 0);
+  EXPECT_FALSE(r.discarded);
+  EXPECT_EQ(m.stack_view().top().label, 88u)
+      << "the pre-reset pair 40->77 is gone";
+}
+
+}  // namespace
+}  // namespace empls::hw

@@ -1,0 +1,176 @@
+// Cycle-accuracy calibration against Table 6 of the paper.
+//
+// These tests pin the RTL model to the exact worst-case clock-cycle
+// counts the paper reports: reset 3, user push 3, user pop 3, write label
+// pair 3, search 3n+5, swap-from-info-base tail 6, and the Section 4
+// worst case of 6167 cycles.
+#include <gtest/gtest.h>
+
+#include "hw/cycle_model.hpp"
+#include "hw/label_stack_modifier.hpp"
+
+namespace empls::hw {
+namespace {
+
+using mpls::LabelEntry;
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+LabelEntry entry(rtl::u32 label, rtl::u8 cos = 0, rtl::u8 ttl = 64) {
+  return LabelEntry{label, cos, false, ttl};
+}
+
+TEST(Table6, ResetTakesThreeCycles) {
+  LabelStackModifier m;
+  EXPECT_EQ(m.do_reset(), kResetCycles);
+}
+
+TEST(Table6, UserPushTakesThreeCycles) {
+  LabelStackModifier m;
+  EXPECT_EQ(m.user_push(entry(100)), kUserPushCycles);
+  EXPECT_EQ(m.stack_size(), 1u);
+}
+
+TEST(Table6, UserPopTakesThreeCycles) {
+  LabelStackModifier m;
+  m.user_push(entry(100));
+  EXPECT_EQ(m.user_pop(), kUserPopCycles);
+  EXPECT_EQ(m.stack_size(), 0u);
+}
+
+TEST(Table6, WriteLabelPairTakesThreeCycles) {
+  LabelStackModifier m;
+  EXPECT_EQ(m.write_pair(1, LabelPair{600, 500, LabelOp::kSwap}),
+            kWritePairCycles);
+  EXPECT_EQ(m.level_count(1), 1u);
+}
+
+TEST(Table6, SearchMissCostsThreeNPlusFive) {
+  LabelStackModifier m;
+  for (rtl::u32 i = 0; i < 10; ++i) {
+    m.write_pair(2, LabelPair{i + 1, 500 + i, LabelOp::kSwap});
+  }
+  const auto r = m.search(2, 27);  // absent (Figure 16 scenario)
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.cycles, search_cycles(10));
+}
+
+TEST(Table6, SearchHitCostsThreeKPlusFive) {
+  LabelStackModifier m;
+  for (rtl::u32 i = 0; i < 10; ++i) {
+    m.write_pair(1, LabelPair{600 + i, 500 + i, LabelOp::kSwap});
+  }
+  // Figure 14 scenario: packet identifier 604 is the 5th entry.
+  const auto r = m.search(1, 604);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.label, 504u);
+  EXPECT_EQ(r.cycles, search_cycles(5));
+}
+
+TEST(Table6, SearchEmptyLevelCostsFive) {
+  LabelStackModifier m;
+  const auto r = m.search(3, 42);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.cycles, search_cycles(0));
+}
+
+TEST(Table6, SwapFromInfoBaseTailIsSixCycles) {
+  LabelStackModifier m;
+  // One label on the stack; its swap entry is the only pair at level 2,
+  // so the search examines exactly one entry.
+  m.user_push(entry(40, /*cos=*/3, /*ttl=*/64));
+  m.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  const auto r = m.update(2, RouterType::kLsr, /*packet_id=*/0);
+  EXPECT_FALSE(r.discarded);
+  EXPECT_EQ(r.cycles, update_swap_cycles(1));
+  EXPECT_EQ(r.cycles - search_cycles(1), kSwapTailCycles);
+  const auto view = m.stack_view();
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.top().label, 77u);
+  EXPECT_EQ(view.top().ttl, 63u);  // decremented
+  EXPECT_EQ(view.top().cos, 3u);   // CoS preserved
+}
+
+TEST(Table6, WorstCaseIs6167Cycles) {
+  // Section 4: "the worst case number of cycles required to reset the
+  // architecture, push three stack entries, fill an entire level with
+  // 1024 label pairs and perform a swap would be 6167 cycles."
+  LabelStackModifier m;
+  rtl::u64 total = 0;
+  total += m.do_reset();
+  for (int i = 0; i < 3; ++i) {
+    total += m.user_push(entry(1000 + static_cast<rtl::u32>(i)));
+  }
+  // Fill level 3 so the swap's search scans all 1024 entries; the last
+  // pair matches the top of the stack (worst-position hit).
+  for (rtl::u32 i = 0; i < 1023; ++i) {
+    total += m.write_pair(3, LabelPair{2000 + i, 3000 + i, LabelOp::kSwap});
+  }
+  total += m.write_pair(3, LabelPair{1002, 4242, LabelOp::kSwap});
+  const auto r = m.update(3, RouterType::kLsr, 0);
+  EXPECT_FALSE(r.discarded);
+  total += r.cycles;
+  EXPECT_EQ(total, worst_case_cycles(1024));
+  EXPECT_EQ(total, 6167u);
+}
+
+TEST(Timing, PopTailIsSixCycles) {
+  LabelStackModifier m;
+  m.user_push(entry(10));
+  m.user_push(entry(20));
+  m.write_pair(2, LabelPair{20, 0, LabelOp::kPop});
+  const auto r = m.update(2, RouterType::kLsr, 0);
+  EXPECT_FALSE(r.discarded);
+  EXPECT_EQ(r.cycles, update_pop_cycles(1));
+}
+
+TEST(Timing, NestedPushTailIsSevenCycles) {
+  LabelStackModifier m;
+  m.user_push(entry(10));
+  m.write_pair(2, LabelPair{10, 99, LabelOp::kPush});
+  const auto r = m.update(2, RouterType::kLsr, 0);
+  EXPECT_FALSE(r.discarded);
+  EXPECT_EQ(r.cycles, update_push_cycles(1, /*stack_was_empty=*/false));
+  EXPECT_EQ(m.stack_size(), 2u);
+}
+
+TEST(Timing, IngressPushTailIsSixCycles) {
+  LabelStackModifier m;
+  m.write_pair(1, LabelPair{0xC0A80001, 55, LabelOp::kPush});
+  const auto r =
+      m.update(1, RouterType::kLer, 0xC0A80001, /*cos=*/5, /*ttl=*/64);
+  EXPECT_FALSE(r.discarded);
+  EXPECT_EQ(r.cycles, update_push_cycles(1, /*stack_was_empty=*/true));
+  const auto view = m.stack_view();
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.top().label, 55u);
+  EXPECT_EQ(view.top().cos, 5u);
+  EXPECT_EQ(view.top().ttl, 63u);
+}
+
+TEST(Timing, UpdateMissCostsSearchPlusTwo) {
+  LabelStackModifier m;
+  m.user_push(entry(10));
+  for (rtl::u32 i = 0; i < 4; ++i) {
+    m.write_pair(2, LabelPair{100 + i, 200 + i, LabelOp::kSwap});
+  }
+  const auto r = m.update(2, RouterType::kLsr, 0);
+  EXPECT_TRUE(r.discarded);
+  EXPECT_EQ(r.cycles, update_miss_cycles(4));
+  EXPECT_EQ(m.stack_size(), 0u);  // discard resets the stack
+}
+
+TEST(Timing, SearchIsLinearInEntriesExamined) {
+  LabelStackModifier m;
+  for (rtl::u32 i = 0; i < 64; ++i) {
+    m.write_pair(2, LabelPair{i + 1, 500 + i, LabelOp::kSwap});
+  }
+  for (rtl::u32 k : {1u, 2u, 8u, 32u, 64u}) {
+    const auto r = m.search(2, k);
+    ASSERT_TRUE(r.found) << "key " << k;
+    EXPECT_EQ(r.cycles, search_cycles(k)) << "key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace empls::hw

@@ -1,0 +1,128 @@
+// ctest-level verification of the paper's evaluation artifacts
+// (Figures 14-16 narratives and the Section 4 worst case), so the
+// reproduction is covered by the test suite as well as by the bench
+// binaries.
+#include <gtest/gtest.h>
+
+#include "hw/cycle_model.hpp"
+#include "hw/label_stack_modifier.hpp"
+#include "rtl/clock_model.hpp"
+#include "rtl/trace.hpp"
+
+namespace empls::hw {
+namespace {
+
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+LabelOp figure_op(unsigned i) {
+  static constexpr LabelOp kCycle[3] = {LabelOp::kPush, LabelOp::kSwap,
+                                        LabelOp::kPop};
+  return kCycle[i % 3];
+}
+
+struct FigureRig {
+  LabelStackModifier modifier;
+  rtl::TraceRecorder trace{modifier.sim()};
+
+  explicit FigureRig(unsigned level) {
+    modifier.attach_figure_probes(trace, level);
+  }
+
+  void write_ten(unsigned level, rtl::u32 first_index) {
+    for (rtl::u32 i = 0; i < 10; ++i) {
+      modifier.write_pair(level,
+                          LabelPair{first_index + i, 500 + i, figure_op(i)});
+    }
+  }
+};
+
+TEST(Figure14, Level1WriteAndLookup) {
+  FigureRig rig(1);
+  rig.write_ten(1, 600);
+  EXPECT_EQ(rig.modifier.level_count(1), 10u);
+
+  const std::size_t lookup_start = rig.trace.num_samples();
+  const auto r = rig.modifier.search(1, 604);
+  rig.modifier.sim().run(3);
+
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.label, 504u) << "'The new label (504) ... then appear'";
+  EXPECT_EQ(r.operation, 3u) << "'... and operation (3)'";
+  EXPECT_EQ(r.cycles, search_cycles(5));
+
+  const long done = rig.trace.find_first("lookup_done", 1, lookup_start);
+  ASSERT_GE(done, 0);
+  EXPECT_EQ(rig.trace.value("lookup_done", done + 1), 0u)
+      << "'goes high for a clock cycle'";
+  EXPECT_EQ(rig.trace.value("r_index", done), 4u)
+      << "'stops at the index of the correct entry'";
+  EXPECT_LT(rig.trace.find_first("packetdiscard", 1, lookup_start), 0)
+      << "'the packetdiscard signal remains low'";
+}
+
+TEST(Figure15, Level2WriteAndLookup) {
+  FigureRig rig(2);
+  rig.write_ten(2, 1);
+  const std::size_t lookup_start = rig.trace.num_samples();
+  const auto r = rig.modifier.search(2, 4);
+  rig.modifier.sim().run(3);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.label, 503u);
+  EXPECT_EQ(r.cycles, search_cycles(4));
+  EXPECT_GE(rig.trace.find_first("lookup_done", 1, lookup_start), 0);
+  EXPECT_LT(rig.trace.find_first("packetdiscard", 1, lookup_start), 0);
+}
+
+TEST(Figure16, LookupMissDiscards) {
+  FigureRig rig(2);
+  rig.write_ten(2, 1);
+  const auto primed = rig.modifier.search(2, 7);  // set label_out
+  const std::size_t lookup_start = rig.trace.num_samples();
+  const auto r = rig.modifier.search(2, 27);
+  rig.modifier.sim().run(3);
+
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.cycles, search_cycles(10))
+      << "'r_index iterates to process all label pairs'";
+  const long done = rig.trace.find_first("lookup_done", 1, lookup_start);
+  const long discard =
+      rig.trace.find_first("packetdiscard", 1, lookup_start);
+  EXPECT_EQ(done, discard)
+      << "'lookup_done and packetdiscard signals are sent high'";
+  ASSERT_GE(done, 0);
+  EXPECT_EQ(rig.trace.value("label_out", done), primed.label)
+      << "'label_out and operation_out remain unchanged'";
+  EXPECT_EQ(rig.trace.value("operation_out", done), primed.operation);
+}
+
+TEST(Section4, WorstCaseTiming) {
+  LabelStackModifier m;
+  rtl::u64 total = m.do_reset();
+  for (rtl::u32 i = 0; i < 3; ++i) {
+    total += m.user_push(mpls::LabelEntry{100 + i, 0, false, 255});
+  }
+  for (rtl::u32 i = 0; i < 1023; ++i) {
+    total += m.write_pair(3, LabelPair{5000 + i, 0, LabelOp::kSwap});
+  }
+  total += m.write_pair(3, LabelPair{102, 4242, LabelOp::kSwap});
+  const auto upd = m.update(3, RouterType::kLsr, 0);
+  ASSERT_FALSE(upd.discarded);
+  total += upd.cycles;
+  EXPECT_EQ(total, 6167u);
+  const rtl::ClockModel clock;
+  EXPECT_NEAR(clock.milliseconds(total), 0.123, 0.001)
+      << "'approximately 0.123 ms' on the 50 MHz Stratix";
+}
+
+TEST(Figures, VcdFilesAreWritable) {
+  FigureRig rig(1);
+  rig.write_ten(1, 600);
+  rig.modifier.search(1, 604);
+  const std::string path = ::testing::TempDir() + "/fig14_test.vcd";
+  EXPECT_TRUE(rig.trace.write_vcd(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace empls::hw

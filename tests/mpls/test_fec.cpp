@@ -1,0 +1,149 @@
+// Unit + property tests for FEC prefixes and the longest-prefix-match
+// trie, cross-checked against a brute-force reference.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "mpls/fec.hpp"
+
+namespace empls::mpls {
+namespace {
+
+Prefix pfx(const char* text) {
+  const auto p = Prefix::parse(text);
+  EXPECT_TRUE(p.has_value()) << text;
+  return *p;
+}
+
+Ipv4Address addr(const char* text) { return *Ipv4Address::parse(text); }
+
+TEST(Prefix, ParseAndCanonicalise) {
+  const Prefix p = pfx("10.1.2.3/16");
+  EXPECT_EQ(p.network.to_string(), "10.1.0.0") << "host bits cleared";
+  EXPECT_EQ(p.length, 16u);
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::parse("10.0.0/8"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Prefix::parse("/8"));
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p = pfx("192.168.0.0/16");
+  EXPECT_TRUE(p.contains(addr("192.168.255.1")));
+  EXPECT_FALSE(p.contains(addr("192.169.0.1")));
+  EXPECT_TRUE(pfx("0.0.0.0/0").contains(addr("8.8.8.8")));
+  EXPECT_TRUE(pfx("10.1.2.3/32").contains(addr("10.1.2.3")));
+  EXPECT_FALSE(pfx("10.1.2.3/32").contains(addr("10.1.2.4")));
+}
+
+TEST(FecTable, LongestPrefixWins) {
+  FecTable t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  t.insert(pfx("10.1.0.0/16"), 2);
+  t.insert(pfx("10.1.2.0/24"), 3);
+  EXPECT_EQ(t.lookup(addr("10.1.2.3")), 3u);
+  EXPECT_EQ(t.lookup(addr("10.1.9.9")), 2u);
+  EXPECT_EQ(t.lookup(addr("10.200.0.1")), 1u);
+  EXPECT_FALSE(t.lookup(addr("11.0.0.1")).has_value());
+}
+
+TEST(FecTable, DefaultRoute) {
+  FecTable t;
+  t.insert(pfx("0.0.0.0/0"), 99);
+  t.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_EQ(t.lookup(addr("8.8.8.8")), 99u);
+  EXPECT_EQ(t.lookup(addr("10.0.0.1")), 1u);
+}
+
+TEST(FecTable, InsertReturnsPrevious) {
+  FecTable t;
+  EXPECT_FALSE(t.insert(pfx("10.0.0.0/8"), 1).has_value());
+  EXPECT_EQ(t.insert(pfx("10.0.0.0/8"), 2), 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(addr("10.0.0.1")), 2u);
+}
+
+TEST(FecTable, EraseExactOnly) {
+  FecTable t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  t.insert(pfx("10.1.0.0/16"), 2);
+  EXPECT_FALSE(t.erase(pfx("10.0.0.0/9"))) << "not present";
+  EXPECT_TRUE(t.erase(pfx("10.1.0.0/16")));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(addr("10.1.2.3")), 1u) << "falls back to the /8";
+  EXPECT_FALSE(t.erase(pfx("10.1.0.0/16"))) << "double erase";
+}
+
+TEST(FecTable, LookupExact) {
+  FecTable t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_EQ(t.lookup_exact(pfx("10.0.0.0/8")), 1u);
+  EXPECT_FALSE(t.lookup_exact(pfx("10.0.0.0/16")).has_value());
+}
+
+TEST(FecTable, EntriesEnumeratesSorted) {
+  FecTable t;
+  t.insert(pfx("192.168.0.0/16"), 3);
+  t.insert(pfx("10.0.0.0/8"), 1);
+  t.insert(pfx("10.1.0.0/16"), 2);
+  const auto entries = t.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(entries[1].first.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(entries[2].first.to_string(), "192.168.0.0/16");
+}
+
+// Property: the trie agrees with a brute-force longest-match scan over
+// random prefix sets and random probe addresses.
+class FecProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FecProperty, MatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  FecTable t;
+  std::vector<std::pair<Prefix, std::uint32_t>> reference;
+  for (int i = 0; i < 60; ++i) {
+    Prefix p;
+    p.network = Ipv4Address{static_cast<std::uint32_t>(rng())};
+    p.length = static_cast<std::uint8_t>(rng() % 33);
+    p = p.canonical();
+    const std::uint32_t id = static_cast<std::uint32_t>(i + 1);
+    // Keep the reference consistent with overwrite semantics.
+    bool replaced = false;
+    for (auto& [rp, rid] : reference) {
+      if (rp == p) {
+        rid = id;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      reference.emplace_back(p, id);
+    }
+    t.insert(p, id);
+  }
+  ASSERT_EQ(t.size(), reference.size());
+  for (int probe = 0; probe < 2000; ++probe) {
+    const Ipv4Address a{static_cast<std::uint32_t>(rng())};
+    std::optional<std::uint32_t> best;
+    int best_len = -1;
+    for (const auto& [p, id] : reference) {
+      if (p.contains(a) && p.length > best_len) {
+        best = id;
+        best_len = p.length;
+      }
+    }
+    EXPECT_EQ(t.lookup(a), best) << "probe " << a.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FecProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace empls::mpls

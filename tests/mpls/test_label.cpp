@@ -1,0 +1,116 @@
+// Unit + property tests for the 32-bit label stack entry codec
+// (Figure 5 / RFC 3032 layout).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mpls/label.hpp"
+#include "mpls/operations.hpp"
+
+namespace empls::mpls {
+namespace {
+
+TEST(LabelEntry, EncodeMatchesWireLayout) {
+  // label=1, CoS=0, S=0, TTL=0 -> label occupies bits 12..31.
+  EXPECT_EQ(encode(LabelEntry{1, 0, false, 0}), 1u << 12);
+  // CoS occupies bits 9..11.
+  EXPECT_EQ(encode(LabelEntry{0, 7, false, 0}), 7u << 9);
+  // S is bit 8.
+  EXPECT_EQ(encode(LabelEntry{0, 0, true, 0}), 1u << 8);
+  // TTL is the low byte.
+  EXPECT_EQ(encode(LabelEntry{0, 0, false, 255}), 255u);
+}
+
+TEST(LabelEntry, FieldWidthsMatchThePaper) {
+  // "20 BITS | 3 BITS | 1 BIT | 8 BITS" (Figure 5).
+  EXPECT_EQ(kLabelBits, 20u);
+  EXPECT_EQ(kCosBits, 3u);
+  EXPECT_EQ(kTtlBits, 8u);
+  EXPECT_EQ(kMaxLabel, 0xFFFFFu);
+  EXPECT_EQ(kMaxCos, 7u);
+}
+
+TEST(LabelEntry, DecodeExtractsAllFields) {
+  const LabelEntry e = decode((0xABCDEu << 12) | (5u << 9) | (1u << 8) | 64u);
+  EXPECT_EQ(e.label, 0xABCDEu);
+  EXPECT_EQ(e.cos, 5u);
+  EXPECT_TRUE(e.bottom);
+  EXPECT_EQ(e.ttl, 64u);
+}
+
+TEST(LabelEntry, EncodeTruncatesOverwideFields) {
+  const LabelEntry e{0x1FFFFF, 0xF, false, 255};
+  const LabelEntry back = decode(encode(e));
+  EXPECT_EQ(back.label, 0xFFFFFu);
+  EXPECT_EQ(back.cos, 7u);
+}
+
+TEST(LabelEntry, WellFormedness) {
+  EXPECT_TRUE(is_well_formed(LabelEntry{kMaxLabel, kMaxCos, true, 255}));
+  EXPECT_FALSE(is_well_formed(LabelEntry{kMaxLabel + 1, 0, false, 0}));
+  EXPECT_FALSE(is_well_formed(LabelEntry{0, 8, false, 0}));
+}
+
+TEST(LabelEntry, ReservedLabels) {
+  EXPECT_TRUE(is_reserved_label(kLabelIpv4ExplicitNull));
+  EXPECT_TRUE(is_reserved_label(kLabelRouterAlert));
+  EXPECT_TRUE(is_reserved_label(kLabelImplicitNull));
+  EXPECT_TRUE(is_reserved_label(15));
+  EXPECT_FALSE(is_reserved_label(kFirstUnreservedLabel));
+  EXPECT_FALSE(is_reserved_label(kMaxLabel));
+}
+
+TEST(LabelEntry, ToStringIsReadable) {
+  EXPECT_EQ(to_string(LabelEntry{42, 5, true, 64}),
+            "label=42 cos=5 S=1 ttl=64");
+}
+
+// Property: encode/decode round-trips every well-formed entry.  Sweep
+// the field corners exhaustively and the interior randomly.
+class LabelCodecRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LabelCodecRoundTrip, CornerLabels) {
+  const std::uint32_t label = GetParam();
+  for (std::uint8_t cos : {0, 3, 7}) {
+    for (bool bottom : {false, true}) {
+      for (std::uint8_t ttl : {0, 1, 64, 255}) {
+        const LabelEntry e{label, cos, bottom, ttl};
+        EXPECT_EQ(decode(encode(e)), e);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corners, LabelCodecRoundTrip,
+                         ::testing::Values(0u, 1u, 15u, 16u, 0x7FFFFu,
+                                           0x80000u, 0xFFFFEu, 0xFFFFFu));
+
+TEST(LabelCodecProperty, RandomRoundTrip) {
+  std::mt19937 rng(20050415);  // IPPS 2005
+  for (int i = 0; i < 10000; ++i) {
+    LabelEntry e;
+    e.label = rng() & kMaxLabel;
+    e.cos = static_cast<std::uint8_t>(rng() & kMaxCos);
+    e.bottom = (rng() & 1) != 0;
+    e.ttl = static_cast<std::uint8_t>(rng() & 0xFF);
+    EXPECT_EQ(decode(encode(e)), e);
+    // And the inverse: decoding any 32-bit word and re-encoding is
+    // the identity on the word.
+    const std::uint32_t w = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(encode(decode(w)), w);
+  }
+}
+
+TEST(Operations, EncodingIsTwoBits) {
+  EXPECT_EQ(kOperationBits, 2u);
+  EXPECT_TRUE(is_valid_op(0));
+  EXPECT_TRUE(is_valid_op(3));
+  EXPECT_FALSE(is_valid_op(4));
+  EXPECT_EQ(to_string(LabelOp::kNop), "NOP");
+  EXPECT_EQ(to_string(LabelOp::kPush), "PUSH");
+  EXPECT_EQ(to_string(LabelOp::kPop), "POP");
+  EXPECT_EQ(to_string(LabelOp::kSwap), "SWAP");
+}
+
+}  // namespace
+}  // namespace empls::mpls

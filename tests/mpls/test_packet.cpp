@@ -1,0 +1,148 @@
+// Unit + property tests for packets and IPv4 addresses: wire round
+// trips and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mpls/packet.hpp"
+
+namespace empls::mpls {
+namespace {
+
+TEST(Ipv4Address, ParseAndFormat) {
+  const auto a = Ipv4Address::parse("192.168.1.17");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value, 0xC0A80111u);
+  EXPECT_EQ(a->to_string(), "192.168.1.17");
+  EXPECT_EQ(Ipv4Address::from_octets(10, 0, 0, 1).value, 0x0A000001u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+}
+
+TEST(Packet, PacketIdentifierIsDestination) {
+  // "For IP packets, the packet identifier is typically the destination
+  // address."
+  Packet p;
+  p.dst = *Ipv4Address::parse("10.1.2.3");
+  EXPECT_EQ(p.packet_identifier(), 0x0A010203u);
+}
+
+TEST(Packet, UnlabeledRoundTrip) {
+  Packet p;
+  p.l2 = L2Type::kAtm;
+  p.src = *Ipv4Address::parse("1.2.3.4");
+  p.dst = *Ipv4Address::parse("5.6.7.8");
+  p.cos = 3;
+  p.ip_ttl = 17;
+  p.payload = {1, 2, 3, 4, 5};
+  const auto back = Packet::parse(p.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->l2, L2Type::kAtm);
+  EXPECT_EQ(back->src, p.src);
+  EXPECT_EQ(back->dst, p.dst);
+  EXPECT_EQ(back->cos, 3u);
+  EXPECT_EQ(back->ip_ttl, 17u);
+  EXPECT_EQ(back->payload, p.payload);
+  EXPECT_TRUE(back->stack.empty());
+}
+
+TEST(Packet, LabeledRoundTrip) {
+  Packet p;
+  p.stack.push(LabelEntry{100, 2, false, 60});
+  p.stack.push(LabelEntry{200, 5, false, 61});
+  p.payload = {0xAA};
+  const auto back = Packet::parse(p.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->stack, p.stack);
+  EXPECT_EQ(back->wire_size(), p.wire_size());
+}
+
+TEST(Packet, WireSizeAccounting) {
+  Packet p;
+  EXPECT_EQ(p.wire_size(), kPacketHeaderBytes);
+  p.payload.assign(100, 0);
+  p.stack.push(LabelEntry{1, 0, false, 64});
+  p.stack.push(LabelEntry{2, 0, false, 64});
+  EXPECT_EQ(p.wire_size(), kPacketHeaderBytes + 8 + 100);
+  EXPECT_EQ(p.serialize().size(), p.wire_size());
+}
+
+TEST(Packet, ParseRejectsMalformed) {
+  Packet p;
+  p.payload = {1, 2, 3};
+  auto good = p.serialize();
+
+  // Too short.
+  EXPECT_FALSE(Packet::parse(std::vector<std::uint8_t>(4, 0)));
+  // Bad L2 type.
+  auto bad = good;
+  bad[0] = 9;
+  EXPECT_FALSE(Packet::parse(bad));
+  // Length mismatch (extra trailing byte).
+  bad = good;
+  bad.push_back(0);
+  EXPECT_FALSE(Packet::parse(bad));
+  // Labeled flag set without a shim.
+  bad = good;
+  bad[1] = 1;
+  EXPECT_FALSE(Packet::parse(bad));
+  // Shim length not a multiple of 4.
+  bad = good;
+  bad[1] = 1;
+  bad[13] = 2;  // shim_len = 2
+  EXPECT_FALSE(Packet::parse(bad));
+}
+
+TEST(Packet, ParseRejectsCorruptedShim) {
+  Packet p;
+  p.stack.push(LabelEntry{7, 0, false, 64});
+  auto bytes = p.serialize();
+  // Clear the S bit of the only entry: the shim never terminates.
+  bytes[kPacketHeaderBytes + 2] &= static_cast<std::uint8_t>(~1u);
+  EXPECT_FALSE(Packet::parse(bytes));
+}
+
+TEST(PacketProperty, RandomRoundTrips) {
+  std::mt19937 rng(777);
+  for (int i = 0; i < 2000; ++i) {
+    Packet p;
+    p.l2 = static_cast<L2Type>(rng() % 3);
+    p.src = Ipv4Address{static_cast<std::uint32_t>(rng())};
+    p.dst = Ipv4Address{static_cast<std::uint32_t>(rng())};
+    p.cos = static_cast<std::uint8_t>(rng() & 7);
+    p.ip_ttl = static_cast<std::uint8_t>(rng());
+    const auto depth = rng() % 4;
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      p.stack.push(LabelEntry{static_cast<std::uint32_t>(rng() & kMaxLabel),
+                              static_cast<std::uint8_t>(rng() & 7), false,
+                              static_cast<std::uint8_t>(rng())});
+    }
+    p.payload.resize(rng() % 64);
+    for (auto& b : p.payload) {
+      b = static_cast<std::uint8_t>(rng());
+    }
+    const auto back = Packet::parse(p.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->stack, p.stack);
+    EXPECT_EQ(back->payload, p.payload);
+    EXPECT_EQ(back->src, p.src);
+    EXPECT_EQ(back->dst, p.dst);
+  }
+}
+
+TEST(L2Type, Names) {
+  EXPECT_EQ(to_string(L2Type::kEthernet), "Ethernet");
+  EXPECT_EQ(to_string(L2Type::kAtm), "ATM");
+  EXPECT_EQ(to_string(L2Type::kFrameRelay), "FrameRelay");
+}
+
+}  // namespace
+}  // namespace empls::mpls

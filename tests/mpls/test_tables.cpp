@@ -1,0 +1,116 @@
+// Unit tests for the software forwarding tables (ILM, FTN) and the
+// label allocator.
+#include <gtest/gtest.h>
+
+#include "mpls/tables.hpp"
+
+namespace empls::mpls {
+namespace {
+
+TEST(IlmTable, BindLookupUnbind) {
+  IlmTable ilm;
+  const Nhlfe n1{LabelOp::kSwap, 200, 3};
+  EXPECT_FALSE(ilm.bind(100, n1).has_value());
+  EXPECT_EQ(ilm.lookup(100), n1);
+  EXPECT_FALSE(ilm.lookup(101).has_value());
+
+  const Nhlfe n2{LabelOp::kPop, 0, kLocalDeliver};
+  const auto previous = ilm.bind(100, n2);
+  ASSERT_TRUE(previous.has_value());
+  EXPECT_EQ(*previous, n1);
+  EXPECT_EQ(ilm.lookup(100), n2);
+
+  EXPECT_TRUE(ilm.unbind(100));
+  EXPECT_FALSE(ilm.unbind(100));
+  EXPECT_EQ(ilm.size(), 0u);
+}
+
+TEST(IlmTable, ToLabelPairsIsSortedAndComplete) {
+  IlmTable ilm;
+  ilm.bind(300, Nhlfe{LabelOp::kSwap, 301, 0});
+  ilm.bind(100, Nhlfe{LabelOp::kPop, 0, kLocalDeliver});
+  ilm.bind(200, Nhlfe{LabelOp::kPush, 201, 1});
+  const auto pairs = ilm.to_label_pairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (LabelPair{100, 0, LabelOp::kPop}));
+  EXPECT_EQ(pairs[1], (LabelPair{200, 201, LabelOp::kPush}));
+  EXPECT_EQ(pairs[2], (LabelPair{300, 301, LabelOp::kSwap}));
+}
+
+TEST(FtnTable, BindLookupUnbind) {
+  FtnTable ftn;
+  const Nhlfe n{LabelOp::kPush, 55, 2};
+  EXPECT_FALSE(ftn.bind(7, n).has_value());
+  EXPECT_EQ(ftn.lookup(7), n);
+  const auto previous = ftn.bind(7, Nhlfe{LabelOp::kPush, 56, 2});
+  ASSERT_TRUE(previous.has_value());
+  EXPECT_EQ(previous->out_label, 55u);
+  EXPECT_TRUE(ftn.unbind(7));
+  EXPECT_EQ(ftn.size(), 0u);
+}
+
+TEST(Nhlfe, ToStringIsReadable) {
+  EXPECT_EQ((Nhlfe{LabelOp::kSwap, 42, 3}).to_string(),
+            "nhlfe{SWAP out_label=42 -> if3}");
+  EXPECT_EQ((Nhlfe{LabelOp::kPop, 0, kLocalDeliver}).to_string(),
+            "nhlfe{POP -> local}");
+}
+
+TEST(LabelAllocator, AllocatesSequentiallyFromBase) {
+  LabelAllocator a(100);
+  EXPECT_EQ(a.allocate(), 100u);
+  EXPECT_EQ(a.allocate(), 101u);
+  EXPECT_EQ(a.allocated(), 2u);
+  EXPECT_TRUE(a.is_allocated(100));
+  EXPECT_FALSE(a.is_allocated(102));
+}
+
+TEST(LabelAllocator, DefaultBaseSkipsReservedRange) {
+  LabelAllocator a;
+  EXPECT_EQ(a.allocate(), kFirstUnreservedLabel);
+}
+
+TEST(LabelAllocator, ReserveBlocksAllocate) {
+  LabelAllocator a(16);
+  EXPECT_TRUE(a.reserve(17));
+  EXPECT_EQ(a.allocate(), 16u);
+  EXPECT_EQ(a.allocate(), 18u) << "17 was reserved, allocator skips it";
+}
+
+TEST(LabelAllocator, ReserveRejectsInUseAndOutOfRange) {
+  LabelAllocator a(16);
+  a.allocate();  // 16
+  EXPECT_FALSE(a.reserve(16)) << "already allocated";
+  EXPECT_FALSE(a.reserve(5)) << "reserved label range (0..15)";
+  EXPECT_FALSE(a.reserve(kMaxLabel + 1)) << "out of the 20-bit space";
+  EXPECT_TRUE(a.reserve(kMaxLabel));
+}
+
+TEST(LabelAllocator, ReleaseMakesReservable) {
+  LabelAllocator a(16);
+  const auto l = a.allocate();
+  ASSERT_TRUE(l.has_value());
+  a.release(*l);
+  EXPECT_FALSE(a.is_allocated(*l));
+  EXPECT_TRUE(a.reserve(*l));
+}
+
+TEST(LabelAllocator, ExhaustionReturnsNullopt) {
+  // Start near the top of the 20-bit space so exhaustion is reachable.
+  LabelAllocator a(kMaxLabel - 2);
+  EXPECT_TRUE(a.allocate().has_value());
+  EXPECT_TRUE(a.allocate().has_value());
+  EXPECT_TRUE(a.allocate().has_value());
+  EXPECT_FALSE(a.allocate().has_value());
+}
+
+TEST(LabelAllocator, DoubleReleaseIsIgnored) {
+  LabelAllocator a(16);
+  const auto l = a.allocate();
+  a.release(*l);
+  a.release(*l);
+  EXPECT_EQ(a.allocated(), 0u);
+}
+
+}  // namespace
+}  // namespace empls::mpls

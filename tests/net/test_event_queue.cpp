@@ -1,0 +1,76 @@
+// Unit tests for the discrete-event scheduler: ordering, determinism,
+// bounded runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/event_queue.hpp"
+
+namespace empls::net {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesRunInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) {
+      q.schedule_in(0.5, chain);
+    }
+  };
+  q.schedule_at(0.0, chain);
+  q.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 4.5);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsQueued) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 2.0) << "time advances to the horizon";
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double seen = -1;
+  q.schedule_at(2.0, [&] { q.schedule_in(1.5, [&] { seen = q.now(); }); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 3.5);
+}
+
+TEST(EventQueue, EmptyQueueRunIsNoop) {
+  EventQueue q;
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,153 @@
+// Tests for hello-based failure detection and automatic LSP restoration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/embedded_router.hpp"
+#include "net/failure_detector.hpp"
+#include "net/stats.hpp"
+#include "net/traffic.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::net {
+namespace {
+
+struct Rig {
+  Network net;
+  ControlPlane cp{net};
+  FlowStats stats;
+  NodeId a, b, c, d;
+
+  Rig() {
+    auto add = [&](const char* name, hw::RouterType type) {
+      core::RouterConfig cfg;
+      cfg.type = type;
+      auto r = std::make_unique<core::EmbeddedRouter>(
+          name, std::make_unique<sw::LinearEngine>(), cfg);
+      auto* raw = r.get();
+      const auto id = net.add_node(std::move(r));
+      cp.register_router(id, &raw->routing());
+      return id;
+    };
+    a = add("A", hw::RouterType::kLer);
+    b = add("B", hw::RouterType::kLsr);
+    c = add("C", hw::RouterType::kLsr);
+    d = add("D", hw::RouterType::kLer);
+    net.connect(a, b, 100e6, 1e-3);
+    net.connect(b, d, 100e6, 1e-3);   // primary
+    net.connect(b, c, 100e6, 2e-3);   // protection
+    net.connect(c, d, 100e6, 2e-3);
+    net.set_delivery_handler([this](NodeId, const mpls::Packet& p) {
+      stats.on_delivered(p, net.now());
+    });
+  }
+};
+
+mpls::Prefix pfx(const char* t) { return *mpls::Prefix::parse(t); }
+
+TEST(FailureDetector, DetectsAndReroutesWithinDeadInterval) {
+  Rig rig;
+  const auto lsp = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                        pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp.has_value());
+
+  FailureDetector fd(rig.net, rig.cp, /*hello=*/10e-3,
+                     /*dead_multiplier=*/3);
+  fd.watch_all();
+  fd.start(/*stop_at=*/1.0);
+  EXPECT_DOUBLE_EQ(fd.detection_time(), 30e-3);
+
+  // Probe flow: 1000 pps.
+  FlowSpec spec{1, rig.a, mpls::Ipv4Address{1},
+                *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 0.9999};
+  CbrSource probe(rig.net, spec, &rig.stats, 1e-3);
+  probe.start();
+
+  rig.net.events().schedule_at(0.5, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.run();
+
+  // Exactly one failure declared, the LSP rerouted over B-C-D.
+  ASSERT_EQ(fd.events().size(), 1u);
+  const auto& event = fd.events()[0];
+  EXPECT_EQ(event.rerouted, 1u);
+  EXPECT_EQ(event.unrestorable, 0u);
+  EXPECT_GE(event.detected_at, 0.5 + 2 * 10e-3);
+  EXPECT_LE(event.detected_at, 0.5 + 4 * 10e-3);
+
+  // Loss is bounded by the detection window (~30 ms at 1000 pps, plus
+  // in-flight packets).
+  const auto& flow = rig.stats.flow(1);
+  const auto lost = flow.sent - flow.delivered;
+  EXPECT_GE(lost, 18u);  // >= 2 hello periods of blackholing
+  EXPECT_LE(lost, 45u);
+}
+
+TEST(FailureDetector, UnrestorableWhenNoAlternative) {
+  Rig rig;
+  // An LSP that must use A-B; kill A-B and nothing can replace it.
+  const auto lsp = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                        pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp.has_value());
+  FailureDetector fd(rig.net, rig.cp, 10e-3, 2);
+  fd.watch(rig.a, rig.b);
+  fd.start(0.5);
+  rig.net.set_connection_up(rig.a, rig.b, false);
+  rig.net.run();
+  ASSERT_EQ(fd.events().size(), 1u);
+  EXPECT_EQ(fd.events()[0].rerouted, 0u);
+  EXPECT_EQ(fd.events()[0].unrestorable, 1u);
+}
+
+TEST(FailureDetector, RecoveryReArmsDetection) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.d}, pfx("10.1.0.0/16"));
+  FailureDetector fd(rig.net, rig.cp, 10e-3, 2);
+  fd.watch(rig.b, rig.d);
+  fd.start(1.0);
+  // Fail, restore, fail again: two distinct detections.
+  rig.net.events().schedule_at(0.1, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.events().schedule_at(0.3, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, true);
+  });
+  rig.net.events().schedule_at(0.5, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.run();
+  EXPECT_EQ(fd.events().size(), 2u);
+}
+
+TEST(FailureDetector, BlipShorterThanDeadIntervalIsIgnored) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.d}, pfx("10.1.0.0/16"));
+  FailureDetector fd(rig.net, rig.cp, 10e-3, 3);
+  fd.watch(rig.b, rig.d);
+  fd.start(0.5);
+  // Down for a single hello period only.
+  rig.net.events().schedule_at(0.1, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.events().schedule_at(0.115, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, true);
+  });
+  rig.net.run();
+  EXPECT_TRUE(fd.events().empty()) << "transient blips must not reroute";
+}
+
+TEST(FailureDetector, WatchAllCoversTheTopology) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.c, rig.d}, pfx("10.1.0.0/16"));
+  FailureDetector fd(rig.net, rig.cp, 10e-3, 2);
+  fd.watch_all();
+  fd.start(0.5);
+  rig.net.set_connection_up(rig.b, rig.c, false);  // middle of the path
+  rig.net.run();
+  ASSERT_EQ(fd.events().size(), 1u);
+  EXPECT_EQ(fd.events()[0].rerouted, 1u);
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,511 @@
+// Unit tests for the control plane: label distribution, CSPF, bandwidth
+// admission, tunnels, and teardown bookkeeping — against a scripted
+// MplsNode fake so programming calls can be inspected exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "net/ldp.hpp"
+#include "net/node.hpp"
+
+namespace empls::net {
+namespace {
+
+/// Inert node (the control plane never touches the data plane here).
+class DummyNode : public Node {
+ public:
+  explicit DummyNode(std::string name) : Node(std::move(name)) {}
+  void receive(mpls::Packet, mpls::InterfaceId) override {}
+};
+
+/// Records every programming call.
+class FakeRouter : public MplsNode {
+ public:
+  struct Entry {
+    std::string kind;
+    unsigned level;
+    rtl::u32 key;
+    rtl::u32 out_label;
+    mpls::InterfaceId port;
+  };
+
+  bool program_ingress_exact(rtl::u32 pid, rtl::u32 out_label,
+                             mpls::InterfaceId port) override {
+    entries.push_back({"ingress_exact", 1, pid, out_label, port});
+    return true;
+  }
+  bool program_ingress_prefix(const mpls::Prefix& fec, rtl::u32 out_label,
+                              mpls::InterfaceId port) override {
+    entries.push_back({"ingress_prefix", 1, fec.network.value, out_label,
+                       port});
+    return true;
+  }
+  bool program_swap(unsigned level, rtl::u32 in_label, rtl::u32 out_label,
+                    mpls::InterfaceId port) override {
+    entries.push_back({"swap", level, in_label, out_label, port});
+    return true;
+  }
+  bool program_pop(unsigned level, rtl::u32 in_label,
+                   mpls::InterfaceId port) override {
+    entries.push_back({"pop", level, in_label, 0, port});
+    return true;
+  }
+  bool program_push(unsigned level, rtl::u32 in_label, rtl::u32 outer,
+                    mpls::InterfaceId port) override {
+    entries.push_back({"push", level, in_label, outer, port});
+    return true;
+  }
+  bool program_local(const mpls::Prefix& fec) override {
+    entries.push_back({"local", 0, fec.network.value, 0, 0});
+    return true;
+  }
+  mpls::LabelAllocator& label_allocator() override { return alloc; }
+
+  std::vector<Entry> entries;
+  mpls::LabelAllocator alloc{16};
+};
+
+struct Rig {
+  Network net;
+  ControlPlane cp{net};
+  std::vector<std::unique_ptr<FakeRouter>> fakes;
+  std::vector<NodeId> ids;
+
+  NodeId add(const std::string& name) {
+    const auto id = net.add_node(std::make_unique<DummyNode>(name));
+    fakes.push_back(std::make_unique<FakeRouter>());
+    cp.register_router(id, fakes.back().get());
+    ids.push_back(id);
+    return id;
+  }
+  FakeRouter& fake(NodeId id) { return *fakes[id]; }
+};
+
+mpls::Prefix pfx(const char* t) { return *mpls::Prefix::parse(t); }
+
+TEST(ControlPlane, EstablishLspProgramsEveryHop) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+
+  const auto lsp = rig.cp.establish_lsp({a, b, c}, pfx("10.0.0.0/8"));
+  ASSERT_TRUE(lsp.has_value());
+  const auto& rec = rig.cp.lsp(*lsp);
+  ASSERT_EQ(rec.labels.size(), 2u);
+
+  // Ingress: prefix binding pushing the label B expects.
+  ASSERT_EQ(rig.fake(a).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(a).entries[0].kind, "ingress_prefix");
+  EXPECT_EQ(rig.fake(a).entries[0].out_label, rec.labels[0]);
+  // Transit: level-2 swap from B's label to C's.
+  ASSERT_EQ(rig.fake(b).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(b).entries[0].kind, "swap");
+  EXPECT_EQ(rig.fake(b).entries[0].level, 2u);
+  EXPECT_EQ(rig.fake(b).entries[0].key, rec.labels[0]);
+  EXPECT_EQ(rig.fake(b).entries[0].out_label, rec.labels[1]);
+  // Egress: pop to local delivery.
+  ASSERT_EQ(rig.fake(c).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(c).entries[0].kind, "pop");
+  EXPECT_EQ(rig.fake(c).entries[0].port, mpls::kLocalDeliver);
+
+  // Downstream allocation: each label owned by the receiving router.
+  EXPECT_TRUE(rig.fake(b).alloc.is_allocated(rec.labels[0]));
+  EXPECT_TRUE(rig.fake(c).alloc.is_allocated(rec.labels[1]));
+}
+
+TEST(ControlPlane, EstablishLspRejectsNonAdjacentPath) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);  // no B-C link
+  EXPECT_FALSE(rig.cp.establish_lsp({a, b, c}, pfx("10.0.0.0/8")));
+  EXPECT_TRUE(rig.fake(a).entries.empty()) << "nothing programmed on failure";
+  EXPECT_EQ(rig.fake(b).alloc.allocated(), 0u) << "no leaked labels";
+}
+
+TEST(ControlPlane, EstablishLspRejectsUnregisteredRouter) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto stranger = rig.net.add_node(std::make_unique<DummyNode>("S"));
+  rig.net.connect(a, stranger, 10e6, 1e-3);
+  EXPECT_FALSE(rig.cp.establish_lsp({a, stranger}, pfx("10.0.0.0/8")));
+}
+
+TEST(ControlPlane, BandwidthAdmissionAndReservation) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 10e6);
+  ASSERT_TRUE(rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8"), 6e6));
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 4e6);
+  EXPECT_FALSE(rig.cp.establish_lsp({a, b}, pfx("10.1.0.0/16"), 6e6))
+      << "admission control refuses over-subscription";
+  EXPECT_TRUE(rig.cp.establish_lsp({a, b}, pfx("10.1.0.0/16"), 4e6));
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 0.0);
+}
+
+TEST(ControlPlane, CspfPrefersLowDelayThenAvoidsFullLinks) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);   // direct, fast
+  rig.net.connect(a, c, 100e6, 5e-3);  // detour
+  rig.net.connect(c, b, 100e6, 5e-3);
+  const auto direct = rig.cp.compute_path(a, b, 0.0);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(*direct, (std::vector<NodeId>{a, b}));
+
+  // Fill the direct link; CSPF must detour.
+  ASSERT_TRUE(rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8"), 9e6));
+  const auto detour = rig.cp.compute_path(a, b, 5e6);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(*detour, (std::vector<NodeId>{a, c, b}));
+
+  // And when nothing fits, no path.
+  EXPECT_FALSE(rig.cp.compute_path(a, b, 200e6).has_value());
+}
+
+TEST(ControlPlane, CspfDisconnected) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  EXPECT_FALSE(rig.cp.compute_path(a, b).has_value());
+}
+
+TEST(ControlPlane, TunnelProgramsInteriorWithPhp) {
+  Rig rig;
+  const auto h = rig.add("head");
+  const auto x = rig.add("X");
+  const auto y = rig.add("Y");
+  const auto t = rig.add("tail");
+  rig.net.connect(h, x, 10e6, 1e-3);
+  rig.net.connect(x, y, 10e6, 1e-3);
+  rig.net.connect(y, t, 10e6, 1e-3);
+
+  const auto tunnel = rig.cp.establish_tunnel({h, x, y, t});
+  ASSERT_TRUE(tunnel.has_value());
+  const auto& rec = rig.cp.tunnel(*tunnel);
+  ASSERT_EQ(rec.outer_labels.size(), 2u);
+
+  // X swaps at level 3; Y pops toward the tail (PHP); the tail and head
+  // get nothing yet (the head push is installed per inner LSP).
+  ASSERT_EQ(rig.fake(x).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(x).entries[0].kind, "swap");
+  EXPECT_EQ(rig.fake(x).entries[0].level, 3u);
+  ASSERT_EQ(rig.fake(y).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(y).entries[0].kind, "pop");
+  EXPECT_EQ(rig.fake(y).entries[0].level, 3u);
+  EXPECT_NE(rig.fake(y).entries[0].port, mpls::kLocalDeliver);
+  EXPECT_TRUE(rig.fake(h).entries.empty());
+  EXPECT_TRUE(rig.fake(t).entries.empty());
+}
+
+TEST(ControlPlane, TunnelRequiresInteriorNode) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  EXPECT_FALSE(rig.cp.establish_tunnel({a, b}).has_value());
+}
+
+TEST(ControlPlane, LspViaTunnelReservesCrossingLabelAtBothEnds) {
+  Rig rig;
+  const auto ing = rig.add("ingress");
+  const auto h = rig.add("head");
+  const auto x = rig.add("X");
+  const auto t = rig.add("tail");
+  const auto egr = rig.add("egress");
+  rig.net.connect(ing, h, 10e6, 1e-3);
+  rig.net.connect(h, x, 10e6, 1e-3);
+  rig.net.connect(x, t, 10e6, 1e-3);
+  rig.net.connect(t, egr, 10e6, 1e-3);
+
+  const auto tunnel = rig.cp.establish_tunnel({h, x, t});
+  ASSERT_TRUE(tunnel.has_value());
+  const auto lsp = rig.cp.establish_lsp_via_tunnel({ing, h}, *tunnel,
+                                                   {t, egr},
+                                                   pfx("10.0.0.0/8"));
+  ASSERT_TRUE(lsp.has_value());
+  const auto& rec = rig.cp.lsp(*lsp);
+
+  // The crossing label (what the head keys its PUSH on) must be live at
+  // both the head and the tail, because the hardware re-pushes it
+  // unchanged through the tunnel.
+  ASSERT_EQ(rig.fake(h).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(h).entries[0].kind, "push");
+  const rtl::u32 crossing = rig.fake(h).entries[0].key;
+  EXPECT_TRUE(rig.fake(h).alloc.is_allocated(crossing));
+  EXPECT_TRUE(rig.fake(t).alloc.is_allocated(crossing));
+  // The head pushes the tunnel's first outer label.
+  EXPECT_EQ(rig.fake(h).entries[0].out_label,
+            rig.cp.tunnel(*tunnel).outer_labels[0]);
+  // The tail continues the inner LSP at level 2.
+  ASSERT_EQ(rig.fake(t).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(t).entries[0].kind, "swap");
+  EXPECT_EQ(rig.fake(t).entries[0].key, crossing);
+  // Full logical path recorded.
+  EXPECT_EQ(rec.path, (std::vector<NodeId>{ing, h, t, egr}));
+  EXPECT_EQ(rec.via_tunnel, tunnel);
+}
+
+TEST(ControlPlane, LspViaTunnelRejectsMismatchedEndpoints) {
+  Rig rig;
+  const auto ing = rig.add("ingress");
+  const auto h = rig.add("head");
+  const auto x = rig.add("X");
+  const auto t = rig.add("tail");
+  rig.net.connect(ing, h, 10e6, 1e-3);
+  rig.net.connect(h, x, 10e6, 1e-3);
+  rig.net.connect(x, t, 10e6, 1e-3);
+  const auto tunnel = rig.cp.establish_tunnel({h, x, t});
+  ASSERT_TRUE(tunnel.has_value());
+  // pre_path does not end at the tunnel head.
+  EXPECT_FALSE(rig.cp.establish_lsp_via_tunnel({ing, x}, *tunnel, {t},
+                                               pfx("10.0.0.0/8")));
+  // pre_path of one node (ingress == head) is unsupported: one operation
+  // per router visit.
+  EXPECT_FALSE(rig.cp.establish_lsp_via_tunnel({h}, *tunnel, {t},
+                                               pfx("10.0.0.0/8")));
+}
+
+TEST(ControlPlane, TeardownReleasesLabelsAndBandwidth) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  const auto lsp = rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8"), 4e6);
+  ASSERT_TRUE(lsp.has_value());
+  const auto label = rig.cp.lsp(*lsp).labels[0];
+  EXPECT_TRUE(rig.fake(b).alloc.is_allocated(label));
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 6e6);
+
+  rig.cp.teardown_lsp(*lsp);
+  EXPECT_FALSE(rig.fake(b).alloc.is_allocated(label));
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 10e6);
+}
+
+TEST(ControlPlane, PhpPopsAtThePenultimateHop) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+
+  LspOptions options;
+  options.php = true;
+  const auto lsp = rig.cp.establish_lsp({a, b, c}, pfx("10.0.0.0/8"),
+                                        options);
+  ASSERT_TRUE(lsp.has_value());
+  EXPECT_EQ(rig.cp.lsp(*lsp).labels.size(), 1u)
+      << "the egress never receives a label";
+
+  // B pops toward C (not locally); C gets the local prefix.
+  ASSERT_EQ(rig.fake(b).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(b).entries[0].kind, "pop");
+  EXPECT_NE(rig.fake(b).entries[0].port, mpls::kLocalDeliver);
+  ASSERT_EQ(rig.fake(c).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(c).entries[0].kind, "local");
+  EXPECT_EQ(rig.fake(c).alloc.allocated(), 0u);
+}
+
+TEST(ControlPlane, PhpRequiresThreeNodes) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  LspOptions options;
+  options.php = true;
+  EXPECT_FALSE(rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8"), options));
+}
+
+TEST(ControlPlane, MergingReusesTheSharedTail) {
+  //   A --.
+  //        M -- T   (two ingresses merge at M toward egress T)
+  //   B --'
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto m = rig.add("M");
+  const auto t = rig.add("T");
+  rig.net.connect(a, m, 10e6, 1e-3);
+  rig.net.connect(b, m, 10e6, 1e-3);
+  rig.net.connect(m, t, 10e6, 1e-3);
+
+  const auto fec = pfx("10.0.0.0/8");
+  const auto first = rig.cp.establish_lsp({a, m, t}, fec);
+  ASSERT_TRUE(first.has_value());
+  const auto merge_label = rig.cp.lsp(*first).labels[0];
+
+  LspOptions options;
+  options.allow_merge = true;
+  const auto second = rig.cp.establish_lsp({b, m, t}, fec, options);
+  ASSERT_TRUE(second.has_value());
+  const auto& rec = rig.cp.lsp(*second);
+  ASSERT_TRUE(rec.merged_at.has_value());
+  EXPECT_EQ(*rec.merged_at, 1u);
+  EXPECT_EQ(rec.labels.back(), merge_label)
+      << "the second ingress pushes straight into the existing label";
+
+  // M and T were programmed exactly once (by the first LSP): the merge
+  // is the aggregation the paper's tunnels motivate.
+  EXPECT_EQ(rig.fake(m).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(t).entries.size(), 1u);
+  // B's ingress pushes the merge label.
+  ASSERT_EQ(rig.fake(b).entries.size(), 1u);
+  EXPECT_EQ(rig.fake(b).entries[0].out_label, merge_label);
+}
+
+TEST(ControlPlane, MergeOnlyJoinsTheSameFec) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto m = rig.add("M");
+  const auto t = rig.add("T");
+  rig.net.connect(a, m, 10e6, 1e-3);
+  rig.net.connect(b, m, 10e6, 1e-3);
+  rig.net.connect(m, t, 10e6, 1e-3);
+  ASSERT_TRUE(rig.cp.establish_lsp({a, m, t}, pfx("10.0.0.0/8")));
+
+  LspOptions options;
+  options.allow_merge = true;
+  const auto other =
+      rig.cp.establish_lsp({b, m, t}, pfx("172.16.0.0/12"), options);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_FALSE(rig.cp.lsp(*other).merged_at.has_value())
+      << "different FEC: full programming, no merge";
+}
+
+TEST(ControlPlane, DownLinksArePrunedFromPathsAndAdmission) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(a, c, 10e6, 5e-3);
+  rig.net.connect(c, b, 10e6, 5e-3);
+
+  rig.net.set_connection_up(a, b, false);
+  const auto path = rig.cp.compute_path(a, b);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{a, c, b}))
+      << "the dead direct link is avoided";
+  EXPECT_FALSE(rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8")))
+      << "explicit routes over dead links are refused";
+
+  rig.net.set_connection_up(a, b, true);
+  EXPECT_EQ(*rig.cp.compute_path(a, b), (std::vector<NodeId>{a, b}));
+}
+
+TEST(ControlPlane, RerouteMovesTheLspOffTheDeadLink) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(a, c, 10e6, 5e-3);
+  rig.net.connect(c, b, 10e6, 5e-3);
+
+  const auto lsp = rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8"), 3e6);
+  ASSERT_TRUE(lsp.has_value());
+  const auto old_label = rig.cp.lsp(*lsp).labels[0];
+
+  rig.net.set_connection_up(a, b, false);
+  const auto replacement = rig.cp.reroute_lsp(*lsp);
+  ASSERT_TRUE(replacement.has_value());
+  const auto& rec = rig.cp.lsp(*replacement);
+  EXPECT_EQ(rec.path, (std::vector<NodeId>{a, c, b}));
+  EXPECT_DOUBLE_EQ(rec.reserved_bw, 3e6);
+  // Old label released, old reservation freed.
+  EXPECT_FALSE(rig.fake(b).alloc.is_allocated(old_label) &&
+               rec.labels.back() == old_label)
+      << "old binding must not survive as the live one";
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, c), 7e6);
+}
+
+TEST(ControlPlane, ReoptimizeMovesToTheBetterPath) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);   // direct
+  rig.net.connect(a, c, 10e6, 5e-3);   // detour
+  rig.net.connect(c, b, 10e6, 5e-3);
+
+  // Pin the LSP to the detour (as a failure-era reroute would have).
+  const auto lsp = rig.cp.establish_lsp({a, c, b}, pfx("10.0.0.0/8"), 2e6);
+  ASSERT_TRUE(lsp.has_value());
+  const auto old_label = rig.cp.lsp(*lsp).labels[0];
+
+  const auto better = rig.cp.reoptimize_lsp(*lsp);
+  ASSERT_TRUE(better.has_value());
+  EXPECT_EQ(rig.cp.lsp(*better).path, (std::vector<NodeId>{a, b}));
+  // Old path fully released (labels and bandwidth).
+  EXPECT_FALSE(rig.fake(c).alloc.is_allocated(old_label));
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, c), 10e6);
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 8e6);
+}
+
+TEST(ControlPlane, ReoptimizeKeepsAnAlreadyOptimalLsp) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  const auto lsp = rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8"), 2e6);
+  ASSERT_TRUE(lsp.has_value());
+  EXPECT_FALSE(rig.cp.reoptimize_lsp(*lsp).has_value());
+  EXPECT_FALSE(rig.cp.lsp(*lsp).labels.empty()) << "old LSP untouched";
+}
+
+TEST(ControlPlane, ReoptimizeIsMakeBeforeBreak) {
+  // If the replacement cannot be admitted, the old LSP must survive.
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 5e-3);  // current (slow) path
+  rig.net.connect(a, c, 10e6, 1e-3);  // better path...
+  rig.net.connect(c, b, 10e6, 1e-3);
+  const auto lsp = rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8"), 2e6);
+  ASSERT_TRUE(lsp.has_value());
+  // ...but fill it so admission refuses the replacement.
+  ASSERT_TRUE(rig.cp.establish_lsp({a, c, b}, pfx("172.16.0.0/12"), 9e6));
+  EXPECT_FALSE(rig.cp.reoptimize_lsp(*lsp).has_value());
+  EXPECT_FALSE(rig.cp.lsp(*lsp).labels.empty())
+      << "make failed, so nothing was broken";
+}
+
+TEST(ControlPlane, RerouteFailsWhenNoAlternativeExists) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  const auto lsp = rig.cp.establish_lsp({a, b}, pfx("10.0.0.0/8"));
+  ASSERT_TRUE(lsp.has_value());
+  rig.net.set_connection_up(a, b, false);
+  EXPECT_FALSE(rig.cp.reroute_lsp(*lsp).has_value());
+}
+
+TEST(ControlPlane, EstablishLspCspfEndToEnd) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, c, 10e6, 3e-3);
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+  const auto lsp = rig.cp.establish_lsp_cspf(a, c, pfx("10.0.0.0/8"));
+  ASSERT_TRUE(lsp.has_value());
+  EXPECT_EQ(rig.cp.lsp(*lsp).path, (std::vector<NodeId>{a, b, c}))
+      << "two 1 ms hops beat one 3 ms hop";
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,159 @@
+// Unit tests for links and the network fabric: transmission timing,
+// propagation, serialisation under backlog, topology bookkeeping and
+// delivery dispatch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace empls::net {
+namespace {
+
+/// Records every packet it receives with its arrival time.
+class SinkNode : public Node {
+ public:
+  explicit SinkNode(std::string name) : Node(std::move(name)) {}
+  void receive(mpls::Packet packet, mpls::InterfaceId in_if) override {
+    arrivals.emplace_back(network()->now(), in_if, std::move(packet));
+  }
+  struct Arrival {
+    SimTime time;
+    mpls::InterfaceId in_if;
+    mpls::Packet packet;
+    Arrival(SimTime t, mpls::InterfaceId i, mpls::Packet p)
+        : time(t), in_if(i), packet(std::move(p)) {}
+  };
+  std::vector<Arrival> arrivals;
+};
+
+/// Forwards injected packets out of port 0.
+class ForwardNode : public Node {
+ public:
+  explicit ForwardNode(std::string name) : Node(std::move(name)) {}
+  void receive(mpls::Packet packet, mpls::InterfaceId in_if) override {
+    if (in_if == kInjectInterface) {
+      send(std::move(packet), 0);
+    }
+  }
+};
+
+mpls::Packet sized_packet(std::size_t payload) {
+  mpls::Packet p;
+  p.payload.assign(payload, 0);
+  return p;
+}
+
+struct Rig {
+  Network net;
+  NodeId a;
+  NodeId b;
+  Rig(double bw, SimTime delay) {
+    a = net.add_node(std::make_unique<ForwardNode>("A"));
+    b = net.add_node(std::make_unique<SinkNode>("B"));
+    net.connect(a, b, bw, delay);
+  }
+  SinkNode& sink() { return net.node_as<SinkNode>(b); }
+};
+
+TEST(Link, LatencyIsTransmissionPlusPropagation) {
+  // 84-byte packet (16B header + 68B payload) at 1 Mb/s = 672 us;
+  // propagation 100 us; total 772 us.
+  Rig rig(1e6, 100e-6);
+  rig.net.inject(rig.a, sized_packet(68));
+  rig.net.run();
+  ASSERT_EQ(rig.sink().arrivals.size(), 1u);
+  EXPECT_NEAR(rig.sink().arrivals[0].time, 772e-6, 1e-9);
+}
+
+TEST(Link, BacklogSerialises) {
+  Rig rig(1e6, 0.0);
+  // Three equal packets injected at t=0: arrivals at 1, 2, 3 tx-times.
+  for (int i = 0; i < 3; ++i) {
+    rig.net.inject(rig.a, sized_packet(109));  // 125 B = 1 ms at 1 Mb/s
+  }
+  rig.net.run();
+  ASSERT_EQ(rig.sink().arrivals.size(), 3u);
+  EXPECT_NEAR(rig.sink().arrivals[0].time, 1e-3, 1e-9);
+  EXPECT_NEAR(rig.sink().arrivals[1].time, 2e-3, 1e-9);
+  EXPECT_NEAR(rig.sink().arrivals[2].time, 3e-3, 1e-9);
+}
+
+TEST(Link, StatsAndUtilization) {
+  Rig rig(1e6, 0.0);
+  rig.net.inject(rig.a, sized_packet(109));
+  rig.net.run();
+  const Link& link = rig.net.link_from(rig.a, 0);
+  EXPECT_EQ(link.stats().tx_packets, 1u);
+  EXPECT_EQ(link.stats().tx_bytes, 125u);
+  EXPECT_NEAR(link.stats().busy_time, 1e-3, 1e-9);
+  EXPECT_NEAR(link.utilization(), 1.0, 1e-6)
+      << "the link was busy for the entire run";
+}
+
+TEST(Link, QueueOverflowDropsAreCounted) {
+  QosConfig qos;
+  qos.queue_capacity = 2;
+  Network net(qos);
+  const auto a = net.add_node(std::make_unique<ForwardNode>("A"));
+  const auto b = net.add_node(std::make_unique<SinkNode>("B"));
+  net.connect(a, b, 1e6, 0.0);
+  // 1 in flight + 2 queued + 2 dropped.
+  for (int i = 0; i < 5; ++i) {
+    net.inject(a, sized_packet(109));
+  }
+  net.run();
+  EXPECT_EQ(net.node_as<SinkNode>(b).arrivals.size(), 3u);
+  EXPECT_EQ(net.link_from(a, 0).queue().total_stats().dropped, 2u);
+}
+
+TEST(Network, ConnectCreatesSymmetricPorts) {
+  Network net;
+  const auto a = net.add_node(std::make_unique<SinkNode>("A"));
+  const auto b = net.add_node(std::make_unique<SinkNode>("B"));
+  const auto c = net.add_node(std::make_unique<SinkNode>("C"));
+  const auto ab = net.connect(a, b, 1e6, 1e-3);
+  const auto ac = net.connect(a, c, 2e6, 2e-3);
+  EXPECT_EQ(ab.a_to_b, 0u);
+  EXPECT_EQ(ab.b_to_a, 0u);
+  EXPECT_EQ(ac.a_to_b, 1u) << "second port on a";
+  EXPECT_EQ(ac.b_to_a, 0u) << "first port on c";
+  EXPECT_EQ(net.node(a).num_ports(), 2u);
+
+  const auto& adj = net.adjacency(a);
+  ASSERT_EQ(adj.size(), 2u);
+  EXPECT_EQ(adj[0].neighbor, b);
+  EXPECT_EQ(adj[1].neighbor, c);
+  EXPECT_DOUBLE_EQ(adj[1].bandwidth_bps, 2e6);
+  EXPECT_EQ(net.adjacency(b).size(), 1u);
+}
+
+TEST(Network, InterfaceNumbersSeenByReceiver) {
+  // B receives from A on the port B would use to send back to A.
+  Network net;
+  const auto a = net.add_node(std::make_unique<ForwardNode>("A"));
+  const auto x = net.add_node(std::make_unique<SinkNode>("X"));
+  const auto b = net.add_node(std::make_unique<SinkNode>("B"));
+  net.connect(b, x, 1e6, 0.0);  // b port 0 goes to x
+  net.connect(a, b, 1e6, 0.0);  // b port 1 goes to a
+  net.inject(a, sized_packet(10));
+  net.run();
+  auto& sink = net.node_as<SinkNode>(b);
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].in_if, 1u);
+}
+
+TEST(Network, DeliveryHandlerAndCount) {
+  Network net;
+  const auto a = net.add_node(std::make_unique<SinkNode>("A"));
+  NodeId seen_node = 9999;
+  net.set_delivery_handler(
+      [&](NodeId id, const mpls::Packet&) { seen_node = id; });
+  net.deliver_local(a, mpls::Packet());
+  EXPECT_EQ(seen_node, a);
+  EXPECT_EQ(net.delivered_count(), 1u);
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,212 @@
+// Tests for the distributed link-state routing protocol: flooding,
+// convergence, SPF correctness against the omniscient CSPF, failure
+// propagation, and partition behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "net/ldp.hpp"
+#include "net/link_state.hpp"
+#include "net/node.hpp"
+
+namespace empls::net {
+namespace {
+
+/// Inert node: link-state tests exercise the control plane only.
+class DummyNode : public Node {
+ public:
+  explicit DummyNode(std::string name) : Node(std::move(name)) {}
+  void receive(mpls::Packet, mpls::InterfaceId) override {}
+};
+
+struct Rig {
+  Network net;
+  LinkStateRouting lsr{net, /*flood_hop_delay=*/1e-3};
+
+  NodeId add(const char* name) {
+    return net.add_node(std::make_unique<DummyNode>(name));
+  }
+};
+
+TEST(LinkState, BootstrapConvergesToIdenticalDatabases) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+  rig.lsr.add_all_routers();
+  rig.lsr.bootstrap();
+  EXPECT_FALSE(rig.lsr.converged())
+      << "before flooding finishes, views differ";
+  rig.net.run();
+  EXPECT_TRUE(rig.lsr.converged());
+  EXPECT_EQ(rig.lsr.stats().lsas_originated, 3u);
+  EXPECT_GT(rig.lsr.stats().floods_stale, 0u)
+      << "flooding terminates by dropping old news";
+}
+
+TEST(LinkState, SpfFindsShortestPath) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, c, 10e6, 5e-3);  // direct but slow
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+  rig.lsr.add_all_routers();
+  rig.lsr.bootstrap();
+  rig.net.run();
+  const auto path = rig.lsr.path_from(a, c);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{a, b, c}));
+  EXPECT_EQ(*rig.lsr.path_from(a, a), (std::vector<NodeId>{a}));
+}
+
+TEST(LinkState, AgreesWithOmniscientCspfOnRandomTopologies) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rig rig;
+    ControlPlane cp(rig.net);
+    const unsigned n = 5 + rng() % 5;
+    std::vector<NodeId> nodes;
+    for (unsigned i = 0; i < n; ++i) {
+      std::string name(1, 'N');
+      name += std::to_string(i);
+      nodes.push_back(rig.add(name.c_str()));
+    }
+    for (unsigned i = 0; i < n; ++i) {
+      rig.net.connect(nodes[i], nodes[(i + 1) % n], 10e6,
+                      (1 + rng() % 5) * 1e-3);
+    }
+    for (int chord = 0; chord < 3; ++chord) {
+      const unsigned x = rng() % n;
+      const unsigned y = rng() % n;
+      if (x != y) {
+        rig.net.connect(nodes[x], nodes[y], 10e6, (1 + rng() % 5) * 1e-3);
+      }
+    }
+    rig.lsr.add_all_routers();
+    rig.lsr.bootstrap();
+    rig.net.run();
+    ASSERT_TRUE(rig.lsr.converged());
+    for (int probe = 0; probe < 10; ++probe) {
+      const NodeId from = nodes[rng() % n];
+      const NodeId to = nodes[rng() % n];
+      const auto distributed = rig.lsr.path_from(from, to);
+      const auto omniscient = cp.compute_path(from, to);
+      ASSERT_EQ(distributed.has_value(), omniscient.has_value());
+      if (distributed) {
+        EXPECT_EQ(*distributed, *omniscient)
+            << "trial " << trial << " " << from << "->" << to;
+      }
+    }
+  }
+}
+
+TEST(LinkState, FailureNewsFloodsAndReroutesSpf) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  rig.net.connect(a, b, 10e6, 1e-3);   // primary
+  rig.net.connect(a, c, 10e6, 2e-3);   // detour
+  rig.net.connect(c, b, 10e6, 2e-3);
+  rig.lsr.add_all_routers();
+  rig.lsr.bootstrap();
+  rig.net.run();
+  ASSERT_EQ(*rig.lsr.path_from(a, b), (std::vector<NodeId>{a, b}));
+
+  rig.net.set_connection_up(a, b, false);
+  rig.lsr.notify_link_change(a, b);
+  rig.net.run();
+  EXPECT_TRUE(rig.lsr.converged());
+  EXPECT_EQ(*rig.lsr.path_from(a, b), (std::vector<NodeId>{a, c, b}));
+  // Every other router learned too.
+  EXPECT_EQ(*rig.lsr.path_from(c, b), (std::vector<NodeId>{c, b}));
+}
+
+TEST(LinkState, StaleViewUntilTheNewsArrives) {
+  // A long chain: the far end keeps believing in a dead link until the
+  // flood reaches it (1 ms per hop).
+  Rig rig;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 6; ++i) {
+    std::string name(1, 'N');
+    name += std::to_string(i);
+    chain.push_back(rig.add(name.c_str()));
+  }
+  for (int i = 0; i + 1 < 6; ++i) {
+    rig.net.connect(chain[i], chain[i + 1], 10e6, 1e-3);
+  }
+  rig.lsr.add_all_routers();
+  rig.lsr.bootstrap();
+  rig.net.run();
+
+  // N0-N1 dies; only the endpoints re-originate.
+  rig.net.set_connection_up(chain[0], chain[1], false);
+  rig.lsr.notify_link_change(chain[0], chain[1]);
+  // After 2 flood hops, N5 (4 hops away) still has the stale view.
+  rig.net.run_until(rig.net.now() + 2.5e-3);
+  EXPECT_TRUE(rig.lsr.path_from(chain[5], chain[0]).has_value())
+      << "stale database still believes the path exists";
+  rig.net.run();
+  EXPECT_FALSE(rig.lsr.path_from(chain[5], chain[0]).has_value())
+      << "after convergence the partition is visible";
+}
+
+TEST(LinkState, IgpDrivenLspEstablishment) {
+  // Routers with real data planes this time: the ingress's own view
+  // picks the path, and admission catches stale views.
+  Rig rig;
+  ControlPlane cp(rig.net);
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  // FakeRouter-free: use real-enough MplsNode stubs via ControlPlane
+  // registration of inert routing functionality is not possible here,
+  // so reuse the link-state agreement property: establish over the IGP
+  // path and compare against CSPF placement.
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+  rig.lsr.add_all_routers();
+  rig.lsr.bootstrap();
+  rig.net.run();
+  const auto igp_path = rig.lsr.path_from(a, c);
+  const auto cspf_path = cp.compute_path(a, c);
+  ASSERT_TRUE(igp_path.has_value());
+  ASSERT_TRUE(cspf_path.has_value());
+  EXPECT_EQ(*igp_path, *cspf_path);
+
+  // Stale view: kill B-C but withhold the news; the IGP still proposes
+  // the dead path, and establishment must refuse it (admission checks
+  // live link state).
+  rig.net.set_connection_up(b, c, false);
+  const auto stale = rig.lsr.path_from(a, c);
+  ASSERT_TRUE(stale.has_value()) << "the IGP has not heard yet";
+  EXPECT_FALSE(cp.establish_lsp_igp(rig.lsr, a, c,
+                                    *mpls::Prefix::parse("10.0.0.0/8")))
+      << "unregistered routers + dead link: establishment refuses";
+}
+
+TEST(LinkState, PartitionedFloodingCannotCross) {
+  Rig rig;
+  const auto a = rig.add("A");
+  const auto b = rig.add("B");
+  const auto c = rig.add("C");
+  const auto d = rig.add("D");
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(c, d, 10e6, 1e-3);  // disconnected island
+  rig.lsr.add_all_routers();
+  rig.lsr.bootstrap();
+  rig.net.run();
+  EXPECT_FALSE(rig.lsr.path_from(a, c).has_value());
+  EXPECT_TRUE(rig.lsr.path_from(a, b).has_value());
+  EXPECT_TRUE(rig.lsr.path_from(c, d).has_value());
+  EXPECT_FALSE(rig.lsr.converged())
+      << "islands never see each other's LSAs";
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,156 @@
+// Tests for MPLS OAM: lsp_ping and lsp_traceroute over real routers,
+// plus the discard-reason reporting they rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/embedded_router.hpp"
+#include "net/ldp.hpp"
+#include "net/oam.hpp"
+#include "net/stats.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::net {
+namespace {
+
+struct Rig {
+  Network net;
+  ControlPlane cp{net};
+  Oam oam{net};
+  NodeId a, b, c, d;
+
+  Rig() {
+    auto add = [&](const char* name, hw::RouterType type) {
+      core::RouterConfig cfg;
+      cfg.type = type;
+      auto r = std::make_unique<core::EmbeddedRouter>(
+          name, std::make_unique<sw::LinearEngine>(), cfg);
+      auto* raw = r.get();
+      const auto id = net.add_node(std::move(r));
+      cp.register_router(id, &raw->routing());
+      return id;
+    };
+    a = add("A", hw::RouterType::kLer);
+    b = add("B", hw::RouterType::kLsr);
+    c = add("C", hw::RouterType::kLsr);
+    d = add("D", hw::RouterType::kLer);
+    net.connect(a, b, 100e6, 1e-3);
+    net.connect(b, c, 100e6, 1e-3);
+    net.connect(c, d, 100e6, 1e-3);
+  }
+};
+
+const auto kDst = *mpls::Ipv4Address::parse("10.1.0.5");
+mpls::Prefix pfx(const char* t) { return *mpls::Prefix::parse(t); }
+
+TEST(Oam, PingReachesTheEgress) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.c, rig.d}, pfx("10.1.0.0/16"));
+  std::optional<Oam::PingResult> result;
+  rig.oam.lsp_ping(rig.a, kDst, [&](const auto& r) { result = r; });
+  rig.net.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->reachable);
+  EXPECT_EQ(result->egress, rig.d);
+  EXPECT_GT(result->latency, 3e-3) << "three 1 ms hops";
+  EXPECT_LT(result->latency, 4e-3);
+}
+
+TEST(Oam, PingReportsTheBlackhole) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.c, rig.d}, pfx("10.1.0.0/16"));
+  // Break the data plane at C without telling the control plane: wipe
+  // C's information base (the failure OAM exists to find).
+  rig.net.node_as<core::EmbeddedRouter>(rig.c).engine().clear();
+
+  std::optional<Oam::PingResult> result;
+  rig.oam.lsp_ping(rig.a, kDst, [&](const auto& r) { result = r; });
+  rig.net.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->reachable);
+  EXPECT_EQ(result->discarded_at, rig.c);
+  EXPECT_EQ(result->discard_reason, "no-label-binding");
+}
+
+TEST(Oam, PingTimesOutOnDeadLink) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.c, rig.d}, pfx("10.1.0.0/16"));
+  rig.net.set_connection_up(rig.b, rig.c, false);
+  std::optional<Oam::PingResult> result;
+  rig.oam.lsp_ping(rig.a, kDst, [&](const auto& r) { result = r; },
+                   /*timeout=*/0.1);
+  rig.net.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->reachable);
+  EXPECT_FALSE(result->discarded_at.has_value())
+      << "a link drop is silent: only the timeout notices";
+  EXPECT_EQ(result->discard_reason, "timeout");
+}
+
+TEST(Oam, PingUnroutableDestination) {
+  Rig rig;  // no LSP at all
+  std::optional<Oam::PingResult> result;
+  rig.oam.lsp_ping(rig.a, kDst, [&](const auto& r) { result = r; });
+  rig.net.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->reachable);
+  EXPECT_EQ(result->discarded_at, rig.a);
+}
+
+TEST(Oam, TracerouteMapsThePath) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.c, rig.d}, pfx("10.1.0.0/16"));
+  std::optional<Oam::TracerouteResult> result;
+  rig.oam.lsp_traceroute(rig.a, kDst, [&](const auto& r) { result = r; });
+  rig.net.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->complete);
+
+  // Expected answers: TTL1 expires at A (ingress decrement), TTL2 at B,
+  // TTL3 at C, TTL4 expires at D (the pop's decrement), TTL5 delivers.
+  ASSERT_EQ(result->hops.size(), 5u);
+  EXPECT_EQ(result->hops[0].node, rig.a);
+  EXPECT_EQ(result->hops[1].node, rig.b);
+  EXPECT_EQ(result->hops[2].node, rig.c);
+  EXPECT_EQ(result->hops[3].node, rig.d);
+  EXPECT_FALSE(result->hops[3].is_egress) << "TTL died in the final pop";
+  EXPECT_EQ(result->hops[4].node, rig.d);
+  EXPECT_TRUE(result->hops[4].is_egress);
+  // Latency grows with depth.
+  EXPECT_LT(result->hops[0].latency, result->hops[2].latency);
+}
+
+TEST(Oam, TracerouteStopsAtABlackhole) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.c, rig.d}, pfx("10.1.0.0/16"));
+  rig.net.node_as<core::EmbeddedRouter>(rig.c).engine().clear();
+  std::optional<Oam::TracerouteResult> result;
+  rig.oam.lsp_traceroute(rig.a, kDst, [&](const auto& r) { result = r; });
+  rig.net.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->complete);
+  // A and B answer with TTL expiry; C answers with the binding miss.
+  ASSERT_GE(result->hops.size(), 3u);
+  EXPECT_EQ(result->hops.back().node, rig.c);
+  EXPECT_FALSE(result->hops.back().is_egress);
+}
+
+TEST(Oam, ProbesDoNotDisturbFlowAccounting) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.c, rig.d}, pfx("10.1.0.0/16"));
+  FlowStats stats;
+  rig.net.add_delivery_handler([&](NodeId, const mpls::Packet& p) {
+    if (p.flow_id < kOamFlowBase) {
+      stats.on_delivered(p, rig.net.now());
+    }
+  });
+  std::optional<Oam::PingResult> ping;
+  rig.oam.lsp_ping(rig.a, kDst, [&](const auto& r) { ping = r; });
+  rig.net.run();
+  EXPECT_TRUE(ping.has_value());
+  EXPECT_EQ(stats.total_delivered(), 0u)
+      << "OAM probes are filtered out of traffic stats";
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,132 @@
+// Tests for token-bucket policing: the bucket mechanics and the ingress
+// router's enforcement (drop and demote actions).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/embedded_router.hpp"
+#include "net/ldp.hpp"
+#include "net/policer.hpp"
+#include "net/stats.hpp"
+#include "net/traffic.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::net {
+namespace {
+
+TEST(TokenBucket, ConformsUpToBurstThenRefills) {
+  // 8 kb/s = 1000 bytes/s; burst 500 bytes.
+  TokenBucket tb(8000, 500);
+  EXPECT_TRUE(tb.conforms(400, 0.0));
+  EXPECT_TRUE(tb.conforms(100, 0.0)) << "exactly drains the bucket";
+  EXPECT_FALSE(tb.conforms(1, 0.0)) << "empty";
+  EXPECT_FALSE(tb.conforms(200, 0.1)) << "only 100 bytes refilled";
+  EXPECT_TRUE(tb.conforms(100, 0.1));
+  EXPECT_TRUE(tb.conforms(500, 10.0)) << "bucket caps at burst";
+  EXPECT_FALSE(tb.conforms(1, 10.0));
+}
+
+TEST(TokenBucket, NonConformanceConsumesNothing) {
+  TokenBucket tb(8000, 100);
+  EXPECT_FALSE(tb.conforms(200, 0.0));
+  EXPECT_TRUE(tb.conforms(100, 0.0)) << "tokens untouched by the refusal";
+}
+
+struct Rig {
+  Network net;
+  ControlPlane cp{net};
+  FlowStats stats;
+  NodeId ler, egress;
+
+  Rig() {
+    auto add = [&](const char* name, hw::RouterType type) {
+      core::RouterConfig cfg;
+      cfg.type = type;
+      auto r = std::make_unique<core::EmbeddedRouter>(
+          name, std::make_unique<sw::LinearEngine>(), cfg);
+      auto* raw = r.get();
+      const auto id = net.add_node(std::move(r));
+      cp.register_router(id, &raw->routing());
+      return id;
+    };
+    ler = add("LER", hw::RouterType::kLer);
+    egress = add("EGR", hw::RouterType::kLer);
+    net.connect(ler, egress, 100e6, 1e-3);
+    cp.establish_lsp({ler, egress}, *mpls::Prefix::parse("10.1.0.0/16"));
+    net.set_delivery_handler([this](NodeId, const mpls::Packet& p) {
+      stats.on_delivered(p, net.now());
+    });
+  }
+
+  core::EmbeddedRouter& router() {
+    return net.node_as<core::EmbeddedRouter>(ler);
+  }
+
+  /// 100 pps CBR of 184-byte packets (payload 160 + header + shim n/a at
+  /// ingress: wire = 176 B unlabeled) ≈ 141 kb/s offered.
+  void run_cbr() {
+    FlowSpec spec{1, ler, mpls::Ipv4Address{1},
+                  *mpls::Ipv4Address::parse("10.1.0.5"), 6, 160, 0.0,
+                  0.9999};
+    CbrSource src(net, spec, &stats, 10e-3);
+    src.start();
+    net.run();
+  }
+};
+
+TEST(IngressPolicing, ConformingFlowPassesUntouched) {
+  Rig rig;
+  PolicerConfig cfg;
+  cfg.rate_bps = 200e3;  // above the ~141 kb/s offered
+  cfg.burst_bytes = 1500;
+  rig.router().set_policer(1, cfg);
+  rig.run_cbr();
+  EXPECT_EQ(rig.stats.flow(1).delivered, 100u);
+  EXPECT_EQ(rig.router().stats().policer_drops, 0u);
+}
+
+TEST(IngressPolicing, ExcessIsDroppedAtRoughlyTheContractRate) {
+  Rig rig;
+  PolicerConfig cfg;
+  cfg.rate_bps = 70e3;  // half the offered rate
+  cfg.burst_bytes = 400;
+  rig.router().set_policer(1, cfg);
+  rig.run_cbr();
+  const auto delivered = rig.stats.flow(1).delivered;
+  // 70 kb/s / (176 B * 8) ≈ 49.7 pps of the offered 100.
+  EXPECT_GE(delivered, 40u);
+  EXPECT_LE(delivered, 60u);
+  EXPECT_EQ(rig.router().stats().policer_drops, 100 - delivered);
+}
+
+TEST(IngressPolicing, DemoteRemarksInsteadOfDropping) {
+  Rig rig;
+  PolicerConfig cfg;
+  cfg.rate_bps = 70e3;
+  cfg.burst_bytes = 400;
+  cfg.action = PolicerAction::kDemote;
+  rig.router().set_policer(1, cfg);
+
+  unsigned best_effort = 0;
+  unsigned priority = 0;
+  rig.net.add_delivery_handler([&](NodeId, const mpls::Packet& p) {
+    (p.cos == 0 ? best_effort : priority)++;
+  });
+  rig.run_cbr();
+  EXPECT_EQ(rig.stats.flow(1).delivered, 100u) << "nothing dropped";
+  EXPECT_GT(best_effort, 30u) << "excess was remarked to CoS 0";
+  EXPECT_GT(priority, 30u) << "conforming share kept CoS 6";
+  EXPECT_EQ(rig.router().stats().policer_demotions, best_effort);
+}
+
+TEST(IngressPolicing, UnpolicedFlowsAreUnaffected) {
+  Rig rig;
+  PolicerConfig cfg;
+  cfg.rate_bps = 1;  // draconian, but bound to flow 99
+  rig.router().set_policer(99, cfg);
+  rig.run_cbr();
+  EXPECT_EQ(rig.stats.flow(1).delivered, 100u);
+}
+
+}  // namespace
+}  // namespace empls::net

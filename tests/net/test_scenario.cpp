@@ -1,0 +1,186 @@
+// Unit tests for the scenario parser: directive coverage, unit
+// suffixes, and error reporting with line numbers.
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+
+namespace empls::net {
+namespace {
+
+Scenario parse_ok(std::string_view text) {
+  auto result = Scenario::parse(text);
+  if (const auto* err = std::get_if<ScenarioError>(&result)) {
+    ADD_FAILURE() << "line " << err->line << ": " << err->message;
+    return {};
+  }
+  return std::get<Scenario>(std::move(result));
+}
+
+ScenarioError parse_err(std::string_view text) {
+  auto result = Scenario::parse(text);
+  if (!std::holds_alternative<ScenarioError>(result)) {
+    ADD_FAILURE() << "expected a parse error";
+    return {};
+  }
+  return std::get<ScenarioError>(result);
+}
+
+TEST(ScenarioUnits, Bandwidth) {
+  EXPECT_DOUBLE_EQ(*parse_bandwidth("100M"), 100e6);
+  EXPECT_DOUBLE_EQ(*parse_bandwidth("2.5G"), 2.5e9);
+  EXPECT_DOUBLE_EQ(*parse_bandwidth("64k"), 64e3);
+  EXPECT_DOUBLE_EQ(*parse_bandwidth("1200"), 1200.0);
+  EXPECT_FALSE(parse_bandwidth("fast"));
+  EXPECT_FALSE(parse_bandwidth(""));
+  EXPECT_FALSE(parse_bandwidth("-3M"));
+}
+
+TEST(ScenarioUnits, Time) {
+  EXPECT_DOUBLE_EQ(*parse_time("20ms"), 0.020);
+  EXPECT_DOUBLE_EQ(*parse_time("50us"), 50e-6);
+  EXPECT_DOUBLE_EQ(*parse_time("3ns"), 3e-9);
+  EXPECT_DOUBLE_EQ(*parse_time("1s"), 1.0);
+  EXPECT_DOUBLE_EQ(*parse_time("0.5"), 0.5);
+  EXPECT_FALSE(parse_time("soon"));
+  EXPECT_FALSE(parse_time("-1ms"));
+}
+
+TEST(ScenarioParse, FullFeaturedScenario) {
+  const auto s = parse_ok(R"(
+# a comment
+qos wrr capacity=16 red
+router A ler engine=hw clock=25M
+router B lsr
+router C lsr
+router D ler
+link A B 10M 1ms
+link B C 10M 1ms
+link C D 10M 1ms
+lsp 10.1.0.0/16 A B C D bw=2M php
+lsp-cspf 10.2.0.0/16 A D
+tunnel T1 B C D
+lsp-via-tunnel 10.3.0.0/16 pre A B tunnel T1 post D bw=1M
+flow cbr 1 A 10.1.0.5 cos=6 size=160 interval=20ms start=0.1s stop=0.9s
+flow poisson 2 A 10.2.0.5 rate=500 seed=7
+flow video 3 A 10.3.0.5 fps=25 ppf=4
+flow onoff 4 A 10.1.0.6 rate=200 on=40ms off=60ms
+fail 0.3 B C
+restore 0.5 B C
+run 1s
+)");
+  EXPECT_EQ(s.qos.scheduler, SchedulerKind::kWeightedRoundRobin);
+  EXPECT_EQ(s.qos.drop, DropPolicy::kRed);
+  EXPECT_EQ(s.qos.queue_capacity, 16u);
+  ASSERT_EQ(s.routers.size(), 4u);
+  EXPECT_TRUE(s.routers[0].is_ler);
+  EXPECT_EQ(s.routers[0].engine, "hw");
+  EXPECT_DOUBLE_EQ(s.routers[0].clock_hz, 25e6);
+  EXPECT_EQ(s.links.size(), 3u);
+  ASSERT_EQ(s.lsps.size(), 2u);
+  EXPECT_TRUE(s.lsps[0].php);
+  EXPECT_DOUBLE_EQ(s.lsps[0].bw, 2e6);
+  EXPECT_TRUE(s.lsps[1].cspf);
+  ASSERT_EQ(s.tunnels.size(), 1u);
+  EXPECT_EQ(s.tunnels[0].path.size(), 3u);
+  ASSERT_EQ(s.tunnel_lsps.size(), 1u);
+  EXPECT_EQ(s.tunnel_lsps[0].pre, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(s.tunnel_lsps[0].tunnel, "T1");
+  ASSERT_EQ(s.flows.size(), 4u);
+  EXPECT_EQ(s.flows[0].kind, "cbr");
+  EXPECT_DOUBLE_EQ(s.flows[0].start, 0.1);
+  EXPECT_EQ(s.flows[3].kind, "onoff");
+  ASSERT_EQ(s.link_events.size(), 2u);
+  EXPECT_FALSE(s.link_events[0].up);
+  EXPECT_TRUE(s.link_events[1].up);
+  ASSERT_TRUE(s.run_duration.has_value());
+  EXPECT_DOUBLE_EQ(*s.run_duration, 1.0);
+}
+
+TEST(ScenarioParse, ErrorsCarryLineNumbers) {
+  const auto err = parse_err("router A ler\nrouter B lsr\nlink A Z 10M 1ms\n");
+  EXPECT_EQ(err.line, 3);
+  EXPECT_NE(err.message.find("undeclared"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsUnknownDirective) {
+  EXPECT_EQ(parse_err("teleport A B\n").line, 1);
+}
+
+TEST(ScenarioParse, RejectsDuplicateRouter) {
+  const auto err = parse_err("router A ler\nrouter A lsr\n");
+  EXPECT_EQ(err.line, 2);
+}
+
+TEST(ScenarioParse, RejectsBadValues) {
+  EXPECT_NE(parse_err("router A ler\nrouter B ler\nlink A B fast 1ms\n")
+                .message.find("bandwidth"),
+            std::string::npos);
+  EXPECT_NE(parse_err("router A ler\nflow cbr x A 10.0.0.1\n")
+                .message.find("flow id"),
+            std::string::npos);
+  EXPECT_NE(parse_err("router A ler\nflow cbr 1 A not-an-ip\n")
+                .message.find("destination"),
+            std::string::npos);
+  EXPECT_NE(parse_err("router A ler\nflow cbr 1 A 10.0.0.1 cos=9\n")
+                .message.find("cos"),
+            std::string::npos);
+  EXPECT_NE(parse_err("lsp 10.0.0.0/99 A B\n").message.find("prefix"),
+            std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsShortDeclarations) {
+  EXPECT_EQ(parse_err("router A\n").line, 1);
+  EXPECT_EQ(parse_err("router A ler\nlink A\n").line, 2);
+  EXPECT_EQ(parse_err("router A ler\nrouter B ler\nlsp 10.0.0.0/8 A\n").line,
+            3);
+  EXPECT_EQ(parse_err("run\n").line, 1);
+}
+
+TEST(ScenarioParse, CspfTakesExactlyTwoNodes) {
+  const auto err = parse_err(
+      "router A ler\nrouter B lsr\nrouter C ler\n"
+      "link A B 1M 1ms\nlink B C 1M 1ms\n"
+      "lsp-cspf 10.0.0.0/8 A B C\n");
+  EXPECT_EQ(err.line, 6);
+}
+
+TEST(ScenarioParse, OamPolicerAutorepairDirectives) {
+  const auto s = parse_ok(R"(
+router A ler
+router B ler
+link A B 10M 1ms
+police A 7 2M burst=3000 demote
+ping 0.1 A 10.0.0.1
+traceroute 0.2s A 10.0.0.2
+autorepair 20ms dead=5
+)");
+  ASSERT_EQ(s.policers.size(), 1u);
+  EXPECT_EQ(s.policers[0].ingress, "A");
+  EXPECT_EQ(s.policers[0].flow_id, 7u);
+  EXPECT_DOUBLE_EQ(s.policers[0].rate_bps, 2e6);
+  EXPECT_DOUBLE_EQ(s.policers[0].burst_bytes, 3000);
+  EXPECT_TRUE(s.policers[0].demote);
+  ASSERT_EQ(s.oam_probes.size(), 2u);
+  EXPECT_FALSE(s.oam_probes[0].traceroute);
+  EXPECT_TRUE(s.oam_probes[1].traceroute);
+  EXPECT_DOUBLE_EQ(s.oam_probes[1].at, 0.2);
+  ASSERT_TRUE(s.autorepair_hello.has_value());
+  EXPECT_DOUBLE_EQ(*s.autorepair_hello, 0.020);
+  EXPECT_EQ(s.autorepair_dead, 5u);
+}
+
+TEST(ScenarioParse, OamPolicerErrors) {
+  EXPECT_EQ(parse_err("router A ler\nping 0.1 Z 10.0.0.1\n").line, 2);
+  EXPECT_EQ(parse_err("router A ler\nping 0.1 A not-an-ip\n").line, 2);
+  EXPECT_EQ(parse_err("router A ler\npolice A x 1M\n").line, 2);
+  EXPECT_EQ(parse_err("router A ler\npolice A 1 fast\n").line, 2);
+  EXPECT_EQ(parse_err("autorepair soon\n").line, 1);
+}
+
+TEST(ScenarioParse, TrailingCommentsIgnored) {
+  const auto s = parse_ok("router A ler # the ingress\n");
+  ASSERT_EQ(s.routers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace empls::net

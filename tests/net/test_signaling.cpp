@@ -1,0 +1,223 @@
+// Tests for the message-based LSP signaling protocol: setup over
+// simulated time, latency accounting, admission failure with
+// reservation rollback, and interoperation with the data plane.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/embedded_router.hpp"
+#include "net/signaling.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::net {
+namespace {
+
+struct Rig {
+  Network net;
+  ControlPlane cp{net};
+  SignalingProtocol signaling{net, cp, /*per_hop_processing=*/50e-6};
+  std::vector<NodeId> nodes;
+
+  NodeId add(const char* name, hw::RouterType type) {
+    core::RouterConfig cfg;
+    cfg.type = type;
+    auto r = std::make_unique<core::EmbeddedRouter>(
+        name, std::make_unique<sw::LinearEngine>(), cfg);
+    auto* raw = r.get();
+    const auto id = net.add_node(std::move(r));
+    cp.register_router(id, &raw->routing());
+    nodes.push_back(id);
+    return id;
+  }
+};
+
+mpls::Prefix pfx(const char* t) { return *mpls::Prefix::parse(t); }
+
+TEST(Signaling, SetupCompletesAndProgramsThePath) {
+  Rig rig;
+  const auto a = rig.add("A", hw::RouterType::kLer);
+  const auto b = rig.add("B", hw::RouterType::kLsr);
+  const auto c = rig.add("C", hw::RouterType::kLer);
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+
+  std::optional<SignalingProtocol::Result> result;
+  ASSERT_TRUE(rig.signaling.signal_lsp(
+      {a, b, c}, pfx("10.0.0.0/8"), 1e6,
+      [&](const SignalingProtocol::Result& r) { result = r; }));
+  EXPECT_FALSE(result.has_value()) << "setup is not instantaneous";
+  rig.net.run();
+
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->lsp.has_value());
+  const auto& rec = rig.cp.lsp(*result->lsp);
+  EXPECT_EQ(rec.path, (std::vector<NodeId>{a, b, c}));
+  ASSERT_EQ(rec.labels.size(), 2u);
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 9e6);
+
+  // Setup latency: PATH a->b->c and RESV c->b->a cross each 1 ms link
+  // twice (4 ms) plus 6 processing stops of 50 us (ingress send + 2 PATH
+  // receives + 2 RESV forwards ... ) — bounded and positive.
+  EXPECT_GT(result->setup_latency, 4e-3);
+  EXPECT_LT(result->setup_latency, 4e-3 + 10 * 50e-6);
+
+  // Data plane actually works after signalling.
+  bool delivered = false;
+  rig.net.set_delivery_handler(
+      [&](NodeId, const mpls::Packet&) { delivered = true; });
+  mpls::Packet p;
+  p.dst = *mpls::Ipv4Address::parse("10.1.2.3");
+  rig.net.inject(a, p);
+  rig.net.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Signaling, SetupLatencyGrowsLinearlyWithHops) {
+  Rig rig;
+  // A chain of 8 routers, 1 ms links.
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 8; ++i) {
+    std::string name(1, 'N');
+    name += std::to_string(i);
+    chain.push_back(rig.add(name.c_str(),
+                            i == 0 || i == 7 ? hw::RouterType::kLer
+                                             : hw::RouterType::kLsr));
+  }
+  for (int i = 0; i + 1 < 8; ++i) {
+    rig.net.connect(chain[i], chain[i + 1], 10e6, 1e-3);
+  }
+
+  SimTime lat3 = 0;
+  SimTime lat5 = 0;
+  SimTime lat8 = 0;
+  auto settle = [&](std::vector<NodeId> path, SimTime* out) {
+    rig.signaling.signal_lsp(path, pfx("10.0.0.0/8"), 0.0,
+                             [out](const SignalingProtocol::Result& r) {
+                               *out = r.setup_latency;
+                             });
+    rig.net.run();
+  };
+  settle({chain[0], chain[1], chain[2]}, &lat3);
+  settle({chain[0], chain[1], chain[2], chain[3], chain[4]}, &lat5);
+  settle(chain, &lat8);
+
+  EXPECT_GT(lat5, lat3);
+  EXPECT_GT(lat8, lat5);
+  // Linear shape: latency per hop is roughly constant (2x prop + 2x
+  // proc per hop); allow 20% tolerance.
+  const double per_hop_3 = lat3 / 2.0;
+  const double per_hop_8 = lat8 / 7.0;
+  EXPECT_NEAR(per_hop_8, per_hop_3, 0.2 * per_hop_3);
+}
+
+TEST(Signaling, AdmissionFailureRollsBackReservations) {
+  Rig rig;
+  const auto a = rig.add("A", hw::RouterType::kLer);
+  const auto b = rig.add("B", hw::RouterType::kLsr);
+  const auto c = rig.add("C", hw::RouterType::kLer);
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+  // Exhaust the B->C link.
+  ASSERT_TRUE(rig.cp.establish_lsp({b, c}, pfx("172.16.0.0/12"), 10e6));
+
+  std::optional<SignalingProtocol::Result> result;
+  rig.signaling.signal_lsp({a, b, c}, pfx("10.0.0.0/8"), 1e6,
+                           [&](const SignalingProtocol::Result& r) {
+                             result = r;
+                           });
+  rig.net.run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->lsp.has_value());
+  EXPECT_TRUE(result->failed_hop.has_value());
+  // The tentative A->B reservation was released by the PATH_ERR.
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 10e6);
+  EXPECT_EQ(rig.signaling.stats().setups_failed, 1u);
+  EXPECT_GE(rig.signaling.stats().path_err_messages, 1u);
+  // Nothing was programmed on any router.
+  EXPECT_EQ(rig.net.node_as<core::EmbeddedRouter>(a)
+                .engine()
+                .level_size(1),
+            0u);
+}
+
+TEST(Signaling, RejectsMalformedRequests) {
+  Rig rig;
+  const auto a = rig.add("A", hw::RouterType::kLer);
+  EXPECT_FALSE(rig.signaling.signal_lsp({a}, pfx("10.0.0.0/8"), 0.0, {}));
+  const auto stranger = rig.net.add_node(
+      std::make_unique<core::EmbeddedRouter>(
+          "S", std::make_unique<sw::LinearEngine>()));
+  rig.net.connect(a, stranger, 10e6, 1e-3);
+  EXPECT_FALSE(rig.signaling.signal_lsp({a, stranger}, pfx("10.0.0.0/8"),
+                                        0.0, {}))
+      << "unregistered routers are refused up front";
+}
+
+TEST(Signaling, AdoptedLspSupportsTeardown) {
+  Rig rig;
+  const auto a = rig.add("A", hw::RouterType::kLer);
+  const auto b = rig.add("B", hw::RouterType::kLer);
+  rig.net.connect(a, b, 10e6, 1e-3);
+
+  std::optional<LspId> id;
+  rig.signaling.signal_lsp({a, b}, pfx("10.0.0.0/8"), 2e6,
+                           [&](const SignalingProtocol::Result& r) {
+                             id = r.lsp;
+                           });
+  rig.net.run();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 8e6);
+  rig.cp.teardown_lsp(*id);
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 10e6);
+}
+
+TEST(Signaling, LabelExhaustionAbortsAndRollsBack) {
+  // Egress router whose label space has a single value left: the first
+  // setup consumes it, the second fails during the RESV pass and must
+  // release its tentative reservations.
+  Rig rig;
+  const auto a = rig.add("A", hw::RouterType::kLer);
+  core::RouterConfig cfg;
+  cfg.type = hw::RouterType::kLer;
+  cfg.label_base = mpls::kMaxLabel;  // exactly one allocatable label
+  auto scarce = std::make_unique<core::EmbeddedRouter>(
+      "B", std::make_unique<sw::LinearEngine>(), cfg);
+  auto* scarce_raw = scarce.get();
+  const auto b = rig.net.add_node(std::move(scarce));
+  rig.cp.register_router(b, &scarce_raw->routing());
+  rig.net.connect(a, b, 10e6, 1e-3);
+
+  std::optional<SignalingProtocol::Result> first;
+  std::optional<SignalingProtocol::Result> second;
+  rig.signaling.signal_lsp({a, b}, pfx("10.1.0.0/16"), 1e6,
+                           [&](const auto& r) { first = r; });
+  rig.net.run();
+  rig.signaling.signal_lsp({a, b}, pfx("10.2.0.0/16"), 1e6,
+                           [&](const auto& r) { second = r; });
+  rig.net.run();
+
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->lsp.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->lsp.has_value()) << "no labels left at the egress";
+  EXPECT_DOUBLE_EQ(rig.cp.residual_bw(a, b), 9e6)
+      << "only the first LSP's reservation remains";
+}
+
+TEST(Signaling, MessageCounters) {
+  Rig rig;
+  const auto a = rig.add("A", hw::RouterType::kLer);
+  const auto b = rig.add("B", hw::RouterType::kLsr);
+  const auto c = rig.add("C", hw::RouterType::kLer);
+  rig.net.connect(a, b, 10e6, 1e-3);
+  rig.net.connect(b, c, 10e6, 1e-3);
+  rig.signaling.signal_lsp({a, b, c}, pfx("10.0.0.0/8"), 0.0, {});
+  rig.net.run();
+  EXPECT_EQ(rig.signaling.stats().path_messages, 3u);
+  EXPECT_EQ(rig.signaling.stats().resv_messages, 3u);
+  EXPECT_EQ(rig.signaling.stats().setups_completed, 1u);
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,179 @@
+// Unit tests for traffic generators and the measurement helpers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "net/stats.hpp"
+#include "net/traffic.hpp"
+
+namespace empls::net {
+namespace {
+
+/// Counts injected packets and immediately "delivers" them back to the
+/// stats collector after a fixed latency.
+class EchoNode : public Node {
+ public:
+  EchoNode(std::string name, FlowStats* stats, SimTime latency)
+      : Node(std::move(name)), stats_(stats), latency_(latency) {}
+  void receive(mpls::Packet packet, mpls::InterfaceId) override {
+    ++received;
+    auto* net = network();
+    net->events().schedule_in(latency_, [this, net,
+                                         p = std::move(packet)]() mutable {
+      stats_->on_delivered(p, net->now());
+    });
+  }
+  std::uint64_t received = 0;
+
+ private:
+  FlowStats* stats_;
+  SimTime latency_;
+};
+
+struct Rig {
+  Network net;
+  FlowStats stats;
+  NodeId echo;
+  explicit Rig(SimTime latency = 1e-3) {
+    echo = net.add_node(std::make_unique<EchoNode>("echo", &stats, latency));
+  }
+  FlowSpec spec(std::uint32_t id, SimTime start, SimTime stop) {
+    FlowSpec s;
+    s.flow_id = id;
+    s.ingress = echo;
+    s.dst = mpls::Ipv4Address::from_octets(10, 0, 0, 1);
+    s.payload_bytes = 100;
+    s.start = start;
+    s.stop = stop;
+    return s;
+  }
+};
+
+TEST(CbrSource, EmitsAtFixedInterval) {
+  Rig rig;
+  CbrSource src(rig.net, rig.spec(1, 0.0, 0.0999), &rig.stats, 10e-3);
+  src.start();
+  rig.net.run();
+  EXPECT_EQ(src.packets_sent(), 10u);
+  EXPECT_EQ(rig.stats.flow(1).sent, 10u);
+  EXPECT_EQ(rig.stats.flow(1).delivered, 10u);
+}
+
+TEST(CbrSource, HonoursStartTime) {
+  Rig rig;
+  CbrSource src(rig.net, rig.spec(1, 0.5, 0.5999), &rig.stats, 100e-3);
+  src.start();
+  rig.net.run_until(0.4);
+  EXPECT_EQ(src.packets_sent(), 0u);
+  rig.net.run();
+  EXPECT_EQ(src.packets_sent(), 1u);
+}
+
+TEST(PoissonSource, MeanRateIsApproximatelyRight) {
+  Rig rig;
+  PoissonSource src(rig.net, rig.spec(2, 0.0, 10.0), &rig.stats, 500.0, 99);
+  src.start();
+  rig.net.run();
+  // 10 s at 500 pps: expect ~5000 +- 5 sigma (~354).
+  EXPECT_GT(src.packets_sent(), 4600u);
+  EXPECT_LT(src.packets_sent(), 5400u);
+}
+
+TEST(VideoSource, EmitsFramesOfPackets) {
+  Rig rig;
+  VideoSource src(rig.net, rig.spec(3, 0.0, 0.0999), &rig.stats, 33e-3, 8);
+  src.start();
+  rig.net.run();
+  // Frames at 0, 33, 66, 99 ms -> 4 frames x 8 packets.
+  EXPECT_EQ(src.packets_sent(), 32u);
+}
+
+TEST(OnOffSource, AlternatesBurstsAndSilence) {
+  Rig rig;
+  OnOffSource src(rig.net, rig.spec(4, 0.0, 5.0), &rig.stats, 1000.0,
+                  /*mean_on=*/50e-3, /*mean_off=*/50e-3, 7);
+  src.start();
+  rig.net.run();
+  // ~50% duty cycle at 1000 pps over 5 s: well below the always-on 5000
+  // but clearly nonzero.
+  EXPECT_GT(src.packets_sent(), 1000u);
+  EXPECT_LT(src.packets_sent(), 4200u);
+}
+
+TEST(TrafficSource, StampsPacketMetadata) {
+  Rig rig;
+  auto spec = rig.spec(9, 0.0, 0.001);
+  spec.cos = 6;
+  spec.src = mpls::Ipv4Address::from_octets(1, 2, 3, 4);
+  CbrSource src(rig.net, spec, &rig.stats, 10e-3);
+  src.start();
+  rig.net.run();
+  ASSERT_EQ(rig.stats.flow(9).delivered, 1u);
+  EXPECT_DOUBLE_EQ(rig.stats.flow(9).latency.mean(), 1e-3)
+      << "created_at stamped at injection, delivered 1 ms later";
+}
+
+TEST(LatencyStats, ExactStatistics) {
+  LatencyStats s;
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    s.record(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+}
+
+TEST(LatencyStats, RecordAfterPercentileKeepsOrder) {
+  LatencyStats s;
+  s.record(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 2.0);
+  s.record(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0) << "re-sorts after new samples";
+}
+
+TEST(FlowStats, JitterTracksTransitVariation) {
+  FlowStats fs;
+  mpls::Packet p;
+  p.flow_id = 1;
+  // Constant transit time: jitter stays zero.
+  for (int i = 0; i < 10; ++i) {
+    p.created_at = i * 0.020;
+    fs.on_delivered(p, p.created_at + 0.005);
+  }
+  EXPECT_NEAR(fs.flow(1).jitter, 0.0, 1e-12);  // FP rounding of transit deltas
+
+  // Alternating transit (5 ms / 9 ms): jitter converges toward the
+  // 4 ms swing (RFC 3550 smoothing, gain 1/16).
+  FlowStats fs2;
+  p.flow_id = 2;
+  for (int i = 0; i < 400; ++i) {
+    p.created_at = i * 0.020;
+    fs2.on_delivered(p, p.created_at + (i % 2 == 0 ? 0.005 : 0.009));
+  }
+  EXPECT_NEAR(fs2.flow(2).jitter, 0.004, 0.0005);
+  EXPECT_NE(fs2.summary().find("jitter="), std::string::npos);
+}
+
+TEST(FlowStats, LossRateAndSummary) {
+  FlowStats fs;
+  mpls::Packet p;
+  p.flow_id = 3;
+  p.created_at = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    fs.on_sent(p);
+  }
+  fs.on_delivered(p, 0.010);
+  EXPECT_DOUBLE_EQ(fs.flow(3).loss_rate(), 0.75);
+  EXPECT_EQ(fs.total_sent(), 4u);
+  EXPECT_EQ(fs.total_delivered(), 1u);
+  EXPECT_NE(fs.summary().find("flow 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,128 @@
+// Exhaustive differential grid: every combination of operation, stack
+// depth, router type, information-base level, TTL regime and table
+// state, executed on the RTL modifier and on the shared software
+// semantics — with the Table 6 cycle model asserted for each case.
+//
+// Unlike the randomised differential test, this enumerates the whole
+// small behaviour space, so any divergence is pinpointed by its grid
+// coordinates.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hw/cycle_model.hpp"
+#include "hw/label_stack_modifier.hpp"
+#include "sw/semantics.hpp"
+
+namespace empls {
+namespace {
+
+using hw::RouterType;
+using mpls::LabelEntry;
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+// Grid axes.
+using Case = std::tuple<LabelOp,     // operation stored in the table
+                        unsigned,    // initial stack depth 0..3
+                        RouterType,  // LER / LSR
+                        unsigned,    // TTL regime: 0=healthy, 1=expiring
+                        bool>;       // table entry present (hit) or not
+
+class ExhaustiveUpdate : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ExhaustiveUpdate, RtlMatchesSemanticsAndCycleModel) {
+  const auto [op, depth, type, ttl_regime, hit] = GetParam();
+  const rtl::u8 ttl = ttl_regime == 0 ? 64 : 1;
+  const rtl::u32 pid = 0x0A000001;
+
+  // The level the router would select (DESIGN.md §5.6).
+  const unsigned level =
+      depth == 0 ? 1 : std::min(depth + 1, 3u);
+  const rtl::u32 key = depth == 0 ? pid : 40;  // top label is 40
+
+  // --- RTL side ---
+  hw::LabelStackModifier m;
+  for (unsigned d = 0; d < depth; ++d) {
+    // Top entry is label 40 and carries the test TTL; lower entries are
+    // healthy.
+    const bool top = d + 1 == depth;
+    m.user_push(LabelEntry{top ? 40u : 10u + d,
+                           static_cast<rtl::u8>(d + 1), false,
+                           top ? ttl : rtl::u8{64}});
+  }
+  if (hit) {
+    m.write_pair(level, LabelPair{key, 777, op});
+  }
+  const auto r = m.update(level, type, pid, /*cos=*/6, /*ttl_in=*/ttl);
+
+  // --- golden side (shared semantics) ---
+  mpls::Packet p;
+  p.dst = mpls::Ipv4Address{pid};
+  p.cos = 6;
+  p.ip_ttl = ttl;
+  for (unsigned d = 0; d < depth; ++d) {
+    const bool top = d + 1 == depth;
+    p.stack.push(LabelEntry{top ? 40u : 10u + d,
+                            static_cast<rtl::u8>(d + 1), false,
+                            top ? ttl : rtl::u8{64}});
+  }
+  const std::optional<LabelPair> found =
+      hit ? std::make_optional(LabelPair{key, 777, op}) : std::nullopt;
+  const auto expected = sw::apply_update(p, found, type);
+
+  // Outcomes agree.
+  ASSERT_EQ(r.discarded, expected.discarded);
+  const auto view = m.stack_view();
+  ASSERT_EQ(view, p.stack);
+  if (!r.discarded) {
+    ASSERT_EQ(r.applied, expected.applied);
+  }
+
+  // Cycle model agrees (hit position is 1: the entry is alone).
+  rtl::u64 want = 0;
+  if (!hit) {
+    want = hw::update_miss_cycles(0);
+  } else if (r.discarded) {
+    want = hw::search_cycles(1) + hw::kVerifyDiscardTailCycles;
+  } else {
+    switch (op) {
+      case LabelOp::kSwap:
+        want = hw::update_swap_cycles(1);
+        break;
+      case LabelOp::kPop:
+        want = hw::update_pop_cycles(1);
+        break;
+      case LabelOp::kPush:
+        want = hw::update_push_cycles(1, depth == 0);
+        break;
+      case LabelOp::kNop:
+        want = 0;  // unreachable: NOP always discards
+        break;
+    }
+  }
+  ASSERT_EQ(r.cycles, want)
+      << "op=" << static_cast<int>(op) << " depth=" << depth
+      << " type=" << static_cast<int>(type) << " ttl=" << unsigned(ttl)
+      << " hit=" << hit;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExhaustiveUpdate,
+    ::testing::Combine(::testing::Values(LabelOp::kNop, LabelOp::kPush,
+                                         LabelOp::kPop, LabelOp::kSwap),
+                       ::testing::Values(0u, 1u, 2u, 3u),
+                       ::testing::Values(RouterType::kLer, RouterType::kLsr),
+                       ::testing::Values(0u, 1u),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param)));
+      name += "_d" + std::to_string(std::get<1>(info.param));
+      name += std::get<2>(info.param) == RouterType::kLer ? "_ler" : "_lsr";
+      name += std::get<3>(info.param) != 0 ? "_expiring" : "_healthy";
+      name += std::get<4>(info.param) ? "_hit" : "_miss";
+      return name;
+    });
+
+}  // namespace
+}  // namespace empls

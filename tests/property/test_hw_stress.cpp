@@ -1,0 +1,225 @@
+// Stress property test for the RTL label stack modifier: long random
+// sequences over the FULL command set (reset, user push/pop, write
+// pair, read pair, search, update) checked step by step against an
+// explicit reference model of the architectural state.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "hw/label_stack_modifier.hpp"
+
+namespace empls::hw {
+namespace {
+
+using mpls::LabelEntry;
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+/// Plain-data mirror of the modifier's architectural state.
+struct Reference {
+  std::vector<LabelEntry> stack;  // bottom..top
+  std::vector<LabelPair> levels[3];
+
+  std::vector<LabelPair>& level(unsigned l) { return levels[l - 1]; }
+
+  void reset() {
+    stack.clear();
+    for (auto& l : levels) {
+      l.clear();
+    }
+  }
+
+  void user_push(LabelEntry e) {
+    if (stack.size() >= 3) {
+      return;  // hardware discards the push
+    }
+    e.bottom = stack.empty();
+    stack.push_back(e);
+  }
+
+  void user_pop() {
+    if (!stack.empty()) {
+      stack.pop_back();
+    }
+  }
+
+  void write_pair(unsigned l, LabelPair p) {
+    if (level(l).size() < kLevelDepth) {
+      // Mirror the memory widths.
+      p.index &= l == 1 ? ~rtl::u32{0} : mpls::kMaxLabel;
+      p.new_label &= mpls::kMaxLabel;
+      level(l).push_back(p);
+    }
+  }
+
+  const LabelPair* find(unsigned l, rtl::u32 key) const {
+    const rtl::u32 mask = l == 1 ? ~rtl::u32{0} : mpls::kMaxLabel;
+    for (const auto& p : levels[l - 1]) {
+      if ((p.index & mask) == (key & mask)) {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+
+  void check_against(const LabelStackModifier& m, int step) const {
+    const auto view = m.stack_view();
+    ASSERT_EQ(view.size(), stack.size()) << "step " << step;
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      ASSERT_EQ(view.at(view.size() - 1 - i), stack[i])
+          << "step " << step << " depth " << i;
+    }
+    for (unsigned l = 1; l <= 3; ++l) {
+      ASSERT_EQ(m.level_count(l), levels[l - 1].size())
+          << "step " << step << " level " << l;
+    }
+  }
+};
+
+class HwStress : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HwStress, LongRandomCommandSequences) {
+  std::mt19937 rng(GetParam());
+  LabelStackModifier m;
+  Reference ref;
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng() % 12) {
+      case 0:  // reset (rare-ish but present)
+        if (rng() % 4 == 0) {
+          m.do_reset();
+          ref.reset();
+        }
+        break;
+      case 1:
+      case 2: {
+        const LabelEntry e{static_cast<rtl::u32>(1 + rng() % 20),
+                           static_cast<rtl::u8>(rng() & 7), false,
+                           static_cast<rtl::u8>(2 + rng() % 250)};
+        m.user_push(e);
+        ref.user_push(e);
+        break;
+      }
+      case 3:
+        m.user_pop();
+        ref.user_pop();
+        break;
+      case 4:
+      case 5:
+      case 6: {
+        const unsigned level = 1 + rng() % 3;
+        const LabelPair p{static_cast<rtl::u32>(1 + rng() % 20),
+                          static_cast<rtl::u32>(100 + rng() % 500),
+                          static_cast<LabelOp>(rng() % 4)};
+        m.write_pair(level, p);
+        ref.write_pair(level, p);
+        break;
+      }
+      case 7: {  // bare search agrees with the reference scan
+        const unsigned level = 1 + rng() % 3;
+        const rtl::u32 key = 1 + rng() % 25;
+        const auto r = m.search(level, key);
+        const auto* expect = ref.find(level, key);
+        ASSERT_EQ(r.found, expect != nullptr) << "step " << step;
+        if (expect != nullptr) {
+          ASSERT_EQ(r.label, expect->new_label) << "step " << step;
+          ASSERT_EQ(r.operation, static_cast<rtl::u8>(expect->op))
+              << "step " << step;
+        }
+        break;
+      }
+      case 8: {  // read pair round-trips stored contents
+        const unsigned level = 1 + rng() % 3;
+        if (!ref.level(level).empty()) {
+          const auto addr = static_cast<rtl::u16>(
+              rng() % ref.level(level).size());
+          const auto r = m.read_pair(level, addr);
+          ASSERT_TRUE(r.valid) << "step " << step;
+          ASSERT_EQ(r.pair, ref.level(level)[addr]) << "step " << step;
+        }
+        break;
+      }
+      default: {  // update-stack flow against reference semantics
+        const unsigned level =
+            ref.stack.empty()
+                ? 1
+                : static_cast<unsigned>(
+                      std::min<std::size_t>(ref.stack.size() + 1, 3));
+        const rtl::u32 pid = 1 + rng() % 20;
+        const auto type =
+            rng() % 2 ? RouterType::kLer : RouterType::kLsr;
+        const auto r = m.update(level, type, pid,
+                                static_cast<rtl::u8>(rng() & 7),
+                                static_cast<rtl::u8>(2 + rng() % 60));
+
+        // Reference semantics (a compact Figure 9 transcription).
+        const rtl::u32 key =
+            ref.stack.empty() ? pid : ref.stack.back().label;
+        const unsigned search_level = ref.stack.empty() ? 1 : level;
+        const auto* pair = ref.find(search_level, key);
+        const bool was_empty = ref.stack.empty();
+        const rtl::u8 orig_ttl =
+            was_empty ? m.inputs().ttl_in : ref.stack.back().ttl;
+        bool discard = pair == nullptr || orig_ttl <= 1;
+        if (!discard) {
+          switch (pair->op) {
+            case LabelOp::kNop:
+              discard = true;
+              break;
+            case LabelOp::kPop:
+            case LabelOp::kSwap:
+              discard = discard || was_empty;
+              break;
+            case LabelOp::kPush:
+              discard = discard || ref.stack.size() >= 3;
+              break;
+          }
+          if (was_empty &&
+              (type == RouterType::kLsr || pair->op != LabelOp::kPush)) {
+            discard = true;
+          }
+        }
+        ASSERT_EQ(r.discarded, discard) << "step " << step;
+        if (discard) {
+          ref.stack.clear();
+        } else {
+          const rtl::u8 ttl = static_cast<rtl::u8>(orig_ttl - 1);
+          const rtl::u8 cos =
+              was_empty ? m.inputs().cos_in : ref.stack.back().cos;
+          switch (pair->op) {
+            case LabelOp::kPop:
+              ref.stack.pop_back();
+              if (!ref.stack.empty()) {
+                ref.stack.back().ttl = ttl;
+              }
+              break;
+            case LabelOp::kSwap:
+              ref.stack.back() =
+                  LabelEntry{pair->new_label, cos,
+                             ref.stack.back().bottom, ttl};
+              break;
+            case LabelOp::kPush:
+              if (!was_empty) {
+                ref.stack.back().ttl = ttl;
+              }
+              ref.stack.push_back(LabelEntry{pair->new_label, cos,
+                                             ref.stack.empty(), ttl});
+              break;
+            case LabelOp::kNop:
+              break;
+          }
+        }
+        break;
+      }
+    }
+    ref.check_against(m, step);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HwStress,
+                         ::testing::Values(3u, 17u, 99u, 256u, 4096u,
+                                           65537u));
+
+}  // namespace
+}  // namespace empls::hw

@@ -1,0 +1,87 @@
+// Robustness property: the scenario parser never crashes and never
+// accepts garbage silently — every input either parses cleanly or
+// yields a ScenarioError with a valid line number.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "net/scenario.hpp"
+
+namespace empls::net {
+namespace {
+
+class ScenarioFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScenarioFuzz, RandomBytesNeverCrash) {
+  std::mt19937 rng(GetParam());
+  const std::string charset =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .=/#-\n\t";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const auto len = rng() % 200;
+    for (std::size_t i = 0; i < len; ++i) {
+      text += charset[rng() % charset.size()];
+    }
+    const auto result = Scenario::parse(text);
+    if (const auto* err = std::get_if<ScenarioError>(&result)) {
+      EXPECT_GE(err->line, 1);
+      EXPECT_FALSE(err->message.empty());
+    }
+  }
+}
+
+TEST_P(ScenarioFuzz, MutatedValidScenariosNeverCrash) {
+  const std::string base = R"(
+qos strict capacity=16
+router A ler engine=hw
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C bw=1M
+flow cbr 1 A 10.1.0.5 cos=5 interval=10ms stop=0.5
+fail 0.2 A B
+run 1
+)";
+  std::mt19937 rng(GetParam() * 7919);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = base;
+    // Random single-character mutations.
+    const auto mutations = 1 + rng() % 6;
+    for (unsigned m = 0; m < mutations; ++m) {
+      const auto pos = rng() % text.size();
+      switch (rng() % 3) {
+        case 0:
+          text[pos] = static_cast<char>('!' + rng() % 90);
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        case 2:
+          text.insert(pos, 1, static_cast<char>('!' + rng() % 90));
+          break;
+      }
+    }
+    const auto result = Scenario::parse(text);
+    if (const auto* err = std::get_if<ScenarioError>(&result)) {
+      EXPECT_GE(err->line, 1);
+    } else {
+      // Accepted: the structure must at least be self-consistent.
+      const auto& s = std::get<Scenario>(result);
+      for (const auto& link : s.links) {
+        EXPECT_TRUE(s.has_router(link.a));
+        EXPECT_TRUE(s.has_router(link.b));
+      }
+      for (const auto& lsp : s.lsps) {
+        EXPECT_GE(lsp.path.size(), 2u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace empls::net

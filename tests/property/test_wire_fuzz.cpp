@@ -1,0 +1,92 @@
+// Robustness property for the wire parsers: random and mutated byte
+// strings must never crash Packet::parse / LabelStack::parse, and
+// anything accepted must re-serialise to a consistent wire image
+// (parse ∘ serialize = identity on the accepted set).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "mpls/packet.hpp"
+
+namespace empls::mpls {
+namespace {
+
+class WireFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WireFuzz, RandomBytesNeverCrashAndAcceptedInputsRoundTrip) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng() % 96);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng());
+    }
+    const auto packet = Packet::parse(bytes);
+    if (packet) {
+      // Accepted: the canonical re-serialisation must parse back to an
+      // equivalent packet (the parser normalises S bits, so compare the
+      // parsed forms, not the raw bytes).
+      const auto again = Packet::parse(packet->serialize());
+      ASSERT_TRUE(again.has_value()) << "trial " << trial;
+      EXPECT_EQ(again->stack, packet->stack);
+      EXPECT_EQ(again->payload, packet->payload);
+      EXPECT_EQ(again->src, packet->src);
+      EXPECT_EQ(again->dst, packet->dst);
+      EXPECT_EQ(again->cos, packet->cos);
+      EXPECT_EQ(again->ip_ttl, packet->ip_ttl);
+    }
+    // The stack parser must be equally robust on its own.
+    const auto stack = LabelStack::parse(bytes);
+    if (stack) {
+      EXPECT_TRUE(stack->s_bit_invariant_holds()) << "trial " << trial;
+      EXPECT_LE(stack->size(), LabelStack::kHardwareDepth);
+    }
+  }
+}
+
+TEST_P(WireFuzz, MutatedValidPacketsNeverCrash) {
+  std::mt19937 rng(GetParam() * 31337);
+  Packet base;
+  base.src = Ipv4Address::from_octets(192, 168, 0, 1);
+  base.dst = Ipv4Address::from_octets(10, 0, 0, 1);
+  base.cos = 5;
+  base.stack.push(LabelEntry{100, 2, false, 64});
+  base.stack.push(LabelEntry{200, 3, false, 63});
+  base.payload.assign(40, 0x5A);
+
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto bytes = base.serialize();
+    const auto mutations = 1 + rng() % 5;
+    for (unsigned m = 0; m < mutations; ++m) {
+      switch (rng() % 3) {
+        case 0:
+          bytes[rng() % bytes.size()] = static_cast<std::uint8_t>(rng());
+          break;
+        case 1:
+          bytes.erase(bytes.begin() +
+                      static_cast<long>(rng() % bytes.size()));
+          break;
+        case 2:
+          bytes.insert(bytes.begin() +
+                           static_cast<long>(rng() % (bytes.size() + 1)),
+                       static_cast<std::uint8_t>(rng()));
+          break;
+      }
+      if (bytes.empty()) {
+        bytes.push_back(0);
+      }
+    }
+    const auto packet = Packet::parse(bytes);
+    if (packet) {
+      // Whatever survived must still satisfy the structural invariants.
+      EXPECT_TRUE(packet->stack.s_bit_invariant_holds()) << trial;
+      EXPECT_LE(packet->stack.size(), LabelStack::kHardwareDepth) << trial;
+      EXPECT_EQ(packet->wire_size(), bytes.size()) << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace empls::mpls

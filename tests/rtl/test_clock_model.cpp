@@ -1,0 +1,45 @@
+// Unit tests for the cycles → time conversion (the paper's 50 MHz
+// arithmetic).
+#include <gtest/gtest.h>
+
+#include "rtl/clock_model.hpp"
+
+namespace empls::rtl {
+namespace {
+
+TEST(ClockModel, DefaultsToThePaperFrequency) {
+  const ClockModel clock;
+  EXPECT_DOUBLE_EQ(clock.frequency_hz(), 50e6);
+  EXPECT_DOUBLE_EQ(clock.period_seconds(), 20e-9);
+}
+
+TEST(ClockModel, PaperWorstCaseArithmetic) {
+  // "6167 cycles ... approximately 0.123 ms" at 50 MHz.
+  const ClockModel clock;
+  EXPECT_DOUBLE_EQ(clock.milliseconds(6167), 6167.0 / 50e3);
+  EXPECT_NEAR(clock.milliseconds(6167), 0.12334, 1e-5);
+  EXPECT_NEAR(clock.microseconds(6167), 123.34, 1e-2);
+}
+
+TEST(ClockModel, ScalesWithFrequency) {
+  const ClockModel slow(25e6);
+  const ClockModel fast(100e6);
+  EXPECT_DOUBLE_EQ(slow.seconds(1000), 4 * fast.seconds(1000));
+}
+
+TEST(ClockModel, DurationRounding) {
+  const ClockModel clock(1e9);  // 1 ns per cycle
+  EXPECT_EQ(clock.duration(42).count(), 42);
+  const ClockModel third(3e9);  // 1/3 ns per cycle: rounds to nearest
+  EXPECT_EQ(clock.duration(0).count(), 0);
+  EXPECT_EQ(third.duration(2).count(), 1);  // 0.667 ns -> 1
+}
+
+TEST(ClockModel, ZeroCycles) {
+  const ClockModel clock;
+  EXPECT_DOUBLE_EQ(clock.seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(clock.milliseconds(0), 0.0);
+}
+
+}  // namespace
+}  // namespace empls::rtl

@@ -1,0 +1,166 @@
+// Unit tests for the clocked datapath components: Register, Counter,
+// SyncMemory and the comparators.
+#include <gtest/gtest.h>
+
+#include "rtl/comparator.hpp"
+#include "rtl/counter.hpp"
+#include "rtl/memory.hpp"
+#include "rtl/register.hpp"
+#include "rtl/simulator.hpp"
+
+namespace empls::rtl {
+namespace {
+
+// Drive a single component through explicit compute/commit phases.
+template <typename T>
+void edge(T& obj) {
+  obj.compute();
+  obj.commit();
+}
+
+TEST(Register, LoadAppearsAfterOneEdge) {
+  Register r(20);
+  r.load(0x12345);
+  EXPECT_EQ(r.q(), 0u);
+  edge(r);
+  EXPECT_EQ(r.q(), 0x12345u);
+}
+
+TEST(Register, TruncatesToWidth) {
+  Register r(8);
+  r.load(0x1FF);
+  edge(r);
+  EXPECT_EQ(r.q(), 0xFFu);
+}
+
+TEST(Register, HoldsWithoutLoad) {
+  Register r(8, 0x42);
+  edge(r);
+  edge(r);
+  EXPECT_EQ(r.q(), 0x42u);
+}
+
+TEST(Register, ResetRestoresResetValue) {
+  Register r(8, 7);
+  r.load(99);
+  edge(r);
+  r.reset();
+  EXPECT_EQ(r.q(), 7u);
+}
+
+TEST(Counter, IncrementDecrementLoadClear) {
+  Counter c(4);
+  c.increment();
+  edge(c);
+  EXPECT_EQ(c.q(), 1u);
+  c.increment();
+  edge(c);
+  EXPECT_EQ(c.q(), 2u);
+  c.decrement();
+  edge(c);
+  EXPECT_EQ(c.q(), 1u);
+  c.load(9);
+  edge(c);
+  EXPECT_EQ(c.q(), 9u);
+  c.clear();
+  edge(c);
+  EXPECT_EQ(c.q(), 0u);
+}
+
+TEST(Counter, WrapsAtDeclaredWidth) {
+  Counter c(2);
+  c.load(3);
+  edge(c);
+  c.increment();
+  edge(c);
+  EXPECT_EQ(c.q(), 0u) << "2-bit counter wraps 3 -> 0";
+  c.decrement();
+  edge(c);
+  EXPECT_EQ(c.q(), 3u) << "and 0 -> 3 going down";
+}
+
+TEST(Counter, CommandAppliesRegardlessOfPhaseOrder) {
+  // A driving FSM may issue the command after this counter's compute()
+  // already ran in the same cycle; the command must still land on this
+  // edge (the hazard fixed by applying commands during commit()).
+  Counter c(8);
+  c.compute();
+  c.increment();  // issued "late" in the compute phase
+  c.commit();
+  EXPECT_EQ(c.q(), 1u);
+}
+
+TEST(Counter, HoldsWithNoCommand) {
+  Counter c(8, 5);
+  edge(c);
+  EXPECT_EQ(c.q(), 5u);
+}
+
+TEST(SyncMemory, ReadHasOneCycleLatency) {
+  SyncMemory m(20, 16);
+  m.poke(3, 0xBEEF);
+  m.issue_read(3);
+  EXPECT_EQ(m.read_data(), 0u) << "data not visible in the issuing cycle";
+  edge(m);
+  EXPECT_EQ(m.read_data(), 0xBEEFu);
+}
+
+TEST(SyncMemory, ReadDataHoldsUntilNextRead) {
+  SyncMemory m(20, 16);
+  m.poke(1, 111);
+  m.poke(2, 222);
+  m.issue_read(1);
+  edge(m);
+  edge(m);  // no new read issued
+  EXPECT_EQ(m.read_data(), 111u);
+  m.issue_read(2);
+  edge(m);
+  EXPECT_EQ(m.read_data(), 222u);
+}
+
+TEST(SyncMemory, WriteLandsAtTheEdge) {
+  SyncMemory m(8, 4);
+  m.issue_write(2, 0x5A);
+  EXPECT_EQ(m.peek(2), 0u);
+  edge(m);
+  EXPECT_EQ(m.peek(2), 0x5Au);
+}
+
+TEST(SyncMemory, ReadDuringWriteReturnsOldData) {
+  SyncMemory m(8, 4);
+  m.poke(0, 0x11);
+  m.issue_read(0);
+  m.issue_write(0, 0x99);
+  edge(m);
+  EXPECT_EQ(m.read_data(), 0x11u) << "read-first mode";
+  EXPECT_EQ(m.peek(0), 0x99u) << "but the write landed";
+}
+
+TEST(SyncMemory, WriteTruncatesToDataWidth) {
+  SyncMemory m(2, 4);  // the operation memory component is 2 bits wide
+  m.issue_write(0, 0x7);
+  edge(m);
+  EXPECT_EQ(m.peek(0), 0x3u);
+}
+
+TEST(SyncMemory, ResetClearsContents) {
+  SyncMemory m(8, 4);
+  m.poke(1, 0xAA);
+  m.reset();
+  EXPECT_EQ(m.peek(1), 0u);
+}
+
+TEST(Comparator, WidthLimitedEquality) {
+  // The 20-bit comparator must ignore bits above the label field.
+  EXPECT_TRUE(compare_eq20(0x100004, 0x200004));
+  EXPECT_FALSE(compare_eq20(0x00005, 0x00004));
+  // The 32-bit comparator sees the full packet identifier.
+  EXPECT_FALSE(compare_eq32(0x100004, 0x200004));
+  EXPECT_TRUE(compare_eq32(0xDEADBEEF, 0xDEADBEEF));
+  // 10-bit: memory addresses.
+  EXPECT_TRUE(compare_eq10(0x400, 0x800));  // both truncate to 0
+  EXPECT_FALSE(compare_eq10(1, 2));
+}
+
+}  // namespace
+}  // namespace empls::rtl

@@ -1,0 +1,119 @@
+// Unit tests for the waveform recorder: sampling, queries, VCD output
+// and the ASCII renderer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "rtl/simulator.hpp"
+#include "rtl/trace.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::rtl {
+namespace {
+
+class Ticker : public SimObject {
+ public:
+  Ticker() : q_(8) {}
+  [[nodiscard]] u64 q() const { return q_.get(); }
+  void reset() override { q_.reset(0); }
+  void compute() override { q_.set(q_.get() + 1); }
+  void commit() override { q_.commit(); }
+
+ private:
+  WireU q_;
+};
+
+struct Rig {
+  Simulator sim;
+  Ticker ticker;
+  TraceRecorder trace{sim};
+
+  Rig() {
+    sim.add(&ticker);
+    trace.add_probe("count", 8, [this] { return ticker.q(); });
+    trace.add_probe_bool("is_even", [this] { return ticker.q() % 2 == 0; });
+    sim.reset();
+  }
+};
+
+TEST(TraceRecorder, SamplesEveryEdge) {
+  Rig rig;
+  rig.sim.run(5);
+  EXPECT_EQ(rig.trace.num_samples(), 6u);  // reset sample + 5 edges
+  EXPECT_EQ(rig.trace.num_probes(), 2u);
+  EXPECT_EQ(rig.trace.value("count", 0), 0u);
+  EXPECT_EQ(rig.trace.value("count", 5), 5u);
+  EXPECT_EQ(rig.trace.value("is_even", 3), 0u);
+  EXPECT_EQ(rig.trace.value("is_even", 4), 1u);
+}
+
+TEST(TraceRecorder, FindFirstHonoursFrom) {
+  Rig rig;
+  rig.sim.run(10);
+  EXPECT_EQ(rig.trace.find_first("count", 4), 4);
+  EXPECT_EQ(rig.trace.find_first("is_even", 1, /*from=*/3), 4);
+  EXPECT_EQ(rig.trace.find_first("count", 99), -1);
+  EXPECT_EQ(rig.trace.find_first("no_such_probe", 0), -1);
+}
+
+TEST(TraceRecorder, VcdFileIsWellFormed) {
+  Rig rig;
+  rig.sim.run(4);
+  const std::string path = ::testing::TempDir() + "/trace_test.vcd";
+  ASSERT_TRUE(rig.trace.write_vcd(path, "test_top"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string vcd = buf.str();
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find("count"), std::string::npos);
+  EXPECT_NE(vcd.find("is_even"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  // The 8-bit probe dumps binary vectors.
+  EXPECT_NE(vcd.find("b00000011"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, VcdOnlyRecordsChanges) {
+  Simulator sim;
+  TraceRecorder trace(sim);
+  trace.add_probe("constant", 4, [] { return 7; });
+  sim.reset();
+  sim.run(10);
+  const std::string path = ::testing::TempDir() + "/trace_const.vcd";
+  ASSERT_TRUE(trace.write_vcd(path));
+  std::ifstream in(path);
+  std::string vcd((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  // One value line only (plus the header and final timestamp).
+  EXPECT_EQ(vcd.find("b0111"), vcd.rfind("b0111"));
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, AsciiRenderShowsPulsesAndValues) {
+  Rig rig;
+  rig.sim.run(6);
+  const std::string art = rig.trace.render_ascii(0, 7);
+  EXPECT_NE(art.find("count"), std::string::npos);
+  EXPECT_NE(art.find("is_even"), std::string::npos);
+  // Boolean rows use pulse art.
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('_'), std::string::npos);
+}
+
+TEST(TraceRecorder, AsciiRenderEmptyWindow) {
+  Rig rig;
+  rig.sim.run(2);
+  EXPECT_EQ(rig.trace.render_ascii(5, 5), "");
+  EXPECT_EQ(rig.trace.render_ascii(10, 3), "");
+}
+
+}  // namespace
+}  // namespace empls::rtl

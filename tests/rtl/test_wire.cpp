@@ -1,0 +1,117 @@
+// Unit tests for the registered-signal primitives: Wire, WireU, Pulse,
+// and the bit utilities they rely on.
+#include <gtest/gtest.h>
+
+#include "rtl/types.hpp"
+#include "rtl/wire.hpp"
+
+namespace empls::rtl {
+namespace {
+
+TEST(BitUtils, MaskWidth) {
+  EXPECT_EQ(mask_width(0), 0u);
+  EXPECT_EQ(mask_width(1), 1u);
+  EXPECT_EQ(mask_width(8), 0xFFu);
+  EXPECT_EQ(mask_width(20), 0xFFFFFu);
+  EXPECT_EQ(mask_width(32), 0xFFFFFFFFu);
+  EXPECT_EQ(mask_width(64), ~u64{0});
+}
+
+TEST(BitUtils, TruncateMatchesHardwareAssignment) {
+  EXPECT_EQ(truncate(0x12345678, 20), 0x45678u);
+  EXPECT_EQ(truncate(0xFF, 8), 0xFFu);
+  EXPECT_EQ(truncate(0x100, 8), 0u);
+}
+
+TEST(BitUtils, ExtractInsertRoundTrip) {
+  // The label field of a stack entry: bits 12..31.
+  const u64 word = 0xABCDE000 | (5u << 9) | (1u << 8) | 64;
+  EXPECT_EQ(extract_bits(word, 12, 20), 0xABCDEu);
+  EXPECT_EQ(extract_bits(word, 9, 3), 5u);
+  EXPECT_EQ(extract_bits(word, 8, 1), 1u);
+  EXPECT_EQ(extract_bits(word, 0, 8), 64u);
+
+  const u64 rewritten = insert_bits(word, 0, 8, 17);
+  EXPECT_EQ(extract_bits(rewritten, 0, 8), 17u);
+  EXPECT_EQ(extract_bits(rewritten, 12, 20), 0xABCDEu) << "other fields kept";
+}
+
+TEST(BitUtils, InsertTruncatesOverwideField) {
+  EXPECT_EQ(insert_bits(0, 0, 4, 0xFF), 0xFu);
+}
+
+TEST(BitUtils, Fits) {
+  EXPECT_TRUE(fits(0xFFFFF, 20));
+  EXPECT_FALSE(fits(0x100000, 20));
+  EXPECT_TRUE(fits(0, 1));
+}
+
+TEST(Wire, ValueInvisibleUntilCommit) {
+  Wire<int> w(7);
+  w.set(42);
+  EXPECT_EQ(w.get(), 7) << "set() must not be visible before commit()";
+  w.commit();
+  EXPECT_EQ(w.get(), 42);
+}
+
+TEST(Wire, HoldsValueAcrossCommitsWithoutSet) {
+  Wire<int> w(3);
+  w.commit();
+  w.commit();
+  EXPECT_EQ(w.get(), 3) << "a wire acts as a flop with feedback";
+}
+
+TEST(Wire, ResetIsImmediate) {
+  Wire<int> w(1);
+  w.set(9);
+  w.reset(5);
+  EXPECT_EQ(w.get(), 5);
+  w.commit();
+  EXPECT_EQ(w.get(), 5) << "reset must also clear the pending next value";
+}
+
+TEST(WireU, TruncatesToDeclaredWidth) {
+  WireU w(20);
+  w.set(0x123456);
+  w.commit();
+  EXPECT_EQ(w.get(), 0x23456u);
+  EXPECT_EQ(w.width(), 20u);
+}
+
+TEST(WireU, InitialValueTruncated) {
+  WireU w(8, 0x1FF);
+  EXPECT_EQ(w.get(), 0xFFu);
+}
+
+TEST(Pulse, VisibleForExactlyOneCycle) {
+  Pulse p;
+  EXPECT_FALSE(p.get());
+  p.fire();
+  EXPECT_FALSE(p.get()) << "not visible in the firing cycle's compute";
+  p.commit();
+  EXPECT_TRUE(p.get()) << "visible the cycle after firing";
+  p.commit();
+  EXPECT_FALSE(p.get()) << "self-clears without re-fire";
+}
+
+TEST(Pulse, RefireKeepsHigh) {
+  Pulse p;
+  p.fire();
+  p.commit();
+  p.fire();
+  p.commit();
+  EXPECT_TRUE(p.get());
+  p.commit();
+  EXPECT_FALSE(p.get());
+}
+
+TEST(Pulse, ResetClearsPending) {
+  Pulse p;
+  p.fire();
+  p.reset();
+  p.commit();
+  EXPECT_FALSE(p.get());
+}
+
+}  // namespace
+}  // namespace empls::rtl

@@ -1,0 +1,77 @@
+// Unit tests for the PipelineEngine adapter: behaviour parity with the
+// shared semantics and full-path cycle accounting.
+#include <gtest/gtest.h>
+
+#include "sw/linear_engine.hpp"
+#include "sw/pipeline_engine.hpp"
+
+namespace empls::sw {
+namespace {
+
+using mpls::LabelEntry;
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+mpls::Packet labeled(rtl::u32 label, std::size_t payload = 64) {
+  mpls::Packet p;
+  p.dst = *mpls::Ipv4Address::parse("10.0.0.9");
+  p.cos = 3;
+  p.ip_ttl = 64;
+  p.payload.assign(payload, 0x77);
+  p.stack.push(LabelEntry{label, 3, false, 64});
+  return p;
+}
+
+TEST(PipelineEngine, BehaviourMatchesGolden) {
+  PipelineEngine pipe(hw::RouterType::kLsr);
+  LinearEngine golden;
+  for (auto* e :
+       {static_cast<LabelEngine*>(&pipe), static_cast<LabelEngine*>(&golden)}) {
+    e->write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+    e->write_pair(2, LabelPair{41, 0, LabelOp::kPop});
+  }
+  for (const rtl::u32 label : {40u, 41u, 999u}) {
+    mpls::Packet a = labeled(label);
+    mpls::Packet b = a;
+    const auto oa = pipe.update(a, 2, hw::RouterType::kLsr);
+    const auto ob = golden.update(b, 2, hw::RouterType::kLsr);
+    EXPECT_EQ(oa.discarded, ob.discarded) << "label " << label;
+    EXPECT_EQ(oa.reason, ob.reason) << "label " << label;
+    EXPECT_EQ(a.stack, b.stack) << "label " << label;
+    if (!oa.discarded) {
+      EXPECT_EQ(oa.applied, ob.applied);
+    }
+  }
+}
+
+TEST(PipelineEngine, CyclesIncludeByteMovement) {
+  PipelineEngine pipe(hw::RouterType::kLsr);
+  pipe.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  mpls::Packet small = labeled(40, 16);
+  mpls::Packet big = labeled(40, 1216);
+  const auto os = pipe.update(small, 2, hw::RouterType::kLsr);
+  const auto ob = pipe.update(big, 2, hw::RouterType::kLsr);
+  EXPECT_FALSE(os.discarded);
+  EXPECT_FALSE(ob.discarded);
+  // 1200 extra bytes at 4 B/cycle, in and out: +600 cycles.
+  EXPECT_EQ(ob.hw_cycles - os.hw_cycles, 600u);
+}
+
+TEST(PipelineEngine, LookupAndLevelSizeDelegate) {
+  PipelineEngine pipe(hw::RouterType::kLer);
+  EXPECT_TRUE(pipe.write_pair(1, LabelPair{0x0A000001, 55, LabelOp::kPush}));
+  EXPECT_EQ(pipe.level_size(1), 1u);
+  const auto hit = pipe.lookup(1, 0x0A000001);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->new_label, 55u);
+  pipe.clear();
+  EXPECT_EQ(pipe.level_size(1), 0u);
+}
+
+TEST(PipelineEngine, NameIdentifiesTheFullPath) {
+  PipelineEngine pipe(hw::RouterType::kLsr);
+  EXPECT_EQ(pipe.name(), "hw-pipeline");
+}
+
+}  // namespace
+}  // namespace empls::sw
