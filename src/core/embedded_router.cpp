@@ -93,6 +93,7 @@ void EmbeddedRouter::receive(mpls::Packet packet, mpls::InterfaceId in_if) {
   if (engine_busy_) {
     if (engine_queue_.size() >= config_.engine_queue_capacity) {
       ++stats_.engine_overruns;
+      network()->notify_discard(id(), work.packet, "engine-overrun");
       return;
     }
     engine_queue_.push_back(std::move(work));

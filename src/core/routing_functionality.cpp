@@ -1,5 +1,7 @@
 #include "core/routing_functionality.hpp"
 
+#include <iterator>
+
 namespace empls::core {
 
 using mpls::LabelOp;
@@ -118,6 +120,44 @@ std::optional<mpls::InterfaceId> RoutingFunctionality::out_port(
     return std::nullopt;
   }
   return it->second;
+}
+
+bool RoutingFunctionality::corrupt_binding(std::uint64_t salt) {
+  if (programmed_.empty()) {
+    return false;
+  }
+  auto it = programmed_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(salt % programmed_.size()));
+  const auto [level, key] = it->first;
+  // Flip label bits derived from the salt; never a no-op garble.
+  rtl::u32 garbled = (it->second.new_label ^
+                      static_cast<rtl::u32>(1 + salt / 7)) &
+                     static_cast<rtl::u32>(mpls::kMaxLabel);
+  if (garbled == it->second.new_label) {
+    garbled ^= 1;
+  }
+  // The engine's stored entry diverges; `programmed_` (the software
+  // mirror) deliberately does not — that is the fault model.
+  if (!engine_->corrupt_entry(level, key, garbled)) {
+    return false;
+  }
+  ++corruptions_;
+  return true;
+}
+
+unsigned RoutingFunctionality::resync_hardware() {
+  unsigned divergent = 0;
+  for (const auto& [key, pair] : programmed_) {
+    const auto stored = engine_->lookup(key.first, pair.index);
+    if (!stored || !(*stored == pair)) {
+      ++divergent;
+    }
+  }
+  if (divergent > 0) {
+    reprogram_hardware();
+    ++resyncs_;
+  }
+  return divergent;
 }
 
 bool RoutingFunctionality::slow_path_install(rtl::u32 packet_id) {

@@ -40,6 +40,8 @@ class RoutingFunctionality : public net::MplsNode {
                     mpls::InterfaceId out_port) override;
   bool program_local(const mpls::Prefix& fec) override;
   mpls::LabelAllocator& label_allocator() override { return allocator_; }
+  bool corrupt_binding(std::uint64_t salt) override;
+  unsigned resync_hardware() override;
 
   /// True when `dst` falls in a locally attached prefix (PHP egress).
   [[nodiscard]] bool is_local(mpls::Ipv4Address dst) const {
@@ -69,6 +71,13 @@ class RoutingFunctionality : public net::MplsNode {
   [[nodiscard]] std::uint64_t hardware_reprograms() const noexcept {
     return hardware_reprograms_;
   }
+
+  /// Bindings garbled by corrupt_binding / divergences repaired by
+  /// resync_hardware since construction.
+  [[nodiscard]] std::uint64_t corruptions() const noexcept {
+    return corruptions_;
+  }
+  [[nodiscard]] std::uint64_t resyncs() const noexcept { return resyncs_; }
 
   /// Software mirrors, exposed for tests and inspection.
   [[nodiscard]] const mpls::FecTable& fec_table() const noexcept {
@@ -103,6 +112,8 @@ class RoutingFunctionality : public net::MplsNode {
   std::uint32_t next_fec_id_ = 1;
   std::uint64_t slow_path_installs_ = 0;
   std::uint64_t hardware_reprograms_ = 0;
+  std::uint64_t corruptions_ = 0;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace empls::core

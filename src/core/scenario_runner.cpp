@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "net/failure_detector.hpp"
+#include "net/fault_injector.hpp"
 #include "net/oam.hpp"
+#include "net/protection.hpp"
 
 #include "sw/cam_engine.hpp"
 #include "sw/hash_engine.hpp"
@@ -78,6 +80,7 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     tunnels.emplace(decl.name, *tunnel);
     ++report.tunnels_established;
   }
+  std::vector<net::LspId> lsp_ids;
   for (const auto& decl : scenario.lsps) {
     std::optional<net::LspId> lsp;
     if (decl.cspf) {
@@ -99,6 +102,7 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
       return semantic_error("lsp could not be established for " +
                             decl.fec.to_string());
     }
+    lsp_ids.push_back(*lsp);
     ++report.lsps_established;
   }
   for (const auto& decl : scenario.tunnel_lsps) {
@@ -120,6 +124,20 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
                             decl.fec.to_string());
     }
     ++report.lsps_established;
+  }
+
+  // Local protection (the `protect` directive): pre-signal a detour
+  // around every link of every explicit LSP now, and switch at the
+  // point of local repair on the fast link-down signal at run time.
+  std::optional<net::ProtectionManager> protection;
+  if (scenario.protect) {
+    net::ProtectOptions popts;
+    popts.bw = scenario.protect_bw;
+    for (const auto id : lsp_ids) {
+      report.backups_installed += cp.protect_lsp(id, popts);
+    }
+    protection.emplace(net, cp);
+    protection->attach_fast_signal();
   }
 
   // Ingress policers.
@@ -180,6 +198,29 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     });
   }
 
+  // Scripted faults beyond plain fail/restore: self-healing flaps,
+  // whole-node crashes and information-base corruptions.
+  std::optional<net::FaultInjector> injector;
+  if (!scenario.flaps.empty() || !scenario.crashes.empty() ||
+      !scenario.corruptions.empty()) {
+    injector.emplace(net, cp);
+    for (const auto& decl : scenario.flaps) {
+      injector->inject(net::FaultSpec{net::FaultKind::kFlap, decl.at,
+                                      id_of(decl.a), id_of(decl.b),
+                                      decl.down_for, 0});
+    }
+    for (const auto& decl : scenario.crashes) {
+      injector->inject(net::FaultSpec{net::FaultKind::kCrash, decl.at,
+                                      id_of(decl.node), 0, decl.duration,
+                                      0});
+    }
+    for (const auto& decl : scenario.corruptions) {
+      injector->inject(net::FaultSpec{net::FaultKind::kCorrupt, decl.at,
+                                      id_of(decl.node), 0, decl.resync,
+                                      decl.salt});
+    }
+  }
+
   // OAM probes (ping / traceroute directives).  Results are collected
   // as report lines; the Oam agent must outlive the run.
   std::optional<net::Oam> oam;
@@ -229,6 +270,11 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     detector.emplace(net, cp, *scenario.autorepair_hello,
                      scenario.autorepair_dead);
     detector->watch_all();
+    if (protection) {
+      // Hello detection becomes the slow backstop; the filter it gains
+      // keeps restoration off LSPs already switched at their PLR.
+      protection->arm(*detector);
+    }
     detector->start(scenario.run_duration.value_or(
         *scenario.autorepair_hello * 1000));
   }
@@ -244,6 +290,16 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     report.failures_detected = detector->events().size();
     for (const auto& event : detector->events()) {
       report.lsps_rerouted += event.rerouted;
+    }
+  }
+  if (protection) {
+    report.protection_switches = protection->switches();
+    report.protection_reverts = protection->reverts();
+  }
+  if (injector) {
+    for (const auto& rec : injector->records()) {
+      report.corruptions_injected += rec.corrupted ? 1 : 0;
+      report.resyncs_repaired += rec.resynced;
     }
   }
 
@@ -284,8 +340,17 @@ ScenarioRunner::run_text(std::string_view text) {
 std::string ScenarioRunner::Report::to_string() const {
   std::ostringstream out;
   out << "simulated " << duration << " s, " << lsps_established << " LSPs, "
-      << tunnels_established << " tunnels\n\nflows:\n"
-      << flows.summary() << "\nrouters:\n";
+      << tunnels_established << " tunnels\n";
+  if (backups_installed > 0 || protection_switches > 0) {
+    out << "protection: backups=" << backups_installed
+        << " switches=" << protection_switches
+        << " reverts=" << protection_reverts << '\n';
+  }
+  if (corruptions_injected > 0 || resyncs_repaired > 0) {
+    out << "faults: corruptions=" << corruptions_injected
+        << " resynced=" << resyncs_repaired << '\n';
+  }
+  out << "\nflows:\n" << flows.summary() << "\nrouters:\n";
   for (const auto& r : routers) {
     out << "  " << r.name << ": rx=" << r.received << " fwd=" << r.forwarded
         << " local=" << r.delivered << " drop=" << r.discarded

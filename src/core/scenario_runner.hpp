@@ -43,6 +43,11 @@ class ScenarioRunner {
     std::uint64_t tunnels_established = 0;
     std::uint64_t failures_detected = 0;  // autorepair events
     std::uint64_t lsps_rerouted = 0;
+    std::uint64_t backups_installed = 0;     // protect: detours signed
+    std::uint64_t protection_switches = 0;   // PLR flips onto a detour
+    std::uint64_t protection_reverts = 0;    // flips back after recovery
+    std::uint64_t corruptions_injected = 0;  // corrupt directives that hit
+    std::uint64_t resyncs_repaired = 0;      // divergent entries fixed
     std::vector<std::string> oam_results;  // one line per ping/traceroute
     net::SimTime duration = 0;
 

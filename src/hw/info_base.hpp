@@ -84,6 +84,14 @@ class InfoBaseLevel : public rtl::SimObject {
     return op_mem_.peek(addr);
   }
 
+  /// Fault-injection backdoor: overwrite the stored label at `addr`
+  /// directly, as a single-event upset in the label BRAM would.  The
+  /// entry keeps its index and operation, so lookups still hit it — and
+  /// return the garbled label.
+  void poke_label(rtl::u64 addr, rtl::u64 value) {
+    label_mem_.poke(addr, value);
+  }
+
   void reset() override;
   void compute() override;
   void commit() override;

@@ -21,15 +21,20 @@ void FailureDetector::watch_all() {
   }
 }
 
-void FailureDetector::start(SimTime stop_at) {
+bool FailureDetector::start(SimTime stop_at) {
   stop_at_ = stop_at;
   if (started_) {
-    return;
+    return true;
+  }
+  if (net_->now() + hello_ > stop_at_) {
+    // Explicit no-op: the first hello would already land past the
+    // horizon, so polling can never happen.  Stay un-started — a later
+    // start() with a usable horizon must be able to arm the timer.
+    return false;
   }
   started_ = true;
-  if (net_->now() + hello_ <= stop_at_) {
-    net_->events().schedule_in(hello_, [this] { poll(); });
-  }
+  net_->events().schedule_in(hello_, [this] { poll(); });
+  return true;
 }
 
 bool FailureDetector::connection_up(const Watch& w) const {
@@ -51,8 +56,13 @@ bool FailureDetector::connection_up(const Watch& w) const {
 void FailureDetector::poll() {
   for (auto& w : watches_) {
     if (connection_up(w)) {
+      // `missed` counts *consecutive* misses: any hello getting through
+      // resets the count to zero, so a connection that recovers
+      // mid-count must be down for a full fresh dead interval before it
+      // is declared failed.  A declared watch recovering here re-arms
+      // detection for the next failure.
       w.missed = 0;
-      w.declared = false;  // recovered links re-arm detection
+      w.declared = false;
       continue;
     }
     if (w.declared) {
@@ -64,11 +74,15 @@ void FailureDetector::poll() {
     // Dead interval elapsed: declare the failure and restore the LSPs
     // that crossed the connection.
     w.declared = true;
-    if (on_failure_) {
-      on_failure_(w.a, w.b);
+    for (const auto& hook : on_failure_) {
+      hook(w.a, w.b);
     }
     FailureEvent event{net_->now(), w.a, w.b, 0, 0};
     for (const LspId id : cp_->lsps_using(w.a, w.b)) {
+      if (reroute_filter_ && !reroute_filter_(id)) {
+        ++event.locally_protected;
+        continue;
+      }
       if (cp_->reroute_lsp(id)) {
         ++event.rerouted;
       } else {
@@ -79,6 +93,10 @@ void FailureDetector::poll() {
   }
   if (net_->now() + hello_ <= stop_at_) {
     net_->events().schedule_in(hello_, [this] { poll(); });
+  } else {
+    // The timer just expired at the horizon: drop started_ so a later
+    // start() with a new horizon re-arms instead of silently no-opping.
+    started_ = false;
   }
 }
 

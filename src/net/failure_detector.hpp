@@ -43,13 +43,35 @@ class FailureDetector {
 
   /// Arm the hello timer (idempotent).  The timer stops rescheduling
   /// past `stop_at`, so event-queue drains terminate — pass the
-  /// simulation horizon.
-  void start(SimTime stop_at);
+  /// simulation horizon.  A horizon closer than one hello interval is
+  /// an explicit no-op: the detector stays un-started (and says so via
+  /// the return value) so a later start() with a real horizon arms the
+  /// timer instead of silently never polling.
+  bool start(SimTime stop_at);
+
+  [[nodiscard]] bool started() const noexcept { return started_; }
 
   /// Extra notification on each declared failure (before rerouting) —
-  /// e.g. LinkStateRouting::notify_link_change to flood the bad news.
+  /// e.g. LinkStateRouting::notify_link_change to flood the bad news,
+  /// or ProtectionManager::on_connection_down to switch locally.
+  /// Hooks are multicast: add_ appends, set_ replaces them all.
   using FailureHook = std::function<void(NodeId a, NodeId b)>;
-  void set_on_failure(FailureHook hook) { on_failure_ = std::move(hook); }
+  void set_on_failure(FailureHook hook) {
+    on_failure_.clear();
+    on_failure_.push_back(std::move(hook));
+  }
+  void add_on_failure(FailureHook hook) {
+    on_failure_.push_back(std::move(hook));
+  }
+
+  /// Veto per-LSP global restoration: when the filter returns false the
+  /// LSP is left alone (counted as locally_protected).  Local protection
+  /// installs one so an LSP already flipped to its bypass is not torn
+  /// down and re-signalled behind the point of local repair's back.
+  using RerouteFilter = std::function<bool(LspId)>;
+  void set_reroute_filter(RerouteFilter filter) {
+    reroute_filter_ = std::move(filter);
+  }
 
   struct FailureEvent {
     SimTime detected_at;
@@ -57,6 +79,7 @@ class FailureDetector {
     NodeId b;
     unsigned rerouted;       // LSPs successfully moved
     unsigned unrestorable;   // LSPs with no alternative path
+    unsigned locally_protected = 0;  // left to the protection switch
   };
   [[nodiscard]] const std::vector<FailureEvent>& events() const noexcept {
     return events_;
@@ -82,7 +105,8 @@ class FailureDetector {
   unsigned dead_multiplier_;
   std::vector<Watch> watches_;
   std::vector<FailureEvent> events_;
-  FailureHook on_failure_;
+  std::vector<FailureHook> on_failure_;
+  RerouteFilter reroute_filter_;
   SimTime stop_at_ = 0;
   bool started_ = false;
 };

@@ -56,9 +56,19 @@ double ControlPlane::residual_bw(NodeId from, NodeId to) const {
 
 std::optional<std::vector<NodeId>> ControlPlane::compute_path(
     NodeId from, NodeId to, double bw) const {
+  // No avoided connection: NodeId(-1) matches no real node.
+  return compute_path_avoiding(from, to, static_cast<NodeId>(-1),
+                               static_cast<NodeId>(-1), bw);
+}
+
+std::optional<std::vector<NodeId>> ControlPlane::compute_path_avoiding(
+    NodeId from, NodeId to, NodeId avoid_a, NodeId avoid_b,
+    double bw) const {
   // Dijkstra on propagation delay, with a small per-hop cost so equal-
   // delay topologies prefer fewer hops.  Links lacking `bw` residual are
-  // pruned (the "constraint" of constraint-based routing).
+  // pruned (the "constraint" of constraint-based routing), as is every
+  // link of the avoided connection — backup computation must route
+  // around the protected link even though it is still up.
   constexpr double kHopEpsilon = 1e-9;
   const std::size_t n = net_->num_nodes();
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
@@ -77,6 +87,10 @@ std::optional<std::vector<NodeId>> ControlPlane::compute_path(
       break;
     }
     for (const auto& adj : net_->adjacency(u)) {
+      if ((u == avoid_a && adj.neighbor == avoid_b) ||
+          (u == avoid_b && adj.neighbor == avoid_a)) {
+        continue;
+      }
       if (!net_->link_from(u, adj.port).is_up()) {
         continue;
       }
@@ -450,8 +464,206 @@ std::optional<LspId> ControlPlane::reoptimize_lsp(LspId id) {
   return replacement;
 }
 
+unsigned ControlPlane::protect_lsp(LspId id, const ProtectOptions& options) {
+  if (id.value >= lsps_.size()) {
+    return 0;
+  }
+  const LspRecord& rec = lsps_[id.value];
+  if (rec.labels.empty() || rec.via_tunnel || rec.merged_at) {
+    return 0;  // torn down, tunnelled or merged: not handled
+  }
+  unsigned protected_links = 0;
+  for (std::size_t hop = 0; hop + 1 < rec.path.size(); ++hop) {
+    // Idempotence: a link already carrying a live backup for this LSP
+    // keeps it (repeated protect_lsp calls are safe).
+    bool have = false;
+    for (const auto& b : backups_) {
+      if (b.live() && b.lsp == id && b.hop == hop) {
+        have = true;
+        break;
+      }
+    }
+    if (have || install_backup(id, hop, options)) {
+      ++protected_links;
+    }
+  }
+  return protected_links;
+}
+
+bool ControlPlane::install_backup(LspId id, std::size_t hop,
+                                  const ProtectOptions& options) {
+  const LspRecord& rec = lsps_[id.value];
+  const NodeId plr = rec.path[hop];
+  const NodeId merge = rec.path[hop + 1];
+  const auto bypass =
+      compute_path_avoiding(plr, merge, plr, merge, options.bw);
+  if (!bypass || bypass->size() < 3) {
+    return false;  // no way around the link: left to global restoration
+  }
+  // Whether the PLR's primary action is the penultimate-hop pop (PHP
+  // LSP, last link): the merge point (the egress) then expects the
+  // packet unlabeled, so the detour's final hop pops instead of
+  // swapping into a merge-point label.
+  const bool primary_pops = rec.php && hop + 2 == rec.path.size();
+
+  // Admission along the bypass (every node registered, every hop with
+  // `bw` residual) before anything is allocated.
+  std::vector<Hop> hops;
+  for (std::size_t i = 0; i < bypass->size(); ++i) {
+    if (router((*bypass)[i]) == nullptr) {
+      return false;
+    }
+    if (i + 1 < bypass->size()) {
+      const auto h = find_hop((*bypass)[i], (*bypass)[i + 1], options.bw);
+      if (!h) {
+        return false;
+      }
+      hops.push_back(*h);
+    }
+  }
+
+  // Detour labels, downstream-allocated by the detour transit nodes
+  // bypass[1..m-2] (the merge point reuses its primary label, so it
+  // allocates nothing).
+  std::vector<rtl::u32> detour;
+  auto roll_back = [&] {
+    for (std::size_t j = 0; j < detour.size(); ++j) {
+      router((*bypass)[j + 1])->label_allocator().release(detour[j]);
+    }
+  };
+  for (std::size_t j = 1; j + 1 < bypass->size(); ++j) {
+    const auto label = router((*bypass)[j])->label_allocator().allocate();
+    if (!label) {
+      roll_back();
+      return false;
+    }
+    detour.push_back(*label);
+  }
+
+  // Install the detour's transit bindings now — fresh keys, so they
+  // coexist with every primary entry and cost no reprogram.  The final
+  // detour hop merges back: swap into the label the merge point already
+  // serves for this LSP, or pop toward a PHP egress.
+  const std::size_t last = bypass->size() - 2;  // last detour transit node
+  for (std::size_t j = 1; j < last; ++j) {
+    if (!router((*bypass)[j])->program_swap(2, detour[j - 1], detour[j],
+                                            hops[j].port)) {
+      roll_back();
+      return false;
+    }
+  }
+  const bool merged =
+      primary_pops
+          ? router((*bypass)[last])
+                ->program_pop(2, detour.back(), hops[last].port)
+          : router((*bypass)[last])
+                ->program_swap(2, detour.back(), rec.labels[hop],
+                               hops[last].port);
+  if (!merged) {
+    roll_back();
+    return false;
+  }
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    reserve((*bypass)[i], hops[i].port, options.bw);
+  }
+
+  BackupRecord b;
+  b.lsp = id;
+  b.hop = hop;
+  b.plr = plr;
+  b.merge = merge;
+  b.bypass = *bypass;
+  b.detour_labels = std::move(detour);
+  b.fec = rec.fec;
+  b.backup_label = b.detour_labels.front();
+  b.backup_port = hops.front().port;
+  b.reserved_bw = options.bw;
+  if (hop == 0) {
+    b.plr_op = BackupRecord::PlrOp::kIngress;
+    b.primary_label = rec.labels.front();
+  } else if (primary_pops) {
+    b.plr_op = BackupRecord::PlrOp::kPop;
+    b.in_label = rec.labels[hop - 1];
+  } else {
+    b.plr_op = BackupRecord::PlrOp::kSwap;
+    b.in_label = rec.labels[hop - 1];
+    b.primary_label = rec.labels[hop];
+  }
+  // The primary out-port for the revert: the first live link toward the
+  // merge point (what establish_lsp chose; parallel links are admitted
+  // in declaration order).
+  const auto primary_hop = find_hop(plr, merge, 0.0);
+  b.primary_port = primary_hop ? primary_hop->port : 0;
+  backups_.push_back(std::move(b));
+  return true;
+}
+
+void ControlPlane::release_backup(BackupRecord& rec) {
+  if (!rec.live()) {
+    return;
+  }
+  for (std::size_t j = 0; j < rec.detour_labels.size(); ++j) {
+    MplsNode* r = router(rec.bypass[j + 1]);
+    if (r != nullptr) {
+      r->label_allocator().release(rec.detour_labels[j]);
+    }
+  }
+  if (rec.reserved_bw > 0.0) {
+    for (std::size_t i = 0; i + 1 < rec.bypass.size(); ++i) {
+      for (const auto& adj : net_->adjacency(rec.bypass[i])) {
+        if (adj.neighbor == rec.bypass[i + 1]) {
+          release_hop(rec.bypass[i], adj.port, rec.reserved_bw);
+          break;
+        }
+      }
+    }
+  }
+  rec.detour_labels.clear();
+  rec.bypass.clear();  // marks the record dead
+  rec.active = false;
+}
+
+BackupRecord& ControlPlane::backup(std::size_t index) {
+  assert(index < backups_.size());
+  return backups_[index];
+}
+
+const BackupRecord& ControlPlane::backup(std::size_t index) const {
+  assert(index < backups_.size());
+  return backups_[index];
+}
+
+std::vector<std::size_t> ControlPlane::backups_for(NodeId a, NodeId b) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < backups_.size(); ++i) {
+    const BackupRecord& rec = backups_[i];
+    const bool matches = (rec.plr == a && rec.merge == b) ||
+                         (rec.plr == b && rec.merge == a);
+    if (rec.live() && matches) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> ControlPlane::backups_of(LspId id) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < backups_.size(); ++i) {
+    if (backups_[i].live() && backups_[i].lsp == id) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
 void ControlPlane::teardown_lsp(LspId id) {
   assert(id.value < lsps_.size());
+  // Backups protect a path that is going away: release them first.
+  for (auto& b : backups_) {
+    if (b.live() && b.lsp == id) {
+      release_backup(b);
+    }
+  }
   LspRecord& rec = lsps_[id.value];
   // Release labels back to their owners — except a merge label, which
   // belongs to the LSP merged into.  (With a tunnel, the crossing label

@@ -68,6 +68,47 @@ struct TunnelRecord {
   double reserved_bw = 0.0;
 };
 
+struct ProtectOptions {
+  /// Bandwidth reserved along each bypass.  0 (the default) admits the
+  /// backup best-effort, the usual facility-bypass economics: the
+  /// detour only carries traffic during a failure.
+  double bw = 0.0;
+};
+
+/// One pre-signalled RFC 4090-style detour: protects a single link of a
+/// single LSP.  The detour's transit bindings are installed in the
+/// information bases at protect time (they use fresh labels, so they
+/// coexist with the primary); the point of local repair's own binding
+/// cannot be — its key is the primary's key — so the record carries both
+/// NHLFEs and switching is one local rebind (the paper's
+/// reset-and-reprogram flow), not a re-signalling round trip.
+struct BackupRecord {
+  LspId lsp;
+  std::size_t hop = 0;             // protects path[hop] -> path[hop+1]
+  NodeId plr = 0;                  // point of local repair: path[hop]
+  NodeId merge = 0;                // merge point: path[hop+1]
+  std::vector<NodeId> bypass;      // plr .. merge, avoiding the link
+  /// detour_labels[j] is expected by bypass[j+1]; the last detour hop
+  /// swaps into the label the merge point already serves for the LSP
+  /// (or pops, when the primary's own action at the PLR was the
+  /// penultimate-hop pop).
+  std::vector<rtl::u32> detour_labels;
+  mpls::Prefix fec;
+  /// What the PLR's primary binding does (and therefore what the flip
+  /// must replace / the revert must restore).
+  enum class PlrOp : std::uint8_t { kIngress, kSwap, kPop };
+  PlrOp plr_op = PlrOp::kSwap;
+  rtl::u32 in_label = 0;        // key the PLR matches (kSwap/kPop only)
+  rtl::u32 backup_label = 0;    // first detour label
+  mpls::InterfaceId backup_port = 0;
+  rtl::u32 primary_label = 0;   // label the primary binding emits
+  mpls::InterfaceId primary_port = 0;
+  double reserved_bw = 0.0;
+  bool active = false;          // traffic currently on the bypass
+
+  [[nodiscard]] bool live() const noexcept { return !bypass.empty(); }
+};
+
 class ControlPlane {
  public:
   explicit ControlPlane(Network& net) : net_(&net) {}
@@ -87,6 +128,13 @@ class ControlPlane {
   /// with at least `bw` residual bandwidth.  nullopt when disconnected.
   [[nodiscard]] std::optional<std::vector<NodeId>> compute_path(
       NodeId from, NodeId to, double bw = 0.0) const;
+
+  /// CSPF with the connection avoid_a—avoid_b (both directions, every
+  /// parallel link) pruned — backup path computation around the
+  /// protected link, which is still up when the backup is signed.
+  [[nodiscard]] std::optional<std::vector<NodeId>> compute_path_avoiding(
+      NodeId from, NodeId to, NodeId avoid_a, NodeId avoid_b,
+      double bw = 0.0) const;
 
   /// Residual (unreserved) bandwidth on the first link from → to.
   [[nodiscard]] double residual_bw(NodeId from, NodeId to) const;
@@ -158,10 +206,36 @@ class ControlPlane {
       const std::vector<NodeId>& post_path, const mpls::Prefix& fec,
       double bw = 0.0);
 
+  // ---- fast reroute (RFC 4090-style local protection) ----
+
+  /// Pre-signal a one-to-one detour around every link of `id`'s path
+  /// that has one: compute a bypass avoiding the link, allocate detour
+  /// labels, install the detour's transit bindings in the information
+  /// bases *now* (ahead of any failure), and record the standby NHLFE
+  /// the point of local repair flips to when the link dies.  Links with
+  /// no alternative path are simply left unprotected (global
+  /// restoration still covers them).  Returns the number of links that
+  /// gained a backup; tunnelled and merged LSPs are not handled.
+  unsigned protect_lsp(LspId id, const ProtectOptions& options = {});
+
+  [[nodiscard]] std::size_t num_backups() const noexcept {
+    return backups_.size();
+  }
+  [[nodiscard]] BackupRecord& backup(std::size_t index);
+  [[nodiscard]] const BackupRecord& backup(std::size_t index) const;
+
+  /// Indices of live backups whose protected link is a—b (either
+  /// direction) — what the PLR consults on a link-down signal.
+  [[nodiscard]] std::vector<std::size_t> backups_for(NodeId a,
+                                                     NodeId b) const;
+  /// Indices of live backups belonging to `id`.
+  [[nodiscard]] std::vector<std::size_t> backups_of(LspId id) const;
+
   /// Release the LSP's labels and bandwidth reservations.  Hardware
   /// information bases are append-only (the paper's design); stale
   /// entries remain until an architecture reset + reprogram, exactly the
   /// reprogramming flow the paper's worst-case analysis costs out.
+  /// Backups protecting the LSP are released with it.
   void teardown_lsp(LspId id);
 
   [[nodiscard]] const LspRecord& lsp(LspId id) const;
@@ -204,6 +278,11 @@ class ControlPlane {
   /// First port from → to with at least `bw` residual; nullopt if none.
   [[nodiscard]] std::optional<Hop> find_hop(NodeId from, NodeId to,
                                             double bw) const;
+  /// Sign and install one detour for `id`'s hop-th link.
+  bool install_backup(LspId id, std::size_t hop,
+                      const ProtectOptions& options);
+  /// Release a backup's labels and reservations (teardown path).
+  void release_backup(BackupRecord& rec);
   void reserve(NodeId from, mpls::InterfaceId port, double bw);
   /// Allocate a label owned by `owner` that is also reservable at
   /// `also_at` (tunnel-crossing inner labels).
@@ -214,6 +293,7 @@ class ControlPlane {
   std::map<std::pair<NodeId, mpls::InterfaceId>, double> reserved_;
   std::vector<LspRecord> lsps_;
   std::vector<TunnelRecord> tunnels_;
+  std::vector<BackupRecord> backups_;
   /// Label a node expects for a FEC, for merge-enabled LSPs:
   /// (fec canonical text, node) → label.
   std::map<std::pair<std::string, NodeId>, rtl::u32> fec_labels_;

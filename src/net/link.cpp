@@ -22,9 +22,21 @@ Link::Link(EventQueue& events, Node* dst, mpls::InterfaceId dst_in_if,
 void Link::transmit(mpls::Packet packet) {
   if (!up_) {
     ++stats_.failed_drops;
+    if (drop_hook_) {
+      drop_hook_(packet, "link-down");
+    }
     return;
   }
-  queue_.enqueue(std::move(packet));
+  if (drop_hook_) {
+    // The queue consumes the packet even when it drops it, so keep a
+    // copy for attribution.  Only paid when an audit is subscribed.
+    const mpls::Packet copy = packet;
+    if (!queue_.enqueue(std::move(packet))) {
+      drop_hook_(copy, "queue-full");
+    }
+  } else {
+    queue_.enqueue(std::move(packet));
+  }
   if (!busy_) {
     start_next();
   }

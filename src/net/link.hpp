@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 
 #include "mpls/packet.hpp"
 #include "mpls/tables.hpp"
@@ -50,6 +52,12 @@ class Link {
   void set_up(bool up) noexcept { up_ = up; }
   [[nodiscard]] bool is_up() const noexcept { return up_; }
 
+  /// Observation hook for packets this link drops (offered while down,
+  /// or refused by a full queue).  Conservation audits subscribe via
+  /// Network::add_link_drop_handler; unset, drops cost nothing extra.
+  using DropHook = std::function<void(const mpls::Packet&, std::string_view)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
  private:
   void start_next();
 
@@ -62,6 +70,7 @@ class Link {
   bool busy_ = false;
   bool up_ = true;
   LinkStats stats_;
+  DropHook drop_hook_;
 };
 
 }  // namespace empls::net

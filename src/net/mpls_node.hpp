@@ -8,6 +8,8 @@
 // hold) in software tables.
 #pragma once
 
+#include <cstdint>
+
 #include "mpls/fec.hpp"
 #include "mpls/tables.hpp"
 #include "rtl/types.hpp"
@@ -58,6 +60,19 @@ class MplsNode {
   /// This router's label space (downstream allocation: a router hands
   /// out the labels it expects to receive).
   virtual mpls::LabelAllocator& label_allocator() = 0;
+
+  // ---- fault injection and repair (default: unsupported no-ops) ----
+
+  /// Garble one programmed hardware binding chosen by `salt`, modelling
+  /// a single-event upset in the information-base memory.  The software
+  /// mirror is left intact — that divergence is exactly what
+  /// resync_hardware() exists to find.  Returns false when the node has
+  /// no corruptible hardware state.
+  virtual bool corrupt_binding(std::uint64_t /*salt*/) { return false; }
+
+  /// Audit the hardware against the software mirror and reprogram when
+  /// they diverge.  Returns the number of divergent entries repaired.
+  virtual unsigned resync_hardware() { return 0; }
 };
 
 }  // namespace empls::net

@@ -51,6 +51,17 @@ Network::PortPair Network::connect(NodeId a, NodeId b, double bandwidth_bps,
   links_.push_back(std::make_unique<Link>(events_, &na, a_port,
                                           bandwidth_bps, prop_delay_s, qos));
   nb.ports_.push_back(links_.back().get());
+  if (!link_drops_.empty()) {
+    // Drop audits already subscribed: new links need the hook too.
+    for (auto it = links_.end() - 2; it != links_.end(); ++it) {
+      (*it)->set_drop_hook([this](const mpls::Packet& p,
+                                  std::string_view r) {
+        for (const auto& h : link_drops_) {
+          h(p, r);
+        }
+      });
+    }
+  }
 
   adjacency_[a].push_back(Adjacency{b, a_port, bandwidth_bps, prop_delay_s});
   adjacency_[b].push_back(Adjacency{a, b_port, bandwidth_bps, prop_delay_s});
@@ -75,15 +86,38 @@ const std::vector<Network::Adjacency>& Network::adjacency(NodeId id) const {
 }
 
 void Network::set_connection_up(NodeId a, NodeId b, bool up) {
+  bool changed = false;
   for (const auto& adj : adjacency(a)) {
     if (adj.neighbor == b) {
+      changed = changed || link_from(a, adj.port).is_up() != up;
       link_from(a, adj.port).set_up(up);
     }
   }
   for (const auto& adj : adjacency(b)) {
     if (adj.neighbor == a) {
+      changed = changed || link_from(b, adj.port).is_up() != up;
       link_from(b, adj.port).set_up(up);
     }
+  }
+  // The fast signal fires only on real transitions so re-cutting a dead
+  // connection (overlapping fault campaigns do) stays a no-op.
+  if (changed) {
+    for (const auto& handler : link_signals_) {
+      handler(a, b, up);
+    }
+  }
+}
+
+void Network::add_link_drop_handler(LinkDropHandler handler) {
+  link_drops_.push_back(std::move(handler));
+  // One forwarding hook per link fans out to every registered handler;
+  // installing it lazily keeps the no-audit hot path copy-free.
+  for (const auto& link : links_) {
+    link->set_drop_hook([this](const mpls::Packet& p, std::string_view r) {
+      for (const auto& h : link_drops_) {
+        h(p, r);
+      }
+    });
   }
 }
 

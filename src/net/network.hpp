@@ -67,11 +67,31 @@ class Network {
   [[nodiscard]] const std::vector<Adjacency>& adjacency(NodeId id) const;
 
   /// Failure injection: take one directed link (or both directions of a
-  /// connection) down or up.
+  /// connection) down or up.  Per-direction set_link_up does NOT emit
+  /// the connection-level fast signal (one dark fibre is not a dead
+  /// adjacency); set_connection_up does, on actual state changes.
   void set_link_up(NodeId id, mpls::InterfaceId port, bool up) {
     link_from(id, port).set_up(up);
   }
   void set_connection_up(NodeId a, NodeId b, bool up);
+
+  /// Fast link-state signal: fired synchronously when set_connection_up
+  /// actually changes a connection's state — the loss-of-light /
+  /// carrier-detect interrupt a line card raises in data-plane time,
+  /// long before any hello protocol counts a dead interval.  Local
+  /// protection switching (net/protection.hpp) subscribes here.
+  using LinkSignalHandler = std::function<void(NodeId a, NodeId b, bool up)>;
+  void add_link_signal_handler(LinkSignalHandler handler) {
+    link_signals_.push_back(std::move(handler));
+  }
+
+  /// Per-packet notification of drops inside links (offered while down,
+  /// or output-queue overflow).  Together with the discard handlers this
+  /// accounts every lost packet, so fault campaigns can check flow
+  /// conservation: sent = delivered + accounted drops.
+  using LinkDropHandler =
+      std::function<void(const mpls::Packet&, std::string_view reason)>;
+  void add_link_drop_handler(LinkDropHandler handler);
 
   /// Hand a packet to a node as locally injected traffic.
   void inject(NodeId id, mpls::Packet packet);
@@ -116,6 +136,8 @@ class Network {
   std::vector<std::vector<Adjacency>> adjacency_;
   std::vector<DeliveryHandler> delivery_;
   std::vector<DiscardHandler> discard_;
+  std::vector<LinkSignalHandler> link_signals_;
+  std::vector<LinkDropHandler> link_drops_;
   std::uint64_t delivered_ = 0;
 };
 

@@ -1,0 +1,129 @@
+#include "net/protection.hpp"
+
+namespace empls::net {
+
+void ProtectionManager::attach_fast_signal() {
+  net_->add_link_signal_handler([this](NodeId a, NodeId b, bool up) {
+    if (up) {
+      on_connection_up(a, b);
+    } else {
+      on_connection_down(a, b);
+    }
+  });
+}
+
+void ProtectionManager::arm(FailureDetector& detector) {
+  detector.add_on_failure(
+      [this](NodeId a, NodeId b) { on_connection_down(a, b); });
+  detector.set_reroute_filter(
+      [this](LspId id) { return !is_switched(id); });
+}
+
+bool ProtectionManager::activate(BackupRecord& rec) {
+  MplsNode* plr = cp_->router_for(rec.plr);
+  if (plr == nullptr) {
+    return false;
+  }
+  // One local rebind at the PLR.  The detour's transit bindings are
+  // already in the information bases (fresh keys, installed at protect
+  // time), so only this entry changes — on the embedded router that is
+  // the bounded reset-and-reprogram flow, nothing more.
+  bool ok = false;
+  switch (rec.plr_op) {
+    case BackupRecord::PlrOp::kIngress:
+      ok = plr->program_ingress_prefix(rec.fec, rec.backup_label,
+                                       rec.backup_port);
+      break;
+    case BackupRecord::PlrOp::kSwap:
+    case BackupRecord::PlrOp::kPop:
+      // A PLR whose primary action was the PHP pop swaps onto the detour
+      // instead; the detour's last hop performs the pop toward the
+      // egress.
+      ok = plr->program_swap(2, rec.in_label, rec.backup_label,
+                             rec.backup_port);
+      break;
+  }
+  rec.active = ok;
+  return ok;
+}
+
+bool ProtectionManager::revert(BackupRecord& rec) {
+  MplsNode* plr = cp_->router_for(rec.plr);
+  if (plr == nullptr) {
+    return false;
+  }
+  bool ok = false;
+  switch (rec.plr_op) {
+    case BackupRecord::PlrOp::kIngress:
+      ok = plr->program_ingress_prefix(rec.fec, rec.primary_label,
+                                       rec.primary_port);
+      break;
+    case BackupRecord::PlrOp::kSwap:
+      ok = plr->program_swap(2, rec.in_label, rec.primary_label,
+                             rec.primary_port);
+      break;
+    case BackupRecord::PlrOp::kPop:
+      ok = plr->program_pop(2, rec.in_label, rec.primary_port);
+      break;
+  }
+  if (ok) {
+    rec.active = false;
+  }
+  return ok;
+}
+
+void ProtectionManager::on_connection_down(NodeId a, NodeId b) {
+  Event event{net_->now(), a, b, /*link_up=*/false, 0, 0, 0};
+  std::vector<LspId> covered;
+  for (const std::size_t index : cp_->backups_for(a, b)) {
+    BackupRecord& rec = cp_->backup(index);
+    covered.push_back(rec.lsp);
+    if (rec.active) {
+      continue;  // already switched (fast signal beat the detector here)
+    }
+    if (activate(rec)) {
+      ++event.switched;
+      ++switches_;
+    }
+  }
+  for (const LspId id : cp_->lsps_using(a, b)) {
+    bool has_backup = false;
+    for (const LspId c : covered) {
+      if (c == id) {
+        has_backup = true;
+        break;
+      }
+    }
+    if (!has_backup) {
+      ++event.unprotected;  // global restoration's problem
+    }
+  }
+  if (event.switched > 0 || event.unprotected > 0) {
+    events_.push_back(event);
+  }
+}
+
+void ProtectionManager::on_connection_up(NodeId a, NodeId b) {
+  Event event{net_->now(), a, b, /*link_up=*/true, 0, 0, 0};
+  for (const std::size_t index : cp_->backups_for(a, b)) {
+    BackupRecord& rec = cp_->backup(index);
+    if (rec.active && revert(rec)) {
+      ++event.reverted;
+      ++reverts_;
+    }
+  }
+  if (event.reverted > 0) {
+    events_.push_back(event);
+  }
+}
+
+bool ProtectionManager::is_switched(LspId id) const {
+  for (const std::size_t index : cp_->backups_of(id)) {
+    if (cp_->backup(index).active) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace empls::net

@@ -414,6 +414,103 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
       }
       e.up = cmd == "restore";
       s.link_events.push_back(std::move(e));
+    } else if (cmd == "flap") {
+      if (tokens.size() != 5) {
+        return error("flap needs: flap <time> <a> <b> <down-for>");
+      }
+      FlapDecl f;
+      const auto at = parse_time(tokens[1]);
+      if (!at) {
+        return error("bad time: " + tokens[1]);
+      }
+      f.at = *at;
+      f.a = tokens[2];
+      f.b = tokens[3];
+      if (!s.has_router(f.a) || !s.has_router(f.b)) {
+        return error("flap references undeclared router");
+      }
+      const auto down = parse_time(tokens[4]);
+      if (!down || *down <= 0) {
+        return error("bad flap duration: " + tokens[4]);
+      }
+      f.down_for = *down;
+      s.flaps.push_back(std::move(f));
+    } else if (cmd == "crash") {
+      if (tokens.size() < 3) {
+        return error("crash needs: crash <time> <node> [for=dur]");
+      }
+      CrashDecl c;
+      const auto at = parse_time(tokens[1]);
+      if (!at) {
+        return error("bad time: " + tokens[1]);
+      }
+      c.at = *at;
+      c.node = tokens[2];
+      if (!s.has_router(c.node)) {
+        return error("crash references undeclared router: " + c.node);
+      }
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const auto opt = split_option(tokens[i]);
+        if (!opt || opt->first != "for") {
+          return error("unknown crash option: " + tokens[i]);
+        }
+        const auto v = parse_time(opt->second);
+        if (!v || *v <= 0) {
+          return error("bad crash duration: " + opt->second);
+        }
+        c.duration = *v;
+      }
+      s.crashes.push_back(std::move(c));
+    } else if (cmd == "corrupt") {
+      if (tokens.size() < 3) {
+        return error(
+            "corrupt needs: corrupt <time> <node> [salt=N] [resync=dur]");
+      }
+      CorruptDecl c;
+      const auto at = parse_time(tokens[1]);
+      if (!at) {
+        return error("bad time: " + tokens[1]);
+      }
+      c.at = *at;
+      c.node = tokens[2];
+      if (!s.has_router(c.node)) {
+        return error("corrupt references undeclared router: " + c.node);
+      }
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const auto opt = split_option(tokens[i]);
+        if (!opt) {
+          return error("unknown corrupt option: " + tokens[i]);
+        }
+        if (opt->first == "salt") {
+          const auto v = parse_number(opt->second);
+          if (!v || *v < 0) {
+            return error("bad salt: " + opt->second);
+          }
+          c.salt = static_cast<std::uint64_t>(*v);
+        } else if (opt->first == "resync") {
+          const auto v = parse_time(opt->second);
+          if (!v || *v <= 0) {
+            return error("bad resync delay: " + opt->second);
+          }
+          c.resync = *v;
+        } else {
+          return error("unknown corrupt option: " + opt->first);
+        }
+      }
+      s.corruptions.push_back(std::move(c));
+    } else if (cmd == "protect") {
+      s.protect = true;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto opt = split_option(tokens[i]);
+        if (!opt || opt->first != "bw") {
+          return error("unknown protect option: " + tokens[i]);
+        }
+        const auto bw = parse_bandwidth(opt->second);
+        if (!bw) {
+          return error("bad protect bw: " + opt->second);
+        }
+        s.protect_bw = *bw;
+      }
     } else if (cmd == "police") {
       if (tokens.size() < 4) {
         return error("police needs: police <ingress> <flow-id> <rate> "

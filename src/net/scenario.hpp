@@ -17,7 +17,11 @@
 //   flow video <id> <ingress> <dst> [fps=30] [ppf=8] [...]
 //   fail <time> <a> <b>        # cut both directions of a connection
 //   restore <time> <a> <b>
+//   flap <time> <a> <b> <down-for>   # cut that heals after <down-for>
+//   crash <time> <node> [for=100ms]  # all of a node's links at once
+//   corrupt <time> <node> [salt=N] [resync=20ms]  # info-base bit flip
 //   autorepair <hello> [dead=3]   # failure detection + auto reroute
+//   protect [bw=1M]            # pre-signal detours for every lsp
 //   police <ingress> <flow-id> <rate> [burst=1500] [demote]
 //   ping <time> <ingress> <dst>        # OAM reachability probe
 //   traceroute <time> <ingress> <dst>  # OAM path mapping
@@ -107,6 +111,33 @@ struct LinkEventDecl {
   bool up = false;
 };
 
+/// `flap <time> <a> <b> <down-for>`: a cut that heals by itself —
+/// shorter than the dead interval it must not trigger restoration.
+struct FlapDecl {
+  SimTime at = 0;
+  std::string a;
+  std::string b;
+  SimTime down_for = 0;
+};
+
+/// `crash <time> <node> [for=dur]`: every connection of `node` goes
+/// dark at once; recovers after `for` (0 = stays dead).
+struct CrashDecl {
+  SimTime at = 0;
+  std::string node;
+  SimTime duration = 0;
+};
+
+/// `corrupt <time> <node> [salt=N] [resync=dur]`: garble one programmed
+/// information-base binding (single-event upset); the audit-and-repair
+/// pass runs after `resync` (0 = never).
+struct CorruptDecl {
+  SimTime at = 0;
+  std::string node;
+  std::uint64_t salt = 0;
+  SimTime resync = 0;
+};
+
 /// `ping <time> <ingress> <dst>` / `traceroute <time> <ingress> <dst>`:
 /// run an OAM probe during the simulation; results appear in the report.
 struct OamDecl {
@@ -138,6 +169,9 @@ class Scenario {
 
   std::vector<FlowDecl> flows;
   std::vector<LinkEventDecl> link_events;
+  std::vector<FlapDecl> flaps;
+  std::vector<CrashDecl> crashes;
+  std::vector<CorruptDecl> corruptions;
   std::vector<OamDecl> oam_probes;
   std::vector<PolicerDecl> policers;
   std::optional<SimTime> run_duration;
@@ -145,6 +179,10 @@ class Scenario {
   /// over all links that reroutes LSPs off dead connections.
   std::optional<SimTime> autorepair_hello;
   unsigned autorepair_dead = 3;
+  /// `protect [bw=X]`: pre-signal RFC 4090 detours for every explicit
+  /// LSP and switch locally on link-down.
+  bool protect = false;
+  double protect_bw = 0;
 
   [[nodiscard]] bool has_router(const std::string& name) const;
 };

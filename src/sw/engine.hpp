@@ -88,6 +88,17 @@ class LabelEngine {
                                hw::RouterType router_type) = 0;
 
   [[nodiscard]] virtual std::size_t level_size(unsigned level) const = 0;
+
+  /// Fault-injection backdoor: garble the stored outgoing label of the
+  /// first entry matching `key` at `level`, modelling a single-event
+  /// upset in the information-base memory.  The entry's index and
+  /// operation survive, so lookups still hit it and return the bad
+  /// label.  Returns false when the engine has no such entry (or no
+  /// corruptible store — the default).
+  virtual bool corrupt_entry(unsigned /*level*/, rtl::u32 /*key*/,
+                             rtl::u32 /*new_label*/) {
+    return false;
+  }
 };
 
 }  // namespace empls::sw

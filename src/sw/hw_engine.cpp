@@ -70,4 +70,21 @@ std::size_t HwEngine::level_size(unsigned level) const {
   return static_cast<std::size_t>(hw_.level_count(level));
 }
 
+bool HwEngine::corrupt_entry(unsigned level, rtl::u32 key,
+                             rtl::u32 new_label) {
+  if (!hw::InfoBase::valid_level(level)) {
+    return false;
+  }
+  auto& lvl = hw_.datapath().info_base().level(level);
+  const rtl::u64 mask =
+      level == 1 ? ~rtl::u32{0} : static_cast<rtl::u64>(mpls::kMaxLabel);
+  for (rtl::u64 addr = 0; addr < lvl.count(); ++addr) {
+    if (lvl.peek_index(addr) == (key & mask)) {
+      lvl.poke_label(addr, new_label);
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace empls::sw

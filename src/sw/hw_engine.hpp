@@ -25,6 +25,8 @@ class HwEngine : public LabelEngine {
   UpdateOutcome update(mpls::Packet& packet, unsigned level,
                        hw::RouterType router_type) override;
   [[nodiscard]] std::size_t level_size(unsigned level) const override;
+  bool corrupt_entry(unsigned level, rtl::u32 key,
+                     rtl::u32 new_label) override;
 
   hw::LabelStackModifier& modifier() noexcept { return hw_; }
 

@@ -86,4 +86,18 @@ std::size_t LinearEngine::level_size(unsigned level) const {
   return level_ref(level).size();
 }
 
+bool LinearEngine::corrupt_entry(unsigned level, rtl::u32 key,
+                                 rtl::u32 new_label) {
+  auto& l = level_ref(level);
+  const rtl::u32 mask =
+      level == 1 ? ~rtl::u32{0} : static_cast<rtl::u32>(mpls::kMaxLabel);
+  for (auto& pair : l) {
+    if ((pair.index & mask) == (key & mask)) {
+      pair.new_label = new_label & static_cast<rtl::u32>(mpls::kMaxLabel);
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace empls::sw

@@ -30,6 +30,8 @@ class LinearEngine : public LabelEngine {
   UpdateOutcome update(mpls::Packet& packet, unsigned level,
                        hw::RouterType router_type) override;
   [[nodiscard]] std::size_t level_size(unsigned level) const override;
+  bool corrupt_entry(unsigned level, rtl::u32 key,
+                     rtl::u32 new_label) override;
 
   /// 1-based position of the hit of the last lookup, or the stored count
   /// on a miss — the `k`/`n` of the 3k+5 cost formula.

@@ -194,6 +194,41 @@ run 1
   EXPECT_LE(delivered, 60u) << "policer clipped ~half the offered rate";
 }
 
+TEST(ScenarioRunner, ProtectSwitchesLocallyAndCorruptionsAreRepaired) {
+  // Ring topology: B-D is the primary's middle link, B-C-D the detour.
+  // The flap outlasts the dead interval, so without protection the LSP
+  // would be torn down and re-signed; with `protect` the PLR flips to
+  // the pre-installed detour and reverts when the link heals.
+  const auto report = run_ok(R"(
+router A ler
+router B lsr
+router C lsr
+router D ler
+link A B 100M 1ms
+link B D 100M 1ms
+link B C 100M 2ms
+link C D 100M 2ms
+lsp 10.1.0.0/16 A B D
+flow cbr 1 A 10.1.0.5 interval=1ms stop=0.5999
+autorepair 10ms dead=3
+protect
+flap 0.2 B D 100ms
+corrupt 0.45 B salt=3 resync=20ms
+run 0.7
+)");
+  EXPECT_GT(report.backups_installed, 0u);
+  EXPECT_EQ(report.protection_switches, 1u);
+  EXPECT_EQ(report.protection_reverts, 1u);
+  EXPECT_EQ(report.lsps_rerouted, 0u)
+      << "restoration must leave the locally-protected LSP alone";
+  EXPECT_EQ(report.corruptions_injected, 1u);
+  EXPECT_GE(report.resyncs_repaired, 1u);
+
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("protection:"), std::string::npos);
+  EXPECT_NE(text.find("faults:"), std::string::npos);
+}
+
 TEST(ScenarioRunner, ParseErrorsPropagate) {
   const auto result = ScenarioRunner::run_text("nonsense\n");
   ASSERT_TRUE(std::holds_alternative<net::ScenarioError>(result));

@@ -18,21 +18,22 @@ struct Rig {
   FlowStats stats;
   NodeId a, b, c, d;
 
+  NodeId add_router(const char* name, hw::RouterType type) {
+    core::RouterConfig cfg;
+    cfg.type = type;
+    auto r = std::make_unique<core::EmbeddedRouter>(
+        name, std::make_unique<sw::LinearEngine>(), cfg);
+    auto* raw = r.get();
+    const auto id = net.add_node(std::move(r));
+    cp.register_router(id, &raw->routing());
+    return id;
+  }
+
   Rig() {
-    auto add = [&](const char* name, hw::RouterType type) {
-      core::RouterConfig cfg;
-      cfg.type = type;
-      auto r = std::make_unique<core::EmbeddedRouter>(
-          name, std::make_unique<sw::LinearEngine>(), cfg);
-      auto* raw = r.get();
-      const auto id = net.add_node(std::move(r));
-      cp.register_router(id, &raw->routing());
-      return id;
-    };
-    a = add("A", hw::RouterType::kLer);
-    b = add("B", hw::RouterType::kLsr);
-    c = add("C", hw::RouterType::kLsr);
-    d = add("D", hw::RouterType::kLer);
+    a = add_router("A", hw::RouterType::kLer);
+    b = add_router("B", hw::RouterType::kLsr);
+    c = add_router("C", hw::RouterType::kLsr);
+    d = add_router("D", hw::RouterType::kLer);
     net.connect(a, b, 100e6, 1e-3);
     net.connect(b, d, 100e6, 1e-3);   // primary
     net.connect(b, c, 100e6, 2e-3);   // protection
@@ -135,6 +136,120 @@ TEST(FailureDetector, BlipShorterThanDeadIntervalIsIgnored) {
   });
   rig.net.run();
   EXPECT_TRUE(fd.events().empty()) << "transient blips must not reroute";
+}
+
+TEST(FailureDetector, StartPastTheHorizonIsAnExplicitNoOp) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.d}, pfx("10.1.0.0/16"));
+  FailureDetector fd(rig.net, rig.cp, /*hello=*/10e-3, 3);
+  fd.watch(rig.b, rig.d);
+
+  // The first hello would land past the horizon: the detector must
+  // refuse to arm (and say so) instead of silently never polling.
+  EXPECT_FALSE(fd.start(/*stop_at=*/5e-3));
+  EXPECT_FALSE(fd.started());
+  rig.net.set_connection_up(rig.b, rig.d, false);
+  rig.net.run();
+  EXPECT_TRUE(fd.events().empty());
+
+  // A later start() with a usable horizon arms the timer normally.
+  rig.net.set_connection_up(rig.b, rig.d, true);
+  EXPECT_TRUE(fd.start(/*stop_at=*/1.0));
+  EXPECT_TRUE(fd.started());
+  rig.net.events().schedule_at(0.1, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.run();
+  EXPECT_EQ(fd.events().size(), 1u);
+}
+
+TEST(FailureDetector, MidCountRecoveryResetsConsecutiveMisses) {
+  Rig rig;
+  rig.cp.establish_lsp({rig.a, rig.b, rig.d}, pfx("10.1.0.0/16"));
+  FailureDetector fd(rig.net, rig.cp, /*hello=*/10e-3,
+                     /*dead_multiplier=*/3);
+  fd.watch(rig.b, rig.d);
+  fd.start(0.5);
+
+  // Two outages of two hello periods each, separated by one good hello:
+  // each accumulates 2 consecutive misses, under the dead multiplier of
+  // 3 — the reset in between must keep the sum from ever declaring.
+  rig.net.events().schedule_at(0.101, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.events().schedule_at(0.125, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, true);
+  });
+  rig.net.events().schedule_at(0.135, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.events().schedule_at(0.155, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, true);
+  });
+  rig.net.run();
+  EXPECT_TRUE(fd.events().empty())
+      << "consecutive-miss counting must reset on any good hello";
+
+  // A genuine dead interval afterwards is still detected.
+  fd.start(1.0);
+  rig.net.events().schedule_at(0.6, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.run();
+  EXPECT_EQ(fd.events().size(), 1u);
+}
+
+TEST(FailureDetector, SimultaneousFailuresRestoreIndependently) {
+  Rig rig;
+  // A fifth router gives both victims an alternative: B-E-D survives
+  // when B-D and C-D die together.
+  const auto e = rig.add_router("E", hw::RouterType::kLsr);
+  rig.net.connect(rig.b, e, 100e6, 1e-3);
+  rig.net.connect(e, rig.d, 100e6, 1e-3);
+
+  const auto lsp1 = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                         pfx("10.1.0.0/16"));
+  const auto lsp2 = rig.cp.establish_lsp({rig.a, rig.b, rig.c, rig.d},
+                                         pfx("10.2.0.0/16"));
+  ASSERT_TRUE(lsp1.has_value());
+  ASSERT_TRUE(lsp2.has_value());
+
+  FailureDetector fd(rig.net, rig.cp, 10e-3, 3);
+  fd.watch_all();
+  fd.start(0.5);
+  // Both primaries die in the same instant; each LSP must find its own
+  // way around (both end up using B-E-D, which has capacity for both).
+  rig.net.events().schedule_at(0.1, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+    rig.net.set_connection_up(rig.c, rig.d, false);
+  });
+  rig.net.run();
+
+  ASSERT_EQ(fd.events().size(), 2u);
+  unsigned rerouted = 0;
+  for (const auto& event : fd.events()) {
+    rerouted += event.rerouted;
+    EXPECT_EQ(event.unrestorable, 0u);
+  }
+  EXPECT_EQ(rerouted, 2u);
+  // Restoration re-signs each LSP as a new record; exactly two are live
+  // and neither crosses a dead link.
+  unsigned live = 0;
+  for (std::uint32_t i = 0; i < rig.cp.num_lsps(); ++i) {
+    const auto& rec = rig.cp.lsp(LspId{i});
+    if (rec.labels.empty()) {
+      continue;
+    }
+    ++live;
+    for (std::size_t h = 0; h + 1 < rec.path.size(); ++h) {
+      const bool crosses_bd = (rec.path[h] == rig.b && rec.path[h + 1] == rig.d) ||
+                              (rec.path[h] == rig.d && rec.path[h + 1] == rig.b);
+      const bool crosses_cd = (rec.path[h] == rig.c && rec.path[h + 1] == rig.d) ||
+                              (rec.path[h] == rig.d && rec.path[h + 1] == rig.c);
+      EXPECT_FALSE(crosses_bd || crosses_cd);
+    }
+  }
+  EXPECT_EQ(live, 2u);
 }
 
 TEST(FailureDetector, WatchAllCoversTheTopology) {

@@ -1,0 +1,233 @@
+// Tests for the deterministic fault-injection harness: seeded campaigns,
+// information-base corruption with audit-and-resync repair, and flow
+// conservation (sent = delivered + accounted drops) under fire.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/embedded_router.hpp"
+#include "net/failure_detector.hpp"
+#include "net/fault_injector.hpp"
+#include "net/protection.hpp"
+#include "net/stats.hpp"
+#include "net/traffic.hpp"
+#include "sw/hw_engine.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::net {
+namespace {
+
+mpls::Prefix pfx(const char* t) { return *mpls::Prefix::parse(t); }
+
+struct Rig {
+  Network net;
+  ControlPlane cp{net};
+  FlowStats stats;
+
+  NodeId add_router(const char* name, hw::RouterType type) {
+    core::RouterConfig cfg;
+    cfg.type = type;
+    auto r = std::make_unique<core::EmbeddedRouter>(
+        name, std::make_unique<sw::LinearEngine>(), cfg);
+    auto* raw = r.get();
+    const auto id = net.add_node(std::move(r));
+    cp.register_router(id, &raw->routing());
+    return id;
+  }
+
+  void deliver_into_stats() {
+    net.set_delivery_handler([this](NodeId, const mpls::Packet& p) {
+      stats.on_delivered(p, net.now());
+    });
+  }
+};
+
+TEST(FaultInjector, CorruptionDivergesHardwareAndResyncRepairsIt) {
+  Rig rig;
+  const auto a = rig.add_router("A", hw::RouterType::kLer);
+  const auto b = rig.add_router("B", hw::RouterType::kLsr);
+  const auto d = rig.add_router("D", hw::RouterType::kLer);
+  rig.net.connect(a, b, 100e6, 1e-3);
+  rig.net.connect(b, d, 100e6, 1e-3);
+  rig.deliver_into_stats();
+  const auto lsp = rig.cp.establish_lsp({a, b, d}, pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp.has_value());
+
+  DropAccountant drops(rig.net);
+  FlowSpec spec{1, a, mpls::Ipv4Address{1},
+                *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 0.2999};
+  CbrSource probe(rig.net, spec, &rig.stats, 1e-3);
+  probe.start();
+
+  FaultInjector injector(rig.net, rig.cp);
+  // Garble B's transit binding at 100 ms; the audit runs 50 ms later.
+  const auto index = injector.inject(FaultSpec{
+      FaultKind::kCorrupt, 0.1, b, 0, /*duration=*/0.05, /*salt=*/7});
+  rig.net.run();
+
+  auto& routing = rig.net.node_as<core::EmbeddedRouter>(b).routing();
+  const auto& rec = injector.records()[index];
+  EXPECT_TRUE(rec.injected);
+  EXPECT_TRUE(rec.corrupted);
+  EXPECT_EQ(rec.resynced, 1u);
+  EXPECT_EQ(routing.corruptions(), 1u);
+  EXPECT_EQ(routing.resyncs(), 1u);
+
+  // During the 50 ms divergence window B forwarded onto a label D never
+  // bound: those packets died accountably, and delivery resumed after
+  // the resync.
+  const auto& flow = rig.stats.flow(1);
+  EXPECT_GT(drops.drops(1), 0u);
+  EXPECT_GE(flow.delivered, flow.sent - 55);
+  EXPECT_EQ(flow.sent, flow.delivered + drops.drops(1));
+}
+
+TEST(FaultInjector, CorruptEntryWorksOnBothSoftwareAndRtlEngines) {
+  const mpls::LabelPair pair{40, 50, mpls::LabelOp::kSwap};
+
+  sw::LinearEngine linear;
+  ASSERT_TRUE(linear.write_pair(2, pair));
+  EXPECT_FALSE(linear.corrupt_entry(2, 99, 60));  // no such key
+  ASSERT_TRUE(linear.corrupt_entry(2, 40, 60));
+  auto hit = linear.lookup(2, 40);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->new_label, 60u);
+
+  sw::HwEngine rtl;
+  ASSERT_TRUE(rtl.write_pair(2, pair));
+  EXPECT_FALSE(rtl.corrupt_entry(2, 99, 60));
+  ASSERT_TRUE(rtl.corrupt_entry(2, 40, 60));
+  hit = rtl.lookup(2, 40);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->new_label, 60u) << "the label BRAM itself must diverge";
+}
+
+TEST(FaultInjector, CampaignsAreDeterministicPerSeed) {
+  Rig rig;
+  const auto a = rig.add_router("A", hw::RouterType::kLer);
+  const auto b = rig.add_router("B", hw::RouterType::kLsr);
+  const auto c = rig.add_router("C", hw::RouterType::kLer);
+  rig.net.connect(a, b, 100e6, 1e-3);
+  rig.net.connect(b, c, 100e6, 1e-3);
+
+  FaultInjector injector(rig.net, rig.cp);
+  const auto one = injector.generate_campaign(1234, 40, 0.1, 1.0);
+  const auto two = injector.generate_campaign(1234, 40, 0.1, 1.0);
+  const auto other = injector.generate_campaign(99, 40, 0.1, 1.0);
+  ASSERT_EQ(one.size(), two.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].kind, two[i].kind);
+    EXPECT_DOUBLE_EQ(one[i].at, two[i].at);
+    EXPECT_EQ(one[i].a, two[i].a);
+    EXPECT_EQ(one[i].b, two[i].b);
+    EXPECT_DOUBLE_EQ(one[i].duration, two[i].duration);
+    EXPECT_EQ(one[i].salt, two[i].salt);
+  }
+  // A different seed produces a different campaign.
+  bool differs = other.size() != one.size();
+  for (std::size_t i = 0; !differs && i < one.size(); ++i) {
+    differs = one[i].at != other[i].at || one[i].kind != other[i].kind;
+  }
+  EXPECT_TRUE(differs);
+
+  // Every fault lands inside the requested window, flaps stay under the
+  // detection window, and outages outlast it.
+  for (const auto& spec : one) {
+    EXPECT_GE(spec.at, 0.1);
+    EXPECT_LT(spec.at, 1.0);
+    if (spec.kind == FaultKind::kFlap) {
+      EXPECT_LT(spec.duration, 30e-3);
+    } else if (spec.kind != FaultKind::kCorrupt) {
+      EXPECT_GE(spec.duration, 60e-3);
+    }
+  }
+}
+
+// The acceptance stress: a seeded mixed campaign of >= 50 faults (cuts,
+// flaps, crashes, corruptions) against a protected, auto-repairing
+// network.  No crash, and every flow conserves packets: anything not
+// delivered is an accounted drop, nothing vanishes.
+TEST(FaultInjector, FiftyFaultCampaignConservesEveryFlow) {
+  Rig rig;
+  const auto a = rig.add_router("A", hw::RouterType::kLer);
+  const auto b = rig.add_router("B", hw::RouterType::kLsr);
+  const auto c = rig.add_router("C", hw::RouterType::kLsr);
+  const auto d = rig.add_router("D", hw::RouterType::kLsr);
+  const auto e = rig.add_router("E", hw::RouterType::kLsr);
+  const auto f = rig.add_router("F", hw::RouterType::kLer);
+  rig.net.connect(a, b, 100e6, 1e-3);
+  rig.net.connect(b, c, 100e6, 1e-3);  // primary core
+  rig.net.connect(c, f, 100e6, 1e-3);
+  rig.net.connect(b, d, 100e6, 2e-3);  // detour plane
+  rig.net.connect(d, c, 100e6, 2e-3);
+  rig.net.connect(d, e, 100e6, 2e-3);
+  rig.net.connect(e, c, 100e6, 2e-3);
+  rig.deliver_into_stats();
+
+  const auto lsp1 = rig.cp.establish_lsp({a, b, c, f}, pfx("10.1.0.0/16"));
+  const auto lsp2 = rig.cp.establish_lsp({f, c, b, a}, pfx("10.2.0.0/16"));
+  ASSERT_TRUE(lsp1.has_value());
+  ASSERT_TRUE(lsp2.has_value());
+  EXPECT_GT(rig.cp.protect_lsp(*lsp1), 0u);
+  EXPECT_GT(rig.cp.protect_lsp(*lsp2), 0u);
+
+  DropAccountant drops(rig.net);
+  FailureDetector detector(rig.net, rig.cp, 10e-3, 3);
+  detector.watch_all();
+  ProtectionManager protection(rig.net, rig.cp);
+  protection.attach_fast_signal();
+  protection.arm(detector);
+  detector.start(1.3);
+
+  FlowSpec fwd{1, a, mpls::Ipv4Address{1},
+               *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 1.1999};
+  FlowSpec rev{2, f, mpls::Ipv4Address{2},
+               *mpls::Ipv4Address::parse("10.2.0.5"), 6, 100, 0.0, 1.1999};
+  CbrSource flow1(rig.net, fwd, &rig.stats, 1e-3);
+  CbrSource flow2(rig.net, rev, &rig.stats, 1e-3);
+  flow1.start();
+  flow2.start();
+
+  FaultInjector injector(rig.net, rig.cp);
+  const auto campaign =
+      injector.generate_campaign(/*seed=*/42, /*count=*/60,
+                                 /*start=*/0.05, /*horizon=*/1.0,
+                                 detector.detection_time());
+  ASSERT_GE(campaign.size(), 50u);
+  unsigned cuts = 0;
+  unsigned flaps = 0;
+  unsigned crashes = 0;
+  unsigned corruptions = 0;
+  for (const auto& spec : campaign) {
+    cuts += spec.kind == FaultKind::kCut ? 1 : 0;
+    flaps += spec.kind == FaultKind::kFlap ? 1 : 0;
+    crashes += spec.kind == FaultKind::kCrash ? 1 : 0;
+    corruptions += spec.kind == FaultKind::kCorrupt ? 1 : 0;
+  }
+  EXPECT_GT(cuts, 0u);
+  EXPECT_GT(flaps, 0u);
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(corruptions, 0u);
+  injector.schedule_campaign(campaign);
+
+  rig.net.run();  // survive the whole campaign without crashing
+
+  for (const auto& rec : injector.records()) {
+    EXPECT_TRUE(rec.injected);
+    if (rec.spec.duration > 0) {
+      EXPECT_TRUE(rec.cleared);
+    }
+  }
+
+  // The books must balance for every flow — a packet that is neither
+  // delivered nor in the drop ledger is a simulator bug.
+  EXPECT_TRUE(drops.conserved(rig.stats)) << injector.summary();
+  for (const auto flow_id : {1u, 2u}) {
+    const auto& flow = rig.stats.flow(flow_id);
+    EXPECT_EQ(flow.sent, flow.delivered + drops.drops(flow_id));
+    EXPECT_GT(flow.delivered, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -1,0 +1,276 @@
+// Tests for RFC 4090-style local protection: pre-signaled detours,
+// point-of-local-repair switching on the fast link-down signal, and
+// revert on recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/embedded_router.hpp"
+#include "net/failure_detector.hpp"
+#include "net/fault_injector.hpp"
+#include "net/protection.hpp"
+#include "net/stats.hpp"
+#include "net/traffic.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::net {
+namespace {
+
+struct Rig {
+  Network net;
+  ControlPlane cp{net};
+  FlowStats stats;
+  NodeId a, b, c, d;
+
+  NodeId add_router(const char* name, hw::RouterType type) {
+    core::RouterConfig cfg;
+    cfg.type = type;
+    auto r = std::make_unique<core::EmbeddedRouter>(
+        name, std::make_unique<sw::LinearEngine>(), cfg);
+    auto* raw = r.get();
+    const auto id = net.add_node(std::move(r));
+    cp.register_router(id, &raw->routing());
+    return id;
+  }
+
+  Rig() {
+    a = add_router("A", hw::RouterType::kLer);
+    b = add_router("B", hw::RouterType::kLsr);
+    c = add_router("C", hw::RouterType::kLsr);
+    d = add_router("D", hw::RouterType::kLer);
+    net.connect(a, b, 100e6, 1e-3);
+    net.connect(b, d, 100e6, 1e-3);  // primary core link
+    net.connect(b, c, 100e6, 2e-3);  // detour: B-C-D
+    net.connect(c, d, 100e6, 2e-3);
+    net.set_delivery_handler([this](NodeId, const mpls::Packet& p) {
+      stats.on_delivered(p, net.now());
+    });
+  }
+};
+
+mpls::Prefix pfx(const char* t) { return *mpls::Prefix::parse(t); }
+
+TEST(Protection, ProtectLspSignsDetoursWhereAlternativesExist) {
+  Rig rig;
+  const auto lsp = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                        pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp.has_value());
+
+  // A-B has no way around (A's only link); B-D detours over B-C-D.
+  EXPECT_EQ(rig.cp.protect_lsp(*lsp), 1u);
+  const auto indices = rig.cp.backups_of(*lsp);
+  ASSERT_EQ(indices.size(), 1u);
+  const auto& backup = rig.cp.backup(indices[0]);
+  EXPECT_EQ(backup.plr, rig.b);
+  EXPECT_EQ(backup.merge, rig.d);
+  ASSERT_EQ(backup.bypass.size(), 3u);
+  EXPECT_EQ(backup.bypass[1], rig.c);
+  EXPECT_FALSE(backup.active);
+  // The detour's transit binding is already in C's information base —
+  // installed ahead of any failure.
+  ASSERT_EQ(backup.detour_labels.size(), 1u);
+  EXPECT_TRUE(rig.net.node_as<core::EmbeddedRouter>(rig.c)
+                  .routing()
+                  .out_port(2, backup.detour_labels[0])
+                  .has_value());
+
+  // protect_lsp is idempotent: re-protecting keeps the same backup.
+  EXPECT_EQ(rig.cp.protect_lsp(*lsp), 1u);
+  EXPECT_EQ(rig.cp.backups_of(*lsp).size(), 1u);
+}
+
+TEST(Protection, FastSignalSwitchesInDataPlaneTime) {
+  Rig rig;
+  const auto lsp = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                        pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp.has_value());
+  ASSERT_EQ(rig.cp.protect_lsp(*lsp), 1u);
+
+  ProtectionManager pm(rig.net, rig.cp);
+  pm.attach_fast_signal();
+  DropAccountant drops(rig.net);
+
+  FlowSpec spec{1, rig.a, mpls::Ipv4Address{1},
+                *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 0.4999};
+  CbrSource probe(rig.net, spec, &rig.stats, 1e-3);  // 1000 pps
+  probe.start();
+
+  rig.net.events().schedule_at(0.25, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.run();
+
+  EXPECT_EQ(pm.switches(), 1u);
+  EXPECT_TRUE(pm.is_switched(*lsp));
+  ASSERT_EQ(pm.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(pm.events()[0].at, 0.25);  // same instant as the cut
+
+  // Loss is only the packets already in flight toward the dead link.
+  const auto& flow = rig.stats.flow(1);
+  const auto lost = flow.sent - flow.delivered;
+  EXPECT_LE(lost, 5u);
+  EXPECT_EQ(flow.sent, flow.delivered + drops.drops(1));
+}
+
+TEST(Protection, RevertsToThePrimaryOnRecovery) {
+  Rig rig;
+  const auto lsp = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                        pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp.has_value());
+  rig.cp.protect_lsp(*lsp);
+  ProtectionManager pm(rig.net, rig.cp);
+  pm.attach_fast_signal();
+  DropAccountant drops(rig.net);
+
+  FlowSpec spec{1, rig.a, mpls::Ipv4Address{1},
+                *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 0.5999};
+  CbrSource probe(rig.net, spec, &rig.stats, 1e-3);
+  probe.start();
+
+  rig.net.events().schedule_at(0.2, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.events().schedule_at(0.4, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, true);
+  });
+  rig.net.run();
+
+  EXPECT_EQ(pm.switches(), 1u);
+  EXPECT_EQ(pm.reverts(), 1u);
+  EXPECT_FALSE(pm.is_switched(*lsp));
+  const auto& flow = rig.stats.flow(1);
+  EXPECT_EQ(flow.sent, flow.delivered + drops.drops(1));
+  // The detour spans 4 ms against the primary's 1 ms: packets delivered
+  // after the revert ride the primary again, so the flow keeps running
+  // either way.
+  EXPECT_GE(flow.delivered, flow.sent - 5);
+}
+
+TEST(Protection, IngressLinkUsesAPrefixRebind) {
+  Rig rig;
+  // Give the ingress link A-B an alternative: A-C-B.
+  rig.net.connect(rig.a, rig.c, 100e6, 2e-3);
+  rig.net.connect(rig.c, rig.b, 100e6, 2e-3);
+  const auto lsp = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                        pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp.has_value());
+  // Both links of the path now have detours.
+  EXPECT_EQ(rig.cp.protect_lsp(*lsp), 2u);
+
+  bool saw_ingress = false;
+  for (const auto index : rig.cp.backups_of(*lsp)) {
+    const auto& backup = rig.cp.backup(index);
+    if (backup.plr == rig.a) {
+      saw_ingress = true;
+      EXPECT_EQ(backup.plr_op, BackupRecord::PlrOp::kIngress);
+    }
+  }
+  ASSERT_TRUE(saw_ingress);
+
+  ProtectionManager pm(rig.net, rig.cp);
+  pm.attach_fast_signal();
+  DropAccountant drops(rig.net);
+  FlowSpec spec{1, rig.a, mpls::Ipv4Address{1},
+                *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 0.4999};
+  CbrSource probe(rig.net, spec, &rig.stats, 1e-3);
+  probe.start();
+  rig.net.events().schedule_at(0.25, [&] {
+    rig.net.set_connection_up(rig.a, rig.b, false);
+  });
+  rig.net.run();
+
+  EXPECT_EQ(pm.switches(), 1u);
+  const auto& flow = rig.stats.flow(1);
+  EXPECT_LE(flow.sent - flow.delivered, 5u);
+  EXPECT_EQ(flow.sent, flow.delivered + drops.drops(1));
+}
+
+TEST(Protection, PhpLastLinkDetourPopsTowardTheEgress) {
+  Rig rig;
+  LspOptions options;
+  options.php = true;
+  const auto lsp = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                        pfx("10.1.0.0/16"), options);
+  ASSERT_TRUE(lsp.has_value());
+  // B-D is the PHP LSP's last link: B's primary op is the pop, so the
+  // detour's final hop (C) must pop toward D instead of swapping.
+  ASSERT_EQ(rig.cp.protect_lsp(*lsp), 1u);
+  const auto indices = rig.cp.backups_of(*lsp);
+  ASSERT_EQ(indices.size(), 1u);
+  EXPECT_EQ(rig.cp.backup(indices[0]).plr_op, BackupRecord::PlrOp::kPop);
+
+  ProtectionManager pm(rig.net, rig.cp);
+  pm.attach_fast_signal();
+  DropAccountant drops(rig.net);
+  FlowSpec spec{1, rig.a, mpls::Ipv4Address{1},
+                *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 0.4999};
+  CbrSource probe(rig.net, spec, &rig.stats, 1e-3);
+  probe.start();
+  rig.net.events().schedule_at(0.25, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.run();
+
+  EXPECT_EQ(pm.switches(), 1u);
+  const auto& flow = rig.stats.flow(1);
+  EXPECT_LE(flow.sent - flow.delivered, 5u);
+  EXPECT_EQ(flow.sent, flow.delivered + drops.drops(1));
+}
+
+TEST(Protection, DetectorLeavesSwitchedLspsAloneAndRestoresTheRest) {
+  Rig rig;
+  // lsp1's B-D link is protected; lsp2 pins the unprotectable A-B...
+  // actually both LSPs share A-B, so protect only lsp1 and watch the
+  // filter: after the switch, hello-based restoration must not tear
+  // lsp1 down behind the PLR's back.
+  const auto lsp1 = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                         pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp1.has_value());
+  ASSERT_EQ(rig.cp.protect_lsp(*lsp1), 1u);
+
+  FailureDetector fd(rig.net, rig.cp, 10e-3, 3);
+  fd.watch_all();
+  ProtectionManager pm(rig.net, rig.cp);
+  pm.attach_fast_signal();
+  pm.arm(fd);
+  fd.start(0.5);
+
+  rig.net.events().schedule_at(0.1, [&] {
+    rig.net.set_connection_up(rig.b, rig.d, false);
+  });
+  rig.net.run();
+
+  EXPECT_EQ(pm.switches(), 1u);
+  ASSERT_EQ(fd.events().size(), 1u);
+  EXPECT_EQ(fd.events()[0].locally_protected, 1u);
+  EXPECT_EQ(fd.events()[0].rerouted, 0u);
+  // The record was never torn down and re-signed.
+  EXPECT_FALSE(rig.cp.lsp(*lsp1).labels.empty());
+}
+
+TEST(Protection, TeardownReleasesBackups) {
+  Rig rig;
+  const auto lsp = rig.cp.establish_lsp({rig.a, rig.b, rig.d},
+                                        pfx("10.1.0.0/16"));
+  ASSERT_TRUE(lsp.has_value());
+  ASSERT_EQ(rig.cp.protect_lsp(*lsp), 1u);
+  const auto indices = rig.cp.backups_of(*lsp);
+  ASSERT_EQ(indices.size(), 1u);
+  const auto detour_label = rig.cp.backup(indices[0]).detour_labels[0];
+
+  ASSERT_TRUE(rig.net.node_as<core::EmbeddedRouter>(rig.c)
+                  .routing()
+                  .label_allocator()
+                  .is_allocated(detour_label));
+  rig.cp.teardown_lsp(*lsp);
+  EXPECT_TRUE(rig.cp.backups_of(*lsp).empty());
+  EXPECT_FALSE(rig.cp.backup(indices[0]).live());
+  // The detour label went back to C's pool.
+  EXPECT_FALSE(rig.net.node_as<core::EmbeddedRouter>(rig.c)
+                   .routing()
+                   .label_allocator()
+                   .is_allocated(detour_label));
+}
+
+}  // namespace
+}  // namespace empls::net

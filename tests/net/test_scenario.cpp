@@ -177,6 +177,70 @@ TEST(ScenarioParse, OamPolicerErrors) {
   EXPECT_EQ(parse_err("autorepair soon\n").line, 1);
 }
 
+TEST(ScenarioParse, FaultAndProtectionDirectives) {
+  const auto s = parse_ok(R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+protect bw=500k
+flap 0.1 A B 15ms
+crash 0.2s B for=100ms
+crash 0.4 B
+corrupt 0.3 B salt=7 resync=20ms
+corrupt 0.5s B
+)");
+  EXPECT_TRUE(s.protect);
+  EXPECT_DOUBLE_EQ(s.protect_bw, 500e3);
+
+  ASSERT_EQ(s.flaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.flaps[0].at, 0.1);
+  EXPECT_EQ(s.flaps[0].a, "A");
+  EXPECT_EQ(s.flaps[0].b, "B");
+  EXPECT_DOUBLE_EQ(s.flaps[0].down_for, 0.015);
+
+  ASSERT_EQ(s.crashes.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.crashes[0].at, 0.2);
+  EXPECT_EQ(s.crashes[0].node, "B");
+  EXPECT_DOUBLE_EQ(s.crashes[0].duration, 0.1);
+  EXPECT_DOUBLE_EQ(s.crashes[1].duration, 0.0) << "no for= means stays dead";
+
+  ASSERT_EQ(s.corruptions.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.corruptions[0].at, 0.3);
+  EXPECT_EQ(s.corruptions[0].node, "B");
+  EXPECT_EQ(s.corruptions[0].salt, 7u);
+  EXPECT_DOUBLE_EQ(s.corruptions[0].resync, 0.020);
+  EXPECT_EQ(s.corruptions[1].salt, 0u);
+  EXPECT_DOUBLE_EQ(s.corruptions[1].resync, 0.0) << "no resync= means never";
+}
+
+TEST(ScenarioParse, BareProtectDefaultsToZeroBandwidth) {
+  const auto s = parse_ok("router A ler\nprotect\n");
+  EXPECT_TRUE(s.protect);
+  EXPECT_DOUBLE_EQ(s.protect_bw, 0.0);
+}
+
+TEST(ScenarioParse, FaultDirectiveErrors) {
+  const char* topo = "router A ler\nrouter B ler\nlink A B 10M 1ms\n";
+  const auto with = [&](const char* line) {
+    return parse_err(std::string(topo) + line);
+  };
+  // flap wants exactly <time> <a> <b> <down-for> with a positive outage.
+  EXPECT_EQ(with("flap 0.1 A B\n").line, 4);
+  EXPECT_EQ(with("flap 0.1 A B 0ms\n").line, 4);
+  EXPECT_EQ(with("flap 0.1 A Z 10ms\n").line, 4);
+  EXPECT_EQ(with("flap soon A B 10ms\n").line, 4);
+  // crash/corrupt want a known node and parsable options.
+  EXPECT_EQ(with("crash 0.1 Z\n").line, 4);
+  EXPECT_EQ(with("crash 0.1 B for=soon\n").line, 4);
+  EXPECT_EQ(with("corrupt 0.1 Z\n").line, 4);
+  EXPECT_EQ(with("corrupt 0.1 B salt=x\n").line, 4);
+  EXPECT_EQ(with("corrupt 0.1 B resync=soon\n").line, 4);
+  // protect takes only the bw option.
+  EXPECT_EQ(with("protect bw=fast\n").line, 4);
+}
+
 TEST(ScenarioParse, TrailingCommentsIgnored) {
   const auto s = parse_ok("router A ler # the ingress\n");
   ASSERT_EQ(s.routers.size(), 1u);
