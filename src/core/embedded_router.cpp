@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 #include "core/egress.hpp"
@@ -110,21 +111,34 @@ void EmbeddedRouter::engine_done() {
     engine_busy_ = false;
     return;
   }
-  Pending next = std::move(engine_queue_.front());
-  engine_queue_.pop_front();
-  process(std::move(next));
+  const std::size_t batch_limit =
+      std::max<std::size_t>(config_.engine_batch_size, 1);
+  const std::size_t take = std::min(batch_limit, engine_queue_.size());
+  if (take <= 1) {
+    Pending next = std::move(engine_queue_.front());
+    engine_queue_.pop_front();
+    process(std::move(next));
+    return;
+  }
+  // A backlog formed while the engine was busy: drain it as one batch.
+  std::vector<Pending> batch;
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(engine_queue_.front()));
+    engine_queue_.pop_front();
+  }
+  process_batch(std::move(batch));
 }
 
 void EmbeddedRouter::process(Pending work) {
   net::Network* net = network();
-  mpls::Packet packet = std::move(work.packet);
   stats_.engine_wait_time += net->now() - work.enqueued_at;
 
-  const auto cls = IngressProcessor::classify(packet);
-  const mpls::Packet before = tap_ ? packet : mpls::Packet();
+  const auto cls = IngressProcessor::classify(work.packet);
+  const mpls::Packet before = tap_ ? work.packet : mpls::Packet();
 
   // Label stack modifier.
-  auto outcome = engine_->update(packet, cls.level, config_.type);
+  auto outcome = engine_->update(work.packet, cls.level, config_.type);
   double latency = outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
                                          : config_.sw_update_latency_s;
   stats_.engine_cycles += outcome.hw_cycles;
@@ -137,7 +151,7 @@ void EmbeddedRouter::process(Pending work) {
       !cls.labeled && config_.type == hw::RouterType::kLer) {
     if (routing_.slow_path_install(cls.key)) {
       ++stats_.slow_path_retries;
-      outcome = engine_->update(packet, cls.level, config_.type);
+      outcome = engine_->update(work.packet, cls.level, config_.type);
       latency += outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
                                        : config_.sw_update_latency_s;
       stats_.engine_cycles += outcome.hw_cycles;
@@ -149,6 +163,82 @@ void EmbeddedRouter::process(Pending work) {
   if (config_.serialize_engine) {
     net->events().schedule_in(latency, [this] { engine_done(); });
   }
+
+  launch(std::move(work), cls, before, outcome, latency);
+}
+
+void EmbeddedRouter::process_batch(std::vector<Pending> work) {
+  net::Network* net = network();
+  const double now = net->now();
+  const std::size_t n = work.size();
+
+  std::vector<IngressProcessor::Classification> cls(n);
+  std::vector<mpls::Packet*> packets(n);
+  std::vector<mpls::Packet> befores(tap_ ? n : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    stats_.engine_wait_time += now - work[i].enqueued_at;
+    cls[i] = IngressProcessor::classify(work[i].packet);
+    packets[i] = &work[i].packet;
+    if (tap_) {
+      befores[i] = work[i].packet;
+    }
+  }
+
+  auto outcomes = engine_->update_batch(packets, config_.type);
+  ++stats_.engine_batches;
+  stats_.engine_batched_packets += n;
+  for (const auto& outcome : outcomes) {
+    stats_.engine_cycles += outcome.hw_cycles;
+  }
+
+  // The batch holds the engine for its makespan: the slowest shard for
+  // a parallel engine, the per-packet sum for a single datapath.  Pure
+  // software planes are charged per packet, divided by the engine's
+  // parallelism.
+  const rtl::u64 makespan = engine_->last_batch_makespan_cycles();
+  double latency;
+  if (makespan > 0) {
+    latency = clock_.seconds(makespan);
+  } else {
+    const double par = std::max(1u, engine_->parallelism());
+    latency = config_.sw_update_latency_s *
+              std::ceil(static_cast<double>(n) / par);
+  }
+
+  // Slow-path retries stay per packet (they are rare and reprogram the
+  // information base, which quiesces a sharded engine anyway).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (outcomes[i].discarded &&
+        outcomes[i].reason == sw::DiscardReason::kMiss && !cls[i].labeled &&
+        config_.type == hw::RouterType::kLer &&
+        routing_.slow_path_install(cls[i].key)) {
+      ++stats_.slow_path_retries;
+      outcomes[i] = engine_->update(work[i].packet, cls[i].level,
+                                    config_.type);
+      latency += outcomes[i].hw_cycles > 0
+                     ? clock_.seconds(outcomes[i].hw_cycles)
+                     : config_.sw_update_latency_s;
+      stats_.engine_cycles += outcomes[i].hw_cycles;
+    }
+  }
+
+  if (config_.serialize_engine) {
+    net->events().schedule_in(latency, [this] { engine_done(); });
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    launch(std::move(work[i]), cls[i],
+           tap_ ? befores[i] : mpls::Packet(), outcomes[i], latency);
+  }
+}
+
+void EmbeddedRouter::launch(Pending work,
+                            const IngressProcessor::Classification& cls,
+                            const mpls::Packet& before,
+                            const sw::UpdateOutcome& outcome,
+                            double latency) {
+  net::Network* net = network();
+  mpls::Packet packet = std::move(work.packet);
 
   if (tap_) {
     tap_(*this, before, packet, outcome.applied, outcome.discarded);

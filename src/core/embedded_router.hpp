@@ -22,6 +22,9 @@
 #include <map>
 #include <functional>
 #include <memory>
+#include <vector>
+
+#include "core/ingress.hpp"
 
 #include "core/routing_functionality.hpp"
 #include "hw/commands.hpp"
@@ -52,6 +55,11 @@ struct RouterConfig {
   /// Packets waiting for the engine beyond this bound are dropped
   /// (input-queue overrun — the router is saturated).
   std::size_t engine_queue_capacity = 256;
+  /// When > 1 and a backlog has formed, up to this many queued packets
+  /// enter the engine together via LabelEngine::update_batch; the
+  /// engine is then busy for the batch's modelled makespan (parallel
+  /// shards overlap), not the per-packet sum.  1 = per-packet service.
+  std::size_t engine_batch_size = 1;
 };
 
 class EmbeddedRouter : public net::Node {
@@ -95,6 +103,8 @@ class EmbeddedRouter : public net::Node {
     std::uint64_t engine_overruns = 0; // dropped: engine queue full
     std::size_t engine_queue_peak = 0; // deepest engine backlog seen
     double engine_wait_time = 0.0;     // total seconds spent queued
+    std::uint64_t engine_batches = 0;  // update_batch invocations
+    std::uint64_t engine_batched_packets = 0;  // packets served in batches
     std::uint64_t policer_drops = 0;
     std::uint64_t policer_demotions = 0;
   };
@@ -110,7 +120,14 @@ class EmbeddedRouter : public net::Node {
   void count_op(mpls::LabelOp op);
   /// Run the label engine on one packet and launch the result.
   void process(Pending work);
-  /// Start the next queued packet, if any (engine just went idle).
+  /// Run the label engine on a backlog batch and launch every result.
+  void process_batch(std::vector<Pending> work);
+  /// Post-engine half shared by both paths: tap, discard accounting,
+  /// next-hop resolution, egress finalisation, and the delayed launch.
+  void launch(Pending work, const IngressProcessor::Classification& cls,
+              const mpls::Packet& before, const sw::UpdateOutcome& outcome,
+              double latency);
+  /// Start the next queued packet or batch, if any (engine went idle).
   void engine_done();
 
   std::unique_ptr<sw::LabelEngine> engine_;

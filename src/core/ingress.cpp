@@ -1,19 +1,19 @@
 #include "core/ingress.hpp"
 
-#include <algorithm>
+#include "sw/semantics.hpp"
 
 namespace empls::core {
 
 IngressProcessor::Classification IngressProcessor::classify(
     const mpls::Packet& packet) noexcept {
+  // Level selection is shared with the engines (sw::classify_level) so
+  // the batch API classifies exactly as this ingress path does.
   Classification c;
+  c.level = sw::classify_level(packet);
   if (packet.stack.empty()) {
-    c.level = 1;
     c.key = packet.packet_identifier();
     c.labeled = false;
   } else {
-    c.level = static_cast<unsigned>(
-        std::min<std::size_t>(packet.stack.size() + 1, 3));
     c.key = packet.stack.top().label;
     c.labeled = true;
   }

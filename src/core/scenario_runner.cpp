@@ -12,6 +12,7 @@
 #include "sw/hash_engine.hpp"
 #include "sw/hw_engine.hpp"
 #include "sw/linear_engine.hpp"
+#include "sw/sharded_engine.hpp"
 
 namespace empls::core {
 
@@ -26,6 +27,11 @@ std::unique_ptr<sw::LabelEngine> make_engine(const std::string& kind) {
   }
   if (kind == "hw") {
     return std::make_unique<sw::HwEngine>();
+  }
+  if (kind.rfind("sharded:", 0) == 0) {
+    // The parser validated the count; std::stoul on the suffix is safe.
+    return std::make_unique<sw::ShardedEngine>(
+        static_cast<unsigned>(std::stoul(kind.substr(8))));
   }
   return std::make_unique<sw::LinearEngine>();
 }
@@ -51,6 +57,10 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     cfg.clock_hz = decl.clock_hz;
     cfg.label_base = label_base;
     label_base += 1000;
+    // Batch size: explicit `batch=K` wins; a sharded engine defaults to
+    // batching (its parallelism is wasted on per-packet service).
+    const bool sharded = decl.engine.rfind("sharded:", 0) == 0;
+    cfg.engine_batch_size = decl.batch > 0 ? decl.batch : (sharded ? 16 : 1);
     auto router = std::make_unique<EmbeddedRouter>(
         decl.name, make_engine(decl.engine), cfg);
     auto* raw = router.get();

@@ -158,11 +158,24 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
           return error("bad router option: " + tokens[i]);
         }
         if (opt->first == "engine") {
-          if (opt->second != "linear" && opt->second != "hash" &&
-              opt->second != "cam" && opt->second != "hw") {
+          if (opt->second.rfind("sharded:", 0) == 0) {
+            const auto n = parse_number(opt->second.substr(8));
+            if (!n || *n < 1 || *n > 64 ||
+                *n != static_cast<double>(static_cast<unsigned>(*n))) {
+              return error("sharded engine needs sharded:<1..64>, got " +
+                           opt->second);
+            }
+          } else if (opt->second != "linear" && opt->second != "hash" &&
+                     opt->second != "cam" && opt->second != "hw") {
             return error("unknown engine: " + opt->second);
           }
           r.engine = opt->second;
+        } else if (opt->first == "batch") {
+          const auto v = parse_number(opt->second);
+          if (!v || *v < 1 || *v > 4096) {
+            return error("bad batch size: " + opt->second);
+          }
+          r.batch = static_cast<std::size_t>(*v);
         } else if (opt->first == "clock") {
           const auto v = parse_bandwidth(opt->second);  // same suffixes
           if (!v) {

@@ -5,7 +5,8 @@
 //
 //   # comments and blank lines are ignored
 //   qos strict|fifo|wrr [capacity=64] [red]
-//   router <name> ler|lsr [engine=linear|hash|cam|hw] [clock=50M]
+//   router <name> ler|lsr [engine=linear|hash|cam|hw|sharded:<N>]
+//          [clock=50M] [batch=K]
 //   link <a> <b> <bandwidth> <delay>          # e.g. link A B 100M 1ms
 //   lsp <prefix> <n1> <n2> ... [bw=2M] [php] [merge]
 //   lsp-cspf <prefix> <ingress> <egress> [bw=2M]
@@ -52,8 +53,13 @@ struct ScenarioError {
 struct RouterDecl {
   std::string name;
   bool is_ler = false;
-  std::string engine = "linear";  // linear | hash | cam | hw
+  /// linear | hash | cam | hw | sharded:<N> (N parallel worker shards
+  /// over linear replicas).
+  std::string engine = "linear";
   double clock_hz = 50e6;
+  /// Engine batch size (`batch=K`); 0 = engine default (16 for sharded
+  /// engines, per-packet service otherwise).
+  std::size_t batch = 0;
 };
 
 struct LinkDecl {

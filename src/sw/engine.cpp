@@ -1,0 +1,22 @@
+#include "sw/engine.hpp"
+
+#include "sw/semantics.hpp"
+
+namespace empls::sw {
+
+std::vector<UpdateOutcome> LabelEngine::update_batch(
+    std::span<mpls::Packet* const> packets, hw::RouterType router_type) {
+  // Correct-by-construction sequential baseline: the batch occupies the
+  // single datapath for the sum of the per-packet costs.
+  std::vector<UpdateOutcome> outcomes;
+  outcomes.reserve(packets.size());
+  rtl::u64 cycles = 0;
+  for (mpls::Packet* packet : packets) {
+    outcomes.push_back(update(*packet, classify_level(*packet), router_type));
+    cycles += outcomes.back().hw_cycles;
+  }
+  last_batch_makespan_ = cycles;
+  return outcomes;
+}
+
+}  // namespace empls::sw

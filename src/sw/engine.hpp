@@ -19,7 +19,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "hw/commands.hpp"
 #include "mpls/packet.hpp"
@@ -87,6 +89,30 @@ class LabelEngine {
   virtual UpdateOutcome update(mpls::Packet& packet, unsigned level,
                                hw::RouterType router_type) = 0;
 
+  /// Batched update flow: run every packet through the engine and return
+  /// one outcome per packet, in input order.  Levels are classified per
+  /// packet exactly as the router's ingress does (sw::classify_level),
+  /// so a batch may freely mix stack depths.  The base implementation is
+  /// a correct sequential loop over update(); engines override it to
+  /// amortize per-call costs (HwEngine) or to process shards in parallel
+  /// (ShardedEngine).  Afterwards last_batch_makespan_cycles() reports
+  /// the modelled time the batch occupied the engine.
+  virtual std::vector<UpdateOutcome> update_batch(
+      std::span<mpls::Packet* const> packets, hw::RouterType router_type);
+
+  /// Modelled makespan of the most recent update_batch() in hardware
+  /// cycles: the per-packet sum for single-datapath engines, the
+  /// slowest shard for parallel ones.  0 when the engine has no
+  /// hardware cycle model (pure software, measured by wall clock).
+  [[nodiscard]] rtl::u64 last_batch_makespan_cycles() const noexcept {
+    return last_batch_makespan_;
+  }
+
+  /// Number of packets the engine can process concurrently: 1 for every
+  /// single-datapath engine, the shard count for ShardedEngine.  The
+  /// embedded router divides pure-software batch latency by this.
+  [[nodiscard]] virtual unsigned parallelism() const noexcept { return 1; }
+
   [[nodiscard]] virtual std::size_t level_size(unsigned level) const = 0;
 
   /// Fault-injection backdoor: garble the stored outgoing label of the
@@ -99,6 +125,11 @@ class LabelEngine {
                              rtl::u32 /*new_label*/) {
     return false;
   }
+
+ protected:
+  /// Set by update_batch() implementations; see
+  /// last_batch_makespan_cycles().
+  rtl::u64 last_batch_makespan_ = 0;
 };
 
 }  // namespace empls::sw

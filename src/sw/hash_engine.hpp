@@ -28,6 +28,9 @@ class HashEngine : public LabelEngine {
                                                       rtl::u32 key) override;
   UpdateOutcome update(mpls::Packet& packet, unsigned level,
                        hw::RouterType router_type) override;
+  std::vector<UpdateOutcome> update_batch(
+      std::span<mpls::Packet* const> packets,
+      hw::RouterType router_type) override;
   [[nodiscard]] std::size_t level_size(unsigned level) const override;
 
  private:

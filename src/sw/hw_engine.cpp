@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "hw/cycle_model.hpp"
+#include "sw/semantics.hpp"
+
 namespace empls::sw {
 
 void HwEngine::clear() { hw_.do_reset(); }
@@ -64,6 +67,20 @@ UpdateOutcome HwEngine::update(mpls::Packet& packet, unsigned level,
   out.ttl_after = static_cast<rtl::u8>(hw_.datapath().ttl());
   out.hw_cycles = cycles;
   return out;
+}
+
+std::vector<UpdateOutcome> HwEngine::update_batch(
+    std::span<mpls::Packet* const> packets, hw::RouterType router_type) {
+  std::vector<UpdateOutcome> outcomes;
+  outcomes.reserve(packets.size());
+  rtl::u64 cycles = packets.empty() ? 0 : hw::kResetCycles;  // arm once
+  for (mpls::Packet* packet : packets) {
+    outcomes.push_back(
+        HwEngine::update(*packet, classify_level(*packet), router_type));
+    cycles += outcomes.back().hw_cycles;
+  }
+  last_batch_makespan_ = cycles;
+  return outcomes;
 }
 
 std::size_t HwEngine::level_size(unsigned level) const {

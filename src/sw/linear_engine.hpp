@@ -29,6 +29,9 @@ class LinearEngine : public LabelEngine {
                                                       rtl::u32 key) override;
   UpdateOutcome update(mpls::Packet& packet, unsigned level,
                        hw::RouterType router_type) override;
+  std::vector<UpdateOutcome> update_batch(
+      std::span<mpls::Packet* const> packets,
+      hw::RouterType router_type) override;
   [[nodiscard]] std::size_t level_size(unsigned level) const override;
   bool corrupt_entry(unsigned level, rtl::u32 key,
                      rtl::u32 new_label) override;

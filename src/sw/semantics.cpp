@@ -1,5 +1,7 @@
 #include "sw/semantics.hpp"
 
+#include <algorithm>
+
 #include "mpls/label.hpp"
 
 namespace empls::sw {
@@ -12,6 +14,14 @@ UpdateKey update_key(const mpls::Packet& packet, unsigned level) noexcept {
     return UpdateKey{1, packet.packet_identifier()};
   }
   return UpdateKey{level, packet.stack.top().label};
+}
+
+unsigned classify_level(const mpls::Packet& packet) noexcept {
+  if (packet.stack.empty()) {
+    return 1;
+  }
+  return static_cast<unsigned>(
+      std::min<std::size_t>(packet.stack.size() + 1, 3));
 }
 
 UpdateOutcome apply_update(mpls::Packet& packet,

@@ -25,6 +25,14 @@ struct UpdateKey {
 [[nodiscard]] UpdateKey update_key(const mpls::Packet& packet,
                                    unsigned level) noexcept;
 
+/// The information-base level ingress classification selects for
+/// `packet`: empty stack → 1 (packet-identifier table); depth-d stack →
+/// min(d+1, 3), since level 1 is reserved for identifiers and the
+/// deepest nestings share level 3 (DESIGN.md §5.6).  This is the level
+/// the embedded router passes to update(), and the one update_batch()
+/// derives per packet.
+[[nodiscard]] unsigned classify_level(const mpls::Packet& packet) noexcept;
+
 /// Apply the verify + modify portion of the update flow, given the pair
 /// the search produced (`found == nullopt` means a miss).  Mutates
 /// `packet.stack` exactly as the hardware datapath would; on any

@@ -6,9 +6,7 @@
 #include <memory>
 
 #include "core/embedded_router.hpp"
-#include "net/failure_detector.hpp"
 #include "net/fault_injector.hpp"
-#include "net/protection.hpp"
 #include "net/stats.hpp"
 #include "net/traffic.hpp"
 #include "sw/hw_engine.hpp"
@@ -143,91 +141,9 @@ TEST(FaultInjector, CampaignsAreDeterministicPerSeed) {
   }
 }
 
-// The acceptance stress: a seeded mixed campaign of >= 50 faults (cuts,
-// flaps, crashes, corruptions) against a protected, auto-repairing
-// network.  No crash, and every flow conserves packets: anything not
-// delivered is an accounted drop, nothing vanishes.
-TEST(FaultInjector, FiftyFaultCampaignConservesEveryFlow) {
-  Rig rig;
-  const auto a = rig.add_router("A", hw::RouterType::kLer);
-  const auto b = rig.add_router("B", hw::RouterType::kLsr);
-  const auto c = rig.add_router("C", hw::RouterType::kLsr);
-  const auto d = rig.add_router("D", hw::RouterType::kLsr);
-  const auto e = rig.add_router("E", hw::RouterType::kLsr);
-  const auto f = rig.add_router("F", hw::RouterType::kLer);
-  rig.net.connect(a, b, 100e6, 1e-3);
-  rig.net.connect(b, c, 100e6, 1e-3);  // primary core
-  rig.net.connect(c, f, 100e6, 1e-3);
-  rig.net.connect(b, d, 100e6, 2e-3);  // detour plane
-  rig.net.connect(d, c, 100e6, 2e-3);
-  rig.net.connect(d, e, 100e6, 2e-3);
-  rig.net.connect(e, c, 100e6, 2e-3);
-  rig.deliver_into_stats();
-
-  const auto lsp1 = rig.cp.establish_lsp({a, b, c, f}, pfx("10.1.0.0/16"));
-  const auto lsp2 = rig.cp.establish_lsp({f, c, b, a}, pfx("10.2.0.0/16"));
-  ASSERT_TRUE(lsp1.has_value());
-  ASSERT_TRUE(lsp2.has_value());
-  EXPECT_GT(rig.cp.protect_lsp(*lsp1), 0u);
-  EXPECT_GT(rig.cp.protect_lsp(*lsp2), 0u);
-
-  DropAccountant drops(rig.net);
-  FailureDetector detector(rig.net, rig.cp, 10e-3, 3);
-  detector.watch_all();
-  ProtectionManager protection(rig.net, rig.cp);
-  protection.attach_fast_signal();
-  protection.arm(detector);
-  detector.start(1.3);
-
-  FlowSpec fwd{1, a, mpls::Ipv4Address{1},
-               *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 1.1999};
-  FlowSpec rev{2, f, mpls::Ipv4Address{2},
-               *mpls::Ipv4Address::parse("10.2.0.5"), 6, 100, 0.0, 1.1999};
-  CbrSource flow1(rig.net, fwd, &rig.stats, 1e-3);
-  CbrSource flow2(rig.net, rev, &rig.stats, 1e-3);
-  flow1.start();
-  flow2.start();
-
-  FaultInjector injector(rig.net, rig.cp);
-  const auto campaign =
-      injector.generate_campaign(/*seed=*/42, /*count=*/60,
-                                 /*start=*/0.05, /*horizon=*/1.0,
-                                 detector.detection_time());
-  ASSERT_GE(campaign.size(), 50u);
-  unsigned cuts = 0;
-  unsigned flaps = 0;
-  unsigned crashes = 0;
-  unsigned corruptions = 0;
-  for (const auto& spec : campaign) {
-    cuts += spec.kind == FaultKind::kCut ? 1 : 0;
-    flaps += spec.kind == FaultKind::kFlap ? 1 : 0;
-    crashes += spec.kind == FaultKind::kCrash ? 1 : 0;
-    corruptions += spec.kind == FaultKind::kCorrupt ? 1 : 0;
-  }
-  EXPECT_GT(cuts, 0u);
-  EXPECT_GT(flaps, 0u);
-  EXPECT_GT(crashes, 0u);
-  EXPECT_GT(corruptions, 0u);
-  injector.schedule_campaign(campaign);
-
-  rig.net.run();  // survive the whole campaign without crashing
-
-  for (const auto& rec : injector.records()) {
-    EXPECT_TRUE(rec.injected);
-    if (rec.spec.duration > 0) {
-      EXPECT_TRUE(rec.cleared);
-    }
-  }
-
-  // The books must balance for every flow — a packet that is neither
-  // delivered nor in the drop ledger is a simulator bug.
-  EXPECT_TRUE(drops.conserved(rig.stats)) << injector.summary();
-  for (const auto flow_id : {1u, 2u}) {
-    const auto& flow = rig.stats.flow(flow_id);
-    EXPECT_EQ(flow.sent, flow.delivered + drops.drops(flow_id));
-    EXPECT_GT(flow.delivered, 0u);
-  }
-}
+// The >= 50-fault acceptance stress lives in test_fault_campaigns.cpp
+// (ctest label `slow`), where it runs against both the golden engine
+// and the sharded parallel plane.
 
 }  // namespace
 }  // namespace empls::net

@@ -5,6 +5,7 @@
 
 #include <random>
 #include <string>
+#include <vector>
 
 #include "net/scenario.hpp"
 
@@ -32,16 +33,23 @@ TEST_P(ScenarioFuzz, RandomBytesNeverCrash) {
 }
 
 TEST_P(ScenarioFuzz, MutatedValidScenariosNeverCrash) {
+  // Exercises every directive family: the fault-injection verbs
+  // (protect / flap / crash / corrupt) and the sharded engine syntax
+  // mutate just like the originals.
   const std::string base = R"(
 qos strict capacity=16
 router A ler engine=hw
-router B lsr
+router B lsr engine=sharded:4 batch=8
 router C ler
 link A B 10M 1ms
 link B C 10M 1ms
 lsp 10.1.0.0/16 A B C bw=1M
+protect bw=1M
 flow cbr 1 A 10.1.0.5 cos=5 interval=10ms stop=0.5
 fail 0.2 A B
+flap 0.25 B C 30ms
+crash 0.3 B for=50ms
+corrupt 0.35 B salt=9 resync=20ms
 run 1
 )";
   std::mt19937 rng(GetParam() * 7919);
@@ -75,6 +83,57 @@ run 1
       }
       for (const auto& lsp : s.lsps) {
         EXPECT_GE(lsp.path.size(), 2u);
+      }
+    }
+  }
+}
+
+TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
+  // Random programs assembled from plausible directive fragments — far
+  // likelier than byte noise to reach deep parser paths (option maps,
+  // the sharded:<N> suffix, fault parameters) with wrong arity, wrong
+  // types and out-of-range values.
+  const std::vector<std::string> verbs = {
+      "qos",     "router", "link",    "lsp",      "lsp-cspf", "tunnel",
+      "flow",    "fail",   "restore", "flap",     "crash",    "corrupt",
+      "protect", "police", "ping",    "traceroute", "autorepair", "run"};
+  const std::vector<std::string> words = {
+      "A",        "B",          "C",       "ler",        "lsr",
+      "strict",   "cbr",        "10M",     "1ms",        "0.2",
+      "7",        "10.1.0.0/16", "10.1.0.5", "engine=hw", "engine=sharded:4",
+      "engine=sharded:0", "engine=sharded:65", "engine=sharded:x",
+      "batch=8",  "batch=0",    "batch=-1", "cos=5",      "bw=1M",
+      "for=50ms", "salt=9",     "resync=20ms", "down-for", "seed=1",
+      "=",        "sharded:",   "1e99",    "-3"};
+  std::mt19937 rng(GetParam() * 104729);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const auto lines = 1 + rng() % 12;
+    for (unsigned l = 0; l < lines; ++l) {
+      text += verbs[rng() % verbs.size()];
+      const auto argc = rng() % 6;
+      for (unsigned a = 0; a < argc; ++a) {
+        text += ' ';
+        text += words[rng() % words.size()];
+      }
+      text += '\n';
+    }
+    const auto result = Scenario::parse(text);
+    if (const auto* err = std::get_if<ScenarioError>(&result)) {
+      EXPECT_GE(err->line, 1);
+      EXPECT_FALSE(err->message.empty());
+    } else {
+      // Accepted: sharded engines must have a validated shard count and
+      // batch sizes must be sane (the parser's contract with the
+      // runner, which feeds them unchecked into ShardedEngine).
+      const auto& s = std::get<Scenario>(result);
+      for (const auto& r : s.routers) {
+        if (r.engine.rfind("sharded:", 0) == 0) {
+          const int n = std::stoi(r.engine.substr(8));
+          EXPECT_GE(n, 1);
+          EXPECT_LE(n, 64);
+        }
+        EXPECT_LE(r.batch, 4096u);
       }
     }
   }
