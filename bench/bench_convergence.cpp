@@ -24,7 +24,7 @@ namespace {
 class DummyNode : public net::Node {
  public:
   explicit DummyNode(std::string name) : Node(std::move(name)) {}
-  void receive(mpls::Packet, mpls::InterfaceId) override {}
+  void receive(net::PacketHandle, mpls::InterfaceId) override {}
 };
 
 struct Measurement {

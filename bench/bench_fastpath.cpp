@@ -1,0 +1,334 @@
+// Extension experiment X5: the simulator's own fast path.
+//
+// The zero-allocation rework has two halves, measured separately and
+// then together:
+//
+//   1. Event scheduling (events/sec): a self-rescheduling timer-wheel
+//      workload on (a) the seed's structure — a binary heap of
+//      std::function events — and (b/c) the InlineEvent queue under the
+//      heap and calendar backends.
+//   2. End-to-end forwarding (packets/sec): an 8-node line of routers
+//      under CBR load, run with the legacy per-hop deep-copy path
+//      (pooling off) versus the pooled handle path plus the calendar
+//      scheduler.  Wire validation is off in both modes so the
+//      comparison isolates the transport, not serialisation checks.
+//
+// The gate (Release builds only): the pooled fast path must deliver at
+// least 2x the legacy packets/sec on the line topology.  Results are
+// also written to BENCH_fastpath.json for CI artifacts; `--quick` runs
+// a smaller workload for the CI smoke job.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/embedded_router.hpp"
+#include "net/ldp.hpp"
+#include "net/network.hpp"
+#include "net/traffic.hpp"
+#include "sw/linear_engine.hpp"
+
+using namespace empls;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---------------------------------------------------------------------
+// Part 1: event scheduling microbenchmark.
+
+/// The seed's event queue, reconstructed for the baseline measurement:
+/// std::function callbacks (heap-allocating for non-trivial captures,
+/// copy-out on pop) in a std::priority_queue binary heap.
+class SeedEventQueue {
+ public:
+  template <typename F>
+  void schedule_in(double delay, F&& fn) {
+    queue_.push(Event{now_ + delay, next_seq_++, std::forward<F>(fn)});
+  }
+  [[nodiscard]] double now() const { return now_; }
+  std::uint64_t run() {
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+      Event ev = queue_.top();  // std::priority_queue: copy, then pop
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// One self-rescheduling timer.  32 bytes of captured state — a couple
+/// of pointers plus bookkeeping, the typical simulator event — which
+/// overflows std::function's 16-byte inline buffer (one heap allocation
+/// per scheduled event, as in the seed) but sits comfortably inside
+/// InlineEvent's 64.
+template <typename Queue>
+struct Tick {
+  Queue* q;
+  std::uint64_t* remaining;
+  double period;
+  std::uint64_t fired = 0;
+  void operator()() {
+    if (*remaining == 0) {
+      return;
+    }
+    --*remaining;
+    ++fired;
+    q->schedule_in(period, *this);
+  }
+};
+
+/// Timer-wheel workload: `timers` concurrent self-rescheduling timers
+/// with staggered periods, until `total` events have run.  This is the
+/// simulator's steady-state shape — many pending events, clustered
+/// times, every callback scheduling a fresh closure.
+template <typename Queue>
+double events_per_sec(Queue& q, std::uint64_t total, unsigned timers) {
+  std::uint64_t remaining = total;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned i = 0; i < timers; ++i) {
+    Tick<Queue> tick{&q, &remaining,
+                     1e-6 * (1.0 + static_cast<double>(i % 7))};
+    q.schedule_in(1e-7 * i, tick);
+  }
+  q.run();
+  return static_cast<double>(total) / seconds_since(t0);
+}
+
+double bench_seed_events(std::uint64_t total, unsigned timers) {
+  SeedEventQueue q;
+  return events_per_sec(q, total, timers);
+}
+
+double bench_inline_events(net::SchedulerBackend backend,
+                           std::uint64_t total, unsigned timers) {
+  net::EventQueue q;
+  q.set_scheduler(backend);
+  return events_per_sec(q, total, timers);
+}
+
+// ---------------------------------------------------------------------
+// Part 2: end-to-end forwarding on the 8-node line.
+
+struct FastpathResult {
+  double wall_s = 0;
+  double packets_per_sec = 0;  // delivered end-to-end per wall second
+  double hops_per_sec = 0;     // router forwardings per wall second
+  double events_per_sec = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;
+  std::size_t pool_high_water = 0;
+  std::uint64_t heap_fallback_events = 0;
+};
+
+FastpathResult run_line(bool legacy, net::SchedulerBackend backend,
+                        double sim_seconds) {
+  constexpr int kNodes = 8;
+  net::QosConfig qos;
+  qos.queue_capacity = 256;
+  net::Network net(qos);
+  net.events().set_scheduler(backend);
+  net::ControlPlane cp(net);
+
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < kNodes; ++i) {
+    core::RouterConfig cfg;
+    cfg.type = (i == 0 || i == kNodes - 1) ? hw::RouterType::kLer
+                                           : hw::RouterType::kLsr;
+    // Per-hop serialize/parse round trips allocate; both modes disable
+    // them so the comparison isolates the packet transport.
+    cfg.validate_wire = false;
+    auto r = std::make_unique<core::EmbeddedRouter>(
+        "R" + std::to_string(i), std::make_unique<sw::LinearEngine>(), cfg);
+    auto* raw = r.get();
+    ids.push_back(net.add_node(std::move(r)));
+    cp.register_router(ids.back(), &raw->routing());
+  }
+  for (int i = 0; i + 1 < kNodes; ++i) {
+    net.connect(ids[i], ids[i + 1], 1e9, 100e-6);
+  }
+  net.set_legacy_fastpath(legacy);
+
+  cp.establish_lsp(ids, *mpls::Prefix::parse("10.1.0.0/16"));
+
+  const auto dst = *mpls::Ipv4Address::parse("10.1.0.9");
+  std::vector<std::unique_ptr<net::CbrSource>> sources;
+  for (std::uint32_t flow = 1; flow <= 4; ++flow) {
+    net::FlowSpec spec{flow, ids.front(), {}, dst,
+                       static_cast<std::uint8_t>(flow), 256,
+                       0.0,  sim_seconds};
+    sources.push_back(std::make_unique<net::CbrSource>(
+        net, spec, nullptr, /*interval=*/100e-6));
+    sources.back()->start();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run();
+  FastpathResult r;
+  r.wall_s = seconds_since(t0);
+  r.delivered = net.delivered_count();
+  r.events = net.events().stats().executed;
+  std::uint64_t hops = 0;
+  for (const auto id : ids) {
+    hops += net.node_as<core::EmbeddedRouter>(id).stats().forwarded;
+  }
+  r.packets_per_sec = static_cast<double>(r.delivered) / r.wall_s;
+  r.hops_per_sec = static_cast<double>(hops) / r.wall_s;
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_s;
+  r.pool_high_water = net.pool().stats().high_water;
+  r.heap_fallback_events = net.events().stats().events_heap_fallback;
+  return r;
+}
+
+std::string human(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+
+  std::printf("== simulator fast path (X5)%s ==\n\n",
+              quick ? " [quick]" : "");
+
+  // Part 1: events/sec.
+  const std::uint64_t total = quick ? 200'000 : 2'000'000;
+  const unsigned timers = 64;
+  const double seed_eps = bench_seed_events(total, timers);
+  const double heap_eps =
+      bench_inline_events(net::SchedulerBackend::kHeap, total, timers);
+  const double cal_eps =
+      bench_inline_events(net::SchedulerBackend::kCalendar, total, timers);
+
+  bench::Table events({"event queue", "events/sec", "vs seed"});
+  auto ratio = [](double a, double b) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fx", a / b);
+    return std::string(buf);
+  };
+  events.add_row({"seed (pq + std::function)", human(seed_eps), "1.00x"});
+  events.add_row({"heap + InlineEvent", human(heap_eps),
+                  ratio(heap_eps, seed_eps)});
+  events.add_row({"calendar + InlineEvent", human(cal_eps),
+                  ratio(cal_eps, seed_eps)});
+  events.print();
+
+  // Part 2: packets/sec on the 8-node line.
+  const double sim_seconds = quick ? 0.25 : 2.0;
+  const auto legacy =
+      run_line(/*legacy=*/true, net::SchedulerBackend::kHeap, sim_seconds);
+  const auto pooled_heap = run_line(/*legacy=*/false,
+                                    net::SchedulerBackend::kHeap, sim_seconds);
+  const auto pooled = run_line(/*legacy=*/false,
+                               net::SchedulerBackend::kCalendar, sim_seconds);
+
+  std::printf("\n");
+  bench::Table line({"8-node line", "pkts/sec", "hops/sec", "events/sec",
+                     "wall s", "pool hw", "heap-fallback ev"});
+  line.add_row({"legacy copy + heap", human(legacy.packets_per_sec),
+                human(legacy.hops_per_sec), human(legacy.events_per_sec),
+                std::to_string(legacy.wall_s),
+                std::to_string(legacy.pool_high_water),
+                std::to_string(legacy.heap_fallback_events)});
+  line.add_row({"pooled + heap", human(pooled_heap.packets_per_sec),
+                human(pooled_heap.hops_per_sec),
+                human(pooled_heap.events_per_sec),
+                std::to_string(pooled_heap.wall_s),
+                std::to_string(pooled_heap.pool_high_water),
+                std::to_string(pooled_heap.heap_fallback_events)});
+  line.add_row({"pooled + calendar", human(pooled.packets_per_sec),
+                human(pooled.hops_per_sec), human(pooled.events_per_sec),
+                std::to_string(pooled.wall_s),
+                std::to_string(pooled.pool_high_water),
+                std::to_string(pooled.heap_fallback_events)});
+  line.print();
+  const double speedup = pooled.packets_per_sec / legacy.packets_per_sec;
+  std::printf("\nfast-path speedup: %.2fx\n\n", speedup);
+
+  // JSON artifact for CI.
+  {
+    std::ofstream out("BENCH_fastpath.json");
+    out << "{\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"events_per_sec\": {\n"
+        << "    \"seed_pq_function\": " << seed_eps << ",\n"
+        << "    \"heap_inline\": " << heap_eps << ",\n"
+        << "    \"calendar_inline\": " << cal_eps << "\n"
+        << "  },\n"
+        << "  \"line8\": {\n"
+        << "    \"legacy\": {\"packets_per_sec\": " << legacy.packets_per_sec
+        << ", \"hops_per_sec\": " << legacy.hops_per_sec
+        << ", \"wall_s\": " << legacy.wall_s
+        << ", \"delivered\": " << legacy.delivered << "},\n"
+        << "    \"pooled_heap\": {\"packets_per_sec\": "
+        << pooled_heap.packets_per_sec
+        << ", \"hops_per_sec\": " << pooled_heap.hops_per_sec
+        << ", \"wall_s\": " << pooled_heap.wall_s
+        << ", \"delivered\": " << pooled_heap.delivered << "},\n"
+        << "    \"pooled\": {\"packets_per_sec\": " << pooled.packets_per_sec
+        << ", \"hops_per_sec\": " << pooled.hops_per_sec
+        << ", \"wall_s\": " << pooled.wall_s
+        << ", \"delivered\": " << pooled.delivered << "},\n"
+        << "    \"speedup\": " << speedup << "\n"
+        << "  }\n"
+        << "}\n";
+  }
+  std::printf("wrote BENCH_fastpath.json\n\n");
+
+  bench::Checks checks;
+  checks.expect_true("both modes deliver the same packet count",
+                     legacy.delivered == pooled.delivered);
+  checks.expect_true("pooled mode schedules no heap-fallback events",
+                     pooled.heap_fallback_events == 0);
+  checks.expect_true("pool high water is bounded (line depth, not load)",
+                     pooled.pool_high_water < 4096);
+#ifdef NDEBUG
+  // The headline gate, meaningful only with optimisation on.
+  checks.expect_true("pooled+calendar >= 2x legacy packets/sec",
+                     speedup >= 2.0);
+#else
+  std::printf("  [SKIP] 2x gate (debug build; run Release to enforce)\n");
+#endif
+  return checks.exit_code();
+}

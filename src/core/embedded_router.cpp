@@ -46,24 +46,26 @@ void EmbeddedRouter::set_policer(std::uint32_t flow_id,
                      net::TokenBucket(config.rate_bps, config.burst_bytes)));
 }
 
-void EmbeddedRouter::receive(mpls::Packet packet, mpls::InterfaceId in_if) {
+void EmbeddedRouter::receive(net::PacketHandle packet,
+                             mpls::InterfaceId in_if) {
   ++stats_.received;
 
   // Ingress packet processing: wire validation + classification.
-  if (config_.validate_wire && !IngressProcessor::wire_round_trip_ok(packet)) {
+  if (config_.validate_wire &&
+      !IngressProcessor::wire_round_trip_ok(*packet)) {
     ++stats_.malformed;
-    network()->notify_discard(id(), packet, "malformed");
+    network()->notify_discard(id(), *packet, "malformed");
     return;
   }
-  const auto cls = IngressProcessor::classify(packet);
+  const auto cls = IngressProcessor::classify(*packet);
 
   // Penultimate-hop-popping egress: the packet arrives from a neighbour
   // already unlabeled; if it is for a locally attached prefix it leaves
   // the MPLS domain here without touching the label engine.
   if (!cls.labeled && in_if != net::kInjectInterface &&
-      routing_.is_local(packet.dst)) {
+      routing_.is_local(packet->dst)) {
     ++stats_.delivered_local;
-    network()->deliver_local(id(), packet);
+    network()->deliver_local(id(), *packet);
     return;
   }
 
@@ -71,21 +73,21 @@ void EmbeddedRouter::receive(mpls::Packet packet, mpls::InterfaceId in_if) {
   // contract before it may consume a label (and the reserved bandwidth
   // behind it).
   if (!cls.labeled) {
-    const auto policer = policers_.find(packet.flow_id);
+    const auto policer = policers_.find(packet->flow_id);
     if (policer != policers_.end() &&
-        !policer->second.second.conforms(packet.wire_size(),
+        !policer->second.second.conforms(packet->wire_size(),
                                          network()->now())) {
       if (policer->second.first.action == net::PolicerAction::kDrop) {
         ++stats_.policer_drops;
-        network()->notify_discard(id(), packet, "policer");
+        network()->notify_discard(id(), *packet, "policer");
         return;
       }
       ++stats_.policer_demotions;
-      packet.cos = 0;  // remark to best effort
+      packet->cos = 0;  // remark to best effort
     }
   }
 
-  Pending work{std::move(packet), in_if, network()->now()};
+  Pending work{std::move(packet), in_if, network()->now(), cls};
   if (!config_.serialize_engine) {
     process(std::move(work));
     return;
@@ -94,7 +96,7 @@ void EmbeddedRouter::receive(mpls::Packet packet, mpls::InterfaceId in_if) {
   if (engine_busy_) {
     if (engine_queue_.size() >= config_.engine_queue_capacity) {
       ++stats_.engine_overruns;
-      network()->notify_discard(id(), work.packet, "engine-overrun");
+      network()->notify_discard(id(), *work.packet, "engine-overrun");
       return;
     }
     engine_queue_.push_back(std::move(work));
@@ -134,11 +136,11 @@ void EmbeddedRouter::process(Pending work) {
   net::Network* net = network();
   stats_.engine_wait_time += net->now() - work.enqueued_at;
 
-  const auto cls = IngressProcessor::classify(work.packet);
-  const mpls::Packet before = tap_ ? work.packet : mpls::Packet();
+  const auto cls = work.cls;
+  const mpls::Packet before = tap_ ? *work.packet : mpls::Packet();
 
   // Label stack modifier.
-  auto outcome = engine_->update(work.packet, cls.level, config_.type);
+  auto outcome = engine_->update(*work.packet, cls.level, config_.type);
   double latency = outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
                                          : config_.sw_update_latency_s;
   stats_.engine_cycles += outcome.hw_cycles;
@@ -151,7 +153,7 @@ void EmbeddedRouter::process(Pending work) {
       !cls.labeled && config_.type == hw::RouterType::kLer) {
     if (routing_.slow_path_install(cls.key)) {
       ++stats_.slow_path_retries;
-      outcome = engine_->update(work.packet, cls.level, config_.type);
+      outcome = engine_->update(*work.packet, cls.level, config_.type);
       latency += outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
                                        : config_.sw_update_latency_s;
       stats_.engine_cycles += outcome.hw_cycles;
@@ -159,12 +161,20 @@ void EmbeddedRouter::process(Pending work) {
   }
 
   // The datapath is busy for the processing latency; only then does the
-  // next queued packet enter it.
-  if (config_.serialize_engine) {
+  // next queued packet enter it.  On the fast path the engine-idle
+  // transition rides inside the launch event (same instant, same
+  // relative order, one event instead of two); the discard paths launch
+  // nothing, so they fall back to a dedicated event.  Legacy mode keeps
+  // the seed's split events.
+  const bool fuse = config_.serialize_engine && !net->legacy_fastpath();
+  if (config_.serialize_engine && !fuse) {
     net->events().schedule_in(latency, [this] { engine_done(); });
   }
-
-  launch(std::move(work), cls, before, outcome, latency);
+  const bool fused = launch(std::move(work), cls, before, outcome, latency,
+                            fuse);
+  if (fuse && !fused) {
+    net->events().schedule_in(latency, [this] { engine_done(); });
+  }
 }
 
 void EmbeddedRouter::process_batch(std::vector<Pending> work) {
@@ -177,10 +187,10 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
   std::vector<mpls::Packet> befores(tap_ ? n : 0);
   for (std::size_t i = 0; i < n; ++i) {
     stats_.engine_wait_time += now - work[i].enqueued_at;
-    cls[i] = IngressProcessor::classify(work[i].packet);
-    packets[i] = &work[i].packet;
+    cls[i] = work[i].cls;
+    packets[i] = work[i].packet.get();
     if (tap_) {
-      befores[i] = work[i].packet;
+      befores[i] = *work[i].packet;
     }
   }
 
@@ -213,7 +223,7 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
         config_.type == hw::RouterType::kLer &&
         routing_.slow_path_install(cls[i].key)) {
       ++stats_.slow_path_retries;
-      outcomes[i] = engine_->update(work[i].packet, cls[i].level,
+      outcomes[i] = engine_->update(*work[i].packet, cls[i].level,
                                     config_.type);
       latency += outcomes[i].hw_cycles > 0
                      ? clock_.seconds(outcomes[i].hw_cycles)
@@ -228,25 +238,26 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
 
   for (std::size_t i = 0; i < n; ++i) {
     launch(std::move(work[i]), cls[i],
-           tap_ ? befores[i] : mpls::Packet(), outcomes[i], latency);
+           tap_ ? befores[i] : mpls::Packet(), outcomes[i], latency,
+           /*fuse_engine_done=*/false);  // one engine_done serves the batch
   }
 }
 
-void EmbeddedRouter::launch(Pending work,
+bool EmbeddedRouter::launch(Pending work,
                             const IngressProcessor::Classification& cls,
                             const mpls::Packet& before,
                             const sw::UpdateOutcome& outcome,
-                            double latency) {
+                            double latency, bool fuse_engine_done) {
   net::Network* net = network();
-  mpls::Packet packet = std::move(work.packet);
+  net::PacketHandle packet = std::move(work.packet);
 
   if (tap_) {
-    tap_(*this, before, packet, outcome.applied, outcome.discarded);
+    tap_(*this, before, *packet, outcome.applied, outcome.discarded);
   }
   if (outcome.discarded) {
     ++stats_.discarded;
-    net->notify_discard(id(), packet, sw::to_string(outcome.reason));
-    return;
+    net->notify_discard(id(), *packet, sw::to_string(outcome.reason));
+    return false;
   }
   count_op(outcome.applied);
 
@@ -254,26 +265,37 @@ void EmbeddedRouter::launch(Pending work,
   const auto port = routing_.out_port(cls.level, cls.key);
   if (!port) {
     ++stats_.discarded;  // control plane never told us where this goes
-    net->notify_discard(id(), packet, "no-next-hop");
-    return;
+    net->notify_discard(id(), *packet, "no-next-hop");
+    return false;
   }
 
   // Egress packet processing, then launch after the processing latency.
-  EgressProcessor::finalize(packet, outcome.ttl_after);
+  // When fused, engine_done() runs first inside the event — the same
+  // relative order the split formulation had.
+  EgressProcessor::finalize(*packet, outcome.ttl_after);
   const mpls::InterfaceId out = *port;
   if (out == mpls::kLocalDeliver) {
     ++stats_.delivered_local;
-    net->events().schedule_in(latency, [this, net,
-                                        p = std::move(packet)]() mutable {
-      net->deliver_local(id(), p);
-    });
+    net->events().schedule_in(
+        latency,
+        [this, net, fuse_engine_done, p = std::move(packet)]() mutable {
+          if (fuse_engine_done) {
+            engine_done();
+          }
+          net->deliver_local(id(), *p);
+        });
   } else {
     ++stats_.forwarded;
-    net->events().schedule_in(latency,
-                              [this, out, p = std::move(packet)]() mutable {
-                                send(std::move(p), out);
-                              });
+    net->events().schedule_in(
+        latency,
+        [this, out, fuse_engine_done, p = std::move(packet)]() mutable {
+          if (fuse_engine_done) {
+            engine_done();
+          }
+          send(std::move(p), out);
+        });
   }
+  return fuse_engine_done;
 }
 
 }  // namespace empls::core

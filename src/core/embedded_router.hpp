@@ -67,7 +67,7 @@ class EmbeddedRouter : public net::Node {
   EmbeddedRouter(std::string name, std::unique_ptr<sw::LabelEngine> engine,
                  RouterConfig config = {});
 
-  void receive(mpls::Packet packet, mpls::InterfaceId in_if) override;
+  void receive(net::PacketHandle packet, mpls::InterfaceId in_if) override;
 
   [[nodiscard]] RoutingFunctionality& routing() noexcept { return routing_; }
   [[nodiscard]] sw::LabelEngine& engine() noexcept { return *engine_; }
@@ -112,9 +112,12 @@ class EmbeddedRouter : public net::Node {
 
  private:
   struct Pending {
-    mpls::Packet packet;
+    net::PacketHandle packet;
     mpls::InterfaceId in_if;
     double enqueued_at;
+    // Classified once at receive; the engine never mutates the packet
+    // before process() runs, so re-deriving it there would be waste.
+    IngressProcessor::Classification cls;
   };
 
   void count_op(mpls::LabelOp op);
@@ -124,9 +127,13 @@ class EmbeddedRouter : public net::Node {
   void process_batch(std::vector<Pending> work);
   /// Post-engine half shared by both paths: tap, discard accounting,
   /// next-hop resolution, egress finalisation, and the delayed launch.
-  void launch(Pending work, const IngressProcessor::Classification& cls,
+  /// When `fuse_engine_done` is set and a launch event is scheduled, the
+  /// engine-idle transition rides inside it (one event, not two);
+  /// returns whether it did, so process() can fall back to a separate
+  /// event on the discard paths.
+  bool launch(Pending work, const IngressProcessor::Classification& cls,
               const mpls::Packet& before, const sw::UpdateOutcome& outcome,
-              double latency);
+              double latency, bool fuse_engine_done);
   /// Start the next queued packet or batch, if any (engine went idle).
   void engine_done();
 

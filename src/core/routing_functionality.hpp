@@ -108,7 +108,17 @@ class RoutingFunctionality : public net::MplsNode {
   mpls::IlmTable ilm_;    // label → NHLFE mirror (levels 2/3, software view)
   mpls::FecTable local_;  // locally attached prefixes (PHP egress)
   std::map<std::pair<unsigned, rtl::u32>, mpls::LabelPair> programmed_;
-  std::map<std::pair<unsigned, rtl::u32>, mpls::InterfaceId> out_ports_;
+  /// Next-hop ports, looked up once per forwarded packet: hashed, with
+  /// level and key packed into one word (level is 1..3, key 32 bits).
+  struct LevelKeyHash {
+    std::size_t operator()(
+        const std::pair<unsigned, rtl::u32>& p) const noexcept {
+      return (static_cast<std::size_t>(p.first) << 32) ^ p.second;
+    }
+  };
+  std::unordered_map<std::pair<unsigned, rtl::u32>, mpls::InterfaceId,
+                     LevelKeyHash>
+      out_ports_;
   std::uint32_t next_fec_id_ = 1;
   std::uint64_t slow_path_installs_ = 0;
   std::uint64_t hardware_reprograms_ = 0;

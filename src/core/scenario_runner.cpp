@@ -45,6 +45,7 @@ net::ScenarioError semantic_error(std::string message) {
 std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     const net::Scenario& scenario) {
   net::Network net(scenario.qos);
+  net.events().set_scheduler(scenario.scheduler);
   net::ControlPlane cp(net);
   Report report;
 
@@ -296,6 +297,7 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     net.run();
   }
   report.duration = net.now();
+  report.sim = net.sim_stats();
   if (detector) {
     report.failures_detected = detector->events().size();
     for (const auto& event : detector->events()) {
@@ -351,6 +353,7 @@ std::string ScenarioRunner::Report::to_string() const {
   std::ostringstream out;
   out << "simulated " << duration << " s, " << lsps_established << " LSPs, "
       << tunnels_established << " tunnels\n";
+  out << "simulator: " << sim.summary() << '\n';
   if (backups_installed > 0 || protection_switches > 0) {
     out << "protection: backups=" << backups_installed
         << " switches=" << protection_switches

@@ -50,6 +50,8 @@ class ScenarioRunner {
     std::uint64_t resyncs_repaired = 0;      // divergent entries fixed
     std::vector<std::string> oam_results;  // one line per ping/traceroute
     net::SimTime duration = 0;
+    /// Simulator fast-path counters (event queue + packet pool).
+    net::SimStats sim;
 
     /// Human-readable summary tables.
     [[nodiscard]] std::string to_string() const;

@@ -1,21 +1,76 @@
 #include "net/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace empls::net {
 
-void EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule in the past");
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+namespace {
+
+// Calendar sizing: Brown's rule of thumb — keep roughly one pending
+// event per bucket, resize by doubling/halving outside [1/8, 2] load.
+constexpr std::size_t kMinBuckets = 16;
+// Floor for the bucket width: protects slot numbers from blowing past
+// the 2^53 integer-exact range when every pending event shares one
+// timestamp (width would otherwise collapse to zero).
+constexpr double kMinWidth = 1e-12;
+
+/// Heap comparator: std::push_heap keeps the comp-maximum at front, so
+/// "later is greater" puts the earliest (time, seq) on top.
+struct Later {
+  bool operator()(const auto& a, const auto& b) const noexcept {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+void EventQueue::schedule_event(SimTime at, InlineEvent fn) {
+  if (at < now_) {
+    // Time travel: the caller computed a deadline that already passed
+    // (e.g. a zero-length timer rounded down).  Run it "immediately"
+    // instead of corrupting the monotone clock, and count the fixup.
+    at = now_;
+    ++stats_.clamped;
+  }
+  ++stats_.scheduled;
+  if (fn.is_inline()) {
+    ++stats_.events_inline;
+  } else {
+    ++stats_.events_heap_fallback;
+  }
+  push(Event{at, next_seq_++, /*slot=*/0, std::move(fn)});
+}
+
+void EventQueue::push(Event&& ev) {
+  if (backend_ == SchedulerBackend::kHeap) {
+    heap_push(std::move(ev));
+  } else {
+    calendar_insert(std::move(ev));
+  }
+  ++size_;
+}
+
+EventQueue::Event EventQueue::pop() {
+  assert(size_ > 0);
+  --size_;
+  if (backend_ == SchedulerBackend::kHeap) {
+    return heap_pop();
+  }
+  return calendar_pop();
 }
 
 std::uint64_t EventQueue::run_until(SimTime until) {
   std::uint64_t executed = 0;
-  while (!heap_.empty() && heap_.top().time <= until) {
-    // Move the event out before popping so the callback may schedule
-    // further events safely.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+  while (size_ > 0) {
+    Event ev = pop();
+    if (ev.time > until) {
+      push(std::move(ev));  // keeps its sequence number: order unchanged
+      break;
+    }
     now_ = ev.time;
     ev.fn();
     ++executed;
@@ -23,19 +78,186 @@ std::uint64_t EventQueue::run_until(SimTime until) {
   if (now_ < until) {
     now_ = until;
   }
+  stats_.executed += executed;
   return executed;
 }
 
 std::uint64_t EventQueue::run() {
   std::uint64_t executed = 0;
-  while (!heap_.empty()) {
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+  while (size_ > 0) {
+    Event ev = pop();
     now_ = ev.time;
     ev.fn();
     ++executed;
   }
+  stats_.executed += executed;
   return executed;
+}
+
+void EventQueue::set_scheduler(SchedulerBackend backend) {
+  if (backend == backend_) {
+    return;
+  }
+  // Drain the old structure, switch, re-push.  Sequence numbers ride
+  // along, so execution order is unchanged.
+  std::vector<Event> pending;
+  pending.reserve(size_);
+  if (backend_ == SchedulerBackend::kHeap) {
+    pending = std::move(heap_);
+    heap_.clear();
+  } else {
+    for (auto& bucket : buckets_) {
+      for (auto& ev : bucket) {
+        pending.push_back(std::move(ev));
+      }
+      bucket.clear();
+    }
+  }
+  backend_ = backend;
+  size_ = 0;
+  for (auto& ev : pending) {
+    push(std::move(ev));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Heap backend.
+
+void EventQueue::heap_push(Event&& ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Event EventQueue::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+// ---------------------------------------------------------------------
+// Calendar backend.
+//
+// An event's slot is trunc(time * 1/width) — exact for the non-negative
+// clock — cached in the event at insert, and it lives in bucket
+// (slot & mask).  The cursor walks slots in order; within the cursor's
+// slot the (time, seq) minimum is popped, which is the global minimum
+// because all earlier slots have been drained and later slots only hold
+// later times.  The hot paths are branchy integer code on purpose: no
+// divides, no fmod, no floor.
+
+void EventQueue::calendar_insert(Event&& ev) {
+  if (buckets_.empty()) {
+    calendar_rebuild(kMinBuckets);
+  } else if (size_ + 1 > 2 * buckets_.size()) {
+    calendar_rebuild(2 * buckets_.size());
+  }
+  ev.slot = slot_of(ev.time);
+  // An event may land behind the cursor: run_until() can advance now()
+  // past slots the cursor already drained, and the next schedule lands
+  // in one of them.  Pull the cursor back so the scan can't pop a later
+  // event first.
+  if (ev.slot < cursor_slot_ || size_ == 0) {
+    cursor_slot_ = ev.slot;
+  }
+  buckets_[bucket_of(ev.slot)].push_back(std::move(ev));
+}
+
+EventQueue::Event EventQueue::calendar_pop() {
+  // size_ was already decremented by pop(); the true count is size_ + 1.
+  if (buckets_.size() > kMinBuckets && (size_ + 1) * 8 < buckets_.size()) {
+    calendar_rebuild(buckets_.size() / 2);
+  }
+  const std::size_t n = buckets_.size();
+  auto better = [](const Event& a, const Event& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  };
+  auto take = [](std::vector<Event>& bucket, std::size_t i) {
+    Event ev = std::move(bucket[i]);
+    if (i + 1 != bucket.size()) {
+      bucket[i] = std::move(bucket.back());  // intra-bucket order is free
+    }
+    bucket.pop_back();
+    return ev;
+  };
+
+  std::uint64_t scan = cursor_slot_;
+  std::size_t b = bucket_of(scan);
+  for (std::size_t visited = 0; visited <= n;
+       ++visited, ++scan, b = (b + 1) & mask_) {
+    auto& bucket = buckets_[b];
+    std::size_t best = bucket.size();
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].slot != scan) {
+        continue;  // a later year sharing this bucket
+      }
+      if (best == bucket.size() || better(bucket[i], bucket[best])) {
+        best = i;
+      }
+    }
+    if (best != bucket.size()) {
+      cursor_slot_ = scan;
+      return take(bucket, best);
+    }
+  }
+
+  // A full rotation found nothing: every pending event is at least one
+  // rotation ahead of the cursor (a sparse stretch).  Direct-search the
+  // global minimum and jump the cursor to it.
+  std::size_t best_bucket = n;
+  std::size_t best_index = 0;
+  for (std::size_t bkt = 0; bkt < n; ++bkt) {
+    for (std::size_t i = 0; i < buckets_[bkt].size(); ++i) {
+      if (best_bucket == n ||
+          better(buckets_[bkt][i], buckets_[best_bucket][best_index])) {
+        best_bucket = bkt;
+        best_index = i;
+      }
+    }
+  }
+  assert(best_bucket != n && "pop on an empty calendar");
+  cursor_slot_ = buckets_[best_bucket][best_index].slot;
+  return take(buckets_[best_bucket], best_index);
+}
+
+void EventQueue::calendar_rebuild(std::size_t nbuckets) {
+  std::vector<Event> pending;
+  pending.reserve(size_);
+  for (auto& bucket : buckets_) {
+    for (auto& ev : bucket) {
+      pending.push_back(std::move(ev));
+    }
+  }
+  buckets_.clear();
+  buckets_.resize(std::max(nbuckets, kMinBuckets));  // stays a power of 2
+  mask_ = buckets_.size() - 1;
+
+  // Re-estimate the width so the pending population spreads to about one
+  // event per bucket: width = span / count, clamped away from zero.  An
+  // empty or single-time population keeps the current width.
+  if (pending.size() >= 2) {
+    double lo = pending.front().time;
+    double hi = lo;
+    for (const auto& ev : pending) {
+      lo = std::min(lo, ev.time);
+      hi = std::max(hi, ev.time);
+    }
+    const double span = hi - lo;
+    if (span > 0.0) {
+      width_ = std::max(span / static_cast<double>(pending.size()),
+                        kMinWidth);
+      inv_width_ = 1.0 / width_;
+    }
+  }
+
+  cursor_slot_ = slot_of(now_);
+  for (auto& ev : pending) {
+    ev.slot = slot_of(ev.time);  // slots shift with the new width
+    cursor_slot_ = std::min(cursor_slot_, ev.slot);
+  }
+  for (auto& ev : pending) {
+    buckets_[bucket_of(ev.slot)].push_back(std::move(ev));
+  }
 }
 
 }  // namespace empls::net

@@ -4,30 +4,53 @@
 // order, making runs fully deterministic.  Time is in seconds (double):
 // the scales involved (nanosecond transmissions, millisecond windows)
 // stay well inside the 2^53 integer-exact range.
+//
+// Two interchangeable backends share the API and produce bit-identical
+// execution order:
+//   kHeap     — binary heap, O(log n) schedule/pop (the baseline);
+//   kCalendar — calendar queue (R. Brown, CACM 1988): time is hashed
+//               into width-sized bucket slots, so schedule and pop are
+//               O(1) amortized for the clustered event times traffic
+//               generates; a direct-search fallback keeps sparse or
+//               irregular workloads correct.
+// Callbacks are InlineEvents: move-only closures stored inline up to 64
+// bytes, so steady-state scheduling performs no heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
+
+#include "net/inline_event.hpp"
 
 namespace empls::net {
 
 using SimTime = double;
 
+enum class SchedulerBackend : std::uint8_t { kHeap, kCalendar };
+
 class EventQueue {
  public:
-  /// Schedule `fn` at absolute time `at` (>= now()).
-  void schedule_at(SimTime at, std::function<void()> fn);
-
-  /// Schedule `fn` `delay` seconds from now.
-  void schedule_in(SimTime delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  /// Schedule `fn` at absolute time `at`.  A time already in the past is
+  /// clamped to now() (and counted in stats().clamped) — time travel
+  /// would break the monotone-clock invariant every component assumes.
+  template <typename F>
+  void schedule_at(SimTime at, F&& fn) {
+    schedule_event(at, InlineEvent(std::forward<F>(fn)));
   }
 
+  /// Schedule `fn` `delay` seconds from now.
+  template <typename F>
+  void schedule_in(SimTime delay, F&& fn) {
+    schedule_event(now_ + delay, InlineEvent(std::forward<F>(fn)));
+  }
+
+  /// Non-template core used by the helpers above.
+  void schedule_event(SimTime at, InlineEvent fn);
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return size_; }
 
   /// Run events until the queue drains or `until` is passed (events
   /// scheduled later than `until` stay queued).  Returns the number of
@@ -37,24 +60,76 @@ class EventQueue {
   /// Run until the queue drains.
   std::uint64_t run();
 
+  /// Select the scheduling backend.  Pending events migrate, so this may
+  /// be called at any point; execution order is unaffected (both
+  /// backends pop the global (time, seq) minimum).
+  void set_scheduler(SchedulerBackend backend);
+  [[nodiscard]] SchedulerBackend scheduler() const noexcept {
+    return backend_;
+  }
+
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t clamped = 0;        // schedule_at(at < now()) fixups
+    std::uint64_t events_inline = 0;  // closures in the 64-byte buffer
+    std::uint64_t events_heap_fallback = 0;  // oversized closures
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Regression guard for the past-scheduling clamp.
+  [[nodiscard]] std::uint64_t clamped_schedules() const noexcept {
+    return stats_.clamped;
+  }
+
  private:
   struct Event {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
+    std::uint64_t slot;  // cached calendar slot; unused by the heap
+    InlineEvent fn;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void push(Event&& ev);
+  /// Pop the global (time, seq) minimum; size_ > 0 required.
+  Event pop();
+
+  // -- heap backend ------------------------------------------------------
+  void heap_push(Event&& ev);
+  Event heap_pop();
+
+  // -- calendar backend --------------------------------------------------
+  void calendar_insert(Event&& ev);
+  Event calendar_pop();
+  void calendar_rebuild(std::size_t nbuckets);
+  /// Absolute slot number of time `t`.  Truncation == floor because the
+  /// clock is non-negative; one multiply instead of a divide.
+  [[nodiscard]] std::uint64_t slot_of(SimTime t) const {
+    return static_cast<std::uint64_t>(t * inv_width_);
+  }
+  /// Bucket count is always a power of two, so the hash is one AND.
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t slot) const {
+    return static_cast<std::size_t>(slot) & mask_;
+  }
+
+  SchedulerBackend backend_ = SchedulerBackend::kHeap;
+  std::size_t size_ = 0;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  Stats stats_;
+
+  // Heap storage: a min-heap over (time, seq) kept with std::push_heap /
+  // std::pop_heap so the top can be moved out (InlineEvent is move-only).
+  std::vector<Event> heap_;
+
+  // Calendar storage.  Slots are absolute (not wrapped) slot numbers;
+  // every event caches its slot at insert so the pop scan does pure
+  // integer compares.  Width is applied as a cached reciprocal.
+  std::vector<std::vector<Event>> buckets_;
+  double width_ = 1e-3;      // bucket width in seconds
+  double inv_width_ = 1e3;   // 1 / width_, kept in sync by rebuild
+  std::size_t mask_ = 0;     // buckets_.size() - 1 (power of two)
+  std::uint64_t cursor_slot_ = 0;  // slot currently being drained
 };
 
 }  // namespace empls::net

@@ -1,0 +1,136 @@
+// Small-buffer-optimized, move-only event callable.
+//
+// The simulator schedules millions of closures per run; std::function
+// heap-allocates most of them (and requires copyability, which forbids
+// capturing pooled packet handles).  InlineEvent stores any callable up
+// to kInlineBytes directly inside the event object — the common case:
+// `this` + a port + a PacketHandle is 32 bytes — and falls back to a
+// single heap allocation only for oversized captures.  Callers can ask
+// which path a given event took (is_inline), so the scheduler's stats
+// expose how often the fallback fires.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace empls::net {
+
+class InlineEvent {
+ public:
+  /// Inline capture budget.  64 bytes = one cache line; every closure the
+  /// steady-state forwarding path schedules fits.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineEvent() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent>>>
+  InlineEvent(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      vt_ = vtable_inline<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(fn)));
+      vt_ = vtable_heap<Fn>();
+    }
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(other.storage_, storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(other.storage_, storage_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { reset(); }
+
+  void operator()() { vt_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+
+  /// True when the callable lives in the inline buffer (no allocation).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vt_ != nullptr && vt_->inline_storage;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(std::byte*);
+    void (*relocate)(std::byte* src, std::byte* dst) noexcept;
+    void (*destroy)(std::byte*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static Fn* as(std::byte* p) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  static const VTable* vtable_inline() {
+    static constexpr VTable vt{
+        [](std::byte* p) { (*as<Fn>(p))(); },
+        [](std::byte* src, std::byte* dst) noexcept {
+          ::new (static_cast<void*>(dst)) Fn(std::move(*as<Fn>(src)));
+          as<Fn>(src)->~Fn();
+        },
+        [](std::byte* p) noexcept { as<Fn>(p)->~Fn(); },
+        /*inline_storage=*/true};
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* vtable_heap() {
+    static constexpr VTable vt{
+        [](std::byte* p) { (**as<Fn*>(p))(); },
+        [](std::byte* src, std::byte* dst) noexcept {
+          ::new (static_cast<void*>(dst)) Fn*(*as<Fn*>(src));
+          // The pointer slot in src needs no destruction.
+        },
+        [](std::byte* p) noexcept { delete *as<Fn*>(p); },
+        /*inline_storage=*/false};
+    return &vt;
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+};
+
+}  // namespace empls::net

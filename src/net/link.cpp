@@ -19,31 +19,88 @@ Link::Link(EventQueue& events, Node* dst, mpls::InterfaceId dst_in_if,
   assert(prop_delay_ >= 0.0);
 }
 
-void Link::transmit(mpls::Packet packet) {
+void Link::transmit(PacketHandle packet) {
   if (!up_) {
     ++stats_.failed_drops;
     if (drop_hook_) {
-      drop_hook_(packet, "link-down");
+      drop_hook_(*packet, "link-down");
     }
     return;
   }
-  if (drop_hook_) {
-    // The queue consumes the packet even when it drops it, so keep a
-    // copy for attribution.  Only paid when an audit is subscribed.
-    const mpls::Packet copy = packet;
-    if (!queue_.enqueue(std::move(packet))) {
-      drop_hook_(copy, "queue-full");
+  if (!legacy_copy_) {
+    // Fast path.  An idle transmitter with empty queues cuts the packet
+    // straight through — same drop policy and queue accounting, but no
+    // ring traffic and no tx-complete event; the hop costs exactly one
+    // scheduled event (the arrival).
+    if (!drain_pending_ && queue_.empty() &&
+        events_->now() >= busy_until_) {
+      if (!queue_.admit_cut_through(*packet)) {
+        if (drop_hook_) {
+          drop_hook_(*packet, "queue-full");
+        }
+        return;
+      }
+      begin_tx(std::move(packet));
+      return;
     }
-  } else {
-    queue_.enqueue(std::move(packet));
+    if (!queue_.enqueue(std::move(packet))) {
+      if (drop_hook_) {
+        drop_hook_(*packet, "queue-full");
+      }
+      return;
+    }
+    if (!drain_pending_) {
+      drain_pending_ = true;
+      const SimTime at = std::max(events_->now(), busy_until_);
+      events_->schedule_at(at, [this] { drain(); });
+    }
+    return;
+  }
+  // Legacy baseline.  enqueue leaves the handle intact on refusal, so
+  // drop attribution reads the original packet — no defensive copy.
+  if (!queue_.enqueue(std::move(packet))) {
+    if (drop_hook_) {
+      drop_hook_(*packet, "queue-full");
+    }
+    return;
   }
   if (!busy_) {
     start_next();
   }
 }
 
+void Link::begin_tx(PacketHandle packet) {
+  const double bits = static_cast<double>(packet->wire_size()) * 8.0;
+  const SimTime tx_time = bits / bandwidth_;
+  stats_.tx_packets += 1;
+  stats_.tx_bytes += packet->wire_size();
+  stats_.busy_time += tx_time;
+  busy_until_ = events_->now() + tx_time;
+  // The wire is cut at the transmitter: once serialisation starts the
+  // packet arrives even if the link is taken down meanwhile, so the
+  // arrival can be scheduled up front.
+  events_->schedule_at(busy_until_ + prop_delay_,
+                       [this, p = std::move(packet)]() mutable {
+                         dst_->receive(std::move(p), dst_in_if_);
+                       });
+}
+
+void Link::drain() {
+  PacketHandle next = queue_.dequeue();
+  if (!next) {
+    drain_pending_ = false;
+    return;
+  }
+  begin_tx(std::move(next));
+  if (queue_.empty()) {
+    drain_pending_ = false;
+    return;
+  }
+  events_->schedule_at(busy_until_, [this] { drain(); });
+}
+
 void Link::start_next() {
-  auto next = queue_.dequeue();
+  PacketHandle next = queue_.dequeue();
   if (!next) {
     busy_ = false;
     return;
@@ -56,8 +113,12 @@ void Link::start_next() {
   stats_.busy_time += tx_time;
 
   // At transmission end: launch the packet down the propagation pipe
-  // (which never blocks) and pick up the next queued packet.
-  events_->schedule_in(tx_time, [this, p = *std::move(next)]() mutable {
+  // (which never blocks) and pick up the next queued packet.  Baseline
+  // path: value-capture the packet in both closures, exactly as the
+  // pre-pool transmitter did — one deep copy plus (because the
+  // payload-bearing closure outgrows the inline buffer) one closure
+  // heap allocation per stage.
+  events_->schedule_in(tx_time, [this, p = *next]() mutable {
     events_->schedule_in(prop_delay_, [this, p = std::move(p)]() mutable {
       dst_->receive(std::move(p), dst_in_if_);
     });

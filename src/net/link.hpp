@@ -13,6 +13,7 @@
 #include "mpls/packet.hpp"
 #include "mpls/tables.hpp"
 #include "net/event_queue.hpp"
+#include "net/packet_pool.hpp"
 #include "net/qos.hpp"
 
 namespace empls::net {
@@ -35,7 +36,7 @@ class Link {
 
   /// Enqueue for transmission; starts the transmitter when idle.
   /// Queue-full drops are recorded in the queue stats.
-  void transmit(mpls::Packet packet);
+  void transmit(PacketHandle packet);
 
   [[nodiscard]] double bandwidth_bps() const noexcept { return bandwidth_; }
   [[nodiscard]] SimTime prop_delay() const noexcept { return prop_delay_; }
@@ -52,6 +53,12 @@ class Link {
   void set_up(bool up) noexcept { up_ = up; }
   [[nodiscard]] bool is_up() const noexcept { return up_; }
 
+  /// Benchmark baseline: deep-copy the packet into each scheduled
+  /// closure (the pre-pool simulator's behaviour) instead of moving the
+  /// handle through.  Off by default; bench_fastpath flips it to measure
+  /// what the fast path buys.
+  void set_legacy_copy_mode(bool on) noexcept { legacy_copy_ = on; }
+
   /// Observation hook for packets this link drops (offered while down,
   /// or refused by a full queue).  Conservation audits subscribe via
   /// Network::add_link_drop_handler; unset, drops cost nothing extra.
@@ -59,7 +66,16 @@ class Link {
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
  private:
+  /// Legacy transmitter: busy flag + a tx-complete event per packet that
+  /// re-arms the transmitter (the seed's structure).
   void start_next();
+
+  /// Fast-path transmitter: serialisation is tracked as a time
+  /// (busy_until_), so an uncontended hop costs a single event — the
+  /// arrival — and queued backlogs are drained by one self-rescheduling
+  /// drain event.
+  void begin_tx(PacketHandle packet);
+  void drain();
 
   EventQueue* events_;
   Node* dst_;
@@ -67,8 +83,11 @@ class Link {
   double bandwidth_;
   SimTime prop_delay_;
   CosQueueSet queue_;
-  bool busy_ = false;
+  bool busy_ = false;           // legacy path only
+  bool drain_pending_ = false;  // fast path only
   bool up_ = true;
+  bool legacy_copy_ = false;
+  SimTime busy_until_ = 0.0;  // fast path: transmitter serialising until
   LinkStats stats_;
   DropHook drop_hook_;
 };

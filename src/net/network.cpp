@@ -4,7 +4,7 @@
 
 namespace empls::net {
 
-void Node::send(mpls::Packet packet, mpls::InterfaceId out_if) {
+void Node::send(PacketHandle packet, mpls::InterfaceId out_if) {
   assert(out_if < ports_.size() && "send on unknown port");
   ports_[out_if]->transmit(std::move(packet));
 }
@@ -121,7 +121,7 @@ void Network::add_link_drop_handler(LinkDropHandler handler) {
   }
 }
 
-void Network::inject(NodeId id, mpls::Packet packet) {
+void Network::inject(NodeId id, PacketHandle packet) {
   node(id).receive(std::move(packet), kInjectInterface);
 }
 

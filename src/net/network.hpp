@@ -13,6 +13,8 @@
 #include "net/event_queue.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
+#include "net/packet_pool.hpp"
+#include "net/stats.hpp"
 
 namespace empls::net {
 
@@ -24,7 +26,12 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] const EventQueue& events() const noexcept { return events_; }
   [[nodiscard]] SimTime now() const noexcept { return events_.now(); }
+
+  /// Shared packet arena; traffic sources and OAM acquire from here.
+  [[nodiscard]] PacketPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const PacketPool& pool() const noexcept { return pool_; }
 
   /// Take ownership of `node`; returns its id.
   NodeId add_node(std::unique_ptr<Node> node);
@@ -93,8 +100,30 @@ class Network {
       std::function<void(const mpls::Packet&, std::string_view reason)>;
   void add_link_drop_handler(LinkDropHandler handler);
 
+  /// Benchmark baseline switch: `legacy` restores the pre-pool
+  /// simulator's allocation behaviour — one heap packet per acquire and
+  /// a deep copy into every per-hop closure.  Affects links already
+  /// created; call after the topology is built.
+  void set_legacy_fastpath(bool legacy) {
+    legacy_fastpath_ = legacy;
+    pool_.set_pooling(!legacy);
+    for (auto& link : links_) {
+      link->set_legacy_copy_mode(legacy);
+    }
+  }
+  /// Routers consult this to reproduce the seed's event structure in
+  /// legacy mode (separate engine-free and launch events per packet).
+  [[nodiscard]] bool legacy_fastpath() const noexcept {
+    return legacy_fastpath_;
+  }
+
   /// Hand a packet to a node as locally injected traffic.
-  void inject(NodeId id, mpls::Packet packet);
+  void inject(NodeId id, PacketHandle packet);
+  /// Compatibility overload: wraps the bare packet in a heap-owned
+  /// handle (tests and one-off injections; not the pooled fast path).
+  void inject(NodeId id, mpls::Packet packet) {
+    inject(id, PacketHandle(std::move(packet)));
+  }
 
   /// Called by egress routers when a packet leaves the MPLS domain.
   /// Handlers are multicast: add_ appends, set_ replaces them all.
@@ -128,7 +157,26 @@ class Network {
   std::uint64_t run_until(SimTime until) { return events_.run_until(until); }
   std::uint64_t run() { return events_.run(); }
 
+  /// Snapshot of the simulator's own fast-path counters (event queue +
+  /// packet pool); the scenario report includes it.
+  [[nodiscard]] SimStats sim_stats() const noexcept {
+    const auto& ev = events_.stats();
+    const auto& pool = pool_.stats();
+    SimStats s;
+    s.events_executed = ev.executed;
+    s.events_inline = ev.events_inline;
+    s.events_heap_fallback = ev.events_heap_fallback;
+    s.clamped_schedules = ev.clamped;
+    s.packets_acquired = pool.acquired;
+    s.packets_recycled = pool.recycled;
+    s.pool_high_water = pool.high_water;
+    return s;
+  }
+
  private:
+  // Declared first so it is destroyed last: pending events, queues and
+  // nodes all hold PacketHandles that release into this pool.
+  PacketPool pool_;
   QosConfig default_qos_;
   EventQueue events_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -139,6 +187,7 @@ class Network {
   std::vector<LinkSignalHandler> link_signals_;
   std::vector<LinkDropHandler> link_drops_;
   std::uint64_t delivered_ = 0;
+  bool legacy_fastpath_ = false;
 };
 
 }  // namespace empls::net

@@ -8,6 +8,7 @@
 
 #include "mpls/packet.hpp"
 #include "mpls/tables.hpp"
+#include "net/packet_pool.hpp"
 
 namespace empls::net {
 
@@ -33,13 +34,14 @@ class Node {
   }
 
   /// A packet arrives on interface `in_if` (kInjectInterface for local
-  /// injection by a traffic source).
-  virtual void receive(mpls::Packet packet, mpls::InterfaceId in_if) = 0;
+  /// injection by a traffic source).  The handle owns the packet; hold
+  /// it, move it onward via send(), or let it drop and recycle.
+  virtual void receive(PacketHandle packet, mpls::InterfaceId in_if) = 0;
 
  protected:
   /// Transmit out of local port `out_if` (the directed link's queue and
   /// scheduler take it from here).
-  void send(mpls::Packet packet, mpls::InterfaceId out_if);
+  void send(PacketHandle packet, mpls::InterfaceId out_if);
 
   [[nodiscard]] Network* network() const noexcept { return net_; }
 

@@ -40,13 +40,13 @@ std::uint32_t Oam::inject_probe(
   const std::uint32_t flow = next_flow_++;
   probes_.push_back(Probe{flow, net_->now(), false, std::move(observe)});
 
-  mpls::Packet probe;
-  probe.dst = dst;
-  probe.cos = cos;
-  probe.ip_ttl = ttl;
-  probe.flow_id = flow;
-  probe.created_at = net_->now();
-  probe.payload.assign(32, 0x4F);  // 'O'
+  PacketHandle probe = net_->pool().acquire();
+  probe->dst = dst;
+  probe->cos = cos;
+  probe->ip_ttl = ttl;
+  probe->flow_id = flow;
+  probe->created_at = net_->now();
+  probe->payload.assign(32, 0x4F);  // 'O'
   net_->inject(ingress, std::move(probe));
 
   // Timeout: a probe that never settles reports as lost.

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 namespace empls::net {
 
 CosQueueSet::CosQueueSet(QosConfig config)
     : config_(config), red_rng_(config.red_seed) {
+  for (auto& q : queues_) {
+    q = PacketRing(config_.queue_capacity);
+  }
   if (config_.scheduler == SchedulerKind::kWeightedRoundRobin) {
     wrr_credit_ = config_.wrr_weights[wrr_cursor_];
   }
@@ -21,7 +25,7 @@ unsigned CosQueueSet::effective_cos(const mpls::Packet& packet) noexcept {
 
 bool CosQueueSet::should_drop(unsigned cos) {
   const auto& q = queues_[cos];
-  if (q.size() >= config_.queue_capacity) {
+  if (q.full()) {
     return true;  // hard limit under any policy
   }
   if (config_.drop == DropPolicy::kRed) {
@@ -44,17 +48,31 @@ bool CosQueueSet::should_drop(unsigned cos) {
   return false;
 }
 
-bool CosQueueSet::enqueue(mpls::Packet packet) {
+bool CosQueueSet::enqueue(PacketHandle&& packet) {
+  const unsigned cos = config_.scheduler == SchedulerKind::kFifo
+                           ? 0
+                           : effective_cos(*packet);
+  if (should_drop(cos)) {
+    ++stats_[cos].dropped;
+    return false;  // packet stays with the caller for drop attribution
+  }
+  queues_[cos].push(std::move(packet));
+  ++stats_[cos].enqueued;
+  ++total_;
+  return true;
+}
+
+bool CosQueueSet::admit_cut_through(const mpls::Packet& packet) {
+  assert(total_ == 0 && "cut-through requires empty queues");
   const unsigned cos = config_.scheduler == SchedulerKind::kFifo
                            ? 0
                            : effective_cos(packet);
-  if (should_drop(cos)) {
+  if (should_drop(cos)) {  // an empty queue only drops in degenerate configs
     ++stats_[cos].dropped;
     return false;
   }
-  queues_[cos].push_back(std::move(packet));
   ++stats_[cos].enqueued;
-  ++total_;
+  ++stats_[cos].dequeued;
   return true;
 }
 
@@ -88,14 +106,13 @@ std::optional<unsigned> CosQueueSet::pick_queue() {
   return std::nullopt;
 }
 
-std::optional<mpls::Packet> CosQueueSet::dequeue() {
+PacketHandle CosQueueSet::dequeue() {
   if (total_ == 0) {
-    return std::nullopt;
+    return {};
   }
   const auto cos = pick_queue();
   assert(cos.has_value() && "total_ > 0 but no queue selected");
-  mpls::Packet p = std::move(queues_[*cos].front());
-  queues_[*cos].pop_front();
+  PacketHandle p = queues_[*cos].pop();
   ++stats_[*cos].dequeued;
   --total_;
   return p;

@@ -6,15 +6,18 @@
 // 3-bit CoS value), a discard policy (tail drop, or RED on the lower
 // classes), and a scheduler (strict priority, or weighted round robin)
 // that the link's transmitter consults for the next packet.
+//
+// Queues hold PacketHandles in fixed rings sized at construction — the
+// per-queue capacity is a hard bound anyway — so enqueue/dequeue never
+// touch the allocator.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <optional>
 #include <random>
+#include <vector>
 
-#include "mpls/packet.hpp"
+#include "net/packet_pool.hpp"
 
 namespace empls::net {
 
@@ -49,16 +52,56 @@ struct QueueStats {
   std::uint64_t dequeued = 0;
 };
 
+/// Fixed-capacity FIFO ring of packet handles.  Capacity is set once;
+/// push/pop never allocate.
+class PacketRing {
+ public:
+  PacketRing() = default;
+  explicit PacketRing(std::size_t capacity) : slots_(capacity) {}
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] bool full() const noexcept {
+    return count_ == slots_.size();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  void push(PacketHandle p) noexcept {
+    slots_[(head_ + count_) % slots_.size()] = std::move(p);
+    ++count_;
+  }
+
+  PacketHandle pop() noexcept {
+    PacketHandle p = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    return p;
+  }
+
+ private:
+  std::vector<PacketHandle> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 class CosQueueSet {
  public:
   explicit CosQueueSet(QosConfig config = {});
 
   /// Enqueue by the packet's effective CoS (top label CoS when labeled,
-  /// otherwise the packet's own class).  Returns false on drop.
-  bool enqueue(mpls::Packet packet);
+  /// otherwise the packet's own class).  Returns false on drop — the
+  /// refused handle is left intact in `packet`, so the caller can
+  /// attribute the loss without copying.
+  bool enqueue(PacketHandle&& packet);
 
-  /// Next packet according to the scheduler; nullopt when all empty.
-  std::optional<mpls::Packet> dequeue();
+  /// Next packet according to the scheduler; an empty handle when all
+  /// queues are empty.
+  PacketHandle dequeue();
+
+  /// Fast-path admission for a packet that would be dequeued in the same
+  /// instant (idle transmitter, empty queues): applies the drop policy
+  /// and accounting of an enqueue+dequeue pair without touching the
+  /// rings.  Returns false on a policy drop.  Only valid when empty().
+  bool admit_cut_through(const mpls::Packet& packet);
 
   [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return total_; }
@@ -78,11 +121,11 @@ class CosQueueSet {
       const mpls::Packet& packet) noexcept;
 
  private:
-  [[nodiscard]] bool should_drop(unsigned cos) ;
+  [[nodiscard]] bool should_drop(unsigned cos);
   [[nodiscard]] std::optional<unsigned> pick_queue();
 
   QosConfig config_;
-  std::array<std::deque<mpls::Packet>, 8> queues_;
+  std::array<PacketRing, 8> queues_;
   std::array<QueueStats, 8> stats_;
   std::size_t total_ = 0;
   // WRR state.

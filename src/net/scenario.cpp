@@ -139,6 +139,28 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
           return error("unknown qos option: " + tokens[i]);
         }
       }
+    } else if (cmd == "scheduler" || cmd.rfind("scheduler=", 0) == 0) {
+      // Accept both spellings: `scheduler calendar` and
+      // `scheduler=calendar`.
+      std::string value;
+      if (cmd == "scheduler") {
+        if (tokens.size() != 2) {
+          return error("scheduler needs: scheduler heap|calendar");
+        }
+        value = tokens[1];
+      } else {
+        if (tokens.size() != 1) {
+          return error("scheduler=<backend> takes no further tokens");
+        }
+        value = cmd.substr(std::string_view("scheduler=").size());
+      }
+      if (value == "heap") {
+        s.scheduler = SchedulerBackend::kHeap;
+      } else if (value == "calendar") {
+        s.scheduler = SchedulerBackend::kCalendar;
+      } else {
+        return error("unknown scheduler: " + value + " (heap|calendar)");
+      }
     } else if (cmd == "router") {
       if (tokens.size() < 3) {
         return error("router needs: router <name> ler|lsr [options]");

@@ -5,6 +5,7 @@
 //
 //   # comments and blank lines are ignored
 //   qos strict|fifo|wrr [capacity=64] [red]
+//   scheduler heap|calendar       # event-queue backend (also scheduler=..)
 //   router <name> ler|lsr [engine=linear|hash|cam|hw|sharded:<N>]
 //          [clock=50M] [batch=K]
 //   link <a> <b> <bandwidth> <delay>          # e.g. link A B 100M 1ms
@@ -159,6 +160,9 @@ class Scenario {
   static std::variant<Scenario, ScenarioError> parse(std::string_view text);
 
   QosConfig qos;
+  /// `scheduler heap|calendar` (or `scheduler=..`): event-queue backend.
+  /// Both produce identical event order; calendar is the O(1) fast path.
+  SchedulerBackend scheduler = SchedulerBackend::kHeap;
   std::vector<RouterDecl> routers;
   std::vector<LinkDecl> links;
   std::vector<LspDecl> lsps;

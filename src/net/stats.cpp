@@ -58,6 +58,17 @@ const FlowStats::Flow& FlowStats::flow(std::uint32_t flow_id) const {
   return it->second;
 }
 
+std::string SimStats::summary() const {
+  std::ostringstream out;
+  out << "events=" << events_executed << " inline=" << events_inline
+      << " heap_fallback=" << events_heap_fallback
+      << " clamped=" << clamped_schedules
+      << " packets=" << packets_acquired
+      << " recycled=" << packets_recycled
+      << " pool_high_water=" << pool_high_water;
+  return out.str();
+}
+
 std::string FlowStats::summary() const {
   std::ostringstream out;
   for (const auto& [id, f] : flows_) {

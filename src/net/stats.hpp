@@ -36,6 +36,22 @@ class LatencyStats {
   double sum_ = 0.0;
 };
 
+/// Snapshot of the simulator's own fast-path counters: event-queue
+/// inline/heap split and past-time clamps, plus packet-pool recycling.
+/// Network::sim_stats() fills one; the scenario report prints it.
+struct SimStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_inline = 0;         // closures in the 64-byte buffer
+  std::uint64_t events_heap_fallback = 0;  // oversized closures
+  std::uint64_t clamped_schedules = 0;     // schedule_at(at < now()) fixups
+  std::uint64_t packets_acquired = 0;
+  std::uint64_t packets_recycled = 0;
+  std::size_t pool_high_water = 0;  // peak concurrent pooled packets
+
+  /// "events=... inline=... heap=... clamped=... pool_high_water=..."
+  [[nodiscard]] std::string summary() const;
+};
+
 /// Per-flow delivery accounting, fed by the traffic sources (on_sent) and
 /// the network's delivery handler (on_delivered).
 class FlowStats {

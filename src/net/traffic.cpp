@@ -3,19 +3,21 @@
 namespace empls::net {
 
 void TrafficSource::emit() {
-  mpls::Packet p;
-  p.l2 = mpls::L2Type::kEthernet;
-  p.src = spec_.src;
-  p.dst = spec_.dst;
-  p.cos = spec_.cos;
-  p.ip_ttl = 64;
-  p.payload.assign(spec_.payload_bytes, 0xAB);
-  p.id = sent_;
-  p.flow_id = spec_.flow_id;
-  p.created_at = net_->now();
+  // Pool-acquired: a recycled packet's payload buffer already has the
+  // capacity, so steady-state emission is allocation-free.
+  PacketHandle p = net_->pool().acquire();
+  p->l2 = mpls::L2Type::kEthernet;
+  p->src = spec_.src;
+  p->dst = spec_.dst;
+  p->cos = spec_.cos;
+  p->ip_ttl = 64;
+  p->payload.assign(spec_.payload_bytes, 0xAB);
+  p->id = sent_;
+  p->flow_id = spec_.flow_id;
+  p->created_at = net_->now();
   ++sent_;
   if (stats_ != nullptr) {
-    stats_->on_sent(p);
+    stats_->on_sent(*p);
   }
   net_->inject(spec_.ingress, std::move(p));
 }

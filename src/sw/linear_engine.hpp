@@ -19,7 +19,13 @@ namespace empls::sw {
 class LinearEngine : public LabelEngine {
  public:
   explicit LinearEngine(std::size_t level_capacity = 1024)
-      : capacity_(level_capacity) {}
+      : capacity_(level_capacity) {
+    // The capacity is a hard bound (write_pair refuses past it), so the
+    // levels can be sized once here and never reallocate mid-run.
+    for (auto& level : levels_) {
+      level.reserve(capacity_);
+    }
+  }
 
   [[nodiscard]] std::string_view name() const override { return "linear"; }
 

@@ -20,9 +20,9 @@ using mpls::LabelOp;
 class SinkNode : public net::Node {
  public:
   explicit SinkNode(std::string name) : Node(std::move(name)) {}
-  void receive(mpls::Packet packet, mpls::InterfaceId) override {
+  void receive(net::PacketHandle packet, mpls::InterfaceId) override {
     arrival_time = network()->now();
-    last = std::move(packet);
+    last = std::move(*packet);
     ++count;
   }
   net::SimTime arrival_time = -1;

@@ -1,0 +1,169 @@
+// Golden-trace determinism across scheduler backends: the heap and the
+// calendar event queue must produce identical event execution order, and
+// therefore identical forwarding results, on full scenarios — including
+// protection switching and fault campaigns, whose control paths are the
+// most sensitive to event ordering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/embedded_router.hpp"
+#include "core/scenario_runner.hpp"
+#include "net/ldp.hpp"
+#include "net/network.hpp"
+#include "net/traffic.hpp"
+#include "sw/linear_engine.hpp"
+
+namespace empls::core {
+namespace {
+
+/// Run the scenario body under the given backend; the full report text
+/// (flow latencies, router/link rows, simulator counters) is the trace
+/// fingerprint compared across backends.
+std::string report_with(const std::string& backend,
+                        const std::string& body) {
+  auto result =
+      ScenarioRunner::run_text("scheduler " + backend + "\n" + body);
+  if (const auto* err = std::get_if<net::ScenarioError>(&result)) {
+    ADD_FAILURE() << "line " << err->line << ": " << err->message;
+    return {};
+  }
+  const auto& report = std::get<ScenarioRunner::Report>(result);
+  EXPECT_GT(report.sim.events_executed, 0u);
+  return report.to_string();
+}
+
+void expect_backend_identical(const std::string& body) {
+  const auto heap = report_with("heap", body);
+  const auto calendar = report_with("calendar", body);
+  EXPECT_EQ(heap, calendar);
+  EXPECT_FALSE(heap.empty());
+}
+
+TEST(SchedulerTrace, PlainForwardingScenario) {
+  expect_backend_identical(R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 cos=5 interval=3ms stop=0.25
+flow poisson 2 A 10.1.0.6 rate=400 seed=9 stop=0.25
+run 0.4
+)");
+}
+
+TEST(SchedulerTrace, ProtectionSwitchingScenario) {
+  expect_backend_identical(R"(
+qos strict capacity=32
+router A ler
+router B lsr
+router C lsr
+router D ler
+link A B 10M 1ms
+link B D 10M 1ms
+link B C 10M 1ms
+link C D 10M 1ms
+lsp 10.1.0.0/16 A B D
+protect
+flow cbr 1 A 10.1.0.5 cos=6 interval=2ms stop=0.3
+fail 0.1 B D
+restore 0.2 B D
+run 0.4
+)");
+}
+
+TEST(SchedulerTrace, FaultCampaignScenario) {
+  expect_backend_identical(R"(
+router A ler
+router B lsr
+router C lsr
+router D ler
+link A B 10M 1ms
+link B D 10M 1ms
+link A C 10M 2ms
+link C D 10M 2ms
+lsp 10.1.0.0/16 A B D
+autorepair 10ms dead=3
+flow cbr 1 A 10.1.0.5 interval=4ms stop=0.4
+flap 0.08 B D 20ms
+crash 0.15 B for=50ms
+corrupt 0.25 B salt=3 resync=30ms
+ping 0.05 A 10.1.0.5
+ping 0.35 A 10.1.0.5
+run 0.5
+)");
+}
+
+TEST(SchedulerTrace, QosCongestionScenario) {
+  expect_backend_identical(R"(
+qos wrr capacity=16 red
+router A ler
+router B lsr
+router C ler
+link A B 100M 1ms
+link B C 2M 1ms
+lsp 10.1.0.0/16 A B C
+flow video 1 A 10.1.0.5 cos=4 fps=25 ppf=6 size=1200 stop=0.3
+flow poisson 2 A 10.1.0.6 cos=1 rate=900 seed=4 size=600 stop=0.3
+run 0.5
+)");
+}
+
+/// Network-level exact trace: every delivery's (time, flow, packet id)
+/// across a mid-run cut + restore must match event-for-event.
+TEST(SchedulerTrace, DeliveryEventsMatchExactlyUnderFaults) {
+  auto trace_with = [](net::SchedulerBackend backend) {
+    net::Network net;
+    net.events().set_scheduler(backend);
+    net::ControlPlane cp(net);
+
+    auto add = [&](const std::string& name, hw::RouterType type) {
+      auto r = std::make_unique<EmbeddedRouter>(
+          name, std::make_unique<sw::LinearEngine>(), RouterConfig{type});
+      auto* raw = r.get();
+      const auto id = net.add_node(std::move(r));
+      cp.register_router(id, &raw->routing());
+      return id;
+    };
+    const auto a = add("A", hw::RouterType::kLer);
+    const auto b = add("B", hw::RouterType::kLsr);
+    const auto c = add("C", hw::RouterType::kLer);
+    net.connect(a, b, 10e6, 1e-3);
+    net.connect(b, c, 10e6, 1e-3);
+    cp.establish_lsp({a, b, c}, *mpls::Prefix::parse("10.1.0.0/16"));
+
+    std::ostringstream trace;
+    net.set_delivery_handler([&](net::NodeId egress,
+                                 const mpls::Packet& p) {
+      trace << egress << ':' << p.flow_id << ':' << p.id << '@' << net.now()
+            << '\n';
+    });
+
+    net::FlowSpec spec{1,   a,   {}, *mpls::Ipv4Address::parse("10.1.0.5"),
+                       5,   160, 0.0, 0.3};
+    net::CbrSource src(net, spec, nullptr, /*interval=*/2e-3);
+    src.start();
+    net.events().schedule_at(0.1, [&] {
+      net.set_connection_up(a, b, false);
+    });
+    net.events().schedule_at(0.18, [&] {
+      net.set_connection_up(a, b, true);
+    });
+    net.run();
+    trace << "events=" << net.events().stats().executed
+          << " delivered=" << net.delivered_count();
+    return trace.str();
+  };
+  const auto heap = trace_with(net::SchedulerBackend::kHeap);
+  const auto calendar = trace_with(net::SchedulerBackend::kCalendar);
+  EXPECT_EQ(heap, calendar);
+  EXPECT_GT(heap.size(), 100u) << "trace should be non-trivial";
+}
+
+}  // namespace
+}  // namespace empls::core

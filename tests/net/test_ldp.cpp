@@ -16,7 +16,7 @@ namespace {
 class DummyNode : public Node {
  public:
   explicit DummyNode(std::string name) : Node(std::move(name)) {}
-  void receive(mpls::Packet, mpls::InterfaceId) override {}
+  void receive(PacketHandle, mpls::InterfaceId) override {}
 };
 
 /// Records every programming call.

@@ -15,8 +15,8 @@ namespace {
 class SinkNode : public Node {
  public:
   explicit SinkNode(std::string name) : Node(std::move(name)) {}
-  void receive(mpls::Packet packet, mpls::InterfaceId in_if) override {
-    arrivals.emplace_back(network()->now(), in_if, std::move(packet));
+  void receive(PacketHandle packet, mpls::InterfaceId in_if) override {
+    arrivals.emplace_back(network()->now(), in_if, std::move(*packet));
   }
   struct Arrival {
     SimTime time;
@@ -32,7 +32,7 @@ class SinkNode : public Node {
 class ForwardNode : public Node {
  public:
   explicit ForwardNode(std::string name) : Node(std::move(name)) {}
-  void receive(mpls::Packet packet, mpls::InterfaceId in_if) override {
+  void receive(PacketHandle packet, mpls::InterfaceId in_if) override {
     if (in_if == kInjectInterface) {
       send(std::move(packet), 0);
     }

@@ -16,12 +16,12 @@ class EchoNode : public Node {
  public:
   EchoNode(std::string name, FlowStats* stats, SimTime latency)
       : Node(std::move(name)), stats_(stats), latency_(latency) {}
-  void receive(mpls::Packet packet, mpls::InterfaceId) override {
+  void receive(PacketHandle packet, mpls::InterfaceId) override {
     ++received;
     auto* net = network();
     net->events().schedule_in(latency_, [this, net,
                                          p = std::move(packet)]() mutable {
-      stats_->on_delivered(p, net->now());
+      stats_->on_delivered(*p, net->now());
     });
   }
   std::uint64_t received = 0;
