@@ -20,7 +20,6 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -287,34 +286,23 @@ int main(int argc, char** argv) {
   std::printf("\nfast-path speedup: %.2fx\n\n", speedup);
 
   // JSON artifact for CI.
-  {
-    std::ofstream out("BENCH_fastpath.json");
-    out << "{\n"
-        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-        << "  \"events_per_sec\": {\n"
-        << "    \"seed_pq_function\": " << seed_eps << ",\n"
-        << "    \"heap_inline\": " << heap_eps << ",\n"
-        << "    \"calendar_inline\": " << cal_eps << "\n"
-        << "  },\n"
-        << "  \"line8\": {\n"
-        << "    \"legacy\": {\"packets_per_sec\": " << legacy.packets_per_sec
-        << ", \"hops_per_sec\": " << legacy.hops_per_sec
-        << ", \"wall_s\": " << legacy.wall_s
-        << ", \"delivered\": " << legacy.delivered << "},\n"
-        << "    \"pooled_heap\": {\"packets_per_sec\": "
-        << pooled_heap.packets_per_sec
-        << ", \"hops_per_sec\": " << pooled_heap.hops_per_sec
-        << ", \"wall_s\": " << pooled_heap.wall_s
-        << ", \"delivered\": " << pooled_heap.delivered << "},\n"
-        << "    \"pooled\": {\"packets_per_sec\": " << pooled.packets_per_sec
-        << ", \"hops_per_sec\": " << pooled.hops_per_sec
-        << ", \"wall_s\": " << pooled.wall_s
-        << ", \"delivered\": " << pooled.delivered << "},\n"
-        << "    \"speedup\": " << speedup << "\n"
-        << "  }\n"
-        << "}\n";
-  }
-  std::printf("wrote BENCH_fastpath.json\n\n");
+  bench::BenchJson json("fastpath");
+  json.set("quick", quick);
+  json.set("events_per_sec.seed_pq_function", seed_eps);
+  json.set("events_per_sec.heap_inline", heap_eps);
+  json.set("events_per_sec.calendar_inline", cal_eps);
+  auto line8 = [&](const std::string& key, const FastpathResult& r) {
+    json.set("line8." + key + ".packets_per_sec", r.packets_per_sec);
+    json.set("line8." + key + ".hops_per_sec", r.hops_per_sec);
+    json.set("line8." + key + ".wall_s", r.wall_s);
+    json.set("line8." + key + ".delivered", r.delivered);
+  };
+  line8("legacy", legacy);
+  line8("pooled_heap", pooled_heap);
+  line8("pooled", pooled);
+  json.set("line8.speedup", speedup);
+  json.write();
+  std::printf("\n");
 
   bench::Checks checks;
   checks.expect_true("both modes deliver the same packet count",

@@ -119,14 +119,22 @@ std::string pct(double fraction) {
   return buf;
 }
 
-void report(const char* title, const RunResult& r, bench::Table& table) {
+void report(const char* title, const RunResult& r, bench::Table& table,
+            bench::BenchJson& json, const std::string& key) {
   const char* flow_names[] = {"", "VoIP (CoS 6)", "video (CoS 4)",
                               "bulk (CoS 1)"};
+  const char* flow_keys[] = {"", "voip", "video", "bulk"};
   for (std::uint32_t f : {kVoipFlow, kVideoFlow, kBulkFlow}) {
     const auto& flow = r.stats.flow(f);
     table.add_row({title, flow_names[f], std::to_string(flow.sent),
                    std::to_string(flow.delivered), pct(flow.loss_rate()),
                    ms(flow.latency.mean()), ms(flow.latency.percentile(0.99))});
+    const std::string base = key + "." + flow_keys[f];
+    json.set(base + ".sent", flow.sent);
+    json.set(base + ".delivered", flow.delivered);
+    json.set(base + ".loss_rate", flow.loss_rate());
+    json.set(base + ".latency_mean_s", flow.latency.mean());
+    json.set(base + ".latency_p99_s", flow.latency.percentile(0.99));
   }
 }
 
@@ -137,14 +145,15 @@ int main() {
       "== X2: congested core, CoS-aware vs FIFO scheduling "
       "(1 s simulated) ==\n\n");
   bench::Checks checks;
+  bench::BenchJson json("forwarding");
 
   const RunResult with_qos = run_scenario(net::SchedulerKind::kStrictPriority);
   const RunResult no_qos = run_scenario(net::SchedulerKind::kFifo);
 
   bench::Table table({"scheduler", "flow", "sent", "delivered", "loss",
                       "mean (ms)", "p99 (ms)"});
-  report("strict-priority", with_qos, table);
-  report("FIFO", no_qos, table);
+  report("strict-priority", with_qos, table, json, "strict_priority");
+  report("FIFO", no_qos, table, json, "fifo");
   table.print();
   table.write_csv("forwarding.csv");
 
@@ -170,5 +179,9 @@ int main() {
       static_cast<unsigned long long>(with_qos.engine_cycles),
       clock.milliseconds(with_qos.engine_cycles),
       clock.seconds(with_qos.engine_cycles) * 100.0);
+  json.set("engine.packets", with_qos.packets);
+  json.set("engine.cycles", with_qos.engine_cycles);
+  json.set("engine.utilisation", clock.seconds(with_qos.engine_cycles));
+  json.write();
   return checks.exit_code();
 }

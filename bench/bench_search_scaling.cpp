@@ -17,6 +17,7 @@ using namespace empls;
 int main() {
   std::printf("== Search scaling: linear lookups, constant-time ops ==\n\n");
   bench::Checks checks;
+  bench::BenchJson json("search_scaling");
   const rtl::ClockModel clock;
 
   // Linear search: hit position sweep at full occupancy.
@@ -36,6 +37,7 @@ int main() {
       std::snprintf(us, sizeof us, "%.3f", clock.microseconds(r.cycles));
       table.add_row({std::to_string(k), std::to_string(r.cycles),
                      std::to_string(hw::search_cycles(k)), us});
+      json.set("search.cycles_at_k" + std::to_string(k), r.cycles);
     }
     table.print();
     table.write_csv("search_scaling.csv");
@@ -49,6 +51,8 @@ int main() {
                      static_cast<long long>(slope));
     checks.expect_eq("intercept", 5,
                      static_cast<long long>(r1.cycles - 3));
+    json.set("search.slope", slope);
+    json.set("search.intercept", r1.cycles - 3);
   }
 
   // Constant-time operations: cost must not depend on occupancy.
@@ -74,7 +78,10 @@ int main() {
     }
     table.print();
     checks.expect_true("constant-time operations stay at 3 cycles", flat);
+    json.set("const_ops.cycles", 3);
+    json.set("const_ops.flat", flat);
   }
 
+  json.write();
   return checks.exit_code();
 }

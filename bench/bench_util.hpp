@@ -1,11 +1,15 @@
-// Shared helpers for the reproduction benches: aligned table printing
-// and pass/fail accounting against the paper's reported values.
+// Shared helpers for the reproduction benches: aligned table printing,
+// pass/fail accounting against the paper's reported values, and the
+// BENCH_<name>.json artifact writer the CI smoke job uploads.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace empls::bench {
@@ -79,6 +83,131 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// CI artifact writer: collects (dotted key, value) pairs and emits
+/// them as nested JSON to BENCH_<name>.json.  "line8.legacy.pps" lands
+/// under {"line8": {"legacy": {"pps": ...}}}; keys sharing a prefix
+/// must be added consecutively (the writer streams, it does not sort).
+/// Every artifact is stamped with the build config and `git describe`
+/// so CI uploads are traceable to a commit.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    set("build.git", git_describe());
+#ifdef NDEBUG
+    set("build.config", std::string("Release"));
+#else
+    set("build.config", std::string("Debug"));
+#endif
+  }
+
+  template <typename T>
+  void set(const std::string& dotted_key, T value) {
+    if constexpr (std::is_same_v<T, bool>) {
+      entries_.emplace_back(dotted_key, value ? "true" : "false");
+    } else if constexpr (std::is_integral_v<T>) {
+      entries_.emplace_back(dotted_key, std::to_string(value));
+    } else if constexpr (std::is_floating_point_v<T>) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.10g", static_cast<double>(value));
+      entries_.emplace_back(dotted_key, buf);
+    } else {
+      entries_.emplace_back(dotted_key, quote(std::string(value)));
+    }
+  }
+
+  /// Write BENCH_<name>.json in the working directory and announce it.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      return false;
+    }
+    std::vector<std::string> open;  // object path currently open
+    out << '{';
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const auto parts = split(entries_[i].first);
+      std::size_t common = 0;
+      while (common < open.size() && common + 1 < parts.size() &&
+             open[common] == parts[common]) {
+        ++common;
+      }
+      for (std::size_t d = open.size(); d > common; --d) {
+        out << '\n' << indent(d) << '}';
+      }
+      open.resize(common);
+      if (i > 0) {
+        out << ',';
+      }
+      for (std::size_t d = common; d + 1 < parts.size(); ++d) {
+        out << '\n' << indent(d + 1) << '"' << parts[d] << "\": {";
+        open.push_back(parts[d]);
+      }
+      out << '\n' << indent(open.size() + 1) << '"' << parts.back()
+          << "\": " << entries_[i].second;
+    }
+    for (std::size_t d = open.size(); d > 0; --d) {
+      out << '\n' << indent(d) << '}';
+    }
+    out << "\n}\n";
+    if (out) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string git_describe() {
+#if defined(_WIN32)
+    return "unknown";
+#else
+    std::string text;
+    if (FILE* p = popen("git describe --always --dirty --tags 2>/dev/null",
+                        "r")) {
+      char buf[128];
+      while (std::fgets(buf, sizeof buf, p) != nullptr) {
+        text += buf;
+      }
+      pclose(p);
+    }
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.pop_back();
+    }
+    return text.empty() ? "unknown" : text;
+#endif
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::vector<std::string> split(const std::string& key) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= key.size(); ++i) {
+      if (i == key.size() || key[i] == '.') {
+        parts.push_back(key.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return parts;
+  }
+
+  static std::string indent(std::size_t depth) {
+    return std::string(2 * depth, ' ');
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 /// Check accounting: every reproduced quantity is verified against the

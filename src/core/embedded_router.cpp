@@ -8,6 +8,7 @@
 #include "core/egress.hpp"
 #include "core/ingress.hpp"
 #include "net/network.hpp"
+#include "sw/semantics.hpp"
 
 namespace empls::core {
 
@@ -20,6 +21,77 @@ EmbeddedRouter::EmbeddedRouter(std::string name,
       config_(config),
       clock_(config.clock_hz) {
   assert(engine_ != nullptr);
+  // The cache only arms for engines whose lookups are pure functions of
+  // the information base: the RTL-backed engines mutate hardware state
+  // per packet and the sharded engine's makespan model depends on every
+  // packet reaching its shard, so both must see the full stream.
+  if (config_.flow_cache_entries > 0 && engine_->cacheable()) {
+    flow_cache_.resize(config_.flow_cache_entries);
+  }
+}
+
+std::size_t EmbeddedRouter::cache_slot(unsigned level,
+                                       rtl::u32 key) const noexcept {
+  // splitmix64 finalizer over (level, key) — same spreading hash the
+  // sharded engine uses, so adjacent labels do not collide in lockstep.
+  rtl::u64 x = (rtl::u64{level} << 32) | rtl::u64{key};
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % flow_cache_.size());
+}
+
+const EmbeddedRouter::CacheEntry* EmbeddedRouter::cache_probe(unsigned level,
+                                                              rtl::u32 key) {
+  const CacheEntry& e = flow_cache_[cache_slot(level, key)];
+  if (!e.valid || e.level != level || e.key != key) {
+    ++cache_stats_.misses;
+    return nullptr;
+  }
+  if (e.epoch != engine_->epoch()) {
+    // The information base changed since the fill; the line is dead no
+    // matter what it says.  Counted as both an invalidation and a miss
+    // (hit_rate stays hits / probes).
+    ++cache_stats_.invalidations;
+    ++cache_stats_.misses;
+    return nullptr;
+  }
+  ++cache_stats_.hits;
+  return &e;
+}
+
+void EmbeddedRouter::cache_fill(unsigned level, rtl::u32 key) {
+  if (flow_cache_.empty()) {
+    return;
+  }
+  const auto pair = engine_->lookup(level, key);
+  if (!pair) {
+    return;
+  }
+  flow_cache_[cache_slot(level, key)] =
+      CacheEntry{true,  level, key, engine_->epoch(),
+                 *pair, engine_->last_lookup_cost_cycles()};
+  ++cache_stats_.insertions;
+}
+
+sw::UpdateOutcome EmbeddedRouter::cached_update(mpls::Packet& packet,
+                                                const CacheEntry& entry) {
+  const bool was_empty = packet.stack.empty();
+  sw::UpdateOutcome out =
+      sw::apply_update(packet, entry.pair, config_.type);
+  // Recompose the engine's exact modelled cost: search cycles were
+  // captured at fill time, the operation tail depends only on the
+  // outcome — so hw_cycles (and hence the charged latency) is
+  // bit-identical to the uncached path.  A zero search cost marks a
+  // pure-software engine, whose outcomes carry hw_cycles = 0.
+  out.hw_cycles = entry.search_cycles == 0
+                      ? 0
+                      : entry.search_cycles +
+                            sw::update_tail_cycles(out, was_empty,
+                                                   /*found=*/true);
+  return out;
 }
 
 void EmbeddedRouter::count_op(mpls::LabelOp op) {
@@ -139,8 +211,15 @@ void EmbeddedRouter::process(Pending work) {
   const auto cls = work.cls;
   const mpls::Packet before = tap_ ? *work.packet : mpls::Packet();
 
-  // Label stack modifier.
-  auto outcome = engine_->update(*work.packet, cls.level, config_.type);
+  // Label stack modifier — or the flow cache standing in for it: a live
+  // cached binding replays the identical update without the engine's
+  // search (a cached outcome can never be a kMiss, so the slow path
+  // below is naturally skipped).
+  const CacheEntry* cached =
+      flow_cache_.empty() ? nullptr : cache_probe(cls.level, cls.key);
+  auto outcome = cached
+                     ? cached_update(*work.packet, *cached)
+                     : engine_->update(*work.packet, cls.level, config_.type);
   double latency = outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
                                          : config_.sw_update_latency_s;
   stats_.engine_cycles += outcome.hw_cycles;
@@ -158,6 +237,9 @@ void EmbeddedRouter::process(Pending work) {
                                        : config_.sw_update_latency_s;
       stats_.engine_cycles += outcome.hw_cycles;
     }
+  }
+  if (!cached) {
+    cache_fill(cls.level, cls.key);  // resolve at the (post-install) epoch
   }
 
   // The datapath is busy for the processing latency; only then does the
@@ -194,21 +276,54 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
     }
   }
 
-  auto outcomes = engine_->update_batch(packets, config_.type);
-  ++stats_.engine_batches;
-  stats_.engine_batched_packets += n;
+  // Flow cache first: hits replay their cached binding inline; only the
+  // misses enter the engine as a (smaller) batch.  Cycle accounting
+  // composes back to exactly the uncached batch: for a single-datapath
+  // engine the uncached makespan is the per-packet sum, and a hit
+  // contributes the identical hw_cycles it would have cost in that sum.
+  std::vector<sw::UpdateOutcome> outcomes(n);
+  std::vector<std::size_t> miss_idx;
+  miss_idx.reserve(n);
+  rtl::u64 hit_cycles = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const CacheEntry* cached =
+        flow_cache_.empty() ? nullptr
+                            : cache_probe(cls[i].level, cls[i].key);
+    if (cached) {
+      outcomes[i] = cached_update(*packets[i], *cached);
+      hit_cycles += outcomes[i].hw_cycles;
+    } else {
+      miss_idx.push_back(i);
+    }
+  }
+  rtl::u64 miss_makespan = 0;
+  if (!miss_idx.empty()) {
+    std::vector<mpls::Packet*> miss_packets;
+    miss_packets.reserve(miss_idx.size());
+    for (const std::size_t i : miss_idx) {
+      miss_packets.push_back(packets[i]);
+    }
+    auto miss_outcomes = engine_->update_batch(miss_packets, config_.type);
+    miss_makespan = engine_->last_batch_makespan_cycles();
+    ++stats_.engine_batches;
+    stats_.engine_batched_packets += miss_idx.size();
+    for (std::size_t j = 0; j < miss_idx.size(); ++j) {
+      outcomes[miss_idx[j]] = miss_outcomes[j];
+    }
+  }
   for (const auto& outcome : outcomes) {
     stats_.engine_cycles += outcome.hw_cycles;
   }
 
   // The batch holds the engine for its makespan: the slowest shard for
-  // a parallel engine, the per-packet sum for a single datapath.  Pure
-  // software planes are charged per packet, divided by the engine's
-  // parallelism.
-  const rtl::u64 makespan = engine_->last_batch_makespan_cycles();
+  // a parallel engine, the per-packet sum for a single datapath (cache
+  // hits fold their — identical — cycles back into that sum).  Pure
+  // software planes are charged per packet over the FULL batch, divided
+  // by the engine's parallelism, so timing matches the uncached run.
+  const rtl::u64 total_cycles = miss_makespan + hit_cycles;
   double latency;
-  if (makespan > 0) {
-    latency = clock_.seconds(makespan);
+  if (total_cycles > 0) {
+    latency = clock_.seconds(total_cycles);
   } else {
     const double par = std::max(1u, engine_->parallelism());
     latency = config_.sw_update_latency_s *
@@ -230,6 +345,9 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
                      : config_.sw_update_latency_s;
       stats_.engine_cycles += outcomes[i].hw_cycles;
     }
+  }
+  for (const std::size_t i : miss_idx) {
+    cache_fill(cls[i].level, cls[i].key);
   }
 
   if (config_.serialize_engine) {

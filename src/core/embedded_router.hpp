@@ -30,6 +30,7 @@
 #include "hw/commands.hpp"
 #include "net/node.hpp"
 #include "net/policer.hpp"
+#include "net/stats.hpp"
 #include "rtl/clock_model.hpp"
 #include "sw/engine.hpp"
 
@@ -60,6 +61,16 @@ struct RouterConfig {
   /// engine is then busy for the batch's modelled makespan (parallel
   /// shards overlap), not the per-packet sum.  1 = per-packet service.
   std::size_t engine_batch_size = 1;
+  /// Direct-mapped flow cache: resolved (level, key) → label-pair
+  /// bindings bypass the engine's search on repeat packets.  Entries
+  /// carry the engine epoch at fill time and go stale the moment the
+  /// information base changes (write_pair / clear / corrupt_entry /
+  /// reprogram / protection switchover all bump the epoch), so cached
+  /// outcomes are always bit-identical to the uncached path — including
+  /// the modelled Table 6 cycles, recomposed from the cached search
+  /// cost.  0 = off.  Ignored (with a stat-visible fallback to off) for
+  /// engines that must see every packet (hw, pipeline, sharded).
+  std::size_t flow_cache_entries = 0;
 };
 
 class EmbeddedRouter : public net::Node {
@@ -110,6 +121,16 @@ class EmbeddedRouter : public net::Node {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Flow-cache probe counters (all zero when the cache is off).
+  [[nodiscard]] const net::FlowCacheStats& cache_stats() const noexcept {
+    return cache_stats_;
+  }
+  /// Whether the cache is actually active (configured on AND the engine
+  /// is cacheable).
+  [[nodiscard]] bool flow_cache_enabled() const noexcept {
+    return !flow_cache_.empty();
+  }
+
  private:
   struct Pending {
     net::PacketHandle packet;
@@ -137,6 +158,32 @@ class EmbeddedRouter : public net::Node {
   /// Start the next queued packet or batch, if any (engine went idle).
   void engine_done();
 
+  /// One direct-mapped flow-cache line.  `search_cycles` is the
+  /// engine's modelled search cost for this key (0 marks a
+  /// pure-software engine, where hw_cycles must stay 0 on a hit so the
+  /// sw latency model applies exactly as it does uncached).
+  struct CacheEntry {
+    bool valid = false;
+    unsigned level = 0;
+    rtl::u32 key = 0;
+    rtl::u64 epoch = 0;
+    mpls::LabelPair pair{};
+    rtl::u64 search_cycles = 0;
+  };
+  [[nodiscard]] std::size_t cache_slot(unsigned level,
+                                       rtl::u32 key) const noexcept;
+  /// Probe for a live entry: tag must match AND its epoch must equal the
+  /// engine's current epoch.  Counts the hit/miss/invalidation.
+  [[nodiscard]] const CacheEntry* cache_probe(unsigned level, rtl::u32 key);
+  /// Re-resolve (level, key) against the engine at the current epoch and
+  /// cache the binding (no-op on a lookup miss — negative results are
+  /// never cached, so the slow path stays observable).
+  void cache_fill(unsigned level, rtl::u32 key);
+  /// Engine-equivalent update from a cached binding: same stack
+  /// mutation, same UpdateOutcome, same modelled cycles.
+  sw::UpdateOutcome cached_update(mpls::Packet& packet,
+                                  const CacheEntry& entry);
+
   std::unique_ptr<sw::LabelEngine> engine_;
   RoutingFunctionality routing_;
   RouterConfig config_;
@@ -144,6 +191,8 @@ class EmbeddedRouter : public net::Node {
   Stats stats_;
   PacketTap tap_;
   std::deque<Pending> engine_queue_;
+  std::vector<CacheEntry> flow_cache_;  // empty = cache off
+  net::FlowCacheStats cache_stats_;
   bool engine_busy_ = false;
   std::map<std::uint32_t, std::pair<net::PolicerConfig, net::TokenBucket>>
       policers_;

@@ -13,6 +13,7 @@
 #include "sw/hw_engine.hpp"
 #include "sw/linear_engine.hpp"
 #include "sw/sharded_engine.hpp"
+#include "sw/simd_engine.hpp"
 
 namespace empls::core {
 
@@ -24,6 +25,9 @@ std::unique_ptr<sw::LabelEngine> make_engine(const std::string& kind) {
   }
   if (kind == "cam") {
     return std::make_unique<sw::CamEngine>();
+  }
+  if (kind == "simd") {
+    return std::make_unique<sw::SimdEngine>();
   }
   if (kind == "hw") {
     return std::make_unique<sw::HwEngine>();
@@ -62,6 +66,7 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     // batching (its parallelism is wasted on per-packet service).
     const bool sharded = decl.engine.rfind("sharded:", 0) == 0;
     cfg.engine_batch_size = decl.batch > 0 ? decl.batch : (sharded ? 16 : 1);
+    cfg.flow_cache_entries = decl.cache;
     auto router = std::make_unique<EmbeddedRouter>(
         decl.name, make_engine(decl.engine), cfg);
     auto* raw = router.get();
@@ -316,10 +321,13 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
   }
 
   for (const auto& decl : scenario.routers) {
-    const auto& s = net.node_as<EmbeddedRouter>(id_of(decl.name)).stats();
+    const auto& router = net.node_as<EmbeddedRouter>(id_of(decl.name));
+    const auto& s = router.stats();
     report.routers.push_back(RouterRow{decl.name, s.received, s.forwarded,
                                        s.delivered_local, s.discarded,
-                                       s.engine_cycles});
+                                       s.engine_cycles,
+                                       router.flow_cache_enabled(),
+                                       router.cache_stats()});
   }
   for (const auto& decl : scenario.links) {
     // Report both directions of each declared connection.
@@ -368,6 +376,9 @@ std::string ScenarioRunner::Report::to_string() const {
     out << "  " << r.name << ": rx=" << r.received << " fwd=" << r.forwarded
         << " local=" << r.delivered << " drop=" << r.discarded
         << " engine_cycles=" << r.engine_cycles << '\n';
+    if (r.cache_enabled) {
+      out << "    cache: " << r.cache.summary() << '\n';
+    }
   }
   if (!oam_results.empty()) {
     out << "\noam:\n";

@@ -25,6 +25,10 @@ class ScenarioRunner {
     std::uint64_t delivered = 0;
     std::uint64_t discarded = 0;
     std::uint64_t engine_cycles = 0;
+    /// Flow-cache probe counters; all zero when `cache=` is off (the
+    /// report prints the cache line only for routers that have one).
+    bool cache_enabled = false;
+    net::FlowCacheStats cache;
   };
 
   struct LinkRow {

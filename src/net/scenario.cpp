@@ -188,10 +188,23 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
                            opt->second);
             }
           } else if (opt->second != "linear" && opt->second != "hash" &&
-                     opt->second != "cam" && opt->second != "hw") {
+                     opt->second != "cam" && opt->second != "simd" &&
+                     opt->second != "hw") {
             return error("unknown engine: " + opt->second);
           }
           r.engine = opt->second;
+        } else if (opt->first == "cache") {
+          if (opt->second == "off") {
+            r.cache = 0;
+          } else {
+            const auto v = parse_number(opt->second);
+            if (!v || *v < 1 || *v > 1048576 ||
+                *v != static_cast<double>(static_cast<std::size_t>(*v))) {
+              return error("bad cache size (want 1..1048576 or off): " +
+                           opt->second);
+            }
+            r.cache = static_cast<std::size_t>(*v);
+          }
         } else if (opt->first == "batch") {
           const auto v = parse_number(opt->second);
           if (!v || *v < 1 || *v > 4096) {

@@ -6,8 +6,8 @@
 //   # comments and blank lines are ignored
 //   qos strict|fifo|wrr [capacity=64] [red]
 //   scheduler heap|calendar       # event-queue backend (also scheduler=..)
-//   router <name> ler|lsr [engine=linear|hash|cam|hw|sharded:<N>]
-//          [clock=50M] [batch=K]
+//   router <name> ler|lsr [engine=linear|hash|cam|simd|hw|sharded:<N>]
+//          [clock=50M] [batch=K] [cache=<entries>|off]
 //   link <a> <b> <bandwidth> <delay>          # e.g. link A B 100M 1ms
 //   lsp <prefix> <n1> <n2> ... [bw=2M] [php] [merge]
 //   lsp-cspf <prefix> <ingress> <egress> [bw=2M]
@@ -54,13 +54,15 @@ struct ScenarioError {
 struct RouterDecl {
   std::string name;
   bool is_ler = false;
-  /// linear | hash | cam | hw | sharded:<N> (N parallel worker shards
-  /// over linear replicas).
+  /// linear | hash | cam | simd | hw | sharded:<N> (N parallel worker
+  /// shards over simd replicas).
   std::string engine = "linear";
   double clock_hz = 50e6;
   /// Engine batch size (`batch=K`); 0 = engine default (16 for sharded
   /// engines, per-packet service otherwise).
   std::size_t batch = 0;
+  /// Flow-cache entries (`cache=<entries>`, `cache=off` → 0 = off).
+  std::size_t cache = 0;
 };
 
 struct LinkDecl {

@@ -69,6 +69,14 @@ std::string SimStats::summary() const {
   return out.str();
 }
 
+std::string FlowCacheStats::summary() const {
+  std::ostringstream out;
+  out << "hits=" << hits << " misses=" << misses
+      << " inval=" << invalidations << " fills=" << insertions
+      << " hit_rate=" << hit_rate() * 100.0 << "%";
+  return out.str();
+}
+
 std::string FlowStats::summary() const {
   std::ostringstream out;
   for (const auto& [id, f] : flows_) {

@@ -52,6 +52,28 @@ struct SimStats {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Per-router flow-cache counters (EmbeddedRouter's direct-mapped cache
+/// of resolved (level, key) → label-pair bindings).  Every probe is a
+/// hit or a miss; an invalidation is the subset of misses where the tag
+/// matched but the engine's epoch had moved on (the information base
+/// was reprogrammed, corrupted or cleared underneath the entry).
+struct FlowCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t insertions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(probes);
+  }
+
+  /// "hits=... misses=... inval=... fills=... hit_rate=..%"
+  [[nodiscard]] std::string summary() const;
+};
+
 /// Per-flow delivery accounting, fed by the traffic sources (on_sent) and
 /// the network's delivery handler (on_delivered).
 class FlowStats {

@@ -33,10 +33,6 @@ class CamEngine : public LabelEngine {
 
   [[nodiscard]] std::string_view name() const override { return "cam"; }
 
-  void clear() override { inner_.clear(); }
-  bool write_pair(unsigned level, const mpls::LabelPair& pair) override {
-    return inner_.write_pair(level, pair);
-  }
   [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
                                                       rtl::u32 key) override {
     return inner_.lookup(level, key);
@@ -45,6 +41,20 @@ class CamEngine : public LabelEngine {
                        hw::RouterType router_type) override;
   [[nodiscard]] std::size_t level_size(unsigned level) const override {
     return inner_.level_size(level);
+  }
+  [[nodiscard]] bool cacheable() const noexcept override { return true; }
+  [[nodiscard]] rtl::u64 last_lookup_cost_cycles() const noexcept override {
+    return kCamSearchCycles;
+  }
+
+ protected:
+  void do_clear() override { inner_.clear(); }
+  bool do_write_pair(unsigned level, const mpls::LabelPair& pair) override {
+    return inner_.write_pair(level, pair);
+  }
+  bool do_corrupt_entry(unsigned level, rtl::u32 key,
+                        rtl::u32 new_label) override {
+    return inner_.corrupt_entry(level, key, new_label);
   }
 
  private:

@@ -72,16 +72,66 @@ class LabelEngine {
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 
-  /// Drop all programmed label pairs.
-  virtual void clear() = 0;
+  // The write path is non-virtual on purpose: every mutation of the
+  // information base — clear, a programmed pair, an injected corruption
+  // — must advance the epoch before the engine sees it, so that any
+  // forwarding decision cached outside the engine (the embedded
+  // router's flow cache) can be validated with one integer compare.
+  // Engines implement the protected do_* hooks instead.
+
+  /// Drop all programmed label pairs.  Advances the epoch.
+  void clear() {
+    ++epoch_;
+    do_clear();
+  }
 
   /// Program one pair into a level (1..3).  Returns false when the level
-  /// is full (1024 pairs, matching the hardware).
-  virtual bool write_pair(unsigned level, const mpls::LabelPair& pair) = 0;
+  /// is full (1024 pairs, matching the hardware).  Advances the epoch.
+  bool write_pair(unsigned level, const mpls::LabelPair& pair) {
+    ++epoch_;
+    return do_write_pair(level, pair);
+  }
+
+  /// Fault-injection backdoor: garble the stored outgoing label of the
+  /// first entry matching `key` at `level`, modelling a single-event
+  /// upset in the information-base memory.  The entry's index and
+  /// operation survive, so lookups still hit it and return the bad
+  /// label.  Returns false when the engine has no such entry (or no
+  /// corruptible store).  Advances the epoch even on failure — stale
+  /// cached decisions are invalidated conservatively.
+  bool corrupt_entry(unsigned level, rtl::u32 key, rtl::u32 new_label) {
+    ++epoch_;
+    return do_corrupt_entry(level, key, new_label);
+  }
+
+  /// Generation counter of the information base: incremented by every
+  /// clear / write_pair / corrupt_entry (and hence by every control
+  /// plane reprogram, slow-path install, protection switchover and
+  /// fault injection, all of which go through those).  A cached lookup
+  /// result is valid iff it was captured at the current epoch.
+  [[nodiscard]] rtl::u64 epoch() const noexcept { return epoch_; }
 
   /// Bare lookup: first stored pair whose index matches `key`.
   [[nodiscard]] virtual std::optional<mpls::LabelPair> lookup(
       unsigned level, rtl::u32 key) = 0;
+
+  /// Modelled hardware cost of the most recent lookup()'s search phase
+  /// (the 3k+5 scan for the linear-algorithm engines, the constant CAM
+  /// probe, 0 for engines with no hardware model).  The flow cache
+  /// stores this next to the resolved pair so a cache hit can recreate
+  /// the exact hw_cycles the full path would have charged.
+  [[nodiscard]] virtual rtl::u64 last_lookup_cost_cycles() const noexcept {
+    return 0;
+  }
+
+  /// Whether the embedded router may serve this engine's decisions from
+  /// its flow cache.  True for the single-datapath software engines
+  /// whose modelled cost decomposes into search + tail (linear, hash,
+  /// cam, simd).  False for the RTL-backed engines — the cycle-accurate
+  /// model must see every packet — and for the sharded plane, whose
+  /// makespan model (slowest shard) would change if cache hits were
+  /// carved out of its batches.
+  [[nodiscard]] virtual bool cacheable() const noexcept { return false; }
 
   /// Full update-stack flow on `packet` (level selection for non-empty
   /// stacks follows the caller's `level`; empty stacks use level 1 and
@@ -115,21 +165,22 @@ class LabelEngine {
 
   [[nodiscard]] virtual std::size_t level_size(unsigned level) const = 0;
 
-  /// Fault-injection backdoor: garble the stored outgoing label of the
-  /// first entry matching `key` at `level`, modelling a single-event
-  /// upset in the information-base memory.  The entry's index and
-  /// operation survive, so lookups still hit it and return the bad
-  /// label.  Returns false when the engine has no such entry (or no
-  /// corruptible store — the default).
-  virtual bool corrupt_entry(unsigned /*level*/, rtl::u32 /*key*/,
-                             rtl::u32 /*new_label*/) {
+ protected:
+  // Mutation hooks behind the epoch-advancing public wrappers above.
+  virtual void do_clear() = 0;
+  virtual bool do_write_pair(unsigned level, const mpls::LabelPair& pair) = 0;
+  /// Default: no corruptible store.
+  virtual bool do_corrupt_entry(unsigned /*level*/, rtl::u32 /*key*/,
+                                rtl::u32 /*new_label*/) {
     return false;
   }
 
- protected:
   /// Set by update_batch() implementations; see
   /// last_batch_makespan_cycles().
   rtl::u64 last_batch_makespan_ = 0;
+
+ private:
+  rtl::u64 epoch_ = 0;
 };
 
 }  // namespace empls::sw

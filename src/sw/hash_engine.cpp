@@ -23,13 +23,13 @@ rtl::u32 HashEngine::key_mask(unsigned level) noexcept {
   return level == 1 ? ~rtl::u32{0} : static_cast<rtl::u32>(mpls::kMaxLabel);
 }
 
-void HashEngine::clear() {
+void HashEngine::do_clear() {
   for (auto& l : levels_) {
     l.clear();
   }
 }
 
-bool HashEngine::write_pair(unsigned level, const mpls::LabelPair& pair) {
+bool HashEngine::do_write_pair(unsigned level, const mpls::LabelPair& pair) {
   auto& l = level_ref(level);
   if (l.size() >= capacity_) {
     return false;
@@ -74,6 +74,17 @@ std::vector<UpdateOutcome> HashEngine::update_batch(
 
 std::size_t HashEngine::level_size(unsigned level) const {
   return level_ref(level).size();
+}
+
+bool HashEngine::do_corrupt_entry(unsigned level, rtl::u32 key,
+                                  rtl::u32 new_label) {
+  auto& l = level_ref(level);
+  const auto it = l.find(key & key_mask(level));
+  if (it == l.end()) {
+    return false;
+  }
+  it->second.new_label = new_label & static_cast<rtl::u32>(mpls::kMaxLabel);
+  return true;
 }
 
 }  // namespace empls::sw

@@ -22,8 +22,6 @@ class HashEngine : public LabelEngine {
 
   [[nodiscard]] std::string_view name() const override { return "hash"; }
 
-  void clear() override;
-  bool write_pair(unsigned level, const mpls::LabelPair& pair) override;
   [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
                                                       rtl::u32 key) override;
   UpdateOutcome update(mpls::Packet& packet, unsigned level,
@@ -32,6 +30,17 @@ class HashEngine : public LabelEngine {
       std::span<mpls::Packet* const> packets,
       hw::RouterType router_type) override;
   [[nodiscard]] std::size_t level_size(unsigned level) const override;
+  [[nodiscard]] bool cacheable() const noexcept override { return true; }
+
+ protected:
+  void do_clear() override;
+  bool do_write_pair(unsigned level, const mpls::LabelPair& pair) override;
+  /// The single-event-upset model for the hash store: garble the mapped
+  /// value's outgoing label in place (the key and operation survive, as
+  /// in the other engines), so corruption campaigns hit this engine too
+  /// instead of silently no-oping through the default.
+  bool do_corrupt_entry(unsigned level, rtl::u32 key,
+                        rtl::u32 new_label) override;
 
  private:
   struct Stored {

@@ -7,9 +7,9 @@
 
 namespace empls::sw {
 
-void HwEngine::clear() { hw_.do_reset(); }
+void HwEngine::do_clear() { hw_.do_reset(); }
 
-bool HwEngine::write_pair(unsigned level, const mpls::LabelPair& pair) {
+bool HwEngine::do_write_pair(unsigned level, const mpls::LabelPair& pair) {
   if (hw_.level_count(level) >= hw::kLevelDepth) {
     return false;
   }
@@ -87,8 +87,8 @@ std::size_t HwEngine::level_size(unsigned level) const {
   return static_cast<std::size_t>(hw_.level_count(level));
 }
 
-bool HwEngine::corrupt_entry(unsigned level, rtl::u32 key,
-                             rtl::u32 new_label) {
+bool HwEngine::do_corrupt_entry(unsigned level, rtl::u32 key,
+                                rtl::u32 new_label) {
   if (!hw::InfoBase::valid_level(level)) {
     return false;
   }

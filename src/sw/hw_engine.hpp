@@ -18,8 +18,6 @@ class HwEngine : public LabelEngine {
 
   [[nodiscard]] std::string_view name() const override { return "hw-rtl"; }
 
-  void clear() override;
-  bool write_pair(unsigned level, const mpls::LabelPair& pair) override;
   [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
                                                       rtl::u32 key) override;
   UpdateOutcome update(mpls::Packet& packet, unsigned level,
@@ -35,8 +33,6 @@ class HwEngine : public LabelEngine {
       std::span<mpls::Packet* const> packets,
       hw::RouterType router_type) override;
   [[nodiscard]] std::size_t level_size(unsigned level) const override;
-  bool corrupt_entry(unsigned level, rtl::u32 key,
-                     rtl::u32 new_label) override;
 
   hw::LabelStackModifier& modifier() noexcept { return hw_; }
 
@@ -45,6 +41,12 @@ class HwEngine : public LabelEngine {
   [[nodiscard]] rtl::u64 last_update_only_cycles() const noexcept {
     return last_update_only_;
   }
+
+ protected:
+  void do_clear() override;
+  bool do_write_pair(unsigned level, const mpls::LabelPair& pair) override;
+  bool do_corrupt_entry(unsigned level, rtl::u32 key,
+                        rtl::u32 new_label) override;
 
  private:
   hw::LabelStackModifier hw_;

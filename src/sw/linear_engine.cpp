@@ -18,13 +18,13 @@ const std::vector<mpls::LabelPair>& LinearEngine::level_ref(
   return levels_[level - 1];
 }
 
-void LinearEngine::clear() {
+void LinearEngine::do_clear() {
   for (auto& l : levels_) {
     l.clear();
   }
 }
 
-bool LinearEngine::write_pair(unsigned level, const mpls::LabelPair& pair) {
+bool LinearEngine::do_write_pair(unsigned level, const mpls::LabelPair& pair) {
   auto& l = level_ref(level);
   if (l.size() >= capacity_) {
     return false;
@@ -58,28 +58,13 @@ UpdateOutcome LinearEngine::update(mpls::Packet& packet, unsigned level,
   UpdateOutcome out = apply_update(packet, found, router_type);
 
   // Modelled hardware cost of the identical run (Table 6).
-  const rtl::u64 search = hw::search_cycles(last_examined_);
-  if (out.discarded) {
-    out.hw_cycles = search + (found ? hw::kVerifyDiscardTailCycles
-                                    : hw::kMissDiscardTailCycles);
-  } else {
-    switch (out.applied) {
-      case mpls::LabelOp::kSwap:
-        out.hw_cycles = search + hw::kSwapTailCycles;
-        break;
-      case mpls::LabelOp::kPop:
-        out.hw_cycles = search + hw::kPopTailCycles;
-        break;
-      case mpls::LabelOp::kPush:
-        out.hw_cycles = search + (was_empty ? hw::kPushIngressTailCycles
-                                            : hw::kPushNestedTailCycles);
-        break;
-      case mpls::LabelOp::kNop:
-        out.hw_cycles = search;
-        break;
-    }
-  }
+  out.hw_cycles = hw::search_cycles(last_examined_) +
+                  update_tail_cycles(out, was_empty, found.has_value());
   return out;
+}
+
+rtl::u64 LinearEngine::last_lookup_cost_cycles() const noexcept {
+  return hw::search_cycles(last_examined_);
 }
 
 std::vector<UpdateOutcome> LinearEngine::update_batch(
@@ -103,8 +88,8 @@ std::size_t LinearEngine::level_size(unsigned level) const {
   return level_ref(level).size();
 }
 
-bool LinearEngine::corrupt_entry(unsigned level, rtl::u32 key,
-                                 rtl::u32 new_label) {
+bool LinearEngine::do_corrupt_entry(unsigned level, rtl::u32 key,
+                                    rtl::u32 new_label) {
   auto& l = level_ref(level);
   const rtl::u32 mask =
       level == 1 ? ~rtl::u32{0} : static_cast<rtl::u32>(mpls::kMaxLabel);

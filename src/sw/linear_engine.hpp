@@ -29,8 +29,6 @@ class LinearEngine : public LabelEngine {
 
   [[nodiscard]] std::string_view name() const override { return "linear"; }
 
-  void clear() override;
-  bool write_pair(unsigned level, const mpls::LabelPair& pair) override;
   [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
                                                       rtl::u32 key) override;
   UpdateOutcome update(mpls::Packet& packet, unsigned level,
@@ -39,14 +37,20 @@ class LinearEngine : public LabelEngine {
       std::span<mpls::Packet* const> packets,
       hw::RouterType router_type) override;
   [[nodiscard]] std::size_t level_size(unsigned level) const override;
-  bool corrupt_entry(unsigned level, rtl::u32 key,
-                     rtl::u32 new_label) override;
+  [[nodiscard]] bool cacheable() const noexcept override { return true; }
+  [[nodiscard]] rtl::u64 last_lookup_cost_cycles() const noexcept override;
 
   /// 1-based position of the hit of the last lookup, or the stored count
   /// on a miss — the `k`/`n` of the 3k+5 cost formula.
   [[nodiscard]] rtl::u64 last_entries_examined() const noexcept {
     return last_examined_;
   }
+
+ protected:
+  void do_clear() override;
+  bool do_write_pair(unsigned level, const mpls::LabelPair& pair) override;
+  bool do_corrupt_entry(unsigned level, rtl::u32 key,
+                        rtl::u32 new_label) override;
 
  private:
   std::vector<mpls::LabelPair>& level_ref(unsigned level);

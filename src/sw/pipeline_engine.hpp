@@ -22,16 +22,6 @@ class PipelineEngine : public LabelEngine {
     return "hw-pipeline";
   }
 
-  void clear() override { pipe_.modifier().do_reset(); }
-
-  bool write_pair(unsigned level, const mpls::LabelPair& pair) override {
-    if (pipe_.modifier().level_count(level) >= hw::kLevelDepth) {
-      return false;
-    }
-    pipe_.modifier().write_pair(level, pair);
-    return true;
-  }
-
   [[nodiscard]] std::optional<mpls::LabelPair> lookup(
       unsigned level, rtl::u32 key) override {
     const auto r = pipe_.modifier().search(level, key);
@@ -50,6 +40,17 @@ class PipelineEngine : public LabelEngine {
   }
 
   hw::PacketPipeline& pipeline() noexcept { return pipe_; }
+
+ protected:
+  void do_clear() override { pipe_.modifier().do_reset(); }
+
+  bool do_write_pair(unsigned level, const mpls::LabelPair& pair) override {
+    if (pipe_.modifier().level_count(level) >= hw::kLevelDepth) {
+      return false;
+    }
+    pipe_.modifier().write_pair(level, pair);
+    return true;
+  }
 
  private:
   hw::RouterType type_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hw/cycle_model.hpp"
 #include "mpls/label.hpp"
 
 namespace empls::sw {
@@ -116,6 +117,25 @@ UpdateOutcome apply_update(mpls::Packet& packet,
   }
   out.applied = found->op;
   return out;
+}
+
+rtl::u64 update_tail_cycles(const UpdateOutcome& out, bool was_empty,
+                            bool found) noexcept {
+  if (out.discarded) {
+    return found ? hw::kVerifyDiscardTailCycles : hw::kMissDiscardTailCycles;
+  }
+  switch (out.applied) {
+    case LabelOp::kSwap:
+      return hw::kSwapTailCycles;
+    case LabelOp::kPop:
+      return hw::kPopTailCycles;
+    case LabelOp::kPush:
+      return was_empty ? hw::kPushIngressTailCycles
+                       : hw::kPushNestedTailCycles;
+    case LabelOp::kNop:
+      return 0;
+  }
+  return 0;
 }
 
 }  // namespace empls::sw

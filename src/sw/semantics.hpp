@@ -41,4 +41,14 @@ UpdateOutcome apply_update(mpls::Packet& packet,
                            const std::optional<mpls::LabelPair>& found,
                            hw::RouterType router_type);
 
+/// The Table 6 cycle cost of the update flow AFTER the search: the
+/// discard tails and the per-operation apply tails.  `was_empty` is the
+/// stack state before the update, `found` whether the search hit.
+/// LinearEngine composes hw_cycles = search_cycles(k) + this; the
+/// embedded router's flow cache uses the same composition with a cached
+/// search cost, which keeps cached and uncached outcomes bit-identical.
+[[nodiscard]] rtl::u64 update_tail_cycles(const UpdateOutcome& out,
+                                          bool was_empty,
+                                          bool found) noexcept;
+
 }  // namespace empls::sw

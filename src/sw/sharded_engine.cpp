@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "sw/linear_engine.hpp"
 #include "sw/semantics.hpp"
+#include "sw/simd_engine.hpp"
 
 namespace empls::sw {
 
@@ -11,7 +11,7 @@ ShardedEngine::ShardedEngine(unsigned shards, ReplicaFactory make_replica) {
   const unsigned n = std::clamp(shards, 1u, kMaxShards);
   name_ = "sharded:" + std::to_string(n);
   if (!make_replica) {
-    make_replica = [] { return std::make_unique<LinearEngine>(); };
+    make_replica = [] { return std::make_unique<SimdEngine>(); };
   }
   shards_.reserve(n);
   last_loads_.resize(n);
@@ -105,14 +105,15 @@ void ShardedEngine::quiesce() {
   }
 }
 
-void ShardedEngine::clear() {
+void ShardedEngine::do_clear() {
   quiesce();
   for (auto& shard : shards_) {
     shard->replica->clear();
   }
 }
 
-bool ShardedEngine::write_pair(unsigned level, const mpls::LabelPair& pair) {
+bool ShardedEngine::do_write_pair(unsigned level,
+                                  const mpls::LabelPair& pair) {
   quiesce();
   // Replicas are identical, so they all accept or all reject (level
   // full); fold with AND to keep the single-engine contract.
@@ -123,8 +124,8 @@ bool ShardedEngine::write_pair(unsigned level, const mpls::LabelPair& pair) {
   return ok;
 }
 
-bool ShardedEngine::corrupt_entry(unsigned level, rtl::u32 key,
-                                  rtl::u32 new_label) {
+bool ShardedEngine::do_corrupt_entry(unsigned level, rtl::u32 key,
+                                     rtl::u32 new_label) {
   quiesce();
   // The fault model garbles the programmed binding itself (the image
   // every replica was written from), so all replicas diverge the same

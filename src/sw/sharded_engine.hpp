@@ -48,8 +48,10 @@ class ShardedEngine : public LabelEngine {
   static constexpr unsigned kMaxShards = 64;
 
   /// `shards` worker threads (clamped to [1, kMaxShards]), each with a
-  /// replica from `make_replica` (default: LinearEngine, the golden
-  /// model, so the sharded plane keeps the paper's cycle accounting).
+  /// replica from `make_replica` (default: SimdEngine, the vectorized
+  /// SoA mirror of the golden model — bit-identical outcomes and Table 6
+  /// cycle accounting, but each worker scans its replica with the wide
+  /// comparator bank, so shards get the SoA speedup too).
   explicit ShardedEngine(unsigned shards,
                          ReplicaFactory make_replica = ReplicaFactory{});
   ~ShardedEngine() override;
@@ -58,12 +60,6 @@ class ShardedEngine : public LabelEngine {
   [[nodiscard]] unsigned parallelism() const noexcept override {
     return static_cast<unsigned>(shards_.size());
   }
-
-  // Write path — all quiesce first, then touch every replica.
-  void clear() override;
-  bool write_pair(unsigned level, const mpls::LabelPair& pair) override;
-  bool corrupt_entry(unsigned level, rtl::u32 key,
-                     rtl::u32 new_label) override;
 
   // Read path — quiesces, then reads the key's owning replica.
   [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
@@ -110,6 +106,13 @@ class ShardedEngine : public LabelEngine {
       std::size_t shard, const mpls::Packet& packet,
       const UpdateOutcome& outcome)>;
   void set_trace(ProcessTrace trace);
+
+ protected:
+  // Write path — all quiesce first, then touch every replica.
+  void do_clear() override;
+  bool do_write_pair(unsigned level, const mpls::LabelPair& pair) override;
+  bool do_corrupt_entry(unsigned level, rtl::u32 key,
+                        rtl::u32 new_label) override;
 
  private:
   struct Job {

@@ -1,0 +1,269 @@
+#include "sw/simd_engine.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "hw/cycle_model.hpp"
+#include "sw/semantics.hpp"
+
+// Kernel selection: explicit SSE2 / NEON block comparators when the
+// target has them, otherwise a portable unrolled lane loop the compiler
+// auto-vectorizes.  EMPLS_SIMD_FORCE_SCALAR pins the portable path so
+// tests can cover it on any host.
+#if !defined(EMPLS_SIMD_FORCE_SCALAR)
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define EMPLS_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define EMPLS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace empls::sw {
+namespace {
+
+#if defined(EMPLS_SIMD_SSE2)
+/// Precise priority encode within one 16-lane block known to match.
+inline std::size_t encode_block(const __m128i e0, const __m128i e1,
+                                const __m128i e2,
+                                const __m128i e3) noexcept {
+  const auto m =
+      static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(e0))) |
+      (static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(e1)))
+       << 4) |
+      (static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(e2)))
+       << 8) |
+      (static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(e3)))
+       << 12);
+  return static_cast<std::size_t>(std::countr_zero(m));
+}
+
+/// Flat scan over the padded key lane.  The hot (no-match) path pays
+/// compares, ORs and ONE movemask any-test per 32 keys; the precise
+/// per-lane bitmask — the priority encoder's input — is only
+/// materialised in the 16-lane block that contains a match.
+std::size_t scan_first_match(const rtl::u32* keys, std::size_t padded,
+                             rtl::u32 key) noexcept {
+  const __m128i q = _mm_set1_epi32(static_cast<int>(key));
+  std::size_t base = 0;
+  // Main loop: two 16-lane blocks (two cache lines of keys) per
+  // iteration, folded into a single any-match test.
+  for (; base + 2 * SimdEngine::kLaneWidth <= padded;
+       base += 2 * SimdEngine::kLaneWidth) {
+    const auto* k = reinterpret_cast<const __m128i*>(keys + base);
+    const __m128i e0 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 0), q);
+    const __m128i e1 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 1), q);
+    const __m128i e2 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 2), q);
+    const __m128i e3 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 3), q);
+    const __m128i e4 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 4), q);
+    const __m128i e5 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 5), q);
+    const __m128i e6 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 6), q);
+    const __m128i e7 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 7), q);
+    const __m128i lo =
+        _mm_or_si128(_mm_or_si128(e0, e1), _mm_or_si128(e2, e3));
+    const __m128i hi =
+        _mm_or_si128(_mm_or_si128(e4, e5), _mm_or_si128(e6, e7));
+    if (_mm_movemask_epi8(_mm_or_si128(lo, hi)) != 0) {
+      if (_mm_movemask_epi8(lo) != 0) {
+        return base + encode_block(e0, e1, e2, e3);
+      }
+      return base + SimdEngine::kLaneWidth + encode_block(e4, e5, e6, e7);
+    }
+  }
+  // At most one 16-lane tail block (padding rounds to 16, not 32).
+  if (base < padded) {
+    const auto* k = reinterpret_cast<const __m128i*>(keys + base);
+    const __m128i e0 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 0), q);
+    const __m128i e1 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 1), q);
+    const __m128i e2 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 2), q);
+    const __m128i e3 = _mm_cmpeq_epi32(_mm_loadu_si128(k + 3), q);
+    const __m128i any =
+        _mm_or_si128(_mm_or_si128(e0, e1), _mm_or_si128(e2, e3));
+    if (_mm_movemask_epi8(any) != 0) {
+      return base + encode_block(e0, e1, e2, e3);
+    }
+  }
+  return padded;
+}
+#else
+/// Compare kLaneWidth contiguous keys against `key`; bit j of the
+/// result is set iff keys[j] == key — the software analogue of the
+/// datapath's comparator bank feeding a priority encoder.
+std::uint32_t block_match_mask(const rtl::u32* keys, rtl::u32 key) noexcept {
+#if defined(EMPLS_SIMD_NEON)
+  const uint32x4_t q = vdupq_n_u32(key);
+  const uint32x4_t bit = {1u, 2u, 4u, 8u};
+  std::uint32_t m = 0;
+  for (unsigned g = 0; g < SimdEngine::kLaneWidth / 4; ++g) {
+    const uint32x4_t eq = vceqq_u32(vld1q_u32(keys + 4 * g), q);
+    m |= vaddvq_u32(vandq_u32(eq, bit)) << (4 * g);
+  }
+  return m;
+#else
+  std::uint32_t m = 0;
+  for (unsigned j = 0; j < SimdEngine::kLaneWidth; ++j) {
+    m |= static_cast<std::uint32_t>(keys[j] == key) << j;
+  }
+  return m;
+#endif
+}
+
+/// Non-SSE2 flat scan: block_match_mask per 16-lane block, priority
+/// encode via countr_zero on the first non-zero mask.
+std::size_t scan_first_match(const rtl::u32* keys, std::size_t padded,
+                             rtl::u32 key) noexcept {
+  for (std::size_t base = 0; base < padded;
+       base += SimdEngine::kLaneWidth) {
+    const std::uint32_t m = block_match_mask(keys + base, key);
+    if (m != 0) {
+      return base + static_cast<std::size_t>(std::countr_zero(m));
+    }
+  }
+  return padded;
+}
+#endif
+
+}  // namespace
+
+std::string_view SimdEngine::kernel() noexcept {
+#if defined(EMPLS_SIMD_SSE2)
+  return "sse2";
+#elif defined(EMPLS_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+SimdEngine::SimdEngine(std::size_t level_capacity)
+    : capacity_(level_capacity) {}
+
+SimdEngine::Level& SimdEngine::level_ref(unsigned level) {
+  assert(level >= 1 && level <= 3);
+  return levels_[level - 1];
+}
+
+const SimdEngine::Level& SimdEngine::level_ref(unsigned level) const {
+  assert(level >= 1 && level <= 3);
+  return levels_[level - 1];
+}
+
+rtl::u32 SimdEngine::key_mask(unsigned level) noexcept {
+  // Level 1 compares the full 32-bit packet identifier; levels 2 and 3
+  // compare 20-bit labels, matching the datapath's comparators.
+  return level == 1 ? ~rtl::u32{0} : static_cast<rtl::u32>(mpls::kMaxLabel);
+}
+
+std::size_t SimdEngine::find_first(const Level& l,
+                                   rtl::u32 masked_key) noexcept {
+  const std::size_t idx =
+      scan_first_match(l.keys.data(), l.keys.size(), masked_key);
+  // Pad lanes (zeros past the occupancy) only exist at positions >=
+  // count, so an out-of-range first match means no real match — and
+  // none can follow, since everything past it is pad too.
+  return idx < l.count ? idx : l.count;
+}
+
+void SimdEngine::do_clear() {
+  for (auto& l : levels_) {
+    l.keys.clear();
+    l.new_labels.clear();
+    l.ops.clear();
+    l.raw_index.clear();
+    l.count = 0;
+  }
+}
+
+bool SimdEngine::do_write_pair(unsigned level, const mpls::LabelPair& pair) {
+  Level& l = level_ref(level);
+  if (l.count >= capacity_) {
+    return false;
+  }
+  if (l.count == l.keys.size()) {
+    l.keys.resize(l.keys.size() + kLaneWidth, 0);  // fresh pad block
+  }
+  l.keys[l.count] = pair.index & key_mask(level);
+  l.new_labels.push_back(pair.new_label);
+  l.ops.push_back(pair.op);
+  l.raw_index.push_back(pair.index);
+  ++l.count;
+  return true;
+}
+
+bool SimdEngine::do_corrupt_entry(unsigned level, rtl::u32 key,
+                                  rtl::u32 new_label) {
+  Level& l = level_ref(level);
+  const std::size_t idx = find_first(l, key & key_mask(level));
+  if (idx >= l.count) {
+    return false;
+  }
+  l.new_labels[idx] = new_label & static_cast<rtl::u32>(mpls::kMaxLabel);
+  return true;
+}
+
+std::optional<mpls::LabelPair> SimdEngine::lookup(unsigned level,
+                                                  rtl::u32 key) {
+  const Level& l = level_ref(level);
+  const std::size_t idx = find_first(l, key & key_mask(level));
+  if (idx < l.count) {
+    last_examined_ = idx + 1;
+    return mpls::LabelPair{l.raw_index[idx], l.new_labels[idx], l.ops[idx]};
+  }
+  last_examined_ = l.count;
+  return std::nullopt;
+}
+
+UpdateOutcome SimdEngine::update_resolved(mpls::Packet& packet, unsigned level,
+                                          rtl::u32 key,
+                                          hw::RouterType router_type) {
+  const bool was_empty = packet.stack.empty();
+  const auto found = lookup(level, key);
+  UpdateOutcome out = apply_update(packet, found, router_type);
+
+  // Modelled hardware cost of the identical run (Table 6) — the same
+  // composition as LinearEngine, with k the SoA scan's match position.
+  out.hw_cycles = hw::search_cycles(last_examined_) +
+                  update_tail_cycles(out, was_empty, found.has_value());
+  return out;
+}
+
+UpdateOutcome SimdEngine::update(mpls::Packet& packet, unsigned level,
+                                 hw::RouterType router_type) {
+  const UpdateKey k = update_key(packet, level);
+  return update_resolved(packet, k.level, k.key, router_type);
+}
+
+std::vector<UpdateOutcome> SimdEngine::update_batch(
+    std::span<mpls::Packet* const> packets, hw::RouterType router_type) {
+  std::vector<UpdateOutcome> outcomes;
+  outcomes.reserve(packets.size());
+  // Pass 1: classify every packet and derive its (level, key) once.
+  // Keys must be taken before any stack mutates, and hoisting them
+  // lets pass 2 run compare blocks back to back over the hot lanes.
+  std::vector<UpdateKey> keys;
+  keys.reserve(packets.size());
+  for (const mpls::Packet* packet : packets) {
+    keys.push_back(update_key(*packet, classify_level(*packet)));
+  }
+  rtl::u64 cycles = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    outcomes.push_back(update_resolved(*packets[i], keys[i].level,
+                                       keys[i].key, router_type));
+    cycles += outcomes.back().hw_cycles;
+  }
+  last_batch_makespan_ = cycles;
+  return outcomes;
+}
+
+std::size_t SimdEngine::level_size(unsigned level) const {
+  return level_ref(level).count;
+}
+
+rtl::u64 SimdEngine::last_lookup_cost_cycles() const noexcept {
+  return hw::search_cycles(last_examined_);
+}
+
+}  // namespace empls::sw

@@ -1,0 +1,108 @@
+// Vectorized software mirror of the hardware algorithm: the same three
+// append-only, first-match-wins levels as LinearEngine, but laid out as
+// a structure of arrays and scanned with a wide comparator bank instead
+// of one entry per iteration.
+//
+// The paper's hardware wins by comparing the label-stack key against
+// the information base with dedicated 32/20/10-bit comparators; the
+// P4/ASIC MNA line of work maps the same processing onto wide parallel
+// match stages.  This engine is the software transcription of that
+// idea: the per-level key lane is contiguous and occupancy-packed, so
+// one 16-lane compare block inspects 16 entries per step — branch-free
+// inside the block, with the first-match priority encode done on the
+// resulting bitmask (std::countr_zero standing in for the hardware's
+// priority encoder).
+//
+// Semantics are bit-identical to LinearEngine, including the modelled
+// Table 6 cost (3k+5 search + operation tail, k = 1-based hit position
+// or the occupancy on a miss): like LinearEngine, SimdEngine can stand
+// in for the RTL in large simulations at identical modelled cost — it
+// just burns far less host time doing it, which is what bench_lookup
+// gates.  The differential suite pins the equivalence.
+//
+// Lane width is fixed at 16 u32 keys per block.  The portable scan is
+// written so GCC/Clang auto-vectorize it; explicit SSE2 and NEON block
+// kernels are selected behind feature macros (EMPLS_SIMD_FORCE_SCALAR
+// disables both for testing the portable path).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sw/engine.hpp"
+
+namespace empls::sw {
+
+class SimdEngine : public LabelEngine {
+ public:
+  /// u32 keys inspected per compare block.  16 × 32-bit lanes = two
+  /// AVX2 vectors, four SSE2/NEON vectors, or one unrolled scalar block
+  /// — small enough to stay in registers everywhere.
+  static constexpr std::size_t kLaneWidth = 16;
+
+  explicit SimdEngine(std::size_t level_capacity = 1024);
+
+  [[nodiscard]] std::string_view name() const override { return "simd"; }
+
+  [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
+                                                      rtl::u32 key) override;
+  UpdateOutcome update(mpls::Packet& packet, unsigned level,
+                       hw::RouterType router_type) override;
+  /// Batched variant: level classification and key derivation for the
+  /// whole batch are amortized into one pass up front, then the hot
+  /// loop runs compare blocks back to back against the packed lanes.
+  std::vector<UpdateOutcome> update_batch(
+      std::span<mpls::Packet* const> packets,
+      hw::RouterType router_type) override;
+  [[nodiscard]] std::size_t level_size(unsigned level) const override;
+  [[nodiscard]] bool cacheable() const noexcept override { return true; }
+  [[nodiscard]] rtl::u64 last_lookup_cost_cycles() const noexcept override;
+
+  /// 1-based position of the hit of the last lookup, or the stored count
+  /// on a miss — identical accounting to LinearEngine (the k/n of the
+  /// 3k+5 formula).
+  [[nodiscard]] rtl::u64 last_entries_examined() const noexcept {
+    return last_examined_;
+  }
+
+  /// Which block kernel this build selected: "sse2", "neon" or
+  /// "scalar" (the auto-vectorized portable loop).
+  [[nodiscard]] static std::string_view kernel() noexcept;
+
+ protected:
+  void do_clear() override;
+  bool do_write_pair(unsigned level, const mpls::LabelPair& pair) override;
+  bool do_corrupt_entry(unsigned level, rtl::u32 key,
+                        rtl::u32 new_label) override;
+
+ private:
+  /// One information-base level as a structure of arrays.  `keys` holds
+  /// the level-masked compare keys, occupancy-packed and padded with
+  /// zeros to a whole number of blocks so the scan never needs a tail
+  /// loop (a pad lane can match a zero key, but only at positions >=
+  /// count, which the priority encode rejects).  The label / op / raw
+  /// index lanes are only touched on a hit, so they stay exact-sized.
+  struct Level {
+    std::vector<rtl::u32> keys;
+    std::vector<rtl::u32> new_labels;
+    std::vector<mpls::LabelOp> ops;
+    std::vector<rtl::u32> raw_index;  // as written, unmasked (lookup returns it)
+    std::size_t count = 0;
+  };
+
+  Level& level_ref(unsigned level);
+  [[nodiscard]] const Level& level_ref(unsigned level) const;
+  [[nodiscard]] static rtl::u32 key_mask(unsigned level) noexcept;
+  /// First stored position whose masked key equals `masked_key`, or
+  /// `count` when none does.
+  [[nodiscard]] static std::size_t find_first(const Level& l,
+                                              rtl::u32 masked_key) noexcept;
+  UpdateOutcome update_resolved(mpls::Packet& packet, unsigned level,
+                                rtl::u32 key, hw::RouterType router_type);
+
+  std::size_t capacity_;
+  std::array<Level, 3> levels_;
+  rtl::u64 last_examined_ = 0;
+};
+
+}  // namespace empls::sw

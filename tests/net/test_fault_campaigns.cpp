@@ -17,8 +17,11 @@
 #include "net/protection.hpp"
 #include "net/stats.hpp"
 #include "net/traffic.hpp"
+#include "sw/cam_engine.hpp"
+#include "sw/hash_engine.hpp"
 #include "sw/linear_engine.hpp"
 #include "sw/sharded_engine.hpp"
+#include "sw/simd_engine.hpp"
 
 namespace empls::net {
 namespace {
@@ -42,6 +45,30 @@ struct Rig {
     } else {
       engine = std::make_unique<sw::ShardedEngine>(shards);
       cfg.engine_batch_size = batch;
+    }
+    auto r = std::make_unique<core::EmbeddedRouter>(name, std::move(engine),
+                                                    cfg);
+    auto* raw = r.get();
+    const auto id = net.add_node(std::move(r));
+    cp.register_router(id, &raw->routing());
+    return id;
+  }
+
+  /// Router backed by a named software engine (the corruption campaign
+  /// runs across all of them).
+  NodeId add_router_engine(const char* name, hw::RouterType type,
+                           const std::string& kind) {
+    core::RouterConfig cfg;
+    cfg.type = type;
+    std::unique_ptr<sw::LabelEngine> engine;
+    if (kind == "hash") {
+      engine = std::make_unique<sw::HashEngine>();
+    } else if (kind == "cam") {
+      engine = std::make_unique<sw::CamEngine>();
+    } else if (kind == "simd") {
+      engine = std::make_unique<sw::SimdEngine>();
+    } else {
+      engine = std::make_unique<sw::LinearEngine>();
     }
     auto r = std::make_unique<core::EmbeddedRouter>(name, std::move(engine),
                                                     cfg);
@@ -145,6 +172,60 @@ TEST_P(FaultCampaign, SixtyFaultCampaignConservesEveryFlow) {
     EXPECT_GT(flow.delivered, 0u);
   }
 }
+
+// Corruption faults must bite on EVERY software engine: corrupt_entry
+// has engine-specific implementations (scan for linear, map mutation
+// for hash, inner-delegate for cam, SoA lane poke for simd), and a
+// silent no-op would make the resilience results for that engine
+// vacuously clean.  Each engine must (a) actually garble the binding,
+// (b) misroute or drop because of it, and (c) be healed by the resync
+// audit, after which the flow recovers.
+class CorruptionByEngine : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorruptionByEngine, CorruptionBitesAndResyncHeals) {
+  const std::string kind = GetParam();
+  Rig rig;
+  const auto a = rig.add_router_engine("A", hw::RouterType::kLer, kind);
+  const auto b = rig.add_router_engine("B", hw::RouterType::kLsr, kind);
+  const auto c = rig.add_router_engine("C", hw::RouterType::kLer, kind);
+  rig.net.connect(a, b, 100e6, 1e-3);
+  rig.net.connect(b, c, 100e6, 1e-3);
+  rig.deliver_into_stats();
+
+  ASSERT_TRUE(rig.cp.establish_lsp({a, b, c}, pfx("10.1.0.0/16")));
+
+  DropAccountant drops(rig.net);
+  FlowSpec spec{1, a, mpls::Ipv4Address{1},
+                *mpls::Ipv4Address::parse("10.1.0.5"), 6, 100, 0.0, 0.5};
+  CbrSource flow(rig.net, spec, &rig.stats, 1e-3);
+  flow.start();
+
+  // Garble a binding in the transit LSR's information base at 100 ms;
+  // the audit-and-repair pass runs 50 ms later.
+  FaultInjector injector(rig.net, rig.cp);
+  injector.inject(FaultSpec{FaultKind::kCorrupt, 0.1, b, 0,
+                            /*duration=resync*/ 0.05, /*salt=*/1});
+  rig.net.run();
+
+  ASSERT_EQ(injector.records().size(), 1u);
+  const auto& rec = injector.records().front();
+  EXPECT_TRUE(rec.injected);
+  EXPECT_TRUE(rec.corrupted) << kind << ": corrupt_entry found no binding";
+  EXPECT_GE(rec.resynced, 1u) << kind << ": audit repaired nothing";
+
+  // The garbled label misdelivers or drops real packets until the
+  // resync, and traffic flows again afterwards — books stay balanced.
+  const auto& f = rig.stats.flow(1);
+  EXPECT_LT(f.delivered, f.sent);
+  EXPECT_GT(f.delivered, 400u);  // recovered after the 50 ms outage
+  EXPECT_TRUE(drops.conserved(rig.stats)) << injector.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CorruptionByEngine,
+                         ::testing::Values("linear", "hash", "cam", "simd"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 // shards == 0 is the LinearEngine baseline; 1 / 4 exercise the sharded
 // plane's quiesce-under-reprogramming path (every corruption resync and

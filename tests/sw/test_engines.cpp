@@ -10,6 +10,7 @@
 #include "sw/hash_engine.hpp"
 #include "sw/hw_engine.hpp"
 #include "sw/linear_engine.hpp"
+#include "sw/simd_engine.hpp"
 
 namespace empls::sw {
 namespace {
@@ -18,7 +19,7 @@ using mpls::LabelEntry;
 using mpls::LabelOp;
 using mpls::LabelPair;
 
-enum class Kind { kLinear, kHash, kCam, kHwRtl };
+enum class Kind { kLinear, kHash, kCam, kSimd, kHwRtl };
 
 std::unique_ptr<LabelEngine> make(Kind kind, std::size_t capacity = 1024) {
   switch (kind) {
@@ -28,6 +29,8 @@ std::unique_ptr<LabelEngine> make(Kind kind, std::size_t capacity = 1024) {
       return std::make_unique<HashEngine>(capacity);
     case Kind::kCam:
       return std::make_unique<CamEngine>(capacity);
+    case Kind::kSimd:
+      return std::make_unique<SimdEngine>(capacity);
     case Kind::kHwRtl:
       return std::make_unique<HwEngine>();
   }
@@ -42,6 +45,8 @@ const char* kind_name(Kind k) {
       return "Hash";
     case Kind::kCam:
       return "Cam";
+    case Kind::kSimd:
+      return "Simd";
     case Kind::kHwRtl:
       return "HwRtl";
   }
@@ -116,7 +121,8 @@ TEST_P(EveryEngine, ClearForgetsEverything) {
 
 INSTANTIATE_TEST_SUITE_P(Engines, EveryEngine,
                          ::testing::Values(Kind::kLinear, Kind::kHash,
-                                           Kind::kCam, Kind::kHwRtl),
+                                           Kind::kCam, Kind::kSimd,
+                                           Kind::kHwRtl),
                          [](const auto& info) {
                            return kind_name(info.param);
                          });

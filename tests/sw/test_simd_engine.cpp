@@ -1,0 +1,195 @@
+// SimdEngine specifics beyond the shared EveryEngine behaviour suite:
+// the SoA store's pad-lane handling at block boundaries, first-match
+// priority inside a compare block, raw-index preservation under key
+// masking, the Table 6 cycle model staying bit-identical to
+// LinearEngine, epoch bookkeeping, and batch/sequential agreement.
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "hw/cycle_model.hpp"
+#include "sw/linear_engine.hpp"
+#include "sw/simd_engine.hpp"
+
+namespace empls::sw {
+namespace {
+
+using mpls::LabelEntry;
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+mpls::Packet labelled(rtl::u32 label) {
+  mpls::Packet p;
+  p.stack.push(LabelEntry{label, 0, false, 64});
+  return p;
+}
+
+TEST(SimdEngine, KernelIsKnown) {
+  const std::string_view k = SimdEngine::kernel();
+  EXPECT_TRUE(k == "sse2" || k == "neon" || k == "scalar") << k;
+}
+
+// The acceptance property behind everything else: for any hit position —
+// including every edge around the 16-lane block boundaries — the SoA
+// scan must report the same 1-based match position, and therefore the
+// same 3k+5 search cycles, as the golden linear scan.
+TEST(SimdEngine, BitIdenticalToLinearAcrossLaneBoundaries) {
+  SimdEngine simd;
+  LinearEngine linear;
+  for (rtl::u32 i = 1; i <= 100; ++i) {
+    simd.write_pair(2, LabelPair{i, 1000 + i, LabelOp::kSwap});
+    linear.write_pair(2, LabelPair{i, 1000 + i, LabelOp::kSwap});
+  }
+  for (rtl::u32 k : {1u, 2u, 15u, 16u, 17u, 31u, 32u, 33u, 63u, 64u, 65u,
+                     99u, 100u}) {
+    auto ps = labelled(k);
+    auto pl = labelled(k);
+    const auto os = simd.update(ps, 2, hw::RouterType::kLsr);
+    const auto ol = linear.update(pl, 2, hw::RouterType::kLsr);
+    EXPECT_EQ(simd.last_entries_examined(), k) << "hit position " << k;
+    EXPECT_EQ(os.hw_cycles, ol.hw_cycles) << "hit position " << k;
+    EXPECT_EQ(ps.stack.top().label, pl.stack.top().label);
+  }
+  // A miss examines the full occupancy on both engines.
+  auto ps = labelled(999);
+  auto pl = labelled(999);
+  const auto os = simd.update(ps, 2, hw::RouterType::kLsr);
+  const auto ol = linear.update(pl, 2, hw::RouterType::kLsr);
+  EXPECT_TRUE(os.discarded);
+  EXPECT_EQ(simd.last_entries_examined(), 100u);
+  EXPECT_EQ(os.hw_cycles, ol.hw_cycles);
+}
+
+// The key lane is zero-padded to whole compare blocks; those pad lanes
+// must never satisfy a lookup for key 0 — until a real binding with
+// key 0 is programmed, at which point it must hit at its true position.
+TEST(SimdEngine, PadLanesNeverMatch) {
+  SimdEngine e;
+  EXPECT_FALSE(e.lookup(2, 0).has_value()) << "empty store";
+  for (rtl::u32 i = 1; i <= 3; ++i) {
+    e.write_pair(2, LabelPair{i, 100 + i, LabelOp::kSwap});
+  }
+  // 3 live lanes, 13 zero pads in the first block.
+  EXPECT_FALSE(e.lookup(2, 0).has_value()) << "pads must not match key 0";
+  e.write_pair(2, LabelPair{0, 555, LabelOp::kSwap});
+  const auto hit = e.lookup(2, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->new_label, 555u);
+  EXPECT_EQ(e.last_entries_examined(), 4u) << "real key-0 entry, position 4";
+}
+
+// First-match-wins must hold *inside* one compare block, where all the
+// duplicates are examined by the same SIMD compare.
+TEST(SimdEngine, FirstMatchWinsWithinABlock) {
+  SimdEngine e;
+  e.write_pair(2, LabelPair{40, 111, LabelOp::kSwap});
+  e.write_pair(2, LabelPair{40, 222, LabelOp::kPop});
+  e.write_pair(2, LabelPair{40, 333, LabelOp::kSwap});
+  const auto hit = e.lookup(2, 40);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->new_label, 111u);
+  EXPECT_EQ(e.last_entries_examined(), 1u);
+}
+
+// Levels 2/3 compare only the 20 label bits, but lookup must return the
+// pair exactly as written (raw index included) — same as LinearEngine.
+TEST(SimdEngine, RawIndexSurvivesKeyMasking) {
+  SimdEngine simd;
+  LinearEngine linear;
+  const rtl::u32 raw = 0xFFF00028u;  // garbage above the 20 label bits
+  simd.write_pair(2, LabelPair{raw, 77, LabelOp::kSwap});
+  linear.write_pair(2, LabelPair{raw, 77, LabelOp::kSwap});
+  const auto hs = simd.lookup(2, 0x28);
+  const auto hl = linear.lookup(2, 0x28);
+  ASSERT_TRUE(hs.has_value());
+  ASSERT_TRUE(hl.has_value());
+  EXPECT_EQ(hs->index, hl->index) << "stored pair returned as written";
+  EXPECT_EQ(hs->index, raw);
+  // Level 1 compares the full 32 bits: no masking, no aliasing.
+  simd.write_pair(1, LabelPair{raw, 88, LabelOp::kPush});
+  EXPECT_TRUE(simd.lookup(1, raw).has_value());
+  EXPECT_FALSE(simd.lookup(1, 0x28).has_value());
+}
+
+TEST(SimdEngine, CapacityEnforcedPerLevel) {
+  SimdEngine e(4);
+  for (rtl::u32 i = 0; i < 4; ++i) {
+    EXPECT_TRUE(e.write_pair(2, LabelPair{i + 1, i, LabelOp::kSwap}));
+  }
+  EXPECT_FALSE(e.write_pair(2, LabelPair{99, 0, LabelOp::kSwap}));
+  EXPECT_EQ(e.level_size(2), 4u);
+  EXPECT_TRUE(e.write_pair(3, LabelPair{1, 0, LabelOp::kSwap}))
+      << "levels have independent capacity";
+}
+
+TEST(SimdEngine, CorruptEntryGarblesTheStoredLabel) {
+  SimdEngine e;
+  e.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  EXPECT_FALSE(e.corrupt_entry(2, 41, 123)) << "no binding for 41";
+  EXPECT_TRUE(e.corrupt_entry(2, 40, 0xFFFFFFFFu));
+  const auto hit = e.lookup(2, 40);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->new_label, 0xFFFFFFFFu & mpls::kMaxLabel)
+      << "garbled label is masked to label width";
+  EXPECT_EQ(hit->op, LabelOp::kSwap) << "operation survives the upset";
+}
+
+TEST(SimdEngine, EveryMutationAdvancesTheEpoch) {
+  SimdEngine e;
+  const auto e0 = e.epoch();
+  e.write_pair(2, LabelPair{40, 77, LabelOp::kSwap});
+  EXPECT_EQ(e.epoch(), e0 + 1);
+  e.corrupt_entry(2, 40, 1);
+  EXPECT_EQ(e.epoch(), e0 + 2);
+  e.corrupt_entry(2, 999, 1);  // failed corruption still invalidates
+  EXPECT_EQ(e.epoch(), e0 + 3);
+  e.clear();
+  EXPECT_EQ(e.epoch(), e0 + 4);
+  EXPECT_EQ(e.level_size(2), 0u);
+}
+
+TEST(SimdEngine, IsCacheableAndReportsLookupCost) {
+  SimdEngine e;
+  EXPECT_TRUE(e.cacheable());
+  for (rtl::u32 i = 1; i <= 10; ++i) {
+    e.write_pair(2, LabelPair{i, 100 + i, LabelOp::kSwap});
+  }
+  ASSERT_TRUE(e.lookup(2, 7).has_value());
+  EXPECT_EQ(e.last_lookup_cost_cycles(), hw::search_cycles(7));
+  ASSERT_FALSE(e.lookup(2, 999).has_value());
+  EXPECT_EQ(e.last_lookup_cost_cycles(), hw::search_cycles(10));
+}
+
+TEST(SimdEngine, BatchAgreesWithSequentialUpdates) {
+  SimdEngine batched;
+  SimdEngine sequential;
+  for (rtl::u32 i = 1; i <= 40; ++i) {
+    batched.write_pair(2, LabelPair{i, 1000 + i, LabelOp::kSwap});
+    sequential.write_pair(2, LabelPair{i, 1000 + i, LabelOp::kSwap});
+  }
+  std::vector<mpls::Packet> packets;
+  for (rtl::u32 i = 0; i < 64; ++i) {
+    packets.push_back(labelled(1 + i % 45));  // some keys miss
+  }
+  auto copies = packets;
+  std::vector<mpls::Packet*> ptrs;
+  for (auto& p : packets) {
+    ptrs.push_back(&p);
+  }
+  const auto outs = batched.update_batch(ptrs, hw::RouterType::kLsr);
+  ASSERT_EQ(outs.size(), copies.size());
+  rtl::u64 sum = 0;
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    const auto ref = sequential.update(copies[i], 2, hw::RouterType::kLsr);
+    EXPECT_EQ(outs[i].discarded, ref.discarded) << i;
+    EXPECT_EQ(outs[i].applied, ref.applied) << i;
+    EXPECT_EQ(outs[i].hw_cycles, ref.hw_cycles) << i;
+    sum += ref.hw_cycles;
+  }
+  EXPECT_EQ(batched.last_batch_makespan_cycles(), sum)
+      << "single datapath: makespan is the per-packet sum";
+}
+
+}  // namespace
+}  // namespace empls::sw
