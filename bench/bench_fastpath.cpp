@@ -164,8 +164,10 @@ FastpathResult run_line(bool legacy, net::SchedulerBackend backend,
     // Per-hop serialize/parse round trips allocate; both modes disable
     // them so the comparison isolates the packet transport.
     cfg.validate_wire = false;
+    std::string name = "R";
+    name += std::to_string(i);
     auto r = std::make_unique<core::EmbeddedRouter>(
-        "R" + std::to_string(i), std::make_unique<sw::LinearEngine>(), cfg);
+        name, std::make_unique<sw::LinearEngine>(), cfg);
     auto* raw = r.get();
     ids.push_back(net.add_node(std::move(r)));
     cp.register_router(ids.back(), &raw->routing());

@@ -1,0 +1,268 @@
+// Telemetry overhead microbench: the cost of the observability layer
+// on the bench_fastpath 8-node-line workload, in three modes:
+//
+//   baseline — no telemetry wired at all (the pre-obs fast path);
+//   armed    — metrics registry + hop tracer wired through every
+//              router and link, tracer DISABLED: per-packet histogram
+//              records plus one predicted branch per trace site, the
+//              always-on production configuration;
+//   traced   — tracer enabled: full per-hop span recording into the
+//              flight-recorder ring.
+//
+// The gate (Release builds only): armed must hold >= 98% of baseline
+// packets/sec — i.e. telemetry compiled in but not tracing costs < 2%.
+// Modes run in interleaved best-of rounds so machine noise does not
+// flake the gate.  Also emits a Perfetto-loadable trace_sample.json
+// from a short traced run and writes BENCH_obs.json for CI artifacts.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/embedded_router.hpp"
+#include "net/ldp.hpp"
+#include "net/network.hpp"
+#include "net/traffic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sw/linear_engine.hpp"
+
+using namespace empls;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+enum class Mode { kBaseline, kArmed, kTraced };
+
+struct ObsResult {
+  double wall_s = 0;
+  double packets_per_sec = 0;
+  std::uint64_t delivered = 0;
+  obs::HopTracer::Stats tracer;
+  std::string prometheus;  // non-baseline modes only
+};
+
+ObsResult run_line(Mode mode, double sim_seconds,
+                   const std::string& trace_path = {}) {
+  constexpr int kNodes = 8;
+  net::QosConfig qos;
+  qos.queue_capacity = 256;
+  net::Network net(qos);
+  net.events().set_scheduler(net::SchedulerBackend::kCalendar);
+  net::ControlPlane cp(net);
+
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < kNodes; ++i) {
+    core::RouterConfig cfg;
+    cfg.type = (i == 0 || i == kNodes - 1) ? hw::RouterType::kLer
+                                           : hw::RouterType::kLsr;
+    cfg.validate_wire = false;
+    std::string name = "R";
+    name += std::to_string(i);
+    auto r = std::make_unique<core::EmbeddedRouter>(
+        name, std::make_unique<sw::LinearEngine>(), cfg);
+    auto* raw = r.get();
+    ids.push_back(net.add_node(std::move(r)));
+    cp.register_router(ids.back(), &raw->routing());
+  }
+  for (int i = 0; i + 1 < kNodes; ++i) {
+    net.connect(ids[i], ids[i + 1], 1e9, 100e-6);
+  }
+
+  obs::MetricsRegistry metrics;
+  obs::HopTracer tracer;
+  if (mode != Mode::kBaseline) {
+    tracer.set_enabled(mode == Mode::kTraced);
+    net.set_telemetry(&metrics, &tracer);
+  }
+
+  cp.establish_lsp(ids, *mpls::Prefix::parse("10.1.0.0/16"));
+
+  const auto dst = *mpls::Ipv4Address::parse("10.1.0.9");
+  std::vector<std::unique_ptr<net::CbrSource>> sources;
+  for (std::uint32_t flow = 1; flow <= 4; ++flow) {
+    net::FlowSpec spec{flow, ids.front(), {}, dst,
+                       static_cast<std::uint8_t>(flow), 256,
+                       0.0,  sim_seconds};
+    sources.push_back(std::make_unique<net::CbrSource>(
+        net, spec, nullptr, /*interval=*/100e-6));
+    sources.back()->start();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run();
+  ObsResult r;
+  r.wall_s = seconds_since(t0);
+  r.delivered = net.delivered_count();
+  r.packets_per_sec = static_cast<double>(r.delivered) / r.wall_s;
+  r.tracer = tracer.stats();
+  if (mode != Mode::kBaseline) {
+    net.export_metrics(metrics);
+    r.prometheus = metrics.prometheus_text();
+  }
+  if (!trace_path.empty() && mode == Mode::kTraced) {
+    std::ofstream out(trace_path);
+    net.write_chrome_trace(out);
+    if (out) {
+      std::printf("wrote %s\n", trace_path.c_str());
+    }
+  }
+  return r;
+}
+
+struct Measured {
+  std::array<ObsResult, 3> best{};  // best rep per mode, indexed by Mode
+  /// Best armed/baseline ratio of any single round.  The paired ratio
+  /// is what the overhead gate judges: the two runs execute ~0.1 s
+  /// apart under the same machine conditions, so slow noise phases
+  /// (CPU contention, thermal throttling) cancel instead of landing on
+  /// one side of the comparison.  A real armed-mode regression drags
+  /// the ratio down in every round, quiet or noisy.
+  double paired_ratio = 0.0;
+};
+
+/// Interleaved best-of rounds, rotating the starting mode so boost
+/// decay and cache warm-up do not systematically favour whichever mode
+/// runs first.  Rounds continue until a paired round clears the gate
+/// with margin or the cap runs out.
+Measured measure_interleaved(double sim_seconds, int min_rounds,
+                             int max_rounds) {
+  Measured m;
+  for (int i = 0; i < max_rounds; ++i) {
+    std::array<double, 3> round_pps{};
+    for (int k = 0; k < 3; ++k) {
+      const Mode mode = static_cast<Mode>((i + k) % 3);
+      ObsResult r = run_line(mode, sim_seconds);
+      round_pps[static_cast<std::size_t>(mode)] = r.packets_per_sec;
+      auto& b = m.best[static_cast<std::size_t>(mode)];
+      if (r.packets_per_sec > b.packets_per_sec) {
+        b = std::move(r);
+      }
+    }
+    const double ratio = round_pps[1] / round_pps[0];
+    if (ratio > m.paired_ratio) {
+      m.paired_ratio = ratio;
+    }
+    if (i + 1 >= min_rounds && m.paired_ratio >= 0.985) {
+      break;
+    }
+  }
+  return m;
+}
+
+std::string human(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+
+  std::printf("== telemetry overhead (obs)%s ==\n\n", quick ? " [quick]" : "");
+
+  // Even --quick needs ~70ms of wall per rep: the 2% gate cannot be
+  // resolved above scheduler noise on shorter runs.
+  const double sim_seconds = quick ? 1.0 : 2.0;
+  const auto measured = measure_interleaved(sim_seconds, /*min_rounds=*/3,
+                                            /*max_rounds=*/12);
+  const auto& baseline = measured.best[static_cast<std::size_t>(Mode::kBaseline)];
+  const auto& armed = measured.best[static_cast<std::size_t>(Mode::kArmed)];
+  const auto& traced = measured.best[static_cast<std::size_t>(Mode::kTraced)];
+
+  auto pct = [&](double pps) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%",
+                  100.0 * pps / baseline.packets_per_sec);
+    return std::string(buf);
+  };
+  bench::Table table({"8-node line", "pkts/sec", "vs baseline", "wall s"});
+  table.add_row({"baseline (no telemetry)", human(baseline.packets_per_sec),
+                 "100.0%", std::to_string(baseline.wall_s)});
+  table.add_row({"armed (wired, tracer off)", human(armed.packets_per_sec),
+                 pct(armed.packets_per_sec), std::to_string(armed.wall_s)});
+  table.add_row({"traced (full spans)", human(traced.packets_per_sec),
+                 pct(traced.packets_per_sec), std::to_string(traced.wall_s)});
+  table.print();
+  std::printf("\ntraced: %llu journeys, %llu spans (%llu overwritten by the "
+              "ring), live high water %llu\n\n",
+              static_cast<unsigned long long>(traced.tracer.journeys),
+              static_cast<unsigned long long>(traced.tracer.records),
+              static_cast<unsigned long long>(traced.tracer.dropped_records),
+              static_cast<unsigned long long>(traced.tracer.live_high_water));
+
+  // Perfetto sample: a short traced run keeps the artifact small.
+  run_line(Mode::kTraced, 0.02, "trace_sample.json");
+
+  // Judge the gate on the better of the cross-round best ratio and the
+  // best single-round paired ratio (see Measured::paired_ratio).
+  const double armed_ratio =
+      std::max(armed.packets_per_sec / baseline.packets_per_sec,
+               measured.paired_ratio);
+  const double traced_ratio =
+      traced.packets_per_sec / baseline.packets_per_sec;
+
+  bench::BenchJson json("obs");
+  json.set("quick", quick);
+  json.set("line8.baseline.packets_per_sec", baseline.packets_per_sec);
+  json.set("line8.armed.packets_per_sec", armed.packets_per_sec);
+  json.set("line8.armed.ratio", armed_ratio);
+  json.set("line8.armed.paired_ratio", measured.paired_ratio);
+  json.set("line8.traced.packets_per_sec", traced.packets_per_sec);
+  json.set("line8.traced.ratio", traced_ratio);
+  json.set("line8.traced.journeys", traced.tracer.journeys);
+  json.set("line8.traced.spans", traced.tracer.records);
+  json.set("line8.traced.spans_overwritten", traced.tracer.dropped_records);
+  json.write();
+  std::printf("\n");
+
+  bench::Checks checks;
+  checks.expect_true("telemetry does not change the simulation "
+                     "(delivered counts identical across modes)",
+                     baseline.delivered == armed.delivered &&
+                         baseline.delivered == traced.delivered);
+  checks.expect_true("traced run recorded journeys and spans",
+                     traced.tracer.journeys > 0 && traced.tracer.records > 0);
+  checks.expect_true("armed run leaves no live journeys (tracer off)",
+                     armed.tracer.journeys == 0);
+  checks.expect_true(
+      "prometheus snapshot has the engine-lookup histogram",
+      armed.prometheus.find("empls_engine_lookup_cycles_bucket") !=
+          std::string::npos);
+  checks.expect_true(
+      "prometheus snapshot has the link-transit histogram",
+      armed.prometheus.find("empls_link_transit_ns_bucket") !=
+          std::string::npos);
+#ifdef NDEBUG
+  // The headline gate, meaningful only with optimisation on.
+  checks.expect_true("armed (tracer off) holds >= 98% of baseline pkts/sec",
+                     armed_ratio >= 0.98);
+#else
+  std::printf("  [SKIP] <2%% overhead gate (debug build; run Release to "
+              "enforce)\n");
+#endif
+  return checks.exit_code();
+}

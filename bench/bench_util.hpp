@@ -118,7 +118,15 @@ class BenchJson {
   }
 
   /// Write BENCH_<name>.json in the working directory and announce it.
+  /// Refuses (returns false) when the collected keys would emit invalid
+  /// JSON: exact duplicates, or a key reused as an object prefix.
   bool write() const {
+    if (!keys_valid()) {
+      std::fprintf(stderr,
+                   "BENCH_%s.json: duplicate or conflicting dotted keys\n",
+                   name_.c_str());
+      return false;
+    }
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);
     if (!out) {
@@ -181,13 +189,58 @@ class BenchJson {
   static std::string quote(const std::string& s) {
     std::string out = "\"";
     for (const char c : s) {
-      if (c == '"' || c == '\\') {
-        out += '\\';
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
       }
-      out += c;
     }
     out += '"';
     return out;
+  }
+
+  /// A duplicate key, or a key that is also an object prefix of another
+  /// ("a.b" alongside "a.b.c"), would stream out as invalid JSON.
+  [[nodiscard]] bool keys_valid() const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+        const std::string& a = entries_[i].first;
+        const std::string& b = entries_[j].first;
+        if (a == b) {
+          return false;
+        }
+        const std::string& shorter = a.size() < b.size() ? a : b;
+        const std::string& longer = a.size() < b.size() ? b : a;
+        if (longer.size() > shorter.size() &&
+            longer.compare(0, shorter.size(), shorter) == 0 &&
+            longer[shorter.size()] == '.') {
+          return false;
+        }
+      }
+    }
+    return true;
   }
 
   static std::vector<std::string> split(const std::string& key) {

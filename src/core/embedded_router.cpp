@@ -8,6 +8,8 @@
 #include "core/egress.hpp"
 #include "core/ingress.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sw/semantics.hpp"
 
 namespace empls::core {
@@ -110,6 +112,56 @@ void EmbeddedRouter::count_op(mpls::LabelOp op) {
   }
 }
 
+void EmbeddedRouter::on_telemetry(obs::MetricsRegistry* metrics,
+                                  obs::HopTracer* tracer) {
+  tracer_ = tracer;
+  hist_lookup_cycles_ = nullptr;
+  hist_engine_wait_ns_ = nullptr;
+  if (metrics != nullptr) {
+    const std::string label = "router=\"" + name() + "\"";
+    hist_lookup_cycles_ = &metrics->histogram(
+        "empls_engine_lookup_cycles", label,
+        "modelled engine cycles per search/update (0 = pure software)");
+    hist_engine_wait_ns_ = &metrics->histogram(
+        "empls_engine_wait_ns", label,
+        "time a packet waited for the label engine datapath");
+  }
+}
+
+void EmbeddedRouter::export_metrics(obs::MetricsRegistry& metrics) const {
+  const std::string label = "router=\"" + name() + "\"";
+  const auto set = [&](const char* name, std::uint64_t v,
+                       const char* help = "") {
+    metrics.counter(name, label, help).set(v);
+  };
+  set("empls_router_received_total", stats_.received, "packets received");
+  set("empls_router_forwarded_total", stats_.forwarded);
+  set("empls_router_delivered_total", stats_.delivered_local);
+  set("empls_router_discarded_total", stats_.discarded);
+  set("empls_router_malformed_total", stats_.malformed);
+  set("empls_router_slow_path_retries_total", stats_.slow_path_retries);
+  set("empls_router_engine_cycles_total", stats_.engine_cycles,
+      "modelled hardware cycles consumed by the label engine");
+  set("empls_router_engine_overruns_total", stats_.engine_overruns);
+  set("empls_router_engine_batches_total", stats_.engine_batches);
+  set("empls_router_engine_batched_packets_total",
+      stats_.engine_batched_packets);
+  set("empls_router_policer_drops_total", stats_.policer_drops);
+  set("empls_router_policer_demotions_total", stats_.policer_demotions);
+  metrics.gauge("empls_router_engine_queue_peak", label)
+      .set(static_cast<double>(stats_.engine_queue_peak));
+  metrics
+      .gauge("empls_router_engine_wait_seconds", label,
+             "total time packets spent queued for the engine")
+      .set(stats_.engine_wait_time);
+  if (flow_cache_enabled()) {
+    set("empls_flow_cache_hits_total", cache_stats_.hits);
+    set("empls_flow_cache_misses_total", cache_stats_.misses);
+    set("empls_flow_cache_insertions_total", cache_stats_.insertions);
+    set("empls_flow_cache_invalidations_total", cache_stats_.invalidations);
+  }
+}
+
 void EmbeddedRouter::set_policer(std::uint32_t flow_id,
                                  const net::PolicerConfig& config) {
   policers_.insert_or_assign(
@@ -130,6 +182,12 @@ void EmbeddedRouter::receive(net::PacketHandle packet,
     return;
   }
   const auto cls = IngressProcessor::classify(*packet);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->record(tracer_->id_of(packet.get()), obs::SpanKind::kIngress,
+                    id(), network()->now(), 0.0,
+                    static_cast<std::uint16_t>(cls.level), cls.key,
+                    cls.labeled ? obs::kSpanLabeled : std::uint8_t{0});
+  }
 
   // Penultimate-hop-popping egress: the packet arrives from a neighbour
   // already unlabeled; if it is for a locally attached prefix it leaves
@@ -206,7 +264,11 @@ void EmbeddedRouter::engine_done() {
 
 void EmbeddedRouter::process(Pending work) {
   net::Network* net = network();
-  stats_.engine_wait_time += net->now() - work.enqueued_at;
+  const double wait = net->now() - work.enqueued_at;
+  stats_.engine_wait_time += wait;
+  if (hist_engine_wait_ns_ != nullptr) {
+    hist_engine_wait_ns_->record(static_cast<std::uint64_t>(wait * 1e9));
+  }
 
   const auto cls = work.cls;
   const mpls::Packet before = tap_ ? *work.packet : mpls::Packet();
@@ -241,6 +303,27 @@ void EmbeddedRouter::process(Pending work) {
   if (!cached) {
     cache_fill(cls.level, cls.key);  // resolve at the (post-install) epoch
   }
+  if (hist_lookup_cycles_ != nullptr) {
+    hist_lookup_cycles_->record(outcome.hw_cycles);
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const std::uint64_t tid = tracer_->id_of(work.packet.get());
+    if (wait > 0.0) {
+      tracer_->record(tid, obs::SpanKind::kEngineWait, id(),
+                      work.enqueued_at, wait);
+    }
+    std::uint8_t flags = 0;
+    if (!(outcome.discarded &&
+          outcome.reason == sw::DiscardReason::kMiss)) {
+      flags |= obs::kSpanHit;
+    }
+    if (cached != nullptr) {
+      flags |= obs::kSpanCached;
+    }
+    tracer_->record(tid, obs::SpanKind::kEngineSearch, id(), net->now(),
+                    latency, static_cast<std::uint16_t>(cls.level),
+                    static_cast<std::uint32_t>(outcome.hw_cycles), flags);
+  }
 
   // The datapath is busy for the processing latency; only then does the
   // next queued packet enter it.  On the fast path the engine-idle
@@ -268,7 +351,11 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
   std::vector<mpls::Packet*> packets(n);
   std::vector<mpls::Packet> befores(tap_ ? n : 0);
   for (std::size_t i = 0; i < n; ++i) {
-    stats_.engine_wait_time += now - work[i].enqueued_at;
+    const double wait = now - work[i].enqueued_at;
+    stats_.engine_wait_time += wait;
+    if (hist_engine_wait_ns_ != nullptr) {
+      hist_engine_wait_ns_->record(static_cast<std::uint64_t>(wait * 1e9));
+    }
     cls[i] = work[i].cls;
     packets[i] = work[i].packet.get();
     if (tap_) {
@@ -281,7 +368,9 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
   // composes back to exactly the uncached batch: for a single-datapath
   // engine the uncached makespan is the per-packet sum, and a hit
   // contributes the identical hw_cycles it would have cost in that sum.
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
   std::vector<sw::UpdateOutcome> outcomes(n);
+  std::vector<std::uint8_t> was_cached(tracing ? n : 0);
   std::vector<std::size_t> miss_idx;
   miss_idx.reserve(n);
   rtl::u64 hit_cycles = 0;
@@ -292,6 +381,9 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
     if (cached) {
       outcomes[i] = cached_update(*packets[i], *cached);
       hit_cycles += outcomes[i].hw_cycles;
+      if (tracing) {
+        was_cached[i] = 1;
+      }
     } else {
       miss_idx.push_back(i);
     }
@@ -313,6 +405,9 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
   }
   for (const auto& outcome : outcomes) {
     stats_.engine_cycles += outcome.hw_cycles;
+    if (hist_lookup_cycles_ != nullptr) {
+      hist_lookup_cycles_->record(outcome.hw_cycles);
+    }
   }
 
   // The batch holds the engine for its makespan: the slowest shard for
@@ -348,6 +443,35 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
   }
   for (const std::size_t i : miss_idx) {
     cache_fill(cls[i].level, cls[i].key);
+  }
+
+  if (tracing) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t tid = tracer_->id_of(packets[i]);
+      const double wait = now - work[i].enqueued_at;
+      if (wait > 0.0) {
+        tracer_->record(tid, obs::SpanKind::kEngineWait, id(),
+                        work[i].enqueued_at, wait);
+      }
+      std::uint8_t flags = 0;
+      if (!(outcomes[i].discarded &&
+            outcomes[i].reason == sw::DiscardReason::kMiss)) {
+        flags |= obs::kSpanHit;
+      }
+      if (was_cached[i] != 0) {
+        flags |= obs::kSpanCached;
+      }
+      tracer_->record(tid, obs::SpanKind::kEngineSearch, id(), now, latency,
+                      static_cast<std::uint16_t>(cls[i].level),
+                      static_cast<std::uint32_t>(outcomes[i].hw_cycles),
+                      flags);
+    }
+    // One occupancy span for the whole batch; renders as shard-handoff
+    // when the engine is actually parallel.
+    tracer_->record(0, obs::SpanKind::kEngineBatch, id(), now, latency,
+                    static_cast<std::uint16_t>(
+                        std::max(1u, engine_->parallelism())),
+                    static_cast<std::uint32_t>(n));
   }
 
   if (config_.serialize_engine) {

@@ -34,6 +34,10 @@
 #include "rtl/clock_model.hpp"
 #include "sw/engine.hpp"
 
+namespace empls::obs {
+class Histogram;
+}  // namespace empls::obs
+
 namespace empls::core {
 
 struct RouterConfig {
@@ -79,6 +83,13 @@ class EmbeddedRouter : public net::Node {
                  RouterConfig config = {});
 
   void receive(net::PacketHandle packet, mpls::InterfaceId in_if) override;
+
+  /// Telemetry wiring: registers the engine-lookup and engine-wait
+  /// histograms and stashes the tracer for per-packet spans.
+  void on_telemetry(obs::MetricsRegistry* metrics,
+                    obs::HopTracer* tracer) override;
+  /// Snapshot this router's Stats and flow-cache counters.
+  void export_metrics(obs::MetricsRegistry& metrics) const override;
 
   [[nodiscard]] RoutingFunctionality& routing() noexcept { return routing_; }
   [[nodiscard]] sw::LabelEngine& engine() noexcept { return *engine_; }
@@ -196,6 +207,9 @@ class EmbeddedRouter : public net::Node {
   bool engine_busy_ = false;
   std::map<std::uint32_t, std::pair<net::PolicerConfig, net::TokenBucket>>
       policers_;
+  obs::HopTracer* tracer_ = nullptr;
+  obs::Histogram* hist_lookup_cycles_ = nullptr;
+  obs::Histogram* hist_engine_wait_ns_ = nullptr;
 };
 
 }  // namespace empls::core

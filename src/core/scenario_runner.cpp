@@ -1,12 +1,15 @@
 #include "core/scenario_runner.hpp"
 
+#include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "net/failure_detector.hpp"
 #include "net/fault_injector.hpp"
 #include "net/oam.hpp"
 #include "net/protection.hpp"
+#include "obs/trace.hpp"
 
 #include "sw/cam_engine.hpp"
 #include "sw/hash_engine.hpp"
@@ -81,6 +84,17 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     net.connect(id_of(decl.a), id_of(decl.b), decl.bandwidth_bps,
                 decl.delay);
   }
+
+  // Telemetry: the registry is always live (the report carries its
+  // snapshot); the hop tracer is armed only by a `trace=` directive, so
+  // an untraced run pays nothing on the per-packet path.
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  std::optional<obs::HopTracer> tracer;
+  if (!scenario.trace_path.empty()) {
+    tracer.emplace();
+    tracer->set_enabled(true);
+  }
+  net.set_telemetry(metrics.get(), tracer ? &*tracer : nullptr);
 
   // Tunnels first (tunnel LSPs reference them), then LSPs.
   std::map<std::string, net::TunnelId> tunnels;
@@ -345,6 +359,39 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
       }
     }
   }
+
+  // One snapshot pass collects everything the simulation registered —
+  // simulator, router, flow-cache, link and drop counters; instruments
+  // added anywhere below appear here without this function changing.
+  net.export_metrics(*metrics);
+  for (const auto& [flow_id, flow] : report.flows.flows()) {
+    const std::string label = "flow=\"" + std::to_string(flow_id) + "\"";
+    metrics->counter("empls_flow_sent_total", label).set(flow.sent);
+    metrics->counter("empls_flow_delivered_total", label)
+        .set(flow.delivered);
+    metrics->gauge("empls_flow_mean_latency_seconds", label)
+        .set(flow.latency.mean());
+    metrics->gauge("empls_flow_jitter_seconds", label).set(flow.jitter);
+  }
+  report.drops = net.drop_totals();
+  report.metrics = metrics;
+
+  if (!scenario.metrics_path.empty()) {
+    std::ofstream out(scenario.metrics_path);
+    if (!out) {
+      return semantic_error("cannot write metrics file: " +
+                            scenario.metrics_path);
+    }
+    metrics->write_prometheus(out);
+  }
+  if (tracer) {
+    std::ofstream out(scenario.trace_path);
+    if (!out) {
+      return semantic_error("cannot write trace file: " +
+                            scenario.trace_path);
+    }
+    net.write_chrome_trace(out);
+  }
   return report;
 }
 
@@ -370,6 +417,20 @@ std::string ScenarioRunner::Report::to_string() const {
   if (corruptions_injected > 0 || resyncs_repaired > 0) {
     out << "faults: corruptions=" << corruptions_injected
         << " resynced=" << resyncs_repaired << '\n';
+  }
+  std::uint64_t total_drops = 0;
+  for (const auto d : drops) {
+    total_drops += d;
+  }
+  if (total_drops > 0) {
+    out << "drops:";
+    for (std::size_t i = 0; i < obs::kDropReasonCount; ++i) {
+      if (drops[i] > 0) {
+        out << ' ' << obs::to_string(static_cast<obs::DropReason>(i)) << '='
+            << drops[i];
+      }
+    }
+    out << '\n';
   }
   out << "\nflows:\n" << flows.summary() << "\nrouters:\n";
   for (const auto& r : routers) {

@@ -13,6 +13,8 @@
 #include "net/scenario.hpp"
 #include "net/stats.hpp"
 #include "net/traffic.hpp"
+#include "obs/drop_reason.hpp"
+#include "obs/metrics.hpp"
 
 namespace empls::core {
 
@@ -56,6 +58,14 @@ class ScenarioRunner {
     net::SimTime duration = 0;
     /// Simulator fast-path counters (event queue + packet pool).
     net::SimStats sim;
+    /// Per-reason drop totals (router discards + link-level drops),
+    /// indexed by obs::DropReason.
+    obs::DropCounts drops{};
+    /// The run's full metrics snapshot — every counter, gauge and
+    /// histogram the simulation registered, in Prometheus-exportable
+    /// form.  New instruments added anywhere in the stack appear here
+    /// without the runner changing.
+    std::shared_ptr<const obs::MetricsRegistry> metrics;
 
     /// Human-readable summary tables.
     [[nodiscard]] std::string to_string() const;

@@ -4,8 +4,26 @@
 #include <utility>
 
 #include "net/node.hpp"
+#include "obs/drop_reason.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace empls::net {
+
+namespace {
+
+// Drop span + journey termination for packets this link discards.
+void trace_drop(obs::HopTracer* tracer, std::uint32_t link_id,
+                const mpls::Packet* p, SimTime now, obs::DropReason reason) {
+  if (tracer == nullptr || !tracer->enabled()) {
+    return;
+  }
+  tracer->record(tracer->id_of(p), obs::SpanKind::kDrop, link_id, now, 0.0,
+                 static_cast<std::uint16_t>(reason), 0, obs::kSpanOnLink);
+  tracer->end(p);
+}
+
+}  // namespace
 
 Link::Link(EventQueue& events, Node* dst, mpls::InterfaceId dst_in_if,
            double bandwidth_bps, SimTime prop_delay_s, QosConfig qos)
@@ -25,6 +43,8 @@ void Link::transmit(PacketHandle packet) {
     if (drop_hook_) {
       drop_hook_(*packet, "link-down");
     }
+    trace_drop(tracer_, link_id_, packet.get(), events_->now(),
+               obs::DropReason::kLinkDown);
     return;
   }
   if (!legacy_copy_) {
@@ -38,15 +58,22 @@ void Link::transmit(PacketHandle packet) {
         if (drop_hook_) {
           drop_hook_(*packet, "queue-full");
         }
+        trace_drop(tracer_, link_id_, packet.get(), events_->now(),
+                   obs::DropReason::kQueueOverflow);
         return;
       }
       begin_tx(std::move(packet));
       return;
     }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->mark(packet.get(), events_->now());
+    }
     if (!queue_.enqueue(std::move(packet))) {
       if (drop_hook_) {
         drop_hook_(*packet, "queue-full");
       }
+      trace_drop(tracer_, link_id_, packet.get(), events_->now(),
+                 obs::DropReason::kQueueOverflow);
       return;
     }
     if (!drain_pending_) {
@@ -62,6 +89,8 @@ void Link::transmit(PacketHandle packet) {
     if (drop_hook_) {
       drop_hook_(*packet, "queue-full");
     }
+    trace_drop(tracer_, link_id_, packet.get(), events_->now(),
+               obs::DropReason::kQueueOverflow);
     return;
   }
   if (!busy_) {
@@ -76,6 +105,22 @@ void Link::begin_tx(PacketHandle packet) {
   stats_.tx_bytes += packet->wire_size();
   stats_.busy_time += tx_time;
   busy_until_ = events_->now() + tx_time;
+  if (transit_hist_ != nullptr) {
+    transit_hist_->record(
+        static_cast<std::uint64_t>((tx_time + prop_delay_) * 1e9));
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const std::uint64_t tid = tracer_->id_of(packet.get());
+    const SimTime queued_at = tracer_->take_mark(packet.get());
+    if (queued_at >= 0.0 && events_->now() > queued_at) {
+      tracer_->record(tid, obs::SpanKind::kLinkQueue, link_id_, queued_at,
+                      events_->now() - queued_at, 0, 0, obs::kSpanOnLink);
+    }
+    tracer_->record(tid, obs::SpanKind::kLinkTransit, link_id_,
+                    events_->now(), tx_time + prop_delay_, 0,
+                    static_cast<std::uint32_t>(packet->wire_size()),
+                    obs::kSpanOnLink);
+  }
   // The wire is cut at the transmitter: once serialisation starts the
   // packet arrives even if the link is taken down meanwhile, so the
   // arrival can be scheduled up front.
@@ -111,6 +156,12 @@ void Link::start_next() {
   stats_.tx_packets += 1;
   stats_.tx_bytes += next->wire_size();
   stats_.busy_time += tx_time;
+  // Legacy mode deep-copies the packet per stage, so pointer-keyed
+  // journeys cannot follow it — histogram only, no spans.
+  if (transit_hist_ != nullptr) {
+    transit_hist_->record(
+        static_cast<std::uint64_t>((tx_time + prop_delay_) * 1e9));
+  }
 
   // At transmission end: launch the packet down the propagation pipe
   // (which never blocks) and pick up the next queued packet.  Baseline

@@ -16,6 +16,11 @@
 #include "net/packet_pool.hpp"
 #include "net/qos.hpp"
 
+namespace empls::obs {
+class Histogram;
+class HopTracer;
+}  // namespace empls::obs
+
 namespace empls::net {
 
 class Node;
@@ -65,6 +70,17 @@ class Link {
   using DropHook = std::function<void(const mpls::Packet&, std::string_view)>;
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Telemetry wiring (Network::set_telemetry).  `link_id` is this
+  /// link's index in the network's link table — the trace lane it
+  /// renders on; `transit_hist` records per-packet transit time
+  /// (serialisation + propagation) in nanoseconds.  Either may be null.
+  void set_telemetry(obs::HopTracer* tracer, std::uint32_t link_id,
+                     obs::Histogram* transit_hist) noexcept {
+    tracer_ = tracer;
+    link_id_ = link_id;
+    transit_hist_ = transit_hist;
+  }
+
  private:
   /// Legacy transmitter: busy flag + a tx-complete event per packet that
   /// re-arms the transmitter (the seed's structure).
@@ -90,6 +106,9 @@ class Link {
   SimTime busy_until_ = 0.0;  // fast path: transmitter serialising until
   LinkStats stats_;
   DropHook drop_hook_;
+  obs::HopTracer* tracer_ = nullptr;
+  obs::Histogram* transit_hist_ = nullptr;
+  std::uint32_t link_id_ = 0;
 };
 
 }  // namespace empls::net

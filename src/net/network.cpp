@@ -1,6 +1,10 @@
 #include "net/network.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace empls::net {
 
@@ -122,6 +126,10 @@ void Network::add_link_drop_handler(LinkDropHandler handler) {
 }
 
 void Network::inject(NodeId id, PacketHandle packet) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->begin(packet.get(), packet->flow_id, packet->id, id,
+                   events_.now());
+  }
   node(id).receive(std::move(packet), kInjectInterface);
 }
 
@@ -130,6 +138,11 @@ void Network::deliver_local(NodeId egress, const mpls::Packet& packet) {
   for (const auto& handler : delivery_) {
     handler(egress, packet);
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->record(tracer_->id_of(&packet), obs::SpanKind::kDeliver, egress,
+                    events_.now(), 0.0);
+    tracer_->end(&packet);
+  }
 }
 
 void Network::notify_discard(NodeId where, const mpls::Packet& packet,
@@ -137,6 +150,123 @@ void Network::notify_discard(NodeId where, const mpls::Packet& packet,
   for (const auto& handler : discard_) {
     handler(where, packet, reason);
   }
+  const obs::DropReason r = obs::drop_reason_from_string(reason);
+  ++router_drops_[static_cast<std::size_t>(r)];
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->record(tracer_->id_of(&packet), obs::SpanKind::kDrop, where,
+                    events_.now(), 0.0, static_cast<std::uint16_t>(r));
+    tracer_->end(&packet);
+  }
+}
+
+void Network::set_telemetry(obs::MetricsRegistry* metrics,
+                            obs::HopTracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  for (auto& n : nodes_) {
+    n->on_telemetry(metrics, tracer);
+  }
+  // Resolve "src->dst" names for the directed links from the adjacency
+  // lists; the index into links_ is the trace lane links render on.
+  link_names_.assign(links_.size(), {});
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    for (const Adjacency& adj : adjacency_[id]) {
+      const Link* l = nodes_[id]->ports_[adj.port];
+      for (std::size_t i = 0; i < links_.size(); ++i) {
+        if (links_[i].get() == l) {
+          link_names_[i] =
+              nodes_[id]->name() + "->" + nodes_[adj.neighbor]->name();
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    obs::Histogram* h = nullptr;
+    if (metrics != nullptr) {
+      h = &metrics->histogram(
+          "empls_link_transit_ns", "link=\"" + link_names_[i] + "\"",
+          "per-packet serialisation + propagation time on the link");
+    }
+    links_[i]->set_telemetry(tracer, static_cast<std::uint32_t>(i), h);
+  }
+}
+
+obs::DropCounts Network::drop_totals() const {
+  obs::DropCounts out = router_drops_;
+  for (const auto& link : links_) {
+    out[static_cast<std::size_t>(obs::DropReason::kLinkDown)] +=
+        link->stats().failed_drops;
+    out[static_cast<std::size_t>(obs::DropReason::kQueueOverflow)] +=
+        link->queue().total_stats().dropped;
+  }
+  return out;
+}
+
+void Network::export_metrics(obs::MetricsRegistry& metrics) const {
+  const SimStats s = sim_stats();
+  metrics
+      .counter("empls_sim_events_executed_total", "",
+               "events run by the scheduler")
+      .set(s.events_executed);
+  metrics.counter("empls_sim_events_inline_total").set(s.events_inline);
+  metrics.counter("empls_sim_events_heap_total").set(s.events_heap_fallback);
+  metrics.counter("empls_sim_clamped_schedules_total")
+      .set(s.clamped_schedules);
+  metrics.counter("empls_sim_packets_acquired_total")
+      .set(s.packets_acquired);
+  metrics.counter("empls_sim_packets_recycled_total")
+      .set(s.packets_recycled);
+  metrics.gauge("empls_sim_pool_high_water")
+      .set(static_cast<double>(s.pool_high_water));
+  metrics
+      .counter("empls_delivered_total", "",
+               "packets delivered out of the MPLS domain")
+      .set(delivered_);
+
+  for (const auto& n : nodes_) {
+    n->export_metrics(metrics);
+  }
+
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const std::string name = i < link_names_.size() && !link_names_[i].empty()
+                                 ? link_names_[i]
+                                 : std::to_string(i);
+    const std::string label = "link=\"" + name + "\"";
+    const Link& l = *links_[i];
+    metrics
+        .counter("empls_link_tx_packets_total", label,
+                 "packets serialised onto the wire")
+        .set(l.stats().tx_packets);
+    metrics.counter("empls_link_tx_bytes_total", label)
+        .set(l.stats().tx_bytes);
+    metrics
+        .gauge("empls_link_utilization", label,
+               "fraction of sim time the transmitter was busy")
+        .set(l.utilization());
+  }
+
+  const obs::DropCounts drops = drop_totals();
+  for (std::size_t i = 0; i < obs::kDropReasonCount; ++i) {
+    const auto reason = to_string(static_cast<obs::DropReason>(i));
+    metrics
+        .counter("empls_drops_total",
+                 "reason=\"" + std::string(reason) + "\"",
+                 "packets discarded, by reason")
+        .set(drops[i]);
+  }
+}
+
+void Network::write_chrome_trace(std::ostream& out) const {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  std::vector<std::string> node_names;
+  node_names.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    node_names.push_back(n->name());
+  }
+  tracer_->write_chrome_trace(out, node_names, link_names_);
 }
 
 }  // namespace empls::net

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -15,6 +17,12 @@
 #include "net/node.hpp"
 #include "net/packet_pool.hpp"
 #include "net/stats.hpp"
+#include "obs/drop_reason.hpp"
+
+namespace empls::obs {
+class MetricsRegistry;
+class HopTracer;
+}  // namespace empls::obs
 
 namespace empls::net {
 
@@ -153,6 +161,31 @@ class Network {
     return delivered_;
   }
 
+  /// Wire the telemetry layer through the topology: every node gets
+  /// on_telemetry(), every directed link gets its trace lane and a
+  /// transit-time histogram.  Call after the topology is built (links
+  /// connected after the fact are not wired).  Either argument may be
+  /// null; passing both null unwires links but not nodes.
+  void set_telemetry(obs::MetricsRegistry* metrics, obs::HopTracer* tracer);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] obs::HopTracer* tracer() const noexcept { return tracer_; }
+
+  /// Per-reason drop totals: router discards seen via notify_discard
+  /// plus link-level drops (down-link and queue-overflow) read from the
+  /// link statistics.
+  [[nodiscard]] obs::DropCounts drop_totals() const;
+
+  /// One snapshot pass: simulator counters, every node's metrics
+  /// (Node::export_metrics), per-link counters/gauges, and per-reason
+  /// drop totals, all into `metrics`.
+  void export_metrics(obs::MetricsRegistry& metrics) const;
+
+  /// Chrome-trace JSON of the tracer's ring with node/link names
+  /// resolved from the topology.  No-op when no tracer is wired.
+  void write_chrome_trace(std::ostream& out) const;
+
   /// Run the event loop (forwards to the event queue).
   std::uint64_t run_until(SimTime until) { return events_.run_until(until); }
   std::uint64_t run() { return events_.run(); }
@@ -188,6 +221,11 @@ class Network {
   std::vector<LinkDropHandler> link_drops_;
   std::uint64_t delivered_ = 0;
   bool legacy_fastpath_ = false;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::HopTracer* tracer_ = nullptr;
+  obs::DropCounts router_drops_{};       // notify_discard, by reason
+  std::vector<std::string> link_names_;  // "src->dst", by link index
 };
 
 }  // namespace empls::net

@@ -10,6 +10,11 @@
 #include "mpls/tables.hpp"
 #include "net/packet_pool.hpp"
 
+namespace empls::obs {
+class MetricsRegistry;
+class HopTracer;
+}  // namespace empls::obs
+
 namespace empls::net {
 
 class Network;
@@ -37,6 +42,17 @@ class Node {
   /// injection by a traffic source).  The handle owns the packet; hold
   /// it, move it onward via send(), or let it drop and recycle.
   virtual void receive(PacketHandle packet, mpls::InterfaceId in_if) = 0;
+
+  /// Telemetry wiring, called once by Network::set_telemetry: register
+  /// live instruments with `metrics` and stash `tracer` for per-packet
+  /// spans.  Either may be null.  Default: no instrumentation, so an
+  /// un-wired node costs nothing.
+  virtual void on_telemetry(obs::MetricsRegistry* /*metrics*/,
+                            obs::HopTracer* /*tracer*/) {}
+
+  /// Snapshot pass, called by Network::export_metrics: dump this node's
+  /// counters into the registry.  Default: nothing to export.
+  virtual void export_metrics(obs::MetricsRegistry& /*metrics*/) const {}
 
  protected:
   /// Transmit out of local port `out_if` (the directed link's queue and

@@ -161,6 +161,30 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
       } else {
         return error("unknown scheduler: " + value + " (heap|calendar)");
       }
+    } else if (cmd == "trace" || cmd.rfind("trace=", 0) == 0 ||
+               cmd == "metrics" || cmd.rfind("metrics=", 0) == 0) {
+      // Telemetry outputs; both spellings, like `scheduler`.  "off"
+      // (the default) leaves the corresponding exporter unarmed.
+      const bool is_trace = cmd[0] == 't';
+      const char* name = is_trace ? "trace" : "metrics";
+      std::string value;
+      if (cmd == name) {
+        if (tokens.size() != 2) {
+          return error(std::string(name) + " needs: " + name +
+                       " <path>|off");
+        }
+        value = tokens[1];
+      } else {
+        if (tokens.size() != 1) {
+          return error(std::string(name) +
+                       "=<path> takes no further tokens");
+        }
+        value = cmd.substr(std::string(name).size() + 1);
+      }
+      if (value == "off") {
+        value.clear();
+      }
+      (is_trace ? s.trace_path : s.metrics_path) = std::move(value);
     } else if (cmd == "router") {
       if (tokens.size() < 3) {
         return error("router needs: router <name> ler|lsr [options]");

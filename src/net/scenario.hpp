@@ -27,6 +27,8 @@
 //   police <ingress> <flow-id> <rate> [burst=1500] [demote]
 //   ping <time> <ingress> <dst>        # OAM reachability probe
 //   traceroute <time> <ingress> <dst>  # OAM path mapping
+//   trace <path>|off           # per-hop Chrome-trace JSON (also trace=..)
+//   metrics <path>|off         # Prometheus snapshot (also metrics=..)
 //   run <duration>             # optional; defaults to run-to-idle
 //
 // This header is the pure data model + parser; execution lives in
@@ -195,6 +197,13 @@ class Scenario {
   /// LSP and switch locally on link-down.
   bool protect = false;
   double protect_bw = 0;
+  /// `trace <path>` (or `trace=<path>`): arm the hop tracer and write
+  /// Chrome-trace JSON there after the run.  "off" / unset disables —
+  /// and must leave the simulation bit-identical to one never traced.
+  std::string trace_path;
+  /// `metrics <path>` (or `metrics=<path>`): write a Prometheus
+  /// text-format snapshot of the metrics registry there after the run.
+  std::string metrics_path;
 
   [[nodiscard]] bool has_router(const std::string& name) const;
 };

@@ -1,0 +1,75 @@
+// Canonical taxonomy of packet-discard causes.
+//
+// Every discard site in the simulator — router processing (malformed
+// wire form, policer, engine-queue overrun, lookup miss, TTL expiry,
+// inconsistent operation, unresolvable next hop) and link transmission
+// (offered while down, CoS queue overflow) — maps onto one DropReason,
+// so the scenario report and the metrics snapshot can break losses down
+// per cause instead of a single aggregate.  The string forms are the
+// exact reason strings the discard/drop handlers have always carried
+// (OAM parses them), so from_string() round-trips the legacy channel.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace empls::obs {
+
+enum class DropReason : std::uint8_t {
+  kInfoBaseMiss = 0,  // no information-base entry for the key
+  kTtlExpired,        // TTL reached zero after the decrement
+  kInconsistent,      // VERIFY INFO failure: bad op / overflow / type
+  kNoRoute,           // engine resolved, but no next hop programmed
+  kMalformed,         // corrupt wire form (failed serialize/parse check)
+  kPolicer,           // ingress token bucket out of profile
+  kEngineOverrun,     // engine input queue full (router saturated)
+  kQueueOverflow,     // link CoS queue full (or RED early drop)
+  kLinkDown,          // offered to a failed link (fault-injected)
+  kOther,             // unrecognised reason string
+};
+
+inline constexpr std::size_t kDropReasonCount = 10;
+
+/// Per-reason tally, indexed by DropReason.
+using DropCounts = std::array<std::uint64_t, kDropReasonCount>;
+
+[[nodiscard]] constexpr std::string_view to_string(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::kInfoBaseMiss:
+      return "no-label-binding";
+    case DropReason::kTtlExpired:
+      return "ttl-expired";
+    case DropReason::kInconsistent:
+      return "inconsistent-operation";
+    case DropReason::kNoRoute:
+      return "no-next-hop";
+    case DropReason::kMalformed:
+      return "malformed";
+    case DropReason::kPolicer:
+      return "policer";
+    case DropReason::kEngineOverrun:
+      return "engine-overrun";
+    case DropReason::kQueueOverflow:
+      return "queue-full";
+    case DropReason::kLinkDown:
+      return "link-down";
+    case DropReason::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr DropReason drop_reason_from_string(
+    std::string_view s) noexcept {
+  for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+    const auto r = static_cast<DropReason>(i);
+    if (s == to_string(r)) {
+      return r;
+    }
+  }
+  return DropReason::kOther;
+}
+
+}  // namespace empls::obs

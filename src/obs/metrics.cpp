@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace empls::obs {
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // Rank of the target sample, 1-based; q=1 maps to the last sample.
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      // Clamp to the observed max so p100 is exact.
+      const std::uint64_t upper = bucket_upper(b);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_of(std::string_view name,
+                                                   Kind kind,
+                                                   std::string_view help) {
+  for (Family& f : families_) {
+    if (f.name == name) {
+      assert(f.kind == kind && "metric family re-registered as another kind");
+      if (f.help.empty() && !help.empty()) {
+        f.help = std::string(help);
+      }
+      return f;
+    }
+  }
+  Family f;
+  f.name = std::string(name);
+  f.help = std::string(help);
+  f.kind = kind;
+  families_.push_back(std::move(f));
+  return families_.back();
+}
+
+const MetricsRegistry::Series* MetricsRegistry::find_series(
+    std::string_view name, Kind kind, std::string_view labels) const {
+  for (const Family& f : families_) {
+    if (f.name != name || f.kind != kind) {
+      continue;
+    }
+    for (const Series& s : f.series) {
+      if (s.labels == labels) {
+        return &s;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::size_t MetricsRegistry::series_index(std::string_view name, Kind kind,
+                                          std::string_view labels,
+                                          std::string_view help) {
+  Family& f = family_of(name, kind, help);
+  for (const Series& s : f.series) {
+    if (s.labels == labels) {
+      return s.index;
+    }
+  }
+  Series s;
+  s.labels = std::string(labels);
+  switch (kind) {
+    case Kind::kCounter:
+      s.index = counters_.size();
+      counters_.emplace_back();
+      break;
+    case Kind::kGauge:
+      s.index = gauges_.size();
+      gauges_.emplace_back();
+      break;
+    case Kind::kHistogram:
+      s.index = histograms_.size();
+      histograms_.emplace_back();
+      break;
+  }
+  f.series.push_back(std::move(s));
+  return f.series.back().index;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view labels,
+                                  std::string_view help) {
+  return counters_[series_index(name, Kind::kCounter, labels, help)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view labels,
+                              std::string_view help) {
+  return gauges_[series_index(name, Kind::kGauge, labels, help)];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view labels,
+                                      std::string_view help) {
+  return histograms_[series_index(name, Kind::kHistogram, labels, help)];
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name,
+                                             std::string_view labels) const {
+  const Series* s = find_series(name, Kind::kCounter, labels);
+  return s != nullptr ? &counters_[s->index] : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name,
+                                         std::string_view labels) const {
+  const Series* s = find_series(name, Kind::kGauge, labels);
+  return s != nullptr ? &gauges_[s->index] : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name, std::string_view labels) const {
+  const Series* s = find_series(name, Kind::kHistogram, labels);
+  return s != nullptr ? &histograms_[s->index] : nullptr;
+}
+
+std::size_t MetricsRegistry::series_count() const noexcept {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+namespace {
+
+void write_series_head(std::ostream& out, const std::string& name,
+                       const std::string& suffix, const std::string& labels,
+                       const char* extra_label = nullptr) {
+  out << name << suffix;
+  if (!labels.empty() || extra_label != nullptr) {
+    out << '{' << labels;
+    if (extra_label != nullptr) {
+      if (!labels.empty()) {
+        out << ',';
+      }
+      out << extra_label;
+    }
+    out << '}';
+  }
+}
+
+// Gauges are doubles; fixed "%.10g" keeps the rendering deterministic
+// and round-trippable without trailing-zero noise.
+void write_double(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  for (const Family& f : families_) {
+    if (!f.help.empty()) {
+      out << "# HELP " << f.name << ' ' << f.help << '\n';
+    }
+    const char* type = f.kind == Kind::kCounter    ? "counter"
+                       : f.kind == Kind::kGauge    ? "gauge"
+                                                   : "histogram";
+    out << "# TYPE " << f.name << ' ' << type << '\n';
+    for (const Series& s : f.series) {
+      switch (f.kind) {
+        case Kind::kCounter:
+          write_series_head(out, f.name, "", s.labels);
+          out << ' ' << counters_[s.index].value() << '\n';
+          break;
+        case Kind::kGauge:
+          write_series_head(out, f.name, "", s.labels);
+          out << ' ';
+          write_double(out, gauges_[s.index].value());
+          out << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = histograms_[s.index];
+          // Emit buckets only up to the highest non-empty one; the
+          // +Inf bucket always closes the series.
+          std::size_t top = 0;
+          for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+            if (h.buckets()[b] != 0) {
+              top = b;
+            }
+          }
+          std::uint64_t cum = 0;
+          for (std::size_t b = 0; b <= top && h.count() != 0; ++b) {
+            cum += h.buckets()[b];
+            char le[40];
+            std::snprintf(le, sizeof(le), "le=\"%" PRIu64 "\"",
+                          Histogram::bucket_upper(b));
+            write_series_head(out, f.name, "_bucket", s.labels, le);
+            out << ' ' << cum << '\n';
+          }
+          write_series_head(out, f.name, "_bucket", s.labels, "le=\"+Inf\"");
+          out << ' ' << h.count() << '\n';
+          write_series_head(out, f.name, "_sum", s.labels);
+          out << ' ' << h.sum() << '\n';
+          write_series_head(out, f.name, "_count", s.labels);
+          out << ' ' << h.count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+}  // namespace empls::obs

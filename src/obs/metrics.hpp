@@ -1,0 +1,160 @@
+// Unified metrics registry: named counters, gauges, and fixed-bucket
+// log2 HDR histograms, exported as a Prometheus text-format snapshot.
+//
+// Producers register instruments once (handles are pointer-stable for
+// the registry's lifetime) and bump them on the hot path; record() on a
+// Histogram is two increments and a bit_width, cheap enough for
+// per-packet use.  Export is a pull-style snapshot: nothing in here
+// formats text until write_prometheus() runs, so an idle registry costs
+// a few cache lines and no cycles.
+//
+// Instruments are identified by (family name, label set).  Families
+// keep first-registration order so the exported text is deterministic
+// for a deterministic simulation — a property the golden-trace tests
+// rely on.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace empls::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log2 HDR histogram over non-negative integer samples (hardware
+/// cycles, nanoseconds of sim time).  Bucket b holds samples whose
+/// bit_width is b: bucket 0 is exactly {0} and bucket b >= 1 covers
+/// [2^(b-1), 2^b - 1].  Fixed storage, no allocation after
+/// construction, ~2x worst-case relative error on quantiles — the
+/// right trade for tails spanning nine decades.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width(u64) in [0, 64]
+
+  void record(std::uint64_t v) noexcept {
+    // Hot path: per-packet on every instrumented hop.  min_ starts at
+    // ~0 so the first-sample case needs no branch (both updates are
+    // conditional moves).
+    counts_[static_cast<std::size_t>(std::bit_width(v))] += 1;
+    sum_ += v;
+    ++count_;
+    min_ = v < min_ ? v : min_;
+    max_ = v > max_ ? v : max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
+      const noexcept {
+    return counts_;
+  }
+
+  /// Inclusive upper bound of bucket b (0, 1, 3, 7, ..., 2^63-1, 2^64-1).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(
+      std::size_t b) noexcept {
+    if (b == 0) {
+      return 0;
+    }
+    if (b >= 64) {
+      return ~std::uint64_t{0};
+    }
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  /// Bucket-resolution quantile: the upper bound of the bucket holding
+  /// the q-th sample (q in [0, 1]).  0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+/// Registry of named instruments.  Register with counter() / gauge() /
+/// histogram(); the same (name, labels) pair always returns the same
+/// instrument, so idempotent re-registration is safe.  Labels are a
+/// pre-rendered Prometheus label body without braces, e.g.
+/// `router="R3"` or `link="A->B",dir="tx"`; empty for a bare series.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, std::string_view labels = {},
+                   std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view labels = {},
+               std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::string_view labels = {},
+                       std::string_view help = {});
+
+  /// Lookup without registering; nullptr when absent (or a different kind).
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            std::string_view labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name,
+                                        std::string_view labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      std::string_view name, std::string_view labels = {}) const;
+
+  /// Total registered series across all families.
+  [[nodiscard]] std::size_t series_count() const noexcept;
+
+  /// Prometheus text exposition format, families in registration order.
+  void write_prometheus(std::ostream& out) const;
+  [[nodiscard]] std::string prometheus_text() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string labels;
+    std::size_t index = 0;  // into the deque matching the family kind
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<Series> series;
+  };
+
+  Family& family_of(std::string_view name, Kind kind, std::string_view help);
+  [[nodiscard]] const Series* find_series(std::string_view name, Kind kind,
+                                          std::string_view labels) const;
+  std::size_t series_index(std::string_view name, Kind kind,
+                           std::string_view labels, std::string_view help);
+
+  // Deques for pointer stability of handed-out instrument references.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Family> families_;  // registration order == export order
+};
+
+}  // namespace empls::obs

@@ -20,6 +20,7 @@ bool HwEngine::do_write_pair(unsigned level, const mpls::LabelPair& pair) {
 std::optional<mpls::LabelPair> HwEngine::lookup(unsigned level,
                                                 rtl::u32 key) {
   const auto r = hw_.search(level, key);
+  last_lookup_cycles_ = r.cycles;
   if (!r.found) {
     return std::nullopt;
   }

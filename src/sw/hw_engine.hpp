@@ -20,6 +20,11 @@ class HwEngine : public LabelEngine {
 
   [[nodiscard]] std::optional<mpls::LabelPair> lookup(unsigned level,
                                                       rtl::u32 key) override;
+  /// Modelled search cost of the most recent lookup(), straight from
+  /// the hardware's SearchResult — the VCD-aligned per-lookup figure.
+  [[nodiscard]] rtl::u64 last_lookup_cost_cycles() const noexcept override {
+    return last_lookup_cycles_;
+  }
   UpdateOutcome update(mpls::Packet& packet, unsigned level,
                        hw::RouterType router_type) override;
   /// Batched variant: per-packet behaviour is identical to sequential
@@ -51,6 +56,7 @@ class HwEngine : public LabelEngine {
  private:
   hw::LabelStackModifier hw_;
   rtl::u64 last_update_only_ = 0;
+  rtl::u64 last_lookup_cycles_ = 0;
 };
 
 }  // namespace empls::sw

@@ -1,0 +1,69 @@
+// Tests for the shared bench helpers: BENCH_*.json artifact hygiene —
+// string escaping and dotted-key conflict rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+
+namespace empls::bench {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void cleanup(const std::string& name) {
+  std::remove(("BENCH_" + name + ".json").c_str());
+}
+
+TEST(BenchJson, EscapesStringValues) {
+  BenchJson json("bu_escape");
+  json.set("note", std::string("a\"b\\c\nd\te\x01"));
+  ASSERT_TRUE(json.write());
+  const std::string text = slurp("BENCH_bu_escape.json");
+  EXPECT_NE(text.find(R"("note": "a\"b\\c\nd\te\u0001")"), std::string::npos);
+  // The raw control byte must not appear anywhere in the file.
+  EXPECT_EQ(text.find('\x01'), std::string::npos);
+  cleanup("bu_escape");
+}
+
+TEST(BenchJson, RejectsExactDuplicateKeys) {
+  BenchJson json("bu_dup");
+  json.set("line8.pps", 1.0);
+  json.set("line8.pps", 2.0);
+  EXPECT_FALSE(json.write());
+  cleanup("bu_dup");
+}
+
+TEST(BenchJson, RejectsKeyReusedAsObjectPrefix) {
+  // "a.b" as a scalar alongside "a.b.c" would stream invalid JSON:
+  // the same member cannot be both a number and an object.
+  BenchJson json("bu_prefix");
+  json.set("a.b", 1);
+  json.set("a.b.c", 2);
+  EXPECT_FALSE(json.write());
+  cleanup("bu_prefix");
+}
+
+TEST(BenchJson, SharedParentPrefixIsFine) {
+  BenchJson json("bu_ok");
+  json.set("a.b", 1);
+  json.set("a.c", 2);
+  json.set("abc", 3);  // longer name sharing characters, not a dot path
+  ASSERT_TRUE(json.write());
+  const std::string text = slurp("BENCH_bu_ok.json");
+  EXPECT_NE(text.find("\"b\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"c\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"abc\": 3"), std::string::npos);
+  cleanup("bu_ok");
+}
+
+}  // namespace
+}  // namespace empls::bench

@@ -75,8 +75,9 @@ RunResult run_line(const std::string& kind, std::size_t cache_entries,
     cfg.type = (i == 0 || i == n - 1) ? hw::RouterType::kLer
                                       : hw::RouterType::kLsr;
     cfg.flow_cache_entries = cache_entries;
-    auto r = std::make_unique<EmbeddedRouter>("R" + std::to_string(i),
-                                              make_engine(kind), cfg);
+    std::string name = "R";
+    name += std::to_string(i);
+    auto r = std::make_unique<EmbeddedRouter>(name, make_engine(kind), cfg);
     routers.push_back(r.get());
     ids.push_back(net.add_node(std::move(r)));
     cp.register_router(ids.back(), &routers.back()->routing());

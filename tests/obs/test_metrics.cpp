@@ -1,0 +1,132 @@
+// Unit tests for the metrics registry: instrument semantics, log2
+// histogram bucketing/quantiles, and the Prometheus text snapshot.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace empls::obs {
+namespace {
+
+TEST(Histogram, BucketsFollowBitWidth) {
+  Histogram h;
+  h.record(0);  // bucket 0: exactly {0}
+  h.record(1);  // bucket 1: [1, 1]
+  h.record(2);  // bucket 2: [2, 3]
+  h.record(3);
+  h.record(1023);  // bucket 10: [512, 1023]
+  h.record(1024);  // bucket 11
+  const auto& b = h.buckets();
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+  EXPECT_EQ(b[10], 1u);
+  EXPECT_EQ(b[11], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 1023 + 1024);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, ExtremesLandInTheLastBucket) {
+  Histogram h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.buckets()[64], 1u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+}
+
+TEST(Histogram, QuantileReturnsBucketUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty
+  for (int i = 0; i < 90; ++i) {
+    h.record(5);  // bucket 3, upper bound 7
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.record(1000);  // bucket 10, upper bound 1023
+  }
+  EXPECT_EQ(h.quantile(0.0), 7u);
+  EXPECT_EQ(h.quantile(0.5), 7u);
+  // Tail quantiles land in the top bucket, whose upper bound (1023) is
+  // clamped to the observed max.
+  EXPECT_EQ(h.quantile(0.99), 1000u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("empls_test_total", R"(router="A")");
+  Counter& b = reg.counter("empls_test_total", R"(router="A")");
+  Counter& c = reg.counter("empls_test_total", R"(router="B")");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(MetricsRegistry, HandlesStayValidAcrossGrowth) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("empls_first_total");
+  for (int i = 0; i < 1000; ++i) {
+    reg.counter("empls_churn_total", "i=\"" + std::to_string(i) + "\"");
+  }
+  first.inc();
+  EXPECT_EQ(reg.find_counter("empls_first_total")->value(), 1u);
+}
+
+TEST(MetricsRegistry, FindDoesNotRegister) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("empls_absent_total"), nullptr);
+  EXPECT_EQ(reg.series_count(), 0u);
+  reg.gauge("empls_g");
+  // Same name, different kind: not found.
+  EXPECT_EQ(reg.find_counter("empls_g"), nullptr);
+  EXPECT_NE(reg.find_gauge("empls_g"), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.counter("empls_rx_total", R"(router="R0")", "packets received").inc(7);
+  reg.gauge("empls_util", R"(link="A->B")").set(0.25);
+  Histogram& h = reg.histogram("empls_lat_ns", {}, "latency");
+  h.record(3);   // bucket 2 (le 3)
+  h.record(10);  // bucket 4 (le 15)
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP empls_rx_total packets received\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE empls_rx_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("empls_rx_total{router=\"R0\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE empls_util gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("empls_util{link=\"A->B\"} 0.25\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE empls_lat_ns histogram\n"), std::string::npos);
+  // Cumulative le buckets: 3 holds one sample, 15 holds both.
+  EXPECT_NE(text.find("empls_lat_ns_bucket{le=\"3\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("empls_lat_ns_bucket{le=\"15\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("empls_lat_ns_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("empls_lat_ns_sum 13\n"), std::string::npos);
+  EXPECT_NE(text.find("empls_lat_ns_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ExportOrderIsRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("empls_zz_total").inc();
+  reg.counter("empls_aa_total").inc();
+  const std::string text = reg.prometheus_text();
+  EXPECT_LT(text.find("empls_zz_total"), text.find("empls_aa_total"));
+}
+
+}  // namespace
+}  // namespace empls::obs

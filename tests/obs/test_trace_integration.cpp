@@ -1,0 +1,168 @@
+// End-to-end telemetry tests through the scenario runner: golden-trace
+// determinism, tracer-off transparency, the consolidated metrics
+// snapshot, and per-reason drop accounting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "core/scenario_runner.hpp"
+#include "net/scenario.hpp"
+#include "obs/drop_reason.hpp"
+
+namespace empls::core {
+namespace {
+
+using Report = ScenarioRunner::Report;
+
+Report run_ok(std::string_view text) {
+  auto result = ScenarioRunner::run_text(text);
+  if (const auto* err = std::get_if<net::ScenarioError>(&result)) {
+    ADD_FAILURE() << "line " << err->line << ": " << err->message;
+    return {};
+  }
+  return std::get<Report>(std::move(result));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+constexpr std::string_view kLineTopology = R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 cos=5 interval=10ms stop=0.0999
+run 0.2
+)";
+
+TEST(ScenarioTelemetry, ParserAcceptsBothSpellingsAndOff) {
+  auto parsed = net::Scenario::parse(
+      "trace out.json\nmetrics=snap.prom\nrun 0.1\n");
+  auto* s = std::get_if<net::Scenario>(&parsed);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->trace_path, "out.json");
+  EXPECT_EQ(s->metrics_path, "snap.prom");
+
+  parsed = net::Scenario::parse("trace=x\ntrace off\nmetrics m\nmetrics=off\n");
+  s = std::get_if<net::Scenario>(&parsed);
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->trace_path.empty());
+  EXPECT_TRUE(s->metrics_path.empty());
+}
+
+TEST(ScenarioTelemetry, GoldenTraceIsByteIdenticalAcrossRuns) {
+  const std::string path_a = ::testing::TempDir() + "empls_trace_a.json";
+  const std::string path_b = ::testing::TempDir() + "empls_trace_b.json";
+  run_ok(std::string(kLineTopology) + "trace " + path_a + "\n");
+  run_ok(std::string(kLineTopology) + "trace=" + path_b + "\n");
+
+  const std::string a = slurp(path_a);
+  const std::string b = slurp(path_b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "trace output must be deterministic";
+
+  // The trace is the Chrome trace-event container with per-hop spans.
+  EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(a.find("\"engine-search\""), std::string::npos);
+  EXPECT_NE(a.find("\"link-transit\""), std::string::npos);
+  EXPECT_NE(a.find("\"deliver\""), std::string::npos);
+  EXPECT_EQ(a.find("0x"), std::string::npos);  // no addresses
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(ScenarioTelemetry, TraceOffIsTransparent) {
+  const auto plain = run_ok(std::string(kLineTopology));
+  const auto off = run_ok(std::string(kLineTopology) + "trace off\n");
+  EXPECT_EQ(plain.to_string(), off.to_string());
+  EXPECT_EQ(plain.flows.flow(1).delivered, 10u);
+}
+
+TEST(ScenarioTelemetry, MetricsSnapshotConsolidatesAllProducers) {
+  const std::string prom_path = ::testing::TempDir() + "empls_metrics.prom";
+  const auto report =
+      run_ok(std::string(kLineTopology) + "metrics " + prom_path + "\n");
+
+  ASSERT_NE(report.metrics, nullptr);
+  // Router counters: one series per router, consolidated in one pass.
+  const auto* fwd =
+      report.metrics->find_counter("empls_router_forwarded_total",
+                                   R"(router="B")");
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->value(), 10u);
+  // Engine lookup histogram fed from the per-packet hot path.
+  const auto* lookups =
+      report.metrics->find_histogram("empls_engine_lookup_cycles",
+                                     R"(router="B")");
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_EQ(lookups->count(), 10u);
+  EXPECT_GT(lookups->sum(), 0u);
+  // Link transit histogram, labeled by directed link.
+  const auto* transit =
+      report.metrics->find_histogram("empls_link_transit_ns",
+                                     R"(link="A->B")");
+  ASSERT_NE(transit, nullptr);
+  EXPECT_EQ(transit->count(), 10u);
+  // Flow accounting from the same snapshot.
+  const auto* sent =
+      report.metrics->find_counter("empls_flow_sent_total", R"(flow="1")");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_EQ(sent->value(), 10u);
+
+  // The metrics= directive wrote the same snapshot as Prometheus text.
+  const std::string text = slurp(prom_path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("# TYPE empls_engine_lookup_cycles histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("empls_link_transit_ns_bucket"), std::string::npos);
+  EXPECT_NE(text.find("empls_drops_total"), std::string::npos);
+  EXPECT_EQ(text, report.metrics->prometheus_text());
+  std::remove(prom_path.c_str());
+}
+
+TEST(ScenarioTelemetry, DropsAreCountedByReason) {
+  // Fail the only link mid-run: packets sourced while it is down are
+  // discarded and must land in exactly one DropReason bucket each.
+  const auto report = run_ok(R"(
+router A ler
+router B ler
+link A B 10M 1ms
+lsp 10.1.0.0/16 A B
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.0999
+fail 0.055 A B
+run 0.2
+)");
+  EXPECT_EQ(report.flows.flow(1).sent, 10u);
+  EXPECT_EQ(report.flows.flow(1).delivered, 6u);
+  const std::uint64_t lost =
+      report.flows.flow(1).sent - report.flows.flow(1).delivered;
+  const std::uint64_t total =
+      std::accumulate(report.drops.begin(), report.drops.end(),
+                      std::uint64_t{0});
+  EXPECT_EQ(total, lost);
+  // The human report lists the nonzero reasons.
+  EXPECT_NE(report.to_string().find("drops:"), std::string::npos);
+}
+
+TEST(ScenarioTelemetry, CleanRunReportsNoDrops) {
+  const auto report = run_ok(std::string(kLineTopology));
+  const std::uint64_t total =
+      std::accumulate(report.drops.begin(), report.drops.end(),
+                      std::uint64_t{0});
+  EXPECT_EQ(total, 0u);
+  EXPECT_EQ(report.to_string().find("drops:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace empls::core

@@ -74,7 +74,8 @@ mpls::Packet random_packet(std::mt19937& rng) {
 LabelPair random_pair(std::mt19937& rng, unsigned level) {
   const rtl::u32 key =
       level == 1 ? 0xC0A80000 + rng() % 12 : 1 + rng() % 12;
-  return LabelPair{key, 100 + rng() % 900, static_cast<LabelOp>(rng() % 4)};
+  return LabelPair{key, static_cast<rtl::u32>(100 + rng() % 900),
+                   static_cast<LabelOp>(rng() % 4)};
 }
 
 class EngineDifferential
