@@ -30,6 +30,18 @@ EmbeddedRouter::EmbeddedRouter(std::string name,
   if (config_.flow_cache_entries > 0 && engine_->cacheable()) {
     flow_cache_.resize(config_.flow_cache_entries);
   }
+  if (config_.guard.enabled) {
+    guard_.emplace(config_.guard);
+  }
+}
+
+void EmbeddedRouter::set_guard(const net::GuardConfig& config) {
+  config_.guard = config;
+  if (config.enabled) {
+    guard_.emplace(config);
+  } else {
+    guard_.reset();
+  }
 }
 
 std::size_t EmbeddedRouter::cache_slot(unsigned level,
@@ -148,6 +160,16 @@ void EmbeddedRouter::export_metrics(obs::MetricsRegistry& metrics) const {
       stats_.engine_batched_packets);
   set("empls_router_policer_drops_total", stats_.policer_drops);
   set("empls_router_policer_demotions_total", stats_.policer_demotions);
+  if (guard_) {
+    const auto& g = guard_->stats();
+    set("empls_guard_reserved_drops_total", g.reserved_drops);
+    set("empls_guard_spoof_drops_total", g.spoof_drops);
+    set("empls_guard_ttl_limited_total", g.ttl_limited);
+    set("empls_guard_reprogram_refusals_total", g.reprogram_refusals);
+    set("empls_guard_demoted_total", g.demoted);
+    set("empls_guard_shed_total", g.shed);
+    set("empls_guard_admitted_total", g.admitted);
+  }
   metrics.gauge("empls_router_engine_queue_peak", label)
       .set(static_cast<double>(stats_.engine_queue_peak));
   metrics
@@ -199,6 +221,28 @@ void EmbeddedRouter::receive(net::PacketHandle packet,
     return;
   }
 
+  // Ingress guard: reserved/spoofed-label screening and the TTL-expiry
+  // budget run before the packet may queue for (and so consume) the
+  // engine datapath.  Runs after the PHP local-delivery branch so guard
+  // budgets never touch packets that exit the domain here.
+  if (guard_) {
+    const bool external = in_if == net::kInjectInterface;
+    const bool will_expire =
+        (cls.labeled ? packet->stack.top().ttl : packet->ip_ttl) <= 1;
+    // The spoof screen asks the routing functionality (software state,
+    // no engine cycles) whether the top label was ever programmed.
+    const bool binding_known =
+        !(cls.labeled && external) ||
+        routing_.out_port(cls.level, cls.key).has_value();
+    if (const auto refusal =
+            guard_->screen(cls.labeled, cls.key, will_expire, external,
+                           binding_known, network()->now())) {
+      ++stats_.guard_drops;
+      network()->notify_discard(id(), *packet, obs::to_string(*refusal));
+      return;
+    }
+  }
+
   // Ingress policing: unlabeled traffic is checked against its flow's
   // contract before it may consume a label (and the reserved bandwidth
   // behind it).
@@ -228,6 +272,33 @@ void EmbeddedRouter::receive(net::PacketHandle packet,
       ++stats_.engine_overruns;
       network()->notify_discard(id(), *work.packet, "engine-overrun");
       return;
+    }
+    // Graceful degradation: between the guard's occupancy bands and the
+    // hard overrun above, arrivals are first demoted to best effort and
+    // then shed lowest CoS first — the reserved classes see neither
+    // until the queue is moments from the cliff.
+    if (guard_) {
+      const std::uint8_t eff_cos = work.cls.labeled
+                                       ? work.packet->stack.top().cos
+                                       : work.packet->cos;
+      switch (guard_->load_action(engine_queue_.size(),
+                                  config_.engine_queue_capacity, eff_cos)) {
+        case net::IngressGuard::LoadAction::kShed:
+          guard_->count_shed();
+          ++stats_.guard_drops;
+          network()->notify_discard(id(), *work.packet, "overload-shed");
+          return;
+        case net::IngressGuard::LoadAction::kDemote:
+          // Labeled transit keeps its marking (the shim's CoS is not
+          // rewritable mid-LSP); ingress traffic is remarked here.
+          if (!work.cls.labeled) {
+            guard_->count_demoted();
+            work.packet->cos = 0;
+          }
+          break;
+        case net::IngressGuard::LoadAction::kAdmit:
+          break;
+      }
     }
     engine_queue_.push_back(std::move(work));
     stats_.engine_queue_peak =
@@ -289,10 +360,17 @@ void EmbeddedRouter::process(Pending work) {
   // Slow path: unlabeled packet with no exact hardware entry — ask the
   // routing functionality to install one from its FEC prefixes, retry.
   // Only an actual lookup miss qualifies (a TTL expiry would just
-  // re-expire).
+  // re-expire).  The guard's reprogram admission gates the install: an
+  // exhaustion attack spraying fresh destinations reprograms the
+  // information base (and invalidates every cached epoch) only at the
+  // configured rate; refused packets are stamped with their own reason.
+  std::string_view reason_override;
   if (outcome.discarded && outcome.reason == sw::DiscardReason::kMiss &&
       !cls.labeled && config_.type == hw::RouterType::kLer) {
-    if (routing_.slow_path_install(cls.key)) {
+    if (guard_ && !guard_->admit_reprogram(net->now())) {
+      reason_override =
+          obs::to_string(obs::DropReason::kReprogramRateLimited);
+    } else if (routing_.slow_path_install(cls.key)) {
       ++stats_.slow_path_retries;
       outcome = engine_->update(*work.packet, cls.level, config_.type);
       latency += outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
@@ -336,7 +414,7 @@ void EmbeddedRouter::process(Pending work) {
     net->events().schedule_in(latency, [this] { engine_done(); });
   }
   const bool fused = launch(std::move(work), cls, before, outcome, latency,
-                            fuse);
+                            fuse, reason_override);
   if (fuse && !fused) {
     net->events().schedule_in(latency, [this] { engine_done(); });
   }
@@ -426,12 +504,20 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
   }
 
   // Slow-path retries stay per packet (they are rare and reprogram the
-  // information base, which quiesces a sharded engine anyway).
+  // information base, which quiesces a sharded engine anyway).  As in
+  // process(), the guard's reprogram admission gates each install.
+  std::vector<std::uint8_t> reprogram_refused(guard_ ? n : 0, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (outcomes[i].discarded &&
-        outcomes[i].reason == sw::DiscardReason::kMiss && !cls[i].labeled &&
-        config_.type == hw::RouterType::kLer &&
-        routing_.slow_path_install(cls[i].key)) {
+    if (!(outcomes[i].discarded &&
+          outcomes[i].reason == sw::DiscardReason::kMiss &&
+          !cls[i].labeled && config_.type == hw::RouterType::kLer)) {
+      continue;
+    }
+    if (guard_ && !guard_->admit_reprogram(now)) {
+      reprogram_refused[i] = 1;
+      continue;
+    }
+    if (routing_.slow_path_install(cls[i].key)) {
       ++stats_.slow_path_retries;
       outcomes[i] = engine_->update(*work[i].packet, cls[i].level,
                                     config_.type);
@@ -481,7 +567,10 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
   for (std::size_t i = 0; i < n; ++i) {
     launch(std::move(work[i]), cls[i],
            tap_ ? befores[i] : mpls::Packet(), outcomes[i], latency,
-           /*fuse_engine_done=*/false);  // one engine_done serves the batch
+           /*fuse_engine_done=*/false,  // one engine_done serves the batch
+           !reprogram_refused.empty() && reprogram_refused[i] != 0
+               ? obs::to_string(obs::DropReason::kReprogramRateLimited)
+               : std::string_view{});
   }
 }
 
@@ -489,7 +578,8 @@ bool EmbeddedRouter::launch(Pending work,
                             const IngressProcessor::Classification& cls,
                             const mpls::Packet& before,
                             const sw::UpdateOutcome& outcome,
-                            double latency, bool fuse_engine_done) {
+                            double latency, bool fuse_engine_done,
+                            std::string_view discard_reason_override) {
   net::Network* net = network();
   net::PacketHandle packet = std::move(work.packet);
 
@@ -498,7 +588,10 @@ bool EmbeddedRouter::launch(Pending work,
   }
   if (outcome.discarded) {
     ++stats_.discarded;
-    net->notify_discard(id(), *packet, sw::to_string(outcome.reason));
+    net->notify_discard(id(), *packet,
+                        discard_reason_override.empty()
+                            ? sw::to_string(outcome.reason)
+                            : discard_reason_override);
     return false;
   }
   count_op(outcome.applied);

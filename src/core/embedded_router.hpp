@@ -22,12 +22,14 @@
 #include <map>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/ingress.hpp"
 
 #include "core/routing_functionality.hpp"
 #include "hw/commands.hpp"
+#include "net/guard.hpp"
 #include "net/node.hpp"
 #include "net/policer.hpp"
 #include "net/stats.hpp"
@@ -75,6 +77,11 @@ struct RouterConfig {
   /// cost.  0 = off.  Ignored (with a stat-visible fallback to off) for
   /// engines that must see every packet (hw, pipeline, sharded).
   std::size_t flow_cache_entries = 0;
+  /// Ingress guard (overload survival): reserved/spoofed-label
+  /// screening, TTL-expiry and reprogram rate limits, and graceful
+  /// degradation bands over the engine queue.  Disabled by default — an
+  /// unguarded router behaves exactly as before this stage existed.
+  net::GuardConfig guard{};
 };
 
 class EmbeddedRouter : public net::Node {
@@ -111,6 +118,19 @@ class EmbeddedRouter : public net::Node {
   /// config (the data-plane half of admission control).
   void set_policer(std::uint32_t flow_id, const net::PolicerConfig& config);
 
+  /// Arm (or re-arm) the ingress guard after construction; a config
+  /// with enabled=false disarms it.
+  void set_guard(const net::GuardConfig& config);
+  /// Whether an armed guard screens arrivals.
+  [[nodiscard]] bool guard_enabled() const noexcept {
+    return guard_.has_value();
+  }
+  /// Guard refusal tallies (zeros when no guard is armed).
+  [[nodiscard]] const net::GuardStats& guard_stats() const noexcept {
+    static constexpr net::GuardStats kNone{};
+    return guard_ ? guard_->stats() : kNone;
+  }
+
   struct Stats {
     std::uint64_t received = 0;
     std::uint64_t forwarded = 0;
@@ -129,6 +149,8 @@ class EmbeddedRouter : public net::Node {
     std::uint64_t engine_batched_packets = 0;  // packets served in batches
     std::uint64_t policer_drops = 0;
     std::uint64_t policer_demotions = 0;
+    /// Ingress-guard refusals in total (per-cause split in GuardStats).
+    std::uint64_t guard_drops = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -163,9 +185,13 @@ class EmbeddedRouter : public net::Node {
   /// engine-idle transition rides inside it (one event, not two);
   /// returns whether it did, so process() can fall back to a separate
   /// event on the discard paths.
+  /// `discard_reason_override`, when non-empty, replaces the engine's
+  /// discard reason string (the guard's reprogram-admission refusal
+  /// re-stamps a lookup miss as kReprogramRateLimited).
   bool launch(Pending work, const IngressProcessor::Classification& cls,
               const mpls::Packet& before, const sw::UpdateOutcome& outcome,
-              double latency, bool fuse_engine_done);
+              double latency, bool fuse_engine_done,
+              std::string_view discard_reason_override = {});
   /// Start the next queued packet or batch, if any (engine went idle).
   void engine_done();
 
@@ -207,6 +233,7 @@ class EmbeddedRouter : public net::Node {
   bool engine_busy_ = false;
   std::map<std::uint32_t, std::pair<net::PolicerConfig, net::TokenBucket>>
       policers_;
+  std::optional<net::IngressGuard> guard_;  // nullopt = no guard stage
   obs::HopTracer* tracer_ = nullptr;
   obs::Histogram* hist_lookup_cycles_ = nullptr;
   obs::Histogram* hist_engine_wait_ns_ = nullptr;

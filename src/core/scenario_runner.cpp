@@ -5,8 +5,10 @@
 #include <optional>
 #include <sstream>
 
+#include "net/attack.hpp"
 #include "net/failure_detector.hpp"
 #include "net/fault_injector.hpp"
+#include "net/loadgen.hpp"
 #include "net/oam.hpp"
 #include "net/protection.hpp"
 #include "obs/trace.hpp"
@@ -181,14 +183,109 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
         .set_policer(decl.flow_id, cfg);
   }
 
-  // Delivery accounting (OAM probes use reserved flow ids and must not
-  // pollute the traffic statistics).
-  net.set_delivery_handler([&report, &net](net::NodeId,
-                                           const mpls::Packet& p) {
-    if (p.flow_id < net::kOamFlowBase) {
-      report.flows.on_delivered(p, net.now());
+  // Ingress guards (the `guard` directive; `guard *` arms every
+  // router with the same thresholds).
+  for (const auto& decl : scenario.guards) {
+    if (decl.router == "*") {
+      for (const auto& r : scenario.routers) {
+        net.node_as<EmbeddedRouter>(id_of(r.name)).set_guard(decl.config);
+      }
+    } else {
+      net.node_as<EmbeddedRouter>(id_of(decl.router))
+          .set_guard(decl.config);
     }
+  }
+
+  // Overload machinery: one shared flow ledger for every open-loop
+  // generator, per-attack delivery tallies, and a drop accountant to
+  // close the books (it must subscribe before any packet can drop).
+  const bool overload = !scenario.loadgens.empty() ||
+                        !scenario.attacks.empty();
+  std::optional<net::FlowLedger> ledger;
+  std::optional<net::DropAccountant> accountant;
+  std::vector<std::uint64_t> attack_delivered(scenario.attacks.size(), 0);
+  if (overload) {
+    accountant.emplace(net);
+  }
+  if (!scenario.loadgens.empty()) {
+    ledger.emplace();
+  }
+
+  // Delivery accounting.  Reserved flow-id blocks keep the scripted
+  // statistics clean: OAM probes are dropped from the books entirely,
+  // open-loop flows go to the flat ledger (FlowStats would keep every
+  // latency sample of millions of flows), attack deliveries are tallied
+  // per campaign row.
+  net.set_delivery_handler([&report, &net, &ledger, &attack_delivered](
+                               net::NodeId, const mpls::Packet& p) {
+    if (p.flow_id >= net::kOamFlowBase) {
+      return;
+    }
+    if (p.flow_id >= net::kAttackFlowBase) {
+      const std::size_t i = p.flow_id - net::kAttackFlowBase;
+      if (i < attack_delivered.size()) {
+        ++attack_delivered[i];
+      }
+      return;
+    }
+    if (p.flow_id >= net::kLoadGenFlowBase) {
+      if (ledger) {
+        ledger->on_delivered(p.flow_id, net.now() - p.created_at);
+      }
+      return;
+    }
+    report.flows.on_delivered(p, net.now());
   });
+
+  // Open-loop generators (the `loadgen` directive), each with its own
+  // 16M-flow id block.
+  std::vector<std::unique_ptr<net::OpenLoopGenerator>> generators;
+  for (std::size_t i = 0; i < scenario.loadgens.size(); ++i) {
+    const auto& decl = scenario.loadgens[i];
+    net::LoadGenConfig cfg;
+    cfg.arrivals = decl.kind == "mmpp"
+                       ? net::LoadGenConfig::Arrivals::kMmpp
+                       : net::LoadGenConfig::Arrivals::kPoisson;
+    cfg.ingress = id_of(decl.ingress);
+    cfg.dst = *mpls::Ipv4Address::parse(decl.dst);
+    cfg.rate_pps = decl.rate_pps;
+    cfg.burst_rate_pps = decl.burst_rate_pps;
+    cfg.mean_sojourn = decl.sojourn;
+    cfg.concurrent_flows = decl.flows;
+    cfg.pareto_alpha = decl.alpha;
+    cfg.pareto_min_packets = decl.min_packets;
+    cfg.cos = decl.cos;
+    cfg.payload_bytes = decl.size;
+    cfg.seed = decl.seed;
+    cfg.flow_id_base = net::kLoadGenFlowBase +
+                       static_cast<std::uint32_t>(i) *
+                           net::kLoadGenFlowStride;
+    cfg.start = decl.start;
+    cfg.stop = decl.stop;
+    generators.push_back(std::make_unique<net::OpenLoopGenerator>(
+        net, cfg, &*ledger));
+    generators.back()->start();
+  }
+
+  // Attack campaigns (the `attack` directive).
+  std::optional<net::AttackCampaign> campaign;
+  if (!scenario.attacks.empty()) {
+    campaign.emplace(net);
+    for (const auto& decl : scenario.attacks) {
+      net::AttackSpec spec;
+      spec.kind = *net::attack_kind_from_string(decl.kind);
+      spec.at = decl.at;
+      spec.duration = decl.duration;
+      spec.ingress = id_of(decl.ingress);
+      spec.rate_pps = decl.rate_pps;
+      spec.seed = decl.seed;
+      if (!decl.dst.empty()) {
+        spec.dst = *mpls::Ipv4Address::parse(decl.dst);
+      }
+      spec.cos = decl.cos;
+      campaign->launch(spec);
+    }
+  }
 
   // Traffic sources (kept alive for the run's duration).
   std::vector<std::unique_ptr<net::TrafficSource>> sources;
@@ -333,6 +430,48 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
       report.resyncs_repaired += rec.resynced;
     }
   }
+  if (ledger) {
+    LoadGenSummary s;
+    s.sent = ledger->sent_total();
+    s.delivered = ledger->delivered_total();
+    s.drops = accountant->drops_in_range(net::kLoadGenFlowBase,
+                                         net::kAttackFlowBase);
+    for (const auto& gen : generators) {
+      s.flows_started += gen->stats().flows_started;
+      s.flows_completed += gen->stats().flows_completed;
+    }
+    s.p99_s = ledger->latency_quantile_s(0.99);
+    s.p999_s = ledger->latency_quantile_s(0.999);
+    s.conserved = ledger->conserved(*accountant);
+    report.loadgen = s;
+  }
+  if (campaign) {
+    const auto& records = campaign->records();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto& rec = records[i];
+      AttackRow row;
+      row.kind = std::string(net::to_string(rec.spec.kind));
+      row.at = rec.spec.at;
+      row.injected = rec.injected;
+      row.delivered = attack_delivered[i];
+      row.drops = accountant->drops_in_range(rec.flow_id, rec.flow_id + 1);
+      report.attacks.push_back(std::move(row));
+    }
+  }
+  for (const auto& decl : scenario.routers) {
+    const auto& router = net.node_as<EmbeddedRouter>(id_of(decl.name));
+    if (router.guard_enabled()) {
+      report.guard_armed = true;
+      const auto& g = router.guard_stats();
+      report.guard.reserved_drops += g.reserved_drops;
+      report.guard.spoof_drops += g.spoof_drops;
+      report.guard.ttl_limited += g.ttl_limited;
+      report.guard.reprogram_refusals += g.reprogram_refusals;
+      report.guard.demoted += g.demoted;
+      report.guard.shed += g.shed;
+      report.guard.admitted += g.admitted;
+    }
+  }
 
   for (const auto& decl : scenario.routers) {
     const auto& router = net.node_as<EmbeddedRouter>(id_of(decl.name));
@@ -431,6 +570,30 @@ std::string ScenarioRunner::Report::to_string() const {
       }
     }
     out << '\n';
+  }
+  if (guard_armed) {
+    out << "guard: reserved=" << guard.reserved_drops
+        << " spoof=" << guard.spoof_drops << " ttl=" << guard.ttl_limited
+        << " reprogram=" << guard.reprogram_refusals
+        << " demoted=" << guard.demoted << " shed=" << guard.shed
+        << " admitted=" << guard.admitted << '\n';
+  }
+  if (loadgen) {
+    out << "loadgen: sent=" << loadgen->sent
+        << " delivered=" << loadgen->delivered
+        << " drops=" << loadgen->drops
+        << " flows=" << loadgen->flows_started << '/'
+        << loadgen->flows_completed << " p99=" << loadgen->p99_s
+        << "s p999=" << loadgen->p999_s << "s"
+        << (loadgen->conserved ? " (conserved)" : " (NOT CONSERVED)")
+        << '\n';
+  }
+  if (!attacks.empty()) {
+    out << "attacks:\n";
+    for (const auto& a : attacks) {
+      out << "  " << a.kind << " @" << a.at << "s: injected=" << a.injected
+          << " delivered=" << a.delivered << " dropped=" << a.drops << '\n';
+    }
   }
   out << "\nflows:\n" << flows.summary() << "\nrouters:\n";
   for (const auto& r : routers) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -41,6 +42,29 @@ class ScenarioRunner {
     std::uint64_t queue_drops = 0;
   };
 
+  /// Aggregate over every `loadgen` directive (one shared FlowLedger).
+  struct LoadGenSummary {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t drops = 0;  // attributed to loadgen flow ids
+    std::uint64_t flows_started = 0;
+    std::uint64_t flows_completed = 0;
+    double p99_s = 0;   // delivery latency quantiles (bucket resolution)
+    double p999_s = 0;
+    /// Exact conservation over every open-loop flow:
+    /// sent == delivered + accounted drops.
+    bool conserved = true;
+  };
+
+  /// One row per `attack` directive, books closed after the run.
+  struct AttackRow {
+    std::string kind;
+    net::SimTime at = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;  // attack packets that got through
+    std::uint64_t drops = 0;      // attributed to the attack's flow id
+  };
+
   struct Report {
     net::FlowStats flows;
     std::vector<RouterRow> routers;
@@ -55,6 +79,14 @@ class ScenarioRunner {
     std::uint64_t corruptions_injected = 0;  // corrupt directives that hit
     std::uint64_t resyncs_repaired = 0;      // divergent entries fixed
     std::vector<std::string> oam_results;  // one line per ping/traceroute
+    /// Present when the scenario declared `loadgen` directives.
+    std::optional<LoadGenSummary> loadgen;
+    /// One row per `attack` directive, in declaration order.
+    std::vector<AttackRow> attacks;
+    /// Guard refusals summed over every guarded router (all zero when
+    /// no `guard` directive armed one).
+    net::GuardStats guard{};
+    bool guard_armed = false;
     net::SimTime duration = 0;
     /// Simulator fast-path counters (event queue + packet pool).
     net::SimStats sim;

@@ -1,0 +1,141 @@
+#include "net/attack.hpp"
+
+#include <sstream>
+
+#include "mpls/label.hpp"
+
+namespace empls::net {
+
+std::optional<AttackKind> attack_kind_from_string(
+    std::string_view s) noexcept {
+  for (const auto kind : {AttackKind::kSpoof, AttackKind::kTtlFlood,
+                          AttackKind::kReserved, AttackKind::kExhaust}) {
+    if (s == to_string(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t AttackCampaign::launch(const AttackSpec& spec) {
+  const std::size_t index = records_.size();
+  AttackRecord rec;
+  rec.spec = spec;
+  rec.flow_id = kAttackFlowBase + static_cast<std::uint32_t>(index);
+  records_.push_back(rec);
+  rngs_.emplace_back(spec.seed);
+  net_->events().schedule_at(spec.at, [this, index] { fire(index); });
+  return index;
+}
+
+std::vector<AttackSpec> AttackCampaign::generate_campaign(
+    std::uint64_t seed, unsigned count, SimTime start, SimTime horizon,
+    const std::vector<NodeId>& ingresses, mpls::Ipv4Address dst) const {
+  std::vector<AttackSpec> specs;
+  if (ingresses.empty() || horizon <= start) {
+    return specs;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> when(start, horizon);
+  constexpr AttackKind kKinds[] = {AttackKind::kSpoof, AttackKind::kTtlFlood,
+                                   AttackKind::kReserved,
+                                   AttackKind::kExhaust};
+  for (unsigned i = 0; i < count; ++i) {
+    AttackSpec spec;
+    spec.kind = kKinds[i % 4];  // every kind appears in any 4-attack window
+    spec.at = when(rng);
+    spec.duration = std::min(horizon - spec.at, 0.2 + 0.3 * when(rng));
+    spec.ingress = ingresses[rng() % ingresses.size()];
+    spec.rate_pps = 5000 + static_cast<double>(rng() % 20000);
+    spec.seed = rng();
+    spec.dst = dst;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::size_t AttackCampaign::schedule_campaign(
+    const std::vector<AttackSpec>& specs) {
+  for (const auto& spec : specs) {
+    launch(spec);
+  }
+  return specs.size();
+}
+
+void AttackCampaign::emit(std::size_t index) {
+  AttackRecord& rec = records_[index];
+  std::mt19937_64& rng = rngs_[index];
+
+  PacketHandle p = net_->pool().acquire();
+  p->l2 = mpls::L2Type::kEthernet;
+  p->src = {};
+  p->dst = rec.spec.dst;
+  p->cos = rec.spec.cos;
+  p->ip_ttl = 64;
+  p->payload.assign(64, 0xEE);
+  p->id = rec.injected;
+  p->flow_id = rec.flow_id;
+  p->created_at = net_->now();
+
+  switch (rec.spec.kind) {
+    case AttackKind::kSpoof:
+      // A label from far above any per-router allocator base — never
+      // programmed, so the binding check cannot know it.
+      p->stack.push(mpls::LabelEntry{
+          0x80000 + static_cast<std::uint32_t>(rng() % 0x70000),
+          rec.spec.cos, false, 64});
+      break;
+    case AttackKind::kReserved:
+      // Walk the whole reserved range 0..15.
+      p->stack.push(mpls::LabelEntry{
+          static_cast<std::uint32_t>(rec.injected % 16), rec.spec.cos,
+          false, 64});
+      break;
+    case AttackKind::kTtlFlood:
+      p->ip_ttl = 1;  // expires at the first engine it reaches
+      break;
+    case AttackKind::kExhaust:
+      // Spray distinct destinations within the victim /16: every packet
+      // is a fresh FEC-covered address demanding its own slow-path
+      // install.
+      p->dst.value = (rec.spec.dst.value & 0xFFFF0000u) |
+                     static_cast<std::uint32_t>(rng() % 0x10000u);
+      break;
+  }
+
+  ++rec.injected;
+  net_->inject(rec.spec.ingress, std::move(p));
+}
+
+void AttackCampaign::fire(std::size_t index) {
+  const AttackSpec& spec = records_[index].spec;
+  if (net_->now() >= spec.at + spec.duration) {
+    return;
+  }
+  emit(index);
+  std::exponential_distribution<double> gap(spec.rate_pps);
+  net_->events().schedule_in(gap(rngs_[index]),
+                             [this, index] { fire(index); });
+}
+
+std::uint64_t AttackCampaign::injected_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& rec : records_) {
+    total += rec.injected;
+  }
+  return total;
+}
+
+std::string AttackCampaign::summary() const {
+  unsigned counts[4] = {0, 0, 0, 0};
+  for (const auto& rec : records_) {
+    ++counts[static_cast<std::size_t>(rec.spec.kind)];
+  }
+  std::ostringstream os;
+  os << "attacks=" << records_.size() << " spoof=" << counts[0]
+     << " ttl_flood=" << counts[1] << " reserved=" << counts[2]
+     << " exhaust=" << counts[3] << " injected=" << injected_total();
+  return os.str();
+}
+
+}  // namespace empls::net

@@ -1,0 +1,118 @@
+// Adversarial traffic campaigns, beside FaultInjector.
+//
+// The MPLS security survey (arXiv 2409.03795) catalogs the attacks a
+// production LSR faces from off the domain; AttackCampaign drives the
+// four that target the data plane, as seeded reproducible injections:
+//
+//   spoof     — labeled packets whose labels were never programmed,
+//               trying to be switched onto someone's LSP;
+//   ttl_flood — packets arriving with TTL 1, each a slow-path expiry
+//               event, trying to starve the datapath;
+//   reserved  — packets carrying reserved labels (0..15), whose
+//               protocol semantics must never be forwarded on;
+//   exhaust   — unlabeled packets spraying fresh destinations inside a
+//               routed prefix, forcing a slow-path info-base install
+//               (and a flow-cache epoch invalidation) per packet.
+//
+// Every campaign packet carries a flow id in the attack block
+// [kAttackFlowBase, kOamFlowBase), so victim statistics stay clean and
+// the drop accountant can attribute attack losses exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpls/packet.hpp"
+#include "net/loadgen.hpp"
+#include "net/network.hpp"
+
+namespace empls::net {
+
+enum class AttackKind : std::uint8_t {
+  kSpoof,
+  kTtlFlood,
+  kReserved,
+  kExhaust,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AttackKind k) noexcept {
+  switch (k) {
+    case AttackKind::kSpoof:
+      return "spoof";
+    case AttackKind::kTtlFlood:
+      return "ttl_flood";
+    case AttackKind::kReserved:
+      return "reserved";
+    case AttackKind::kExhaust:
+      return "exhaust";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<AttackKind> attack_kind_from_string(
+    std::string_view s) noexcept;
+
+struct AttackSpec {
+  AttackKind kind = AttackKind::kSpoof;
+  SimTime at = 0;
+  SimTime duration = 0.5;
+  NodeId ingress = 0;
+  /// Mean injection rate (Poisson arrivals within [at, at+duration)).
+  double rate_pps = 10000;
+  std::uint64_t seed = 1;
+  /// Victim prefix address: routed target for ttl_flood, sprayed /16
+  /// for exhaust (unused by spoof / reserved).
+  mpls::Ipv4Address dst{};
+  /// CoS the attacker claims (a real attacker claims the best class).
+  std::uint8_t cos = 7;
+};
+
+struct AttackRecord {
+  AttackSpec spec;
+  /// Flow id all of this attack's packets carry.
+  std::uint32_t flow_id = 0;
+  std::uint64_t injected = 0;
+};
+
+class AttackCampaign {
+ public:
+  explicit AttackCampaign(Network& net) : net_(&net) {}
+  AttackCampaign(const AttackCampaign&) = delete;
+  AttackCampaign& operator=(const AttackCampaign&) = delete;
+
+  /// Schedule one attack on the network's event queue.  Returns the
+  /// index of its record.
+  std::size_t launch(const AttackSpec& spec);
+
+  /// Seeded mixed campaign: `count` attacks of rotating kinds at
+  /// uniform times in [start, horizon), ingresses drawn from the given
+  /// candidates.  Reproducible from the seed alone.
+  [[nodiscard]] std::vector<AttackSpec> generate_campaign(
+      std::uint64_t seed, unsigned count, SimTime start, SimTime horizon,
+      const std::vector<NodeId>& ingresses, mpls::Ipv4Address dst) const;
+
+  /// launch() every spec.  Returns the number scheduled.
+  std::size_t schedule_campaign(const std::vector<AttackSpec>& specs);
+
+  [[nodiscard]] const std::vector<AttackRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t injected_total() const noexcept;
+
+  /// "attacks=4 spoof=1 ttl_flood=1 reserved=1 exhaust=1 injected=40000"
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void fire(std::size_t index);
+  void emit(std::size_t index);
+
+  Network* net_;
+  std::vector<AttackRecord> records_;
+  std::vector<std::mt19937_64> rngs_;
+};
+
+}  // namespace empls::net

@@ -198,13 +198,34 @@ DropAccountant::DropAccountant(Network& net) {
 
 void DropAccountant::account(std::uint32_t flow_id, std::string_view reason) {
   ++by_flow_[flow_id];
-  ++by_reason_[std::string(reason)];
+  ++reasons_[static_cast<std::size_t>(obs::drop_reason_from_string(reason))];
   ++total_;
 }
 
 std::uint64_t DropAccountant::drops(std::uint32_t flow_id) const {
-  const auto it = by_flow_.find(flow_id);
-  return it == by_flow_.end() ? 0 : it->second;
+  return by_flow_.get(flow_id);
+}
+
+std::map<std::string, std::uint64_t> DropAccountant::by_reason() const {
+  std::map<std::string, std::uint64_t> out;
+  for (std::size_t i = 0; i < obs::kDropReasonCount; ++i) {
+    if (reasons_[i] > 0) {
+      out.emplace(obs::to_string(static_cast<obs::DropReason>(i)),
+                  reasons_[i]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t DropAccountant::drops_in_range(std::uint32_t lo,
+                                             std::uint32_t hi) const {
+  std::uint64_t sum = 0;
+  by_flow_.for_each([&](std::uint32_t flow, std::uint64_t n) {
+    if (flow >= lo && flow < hi) {
+      sum += n;
+    }
+  });
+  return sum;
 }
 
 bool DropAccountant::conserved(const FlowStats& stats) const {

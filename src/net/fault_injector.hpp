@@ -21,9 +21,11 @@
 #include <string_view>
 #include <vector>
 
+#include "net/flat_counts.hpp"
 #include "net/ldp.hpp"
 #include "net/network.hpp"
 #include "net/stats.hpp"
+#include "obs/drop_reason.hpp"
 
 namespace empls::net {
 
@@ -115,9 +117,26 @@ class DropAccountant {
 
   [[nodiscard]] std::uint64_t drops(std::uint32_t flow_id) const;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& by_reason()
-      const noexcept {
-    return by_reason_;
+  /// Per-reason totals indexed by obs::DropReason (the accounting path
+  /// maps the reason string to its enum once per drop — no string
+  /// allocation, no map).
+  [[nodiscard]] const obs::DropCounts& reason_counts() const noexcept {
+    return reasons_;
+  }
+  [[nodiscard]] std::uint64_t drops_for(obs::DropReason r) const noexcept {
+    return reasons_[static_cast<std::size_t>(r)];
+  }
+  /// Legacy string-keyed view, built on demand (reporting only).
+  [[nodiscard]] std::map<std::string, std::uint64_t> by_reason() const;
+
+  /// Aggregate drops over a half-open flow-id range (used to close the
+  /// books on an open-loop generator's id block without walking a map).
+  [[nodiscard]] std::uint64_t drops_in_range(std::uint32_t lo,
+                                             std::uint32_t hi) const;
+
+  /// Distinct flows that lost at least one packet.
+  [[nodiscard]] std::size_t flows_with_drops() const noexcept {
+    return by_flow_.size();
   }
 
   /// True when every flow in `stats` conserves packets.
@@ -126,8 +145,8 @@ class DropAccountant {
  private:
   void account(std::uint32_t flow_id, std::string_view reason);
 
-  std::map<std::uint32_t, std::uint64_t> by_flow_;
-  std::map<std::string, std::uint64_t> by_reason_;
+  FlatCounts by_flow_;
+  obs::DropCounts reasons_{};
   std::uint64_t total_ = 0;
 };
 

@@ -1,0 +1,121 @@
+// Open-addressing flat counter table: u32 key → u64 count.
+//
+// The drop accountant and the open-loop flow ledger both tally events
+// per flow id on the hot path.  At campaign scale (millions of
+// concurrent flows) a std::map node allocation per new flow is a
+// hot-path malloc and an rb-tree walk per increment; this table is two
+// flat arrays with linear probing — O(1) amortised, no per-key heap
+// objects, and growth only at power-of-two rehash points (never on the
+// steady-state increment path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace empls::net {
+
+class FlatCounts {
+ public:
+  /// Key that can never be stored (0xFFFFFFFF marks an empty slot; no
+  /// simulator flow id reaches it — OAM tops out at 0xFFFxxxxx).
+  static constexpr std::uint32_t kEmptyKey = 0xFFFFFFFFu;
+
+  explicit FlatCounts(std::size_t initial_slots = 1024) {
+    std::size_t cap = 16;
+    while (cap < initial_slots) {
+      cap <<= 1;
+    }
+    keys_.assign(cap, kEmptyKey);
+    vals_.assign(cap, 0);
+  }
+
+  /// Find-or-insert: the counter cell for `key` (inserted at 0).
+  std::uint64_t& operator[](std::uint32_t key) {
+    if ((used_ + 1) * 10 >= keys_.size() * 7) {  // load factor 0.7
+      grow();
+    }
+    const std::size_t i = probe(key);
+    if (keys_[i] == kEmptyKey) {
+      keys_[i] = key;
+      ++used_;
+    }
+    return vals_[i];
+  }
+
+  /// Count for `key`; 0 when never seen.
+  [[nodiscard]] std::uint64_t get(std::uint32_t key) const {
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    while (keys_[i] != kEmptyKey) {
+      if (keys_[i] == key) {
+        return vals_[i];
+      }
+      i = (i + 1) & mask;
+    }
+    return 0;
+  }
+
+  /// Distinct keys stored.
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  /// Slot capacity (power of two).
+  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
+
+  /// Visit every (key, count) pair, unordered.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) {
+        f(keys_[i], vals_[i]);
+      }
+    }
+  }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    std::fill(vals_.begin(), vals_.end(), 0);
+    used_ = 0;
+  }
+
+ private:
+  // splitmix32 finalizer: full-avalanche spread so sequential flow ids
+  // do not cluster into one probe chain.
+  [[nodiscard]] static std::uint32_t hash(std::uint32_t x) noexcept {
+    x ^= x >> 16;
+    x *= 0x7feb352dU;
+    x ^= x >> 15;
+    x *= 0x846ca68bU;
+    x ^= x >> 16;
+    return x;
+  }
+
+  [[nodiscard]] std::size_t probe(std::uint32_t key) const noexcept {
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    while (keys_[i] != kEmptyKey && keys_[i] != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old_keys = std::move(keys_);
+    std::vector<std::uint64_t> old_vals = std::move(vals_);
+    keys_.assign(old_keys.size() * 2, kEmptyKey);
+    vals_.assign(old_vals.size() * 2, 0);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) {
+        const std::size_t j = probe(old_keys[i]);
+        keys_[j] = old_keys[i];
+        vals_[j] = old_vals[i];
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint64_t> vals_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace empls::net

@@ -1,0 +1,90 @@
+#include "net/guard.hpp"
+
+#include <algorithm>
+
+#include "mpls/label.hpp"
+
+namespace empls::net {
+
+namespace {
+
+// Packet-per-second budgets ride the byte-denominated TokenBucket with
+// 1 "byte" per packet: rate_bps = pps * 8.  Burst is a tenth of a
+// second of budget (at least 8 packets) so short legitimate clusters —
+// an OAM traceroute's stepped-TTL probes, a burst of new flows — pass
+// while a sustained flood is clipped to the configured rate.
+TokenBucket make_pps_bucket(double pps) {
+  const double rate = pps > 0 ? pps : 1.0;
+  return TokenBucket(rate * 8.0, std::max(8.0, rate / 10.0));
+}
+
+}  // namespace
+
+IngressGuard::IngressGuard(const GuardConfig& cfg)
+    : cfg_(cfg),
+      ttl_bucket_(make_pps_bucket(cfg.ttl_expiry_pps)),
+      reprogram_bucket_(make_pps_bucket(cfg.reprogram_per_s)) {}
+
+std::optional<obs::DropReason> IngressGuard::screen(bool labeled,
+                                                    std::uint32_t top_label,
+                                                    bool will_expire,
+                                                    bool external,
+                                                    bool binding_known,
+                                                    SimTime now) {
+  if (labeled && external) {
+    // Off-domain labeled arrivals are the spoofing surface: a domain's
+    // own transit labels arrive on internal interfaces and are vouched
+    // for by the upstream LSR.
+    if (cfg_.check_reserved && mpls::is_reserved_label(top_label)) {
+      ++stats_.reserved_drops;
+      return obs::DropReason::kReservedLabel;
+    }
+    if (cfg_.check_spoof && !binding_known) {
+      ++stats_.spoof_drops;
+      return obs::DropReason::kSpoofedLabel;
+    }
+  }
+  if (will_expire && cfg_.ttl_expiry_pps > 0 &&
+      !ttl_bucket_.conforms(1, now)) {
+    ++stats_.ttl_limited;
+    return obs::DropReason::kTtlRateLimited;
+  }
+  ++stats_.admitted;
+  return std::nullopt;
+}
+
+bool IngressGuard::admit_reprogram(SimTime now) {
+  if (cfg_.reprogram_per_s <= 0 || reprogram_bucket_.conforms(1, now)) {
+    return true;
+  }
+  ++stats_.reprogram_refusals;
+  return false;
+}
+
+IngressGuard::LoadAction IngressGuard::load_action(std::size_t queue_len,
+                                                   std::size_t capacity,
+                                                   std::uint8_t cos) {
+  if (capacity == 0) {
+    return LoadAction::kAdmit;
+  }
+  const double occ =
+      static_cast<double>(queue_len) / static_cast<double>(capacity);
+  if (cfg_.shed_occupancy < 1.0 && occ >= cfg_.shed_occupancy) {
+    // The shed floor rises from CoS 1 at the band's edge towards CoS 8
+    // at a full queue: best effort is sacrificed first, and only a
+    // queue moments from overrun sheds the reserved classes.
+    const double t =
+        (occ - cfg_.shed_occupancy) / (1.0 - cfg_.shed_occupancy);
+    const auto floor = 1 + static_cast<unsigned>(t * 7.0);
+    if (cos < floor) {
+      return LoadAction::kShed;
+    }
+  }
+  if (cfg_.demote_occupancy < 1.0 && occ >= cfg_.demote_occupancy &&
+      cos > 0 && cos <= cfg_.demote_cos_max) {
+    return LoadAction::kDemote;
+  }
+  return LoadAction::kAdmit;
+}
+
+}  // namespace empls::net

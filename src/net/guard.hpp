@@ -1,0 +1,117 @@
+// Ingress guard: the router's overload-survival stage.
+//
+// The MPLS security survey (arXiv 2409.03795) catalogs the adversarial
+// inputs a production LSR must shrug off; this stage composes the
+// existing token bucket with four protections, each refusal stamped
+// with its own obs::DropReason so attack traffic is fully attributable
+// in the drop partition:
+//
+//   * reserved-label validation — the reserved range 0..15 carries
+//     protocol semantics (explicit null, router alert) and must never
+//     be accepted as a forwarding label from off the domain;
+//   * spoofed-label screening — an off-domain labeled packet whose top
+//     label has no programmed binding is an injection attempt, refused
+//     before it can consume the engine datapath;
+//   * a TTL-expiry rate limiter — packets that will expire are slow-path
+//     work (ICMP generation in a real router); a flood of ttl=1 packets
+//     must not starve the datapath, so expiry processing is budgeted;
+//   * info-base reprogram admission — slow-path installs reprogram the
+//     information base (and invalidate every flow-cache epoch); an
+//     exhaustion attack spraying fresh destinations is admitted only at
+//     a bounded reprogram rate.
+//
+// Degradation under load is graceful rather than cliff-edge: as the
+// engine queue fills past `demote_occupancy`, low-CoS arrivals are
+// remarked to best effort; past `shed_occupancy` the guard sheds lowest
+// CoS first, with the shed floor rising with occupancy — so reserved
+// classes keep their latency while best effort absorbs the loss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/policer.hpp"
+#include "obs/drop_reason.hpp"
+
+namespace empls::net {
+
+struct GuardConfig {
+  /// Master arm; a default-constructed router carries no guard at all.
+  bool enabled = false;
+  /// Refuse reserved labels (0..15) arriving from off the domain.
+  bool check_reserved = true;
+  /// Refuse off-domain labels with no programmed binding.
+  bool check_spoof = true;
+  /// Budget for packets that will expire (packets/s; 0 = unlimited).
+  double ttl_expiry_pps = 1000;
+  /// Budget for slow-path info-base installs (installs/s; 0 = unlimited).
+  double reprogram_per_s = 200;
+  /// Engine-queue occupancy above which CoS 1..demote_cos_max arrivals
+  /// are remarked to best effort (>= 1 disables).
+  double demote_occupancy = 0.5;
+  /// Occupancy above which arrivals are shed lowest CoS first (>= 1
+  /// disables; the shed floor rises from CoS 1 here to CoS 7 at full).
+  double shed_occupancy = 0.75;
+  /// Highest CoS the demotion band may remark.
+  std::uint8_t demote_cos_max = 3;
+};
+
+struct GuardStats {
+  std::uint64_t reserved_drops = 0;
+  std::uint64_t spoof_drops = 0;
+  std::uint64_t ttl_limited = 0;
+  std::uint64_t reprogram_refusals = 0;
+  std::uint64_t demoted = 0;
+  std::uint64_t shed = 0;
+  /// Packets that passed every screen.
+  std::uint64_t admitted = 0;
+};
+
+class IngressGuard {
+ public:
+  explicit IngressGuard(const GuardConfig& cfg);
+
+  [[nodiscard]] const GuardConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const GuardStats& stats() const noexcept { return stats_; }
+
+  /// Screen one arrival before it may queue for the engine.  Returns
+  /// the stamped refusal reason, or nullopt to admit.  `external` is
+  /// true for packets entering from off the MPLS domain (injected at
+  /// this node); `binding_known` answers whether the routing
+  /// functionality has a programmed binding for the packet's top label
+  /// (only consulted for external labeled arrivals); `will_expire` is
+  /// the TTL-semantics predicate (effective TTL <= 1).
+  [[nodiscard]] std::optional<obs::DropReason> screen(bool labeled,
+                                                      std::uint32_t top_label,
+                                                      bool will_expire,
+                                                      bool external,
+                                                      bool binding_known,
+                                                      SimTime now);
+
+  /// Admission for one slow-path info-base install; false counts a
+  /// refusal (the packet is discarded kReprogramRateLimited).
+  [[nodiscard]] bool admit_reprogram(SimTime now);
+
+  enum class LoadAction : std::uint8_t { kAdmit, kDemote, kShed };
+
+  /// Graceful-degradation ladder for an arrival finding `queue_len` of
+  /// `capacity` engine slots occupied.  kDemote only applies below the
+  /// shed band and only to demotable classes; kShed applies lowest CoS
+  /// first with a floor that rises with occupancy.
+  [[nodiscard]] LoadAction load_action(std::size_t queue_len,
+                                       std::size_t capacity,
+                                       std::uint8_t cos);
+
+  /// Stats hooks for the router (the guard owns the tallies so the
+  /// report and metrics read one struct).
+  void count_demoted() noexcept { ++stats_.demoted; }
+  void count_shed() noexcept { ++stats_.shed; }
+
+ private:
+  GuardConfig cfg_;
+  GuardStats stats_;
+  TokenBucket ttl_bucket_;
+  TokenBucket reprogram_bucket_;
+};
+
+}  // namespace empls::net

@@ -1,0 +1,104 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace empls::net {
+
+OpenLoopGenerator::OpenLoopGenerator(Network& net, const LoadGenConfig& cfg,
+                                     FlowLedger* ledger)
+    : net_(&net), cfg_(cfg), ledger_(ledger), rng_(cfg.seed) {
+  const std::size_t slots = std::max<std::size_t>(1, cfg_.concurrent_flows);
+  slot_flow_.resize(slots);
+  slot_remaining_.resize(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    refill_slot(i);
+  }
+}
+
+void OpenLoopGenerator::start() {
+  net_->events().schedule_at(cfg_.start, [this] { arrival(); });
+  if (cfg_.arrivals == LoadGenConfig::Arrivals::kMmpp) {
+    net_->events().schedule_at(cfg_.start, [this] { toggle_state(); });
+  }
+}
+
+double OpenLoopGenerator::current_rate() const noexcept {
+  if (cfg_.arrivals == LoadGenConfig::Arrivals::kMmpp && bursting_) {
+    return cfg_.burst_rate_pps > 0 ? cfg_.burst_rate_pps
+                                   : 4.0 * cfg_.rate_pps;
+  }
+  return cfg_.rate_pps;
+}
+
+std::uint32_t OpenLoopGenerator::pareto_packets() {
+  // Inverse-CDF Pareto draw: min * U^(-1/alpha), capped so one flow
+  // cannot outlive the simulation by itself.
+  std::uniform_real_distribution<double> uni(
+      std::numeric_limits<double>::min(), 1.0);
+  const double draw =
+      cfg_.pareto_min_packets *
+      std::pow(uni(rng_), -1.0 / std::max(0.1, cfg_.pareto_alpha));
+  return static_cast<std::uint32_t>(
+      std::clamp(draw, static_cast<double>(cfg_.pareto_min_packets), 1e6));
+}
+
+void OpenLoopGenerator::refill_slot(std::size_t slot) {
+  // A 16M-id block per generator; churning past it wraps, which only
+  // matters for runs starting billions of flows.
+  slot_flow_[slot] =
+      cfg_.flow_id_base + (next_flow_offset_ & (kLoadGenFlowStride - 1));
+  ++next_flow_offset_;
+  slot_remaining_[slot] = pareto_packets();
+  ++stats_.flows_started;
+}
+
+void OpenLoopGenerator::toggle_state() {
+  if (net_->now() >= cfg_.stop) {
+    return;
+  }
+  bursting_ = !bursting_;
+  ++stats_.state_switches;
+  // State dwell is exponential; a rate change applies from the next
+  // arrival (gaps already drawn are not re-drawn — the usual discrete
+  // MMPP approximation, exact when sojourns dwarf inter-arrival gaps).
+  std::exponential_distribution<double> dwell(1.0 /
+                                              std::max(1e-9, cfg_.mean_sojourn));
+  net_->events().schedule_in(dwell(rng_), [this] { toggle_state(); });
+}
+
+void OpenLoopGenerator::arrival() {
+  if (net_->now() >= cfg_.stop) {
+    return;
+  }
+  // One packet from a uniformly chosen live flow — open loop: the draw
+  // never looks at queue depths or delivery feedback.
+  const std::size_t slot = rng_() % slot_flow_.size();
+
+  PacketHandle p = net_->pool().acquire();
+  p->l2 = mpls::L2Type::kEthernet;
+  p->src = {};
+  p->dst = cfg_.dst;
+  p->cos = cfg_.cos;
+  p->ip_ttl = 64;
+  p->payload.assign(cfg_.payload_bytes, 0xAB);
+  p->id = stats_.packets_sent;
+  p->flow_id = slot_flow_[slot];
+  p->created_at = net_->now();
+  ++stats_.packets_sent;
+  if (ledger_ != nullptr) {
+    ledger_->on_sent(slot_flow_[slot]);
+  }
+  net_->inject(cfg_.ingress, std::move(p));
+
+  if (--slot_remaining_[slot] == 0) {
+    ++stats_.flows_completed;
+    refill_slot(slot);
+  }
+
+  std::exponential_distribution<double> gap(current_rate());
+  net_->events().schedule_in(gap(rng_), [this] { arrival(); });
+}
+
+}  // namespace empls::net

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "net/event_queue.hpp"
@@ -43,10 +44,18 @@ class TokenBucket {
 
  private:
   void refill(SimTime now) {
-    if (now > last_) {
-      tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_bytes_per_s_);
-      last_ = now;
+    if (now <= last_) {
+      return;  // time never rewinds the bucket
     }
+    // Single fused update from the last-refill timestamp: the elapsed
+    // interval times the rate folds into the balance with one rounding
+    // (fma), then clamps into [0, burst].  The former two-step
+    // accumulate rounded every call, so at ~1e7 simulated seconds the
+    // balance drifted from the closed-form value (see the regression
+    // test in tests/net/test_policer.cpp).
+    tokens_ = std::fma(now - last_, rate_bytes_per_s_, tokens_);
+    tokens_ = std::clamp(tokens_, 0.0, burst_);
+    last_ = now;
   }
 
   double rate_bytes_per_s_;

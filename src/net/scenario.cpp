@@ -618,6 +618,210 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
         }
       }
       s.policers.push_back(std::move(p));
+    } else if (cmd == "loadgen") {
+      if (tokens.size() < 4) {
+        return error("loadgen needs: loadgen poisson|mmpp <ingress> <dst> "
+                     "[opts]");
+      }
+      LoadGenDecl g;
+      g.kind = tokens[1];
+      if (g.kind != "poisson" && g.kind != "mmpp") {
+        return error("unknown loadgen arrivals: " + g.kind);
+      }
+      g.ingress = tokens[2];
+      if (!s.has_router(g.ingress)) {
+        return error("loadgen ingress not declared: " + g.ingress);
+      }
+      if (!mpls::Ipv4Address::parse(tokens[3])) {
+        return error("bad destination address: " + tokens[3]);
+      }
+      g.dst = tokens[3];
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        const auto opt = split_option(tokens[i]);
+        if (!opt) {
+          return error("bad loadgen option: " + tokens[i]);
+        }
+        const auto& [key, value] = *opt;
+        if (key == "rate" || key == "burst-rate") {
+          const auto v = parse_bandwidth(value);  // k/M suffixes as pps
+          if (!v || (key == "rate" ? *v <= 0 : *v < 0)) {
+            return error("bad " + key + ": " + value);
+          }
+          (key == "rate" ? g.rate_pps : g.burst_rate_pps) = *v;
+        } else if (key == "sojourn") {
+          const auto v = parse_time(value);
+          if (!v || *v <= 0) {
+            return error("bad sojourn: " + value);
+          }
+          g.sojourn = *v;
+        } else if (key == "flows") {
+          const auto v = parse_number(value);
+          if (!v || *v < 1 || *v > 16e6) {
+            return error("bad flows (want 1..16M): " + value);
+          }
+          g.flows = static_cast<std::size_t>(*v);
+        } else if (key == "alpha") {
+          const auto v = parse_number(value);
+          if (!v || *v <= 0) {
+            return error("bad alpha: " + value);
+          }
+          g.alpha = *v;
+        } else if (key == "minpkts") {
+          const auto v = parse_number(value);
+          if (!v || *v < 1) {
+            return error("bad minpkts: " + value);
+          }
+          g.min_packets = static_cast<unsigned>(*v);
+        } else if (key == "cos") {
+          const auto v = parse_number(value);
+          if (!v || *v < 0 || *v > 7) {
+            return error("cos must be 0..7");
+          }
+          g.cos = static_cast<std::uint8_t>(*v);
+        } else if (key == "size") {
+          const auto v = parse_number(value);
+          if (!v || *v < 0) {
+            return error("bad size");
+          }
+          g.size = static_cast<std::size_t>(*v);
+        } else if (key == "seed") {
+          const auto v = parse_number(value);
+          if (!v) {
+            return error("bad seed");
+          }
+          g.seed = static_cast<std::uint64_t>(*v);
+        } else if (key == "start" || key == "stop") {
+          const auto v = parse_time(value);
+          if (!v) {
+            return error("bad " + key);
+          }
+          (key == "start" ? g.start : g.stop) = *v;
+        } else {
+          return error("unknown loadgen option: " + key);
+        }
+      }
+      s.loadgens.push_back(std::move(g));
+    } else if (cmd == "attack" || cmd.rfind("attack=", 0) == 0) {
+      // Both spellings: `attack spoof <time> <ingress>` and the survey
+      // shorthand `attack=spoof <time> <ingress>`.
+      AttackDecl a;
+      std::size_t arg = 1;
+      if (cmd == "attack") {
+        if (tokens.size() < 4) {
+          return error("attack needs: attack <kind> <time> <ingress> "
+                       "[opts]");
+        }
+        a.kind = tokens[arg++];
+      } else {
+        if (tokens.size() < 3) {
+          return error("attack=<kind> needs: attack=<kind> <time> "
+                       "<ingress> [opts]");
+        }
+        a.kind = cmd.substr(std::string_view("attack=").size());
+      }
+      if (a.kind != "spoof" && a.kind != "ttl_flood" &&
+          a.kind != "reserved" && a.kind != "exhaust") {
+        return error("unknown attack kind: " + a.kind +
+                     " (spoof|ttl_flood|reserved|exhaust)");
+      }
+      const auto at = parse_time(tokens[arg]);
+      if (!at) {
+        return error("bad time: " + tokens[arg]);
+      }
+      a.at = *at;
+      ++arg;
+      a.ingress = tokens[arg];
+      if (!s.has_router(a.ingress)) {
+        return error("attack ingress not declared: " + a.ingress);
+      }
+      ++arg;
+      for (; arg < tokens.size(); ++arg) {
+        const auto opt = split_option(tokens[arg]);
+        if (!opt) {
+          return error("bad attack option: " + tokens[arg]);
+        }
+        const auto& [key, value] = *opt;
+        if (key == "rate") {
+          const auto v = parse_bandwidth(value);
+          if (!v || *v <= 0) {
+            return error("bad rate: " + value);
+          }
+          a.rate_pps = *v;
+        } else if (key == "for") {
+          const auto v = parse_time(value);
+          if (!v || *v <= 0) {
+            return error("bad attack duration: " + value);
+          }
+          a.duration = *v;
+        } else if (key == "seed") {
+          const auto v = parse_number(value);
+          if (!v) {
+            return error("bad seed");
+          }
+          a.seed = static_cast<std::uint64_t>(*v);
+        } else if (key == "dst") {
+          if (!mpls::Ipv4Address::parse(value)) {
+            return error("bad attack dst: " + value);
+          }
+          a.dst = value;
+        } else if (key == "cos") {
+          const auto v = parse_number(value);
+          if (!v || *v < 0 || *v > 7) {
+            return error("cos must be 0..7");
+          }
+          a.cos = static_cast<std::uint8_t>(*v);
+        } else {
+          return error("unknown attack option: " + key);
+        }
+      }
+      s.attacks.push_back(std::move(a));
+    } else if (cmd == "guard") {
+      if (tokens.size() < 2) {
+        return error("guard needs: guard <router>|* [opts]");
+      }
+      GuardDecl g;
+      g.router = tokens[1];
+      if (g.router != "*" && !s.has_router(g.router)) {
+        return error("guard references undeclared router: " + g.router);
+      }
+      g.config.enabled = true;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto opt = split_option(tokens[i]);
+        if (!opt) {
+          return error("bad guard option: " + tokens[i]);
+        }
+        const auto& [key, value] = *opt;
+        if (key == "ttl" || key == "reprogram") {
+          const auto v = parse_bandwidth(value);  // rates; k/M suffixes
+          if (!v) {
+            return error("bad " + key + " rate: " + value);
+          }
+          (key == "ttl" ? g.config.ttl_expiry_pps
+                        : g.config.reprogram_per_s) = *v;
+        } else if (key == "demote" || key == "shed") {
+          const auto v = parse_number(value);
+          if (!v || *v < 0 || *v > 1.0) {
+            return error("bad " + key + " occupancy (want 0..1): " + value);
+          }
+          (key == "demote" ? g.config.demote_occupancy
+                           : g.config.shed_occupancy) = *v;
+        } else if (key == "maxcos") {
+          const auto v = parse_number(value);
+          if (!v || *v < 0 || *v > 7) {
+            return error("maxcos must be 0..7");
+          }
+          g.config.demote_cos_max = static_cast<std::uint8_t>(*v);
+        } else if (key == "reserved" || key == "spoof") {
+          if (value != "on" && value != "off") {
+            return error(key + " wants on|off, got " + value);
+          }
+          (key == "reserved" ? g.config.check_reserved
+                             : g.config.check_spoof) = value == "on";
+        } else {
+          return error("unknown guard option: " + key);
+        }
+      }
+      s.guards.push_back(std::move(g));
     } else if (cmd == "ping" || cmd == "traceroute") {
       if (tokens.size() != 4) {
         return error(cmd + " needs: " + cmd + " <time> <ingress> <dst>");

@@ -22,6 +22,14 @@
 //   flap <time> <a> <b> <down-for>   # cut that heals after <down-for>
 //   crash <time> <node> [for=100ms]  # all of a node's links at once
 //   corrupt <time> <node> [salt=N] [resync=20ms]  # info-base bit flip
+//   loadgen poisson|mmpp <ingress> <dst> [rate=10k] [flows=1024]
+//           [alpha=1.5] [minpkts=4] [cos=0] [size=160] [seed=1]
+//           [start=0] [stop=1] [burst-rate=40k] [sojourn=100ms]
+//   attack spoof|ttl_flood|reserved|exhaust <time> <ingress> [rate=10k]
+//          [for=500ms] [seed=1] [dst=10.1.0.5] [cos=7]
+//          # also spelled attack=<kind> <time> <ingress> ...
+//   guard <router>|* [ttl=1000] [reprogram=200] [demote=0.5]
+//         [shed=0.75] [maxcos=3] [reserved=on|off] [spoof=on|off]
 //   autorepair <hello> [dead=3]   # failure detection + auto reroute
 //   protect [bw=1M]            # pre-signal detours for every lsp
 //   police <ingress> <flow-id> <rate> [burst=1500] [demote]
@@ -44,6 +52,7 @@
 
 #include "mpls/fec.hpp"
 #include "net/event_queue.hpp"
+#include "net/guard.hpp"
 #include "net/qos.hpp"
 
 namespace empls::net {
@@ -149,6 +158,46 @@ struct CorruptDecl {
   SimTime resync = 0;
 };
 
+/// `loadgen poisson|mmpp <ingress> <dst> [opts]`: open-loop offered
+/// load at scale (net/loadgen.hpp); the runner assigns each generator
+/// its own flow-id block and one shared FlowLedger.
+struct LoadGenDecl {
+  std::string kind;  // poisson | mmpp
+  std::string ingress;
+  std::string dst;  // dotted quad
+  double rate_pps = 10000;
+  double burst_rate_pps = 0;  // mmpp burst state; 0 = 4x rate
+  SimTime sojourn = 100e-3;   // mmpp mean state dwell
+  std::size_t flows = 1024;
+  double alpha = 1.5;
+  unsigned min_packets = 4;
+  std::uint8_t cos = 0;
+  std::size_t size = 160;
+  std::uint64_t seed = 1;
+  SimTime start = 0;
+  SimTime stop = 1.0;
+};
+
+/// `attack <kind> <time> <ingress> [opts]` (kind also spelled
+/// `attack=<kind>`): one seeded adversarial injection (net/attack.hpp).
+struct AttackDecl {
+  std::string kind;  // spoof | ttl_flood | reserved | exhaust
+  SimTime at = 0;
+  std::string ingress;
+  double rate_pps = 10000;
+  SimTime duration = 0.5;
+  std::uint64_t seed = 1;
+  std::string dst;  // optional victim address (ttl_flood / exhaust)
+  std::uint8_t cos = 7;
+};
+
+/// `guard <router>|* [opts]`: arm the ingress guard on one router (or
+/// every router) with the given thresholds.
+struct GuardDecl {
+  std::string router;  // "*" = all routers
+  GuardConfig config;  // parsed with enabled=true
+};
+
 /// `ping <time> <ingress> <dst>` / `traceroute <time> <ingress> <dst>`:
 /// run an OAM probe during the simulation; results appear in the report.
 struct OamDecl {
@@ -188,6 +237,9 @@ class Scenario {
   std::vector<CorruptDecl> corruptions;
   std::vector<OamDecl> oam_probes;
   std::vector<PolicerDecl> policers;
+  std::vector<LoadGenDecl> loadgens;
+  std::vector<AttackDecl> attacks;
+  std::vector<GuardDecl> guards;
   std::optional<SimTime> run_duration;
   /// `autorepair <hello_interval> [dead=N]`: arm a failure detector
   /// over all links that reroutes LSPs off dead connections.

@@ -27,10 +27,18 @@ enum class DropReason : std::uint8_t {
   kEngineOverrun,     // engine input queue full (router saturated)
   kQueueOverflow,     // link CoS queue full (or RED early drop)
   kLinkDown,          // offered to a failed link (fault-injected)
+  // Ingress-guard refusals (net::IngressGuard): each protection the
+  // guard composes stamps its own reason, so an attack campaign's
+  // traffic is fully attributable in the drop partition.
+  kReservedLabel,        // top label in the reserved range 0..15
+  kSpoofedLabel,         // off-domain label with no programmed binding
+  kTtlRateLimited,       // TTL-expiry processing budget exceeded
+  kReprogramRateLimited, // info-base reprogram admission refused
+  kOverloadShed,         // graceful degradation shed (lowest CoS first)
   kOther,             // unrecognised reason string
 };
 
-inline constexpr std::size_t kDropReasonCount = 10;
+inline constexpr std::size_t kDropReasonCount = 15;
 
 /// Per-reason tally, indexed by DropReason.
 using DropCounts = std::array<std::uint64_t, kDropReasonCount>;
@@ -55,6 +63,16 @@ using DropCounts = std::array<std::uint64_t, kDropReasonCount>;
       return "queue-full";
     case DropReason::kLinkDown:
       return "link-down";
+    case DropReason::kReservedLabel:
+      return "reserved-label";
+    case DropReason::kSpoofedLabel:
+      return "spoofed-label";
+    case DropReason::kTtlRateLimited:
+      return "ttl-rate-limited";
+    case DropReason::kReprogramRateLimited:
+      return "reprogram-rate-limited";
+    case DropReason::kOverloadShed:
+      return "overload-shed";
     case DropReason::kOther:
       return "other";
   }

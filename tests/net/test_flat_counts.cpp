@@ -1,0 +1,86 @@
+// Tests for the open-addressing flat counter table backing the drop
+// accountant and the open-loop flow ledger.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "net/flat_counts.hpp"
+
+namespace empls::net {
+namespace {
+
+TEST(FlatCounts, MissingKeyReadsZero) {
+  FlatCounts counts;
+  EXPECT_EQ(counts.get(42), 0u);
+  EXPECT_EQ(counts.size(), 0u);
+}
+
+TEST(FlatCounts, InsertAndIncrement) {
+  FlatCounts counts;
+  ++counts[7];
+  ++counts[7];
+  counts[9] += 5;
+  EXPECT_EQ(counts.get(7), 2u);
+  EXPECT_EQ(counts.get(9), 5u);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(FlatCounts, GrowthPreservesEveryCount) {
+  FlatCounts counts(16);
+  const std::uint32_t n = 10000;  // forces many rehash points from 16
+  for (std::uint32_t k = 0; k < n; ++k) {
+    counts[k] = k % 7 + 1;
+  }
+  EXPECT_EQ(counts.size(), n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    ASSERT_EQ(counts.get(k), k % 7 + 1) << "key " << k;
+  }
+  // Load factor stays under 0.7 after growth.
+  EXPECT_GT(counts.capacity() * 7, counts.size() * 10);
+}
+
+TEST(FlatCounts, SequentialAndSparseKeysCoexist) {
+  // Sequential flow ids (loadgen blocks) and sparse scripted ids hash
+  // into the same table without collisions losing counts.
+  FlatCounts counts;
+  for (std::uint32_t k = 0x40000000; k < 0x40000000 + 2000; ++k) {
+    ++counts[k];
+  }
+  ++counts[1];
+  ++counts[0x80000000];
+  EXPECT_EQ(counts.size(), 2002u);
+  EXPECT_EQ(counts.get(0x40000000 + 1234), 1u);
+  EXPECT_EQ(counts.get(1), 1u);
+  EXPECT_EQ(counts.get(0x80000000), 1u);
+}
+
+TEST(FlatCounts, ForEachVisitsEachKeyOnce) {
+  FlatCounts counts;
+  for (std::uint32_t k = 100; k < 400; ++k) {
+    counts[k] = k;
+  }
+  std::map<std::uint32_t, std::uint64_t> seen;
+  counts.for_each([&](std::uint32_t k, std::uint64_t v) { seen[k] += v; });
+  EXPECT_EQ(seen.size(), 300u);
+  for (const auto& [k, v] : seen) {
+    EXPECT_EQ(v, k);
+  }
+}
+
+TEST(FlatCounts, ClearEmptiesWithoutShrinking) {
+  FlatCounts counts(16);
+  for (std::uint32_t k = 0; k < 1000; ++k) {
+    ++counts[k];
+  }
+  const auto cap = counts.capacity();
+  counts.clear();
+  EXPECT_EQ(counts.size(), 0u);
+  EXPECT_EQ(counts.get(500), 0u);
+  EXPECT_EQ(counts.capacity(), cap) << "clear keeps the slots allocated";
+  ++counts[500];
+  EXPECT_EQ(counts.get(500), 1u);
+}
+
+}  // namespace
+}  // namespace empls::net

@@ -6,6 +6,7 @@
 
 #include "core/embedded_router.hpp"
 #include "net/ldp.hpp"
+#include "net/loadgen.hpp"
 #include "net/policer.hpp"
 #include "net/stats.hpp"
 #include "net/traffic.hpp"
@@ -30,6 +31,33 @@ TEST(TokenBucket, NonConformanceConsumesNothing) {
   TokenBucket tb(8000, 100);
   EXPECT_FALSE(tb.conforms(200, 0.0));
   EXPECT_TRUE(tb.conforms(100, 0.0)) << "tokens untouched by the refusal";
+}
+
+TEST(TokenBucket, NoDriftAtTenMillionSimulatedSeconds) {
+  // Regression for accumulated refill error: probe the same bucket with
+  // an identical over-subscribed pattern at t≈0 and again at t≈1e7 s
+  // (where now-last_ loses ~29 bits of mantissa headroom).  The fused
+  // single-update refill must admit the same share in both windows —
+  // drift would skew the far window by hundreds of packets.
+  const auto window = [](TokenBucket& tb, double t0) {
+    unsigned admitted = 0;
+    for (int i = 0; i < 10000; ++i) {
+      // 10-byte probes every 7.3 ms ≈ 1370 B/s offered vs 1000 B/s rate.
+      if (tb.conforms(10, t0 + i * 7.3e-3)) {
+        ++admitted;
+      }
+    }
+    return admitted;
+  };
+  TokenBucket tb(8000, 100);  // 1000 bytes/s, burst 100
+  const auto near = window(tb, 0.0);
+  const auto far = window(tb, 1e7);  // idle gap refills to burst first
+  // 73 s of refill admits ~7300 probes plus the initial burst of 10.
+  EXPECT_GE(near, 7300u);
+  EXPECT_LE(near, 7320u);
+  // ±2 tolerates an FP coin-flip at an exact token boundary, nothing
+  // more.
+  EXPECT_NEAR(static_cast<double>(far), static_cast<double>(near), 2.0);
 }
 
 struct Rig {
@@ -117,6 +145,62 @@ TEST(IngressPolicing, DemoteRemarksInsteadOfDropping) {
   EXPECT_GT(best_effort, 30u) << "excess was remarked to CoS 0";
   EXPECT_GT(priority, 30u) << "conforming share kept CoS 6";
   EXPECT_EQ(rig.router().stats().policer_demotions, best_effort);
+}
+
+TEST(IngressPolicing, MmppBurstsAreDemotedThenConformAgain) {
+  // Colour-aware demotion under Markov-modulated bursts: one persistent
+  // open-loop flow alternates between a conforming base rate and a
+  // 10x burst.  Burst excess must be remarked to best effort (lower CoS
+  // queue), never dropped and never double-counted; once the burst
+  // state ends the flow must conform at CoS 6 again.
+  Rig rig;
+  PolicerConfig cfg;
+  cfg.rate_bps = 600e3;  // base ≈282 kb/s conforms, burst ≈2.8 Mb/s not
+  cfg.burst_bytes = 1500;
+  cfg.action = PolicerAction::kDemote;
+  rig.router().set_policer(kLoadGenFlowBase, cfg);
+
+  std::uint64_t best_effort = 0;
+  std::uint64_t priority = 0;
+  double first_demoted_at = -1;
+  double last_conforming_at = -1;
+  rig.net.add_delivery_handler([&](NodeId, const mpls::Packet& p) {
+    if (p.cos == 0) {
+      ++best_effort;
+      if (first_demoted_at < 0) {
+        first_demoted_at = rig.net.now();
+      }
+    } else {
+      ++priority;
+      last_conforming_at = rig.net.now();
+    }
+  });
+
+  LoadGenConfig gen_cfg;
+  gen_cfg.arrivals = LoadGenConfig::Arrivals::kMmpp;
+  gen_cfg.ingress = rig.ler;
+  gen_cfg.dst = *mpls::Ipv4Address::parse("10.1.0.5");
+  gen_cfg.rate_pps = 200;
+  gen_cfg.burst_rate_pps = 2000;
+  gen_cfg.mean_sojourn = 50e-3;
+  gen_cfg.concurrent_flows = 1;
+  gen_cfg.pareto_min_packets = 1000000;  // the slot never recycles
+  gen_cfg.cos = 6;
+  gen_cfg.seed = 3;
+  OpenLoopGenerator gen(rig.net, gen_cfg, nullptr);
+  gen.start();
+  rig.net.run();
+
+  const auto sent = gen.stats().packets_sent;
+  ASSERT_GT(sent, 200u);
+  EXPECT_EQ(best_effort + priority, sent)
+      << "demotion re-marks, it never drops or duplicates";
+  EXPECT_GT(best_effort, 0u) << "burst excess landed in the CoS 0 queue";
+  EXPECT_GT(priority, sent / 4) << "base-state traffic kept CoS 6";
+  EXPECT_EQ(rig.router().stats().policer_demotions, best_effort);
+  EXPECT_EQ(rig.router().stats().policer_drops, 0u);
+  EXPECT_GT(last_conforming_at, first_demoted_at)
+      << "the flow conformed again after a burst ended";
 }
 
 TEST(IngressPolicing, UnpolicedFlowsAreUnaffected) {

@@ -50,6 +50,10 @@ fail 0.2 A B
 flap 0.25 B C 30ms
 crash 0.3 B for=50ms
 corrupt 0.35 B salt=9 resync=20ms
+guard * ttl=500 reprogram=100 demote=0.4 shed=0.8
+loadgen mmpp A 10.1.0.0 rate=5k flows=256 alpha=1.5 stop=0.5
+attack spoof 0.1 A rate=2k for=100ms seed=3
+attack=exhaust 0.2 A dst=10.1.0.1
 run 1
 )";
   std::mt19937 rng(GetParam() * 7919);
@@ -96,7 +100,9 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
   const std::vector<std::string> verbs = {
       "qos",     "router", "link",    "lsp",      "lsp-cspf", "tunnel",
       "flow",    "fail",   "restore", "flap",     "crash",    "corrupt",
-      "protect", "police", "ping",    "traceroute", "autorepair", "run"};
+      "protect", "police", "ping",    "traceroute", "autorepair", "run",
+      "loadgen", "attack", "attack=spoof", "attack=exhaust",
+      "attack=melt", "guard"};
   const std::vector<std::string> words = {
       "A",        "B",          "C",       "ler",        "lsr",
       "strict",   "cbr",        "10M",     "1ms",        "0.2",
@@ -104,7 +110,12 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
       "engine=sharded:0", "engine=sharded:65", "engine=sharded:x",
       "batch=8",  "batch=0",    "batch=-1", "cos=5",      "bw=1M",
       "for=50ms", "salt=9",     "resync=20ms", "down-for", "seed=1",
-      "=",        "sharded:",   "1e99",    "-3"};
+      "=",        "sharded:",   "1e99",    "-3",
+      "poisson",  "mmpp",       "spoof",   "ttl_flood",  "reserved",
+      "exhaust",  "*",          "rate=5k", "rate=0",     "burst-rate=20k",
+      "flows=256", "flows=0",   "alpha=1.5", "alpha=-1", "minpkts=4",
+      "sojourn=50ms", "ttl=500", "reprogram=100", "demote=0.4",
+      "shed=2",   "maxcos=9",   "reserved=on", "spoof=off", "dst=10.1.0.1"};
   std::mt19937 rng(GetParam() * 104729);
   for (int trial = 0; trial < 300; ++trial) {
     std::string text;
@@ -134,6 +145,24 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
           EXPECT_LE(n, 64);
         }
         EXPECT_LE(r.batch, 4096u);
+      }
+      // Same contract for the overload directives: the runner sizes
+      // flat arrays and token buckets straight from these fields.
+      for (const auto& g : s.loadgens) {
+        EXPECT_GE(g.flows, 1u);
+        EXPECT_LE(g.flows, 1u << 24);
+        EXPECT_GT(g.alpha, 0.0);
+        EXPECT_GT(g.rate_pps, 0.0);
+      }
+      for (const auto& a : s.attacks) {
+        EXPECT_GT(a.rate_pps, 0.0);
+        EXPECT_GT(a.duration, 0.0);
+      }
+      for (const auto& g : s.guards) {
+        EXPECT_TRUE(g.config.enabled);
+        EXPECT_LE(g.config.demote_occupancy, 1.0);
+        EXPECT_LE(g.config.shed_occupancy, 1.0);
+        EXPECT_LE(g.config.demote_cos_max, 7);
       }
     }
   }
