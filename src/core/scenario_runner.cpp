@@ -19,6 +19,7 @@
 #include "sw/linear_engine.hpp"
 #include "sw/sharded_engine.hpp"
 #include "sw/simd_engine.hpp"
+#include "sw/trie_engine.hpp"
 
 namespace empls::core {
 
@@ -34,13 +35,22 @@ std::unique_ptr<sw::LabelEngine> make_engine(const std::string& kind) {
   if (kind == "simd") {
     return std::make_unique<sw::SimdEngine>();
   }
+  if (kind == "trie") {
+    return std::make_unique<sw::TrieEngine>();
+  }
   if (kind == "hw") {
     return std::make_unique<sw::HwEngine>();
   }
   if (kind.rfind("sharded:", 0) == 0) {
-    // The parser validated the count; std::stoul on the suffix is safe.
-    return std::make_unique<sw::ShardedEngine>(
-        static_cast<unsigned>(std::stoul(kind.substr(8))));
+    // The parser validated the count; std::stoul on the suffix is safe
+    // and stops at the optional replica-kind colon (sharded:<N>:trie).
+    const auto shards = static_cast<unsigned>(std::stoul(kind.substr(8)));
+    if (kind.find(":trie", 8) != std::string::npos) {
+      return std::make_unique<sw::ShardedEngine>(shards, [] {
+        return std::make_unique<sw::TrieEngine>();
+      });
+    }
+    return std::make_unique<sw::ShardedEngine>(shards);
   }
   return std::make_unique<sw::LinearEngine>();
 }

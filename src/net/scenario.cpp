@@ -205,15 +205,28 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
         }
         if (opt->first == "engine") {
           if (opt->second.rfind("sharded:", 0) == 0) {
-            const auto n = parse_number(opt->second.substr(8));
+            // sharded:<N> with an optional replica kind suffix:
+            // sharded:<N>:simd (the default) or sharded:<N>:trie.
+            std::string spec = opt->second.substr(8);
+            std::string replica = "simd";
+            if (const auto colon = spec.find(':');
+                colon != std::string::npos) {
+              replica = spec.substr(colon + 1);
+              spec.resize(colon);
+            }
+            const auto n = parse_number(spec);
             if (!n || *n < 1 || *n > 64 ||
                 *n != static_cast<double>(static_cast<unsigned>(*n))) {
               return error("sharded engine needs sharded:<1..64>, got " +
                            opt->second);
             }
+            if (replica != "simd" && replica != "trie") {
+              return error("sharded replica must be simd or trie, got " +
+                           opt->second);
+            }
           } else if (opt->second != "linear" && opt->second != "hash" &&
                      opt->second != "cam" && opt->second != "simd" &&
-                     opt->second != "hw") {
+                     opt->second != "trie" && opt->second != "hw") {
             return error("unknown engine: " + opt->second);
           }
           r.engine = opt->second;

@@ -6,7 +6,8 @@
 //   # comments and blank lines are ignored
 //   qos strict|fifo|wrr [capacity=64] [red]
 //   scheduler heap|calendar       # event-queue backend (also scheduler=..)
-//   router <name> ler|lsr [engine=linear|hash|cam|simd|hw|sharded:<N>]
+//   router <name> ler|lsr [engine=linear|hash|cam|simd|trie|hw
+//          |sharded:<N>[:simd|:trie]]
 //          [clock=50M] [batch=K] [cache=<entries>|off]
 //   link <a> <b> <bandwidth> <delay>          # e.g. link A B 100M 1ms
 //   lsp <prefix> <n1> <n2> ... [bw=2M] [php] [merge]
@@ -65,8 +66,9 @@ struct ScenarioError {
 struct RouterDecl {
   std::string name;
   bool is_ler = false;
-  /// linear | hash | cam | simd | hw | sharded:<N> (N parallel worker
-  /// shards over simd replicas).
+  /// linear | hash | cam | simd | trie | hw | sharded:<N> (N parallel
+  /// worker shards over simd replicas; sharded:<N>:trie for trie
+  /// replicas, sharded:<N>:simd spells the default explicitly).
   std::string engine = "linear";
   double clock_hz = 50e6;
   /// Engine batch size (`batch=K`); 0 = engine default (16 for sharded

@@ -166,6 +166,11 @@ class LabelEngine {
   [[nodiscard]] virtual std::size_t level_size(unsigned level) const = 0;
 
  protected:
+  /// For engine-specific mutation entry points that do not fit the
+  /// write_pair shape (e.g. TrieEngine::write_prefix): advance the
+  /// epoch exactly as the public wrappers do before touching the store.
+  void bump_epoch() noexcept { ++epoch_; }
+
   // Mutation hooks behind the epoch-advancing public wrappers above.
   virtual void do_clear() = 0;
   virtual bool do_write_pair(unsigned level, const mpls::LabelPair& pair) = 0;

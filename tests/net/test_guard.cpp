@@ -11,6 +11,7 @@
 #include "net/guard.hpp"
 #include "net/scenario.hpp"
 #include "obs/drop_reason.hpp"
+#include "sw/trie_engine.hpp"
 
 namespace empls::net {
 namespace {
@@ -206,6 +207,52 @@ TEST(AttackContainment, ExhaustInstallsAreAdmissionControlled) {
             0u);
   EXPECT_GE(victim_delivered(report) * 100,
             victim_delivered(baseline) * 95);
+}
+
+// PR 6 proved the exhaust campaign is admission-controlled against the
+// paper's 3x1024-pair base, where the attack can also simply fill the
+// level.  With engine=trie the base holds a million pairs per level —
+// exhaustion by capacity is off the table — so the reprogram budget is
+// the only thing standing between the flood and a control-plane
+// overload, and the same containment bar must hold.
+TEST(AttackContainment, ExhaustAgainstTrieIsContainedPastTheOldCeiling) {
+  // The old ceiling, made concrete: the linear-era engines refuse the
+  // 1025th pair per level; the trie accepts well past 3x1024 total.
+  sw::TrieEngine big;
+  for (rtl::u32 i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(big.write_pair(1, mpls::LabelPair{0x0A000000 + i, 7,
+                                                  mpls::LabelOp::kPush}))
+        << "install " << i << " refused below 4096";
+  }
+  EXPECT_EQ(big.level_size(1), 4096u);
+
+  const auto trie_base = [](const char* extra) {
+    std::string s = R"(
+router LER ler engine=trie
+router EGR ler engine=trie
+link LER EGR 100M 1ms
+lsp 10.1.0.0/16 LER EGR
+flow cbr 1 LER 10.1.0.5 cos=6 interval=1ms stop=0.5s
+run 0.7s
+)";
+    return s + extra;
+  };
+  const auto baseline = run_text(trie_base(""));
+  const auto report = run_text(trie_base(
+      "guard * reprogram=50\n"
+      "attack exhaust 0.1s LER rate=5000 for=0.2s seed=9 dst=10.1.0.1\n"));
+  ASSERT_EQ(report.attacks.size(), 1u);
+  const auto& atk = report.attacks[0];
+  EXPECT_GT(atk.injected, 500u);
+  EXPECT_EQ(atk.delivered + atk.drops, atk.injected);
+  EXPECT_GT(report.guard.reprogram_refusals, 0u);
+  EXPECT_GT(report.drops[static_cast<std::size_t>(
+                obs::DropReason::kReprogramRateLimited)],
+            0u)
+      << "refusals attributed to reprogram-rate-limited";
+  EXPECT_GE(victim_delivered(report) * 100,
+            victim_delivered(baseline) * 95)
+      << "victim goodput within 5% of the attack-free trie baseline";
 }
 
 TEST(AttackContainment, UnguardedRouterStillConservesButBleeds) {

@@ -96,6 +96,32 @@ run 1s
   EXPECT_DOUBLE_EQ(*s.run_duration, 1.0);
 }
 
+TEST(ScenarioParse, EngineKindsAcceptedAndRejected) {
+  const auto s = parse_ok(
+      "router A ler engine=trie\n"
+      "router B lsr engine=sharded:4:trie\n"
+      "router C lsr engine=sharded:2:simd\n"
+      "router D lsr engine=sharded:8\n");
+  ASSERT_EQ(s.routers.size(), 4u);
+  EXPECT_EQ(s.routers[0].engine, "trie");
+  EXPECT_EQ(s.routers[1].engine, "sharded:4:trie");
+  EXPECT_EQ(s.routers[2].engine, "sharded:2:simd");
+  EXPECT_EQ(s.routers[3].engine, "sharded:8");
+
+  EXPECT_NE(parse_err("router A ler engine=patricia\n")
+                .message.find("unknown engine"),
+            std::string::npos);
+  EXPECT_NE(parse_err("router A ler engine=sharded:4:hash\n")
+                .message.find("replica"),
+            std::string::npos);
+  EXPECT_NE(parse_err("router A ler engine=sharded:0:trie\n")
+                .message.find("sharded"),
+            std::string::npos);
+  EXPECT_NE(parse_err("router A ler engine=sharded::trie\n")
+                .message.find("sharded"),
+            std::string::npos);
+}
+
 TEST(ScenarioParse, ErrorsCarryLineNumbers) {
   const auto err = parse_err("router A ler\nrouter B lsr\nlink A Z 10M 1ms\n");
   EXPECT_EQ(err.line, 3);

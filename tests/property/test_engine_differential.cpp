@@ -24,6 +24,7 @@
 #include "sw/semantics.hpp"
 #include "sw/sharded_engine.hpp"
 #include "sw/simd_engine.hpp"
+#include "sw/trie_engine.hpp"
 
 namespace empls {
 namespace {
@@ -42,16 +43,26 @@ std::unique_ptr<sw::LabelEngine> make_engine(const std::string& kind) {
   if (kind == "cam") {
     return std::make_unique<sw::CamEngine>();
   }
+  if (kind == "trie") {
+    return std::make_unique<sw::TrieEngine>();
+  }
   if (kind == "sharded2") {
     return std::make_unique<sw::ShardedEngine>(2);
+  }
+  if (kind == "sharded2trie") {
+    return std::make_unique<sw::ShardedEngine>(
+        2, [] { return std::make_unique<sw::TrieEngine>(); });
   }
   return nullptr;
 }
 
 /// Whether `kind` models the same linear-search hardware as the golden
 /// engine (then cycles must match bit for bit, not just semantics).
+/// The trie engine qualifies: below the paper's 1024-pair boundary its
+/// cost model charges the exact linear-equivalent position.
 bool cycles_comparable(const std::string& kind) {
-  return kind == "simd" || kind == "sharded2";
+  return kind == "simd" || kind == "sharded2" || kind == "trie" ||
+         kind == "sharded2trie";
 }
 
 // Small key spaces force duplicates, hits, misses and corruption
@@ -211,7 +222,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::string("simd"),
                                          std::string("hash"),
                                          std::string("cam"),
-                                         std::string("sharded2"))),
+                                         std::string("trie"),
+                                         std::string("sharded2"),
+                                         std::string("sharded2trie"))),
     [](const auto& info) {
       return std::get<1>(info.param) + "_seed" +
              std::to_string(std::get<0>(info.param));

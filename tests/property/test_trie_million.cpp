@@ -1,0 +1,116 @@
+// Million-entry FIB churn (ctest labels: slow, fib, nightly): program a
+// seeded 1M-binding base into the trie engine, then run randomized
+// reprogram churn — full clear + re-install cycles with salted labels,
+// plus injected corruptions — verifying lookups against a closed-form
+// expectation the whole way, the ≤64 bytes/entry budget, and that the
+// slabs stop growing after the first full program (the
+// zero-steady-state-allocation claim at scale).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "sw/trie_engine.hpp"
+
+namespace empls::sw {
+namespace {
+
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+// 1M bindings: 600k level-1 host routes + 200k each at levels 2/3 (the
+// 20-bit label space caps a level at ~1M distinct keys, so scale lives
+// mostly in level 1, as it does in a real LSR).
+constexpr std::size_t kLevel1 = 600000;
+constexpr std::size_t kLevel23 = 200000;
+
+// Bijective key generators (odd multipliers), so every index maps to a
+// distinct key and expectations stay closed-form.
+rtl::u32 l1_key(std::size_t i) {
+  return static_cast<rtl::u32>(i) * 2654435761u;
+}
+rtl::u32 l23_key(std::size_t i) {
+  return (static_cast<rtl::u32>(i) * 40503u) & 0xFFFFFu;
+}
+rtl::u32 label_of(std::size_t i, rtl::u32 salt) {
+  return (static_cast<rtl::u32>(i) ^ salt) & 0xFFFFFu;
+}
+
+void program(TrieEngine& e, rtl::u32 salt) {
+  for (std::size_t i = 0; i < kLevel1; ++i) {
+    ASSERT_TRUE(
+        e.write_pair(1, LabelPair{l1_key(i), label_of(i, salt),
+                                  LabelOp::kPush}))
+        << "level 1 i=" << i;
+  }
+  for (std::size_t i = 0; i < kLevel23; ++i) {
+    ASSERT_TRUE(e.write_pair(2, LabelPair{l23_key(i), label_of(i, salt),
+                                          LabelOp::kSwap}));
+    ASSERT_TRUE(e.write_pair(3, LabelPair{l23_key(i), label_of(i, salt),
+                                          LabelOp::kPop}));
+  }
+}
+
+void verify_sample(TrieEngine& e, rtl::u32 salt) {
+  for (std::size_t i = 0; i < kLevel1; i += 97) {
+    const auto hit = e.lookup(1, l1_key(i));
+    ASSERT_TRUE(hit.has_value()) << "level 1 i=" << i;
+    ASSERT_EQ(hit->new_label, label_of(i, salt)) << "level 1 i=" << i;
+    ASSERT_LT(e.last_entries_examined(), 48u)
+        << "structural cost stays bounded by trie depth at 600k entries";
+  }
+  for (std::size_t i = 0; i < kLevel23; i += 97) {
+    const auto h2 = e.lookup(2, l23_key(i));
+    ASSERT_TRUE(h2.has_value()) << "level 2 i=" << i;
+    ASSERT_EQ(h2->new_label, label_of(i, salt));
+    ASSERT_LT(e.last_entries_examined(), 64u) << "probe chain blew up";
+    const auto h3 = e.lookup(3, l23_key(i));
+    ASSERT_TRUE(h3.has_value()) << "level 3 i=" << i;
+    ASSERT_EQ(h3->new_label, label_of(i, salt));
+  }
+}
+
+TEST(TrieMillion, SeededReprogramChurnAtOneMillionEntries) {
+  TrieEngine e(2u << 20);
+  e.reserve(1, kLevel1);
+  e.reserve(2, kLevel23);
+  e.reserve(3, kLevel23);
+
+  program(e, /*salt=*/0x1A2B3);
+  const auto grown = e.memory_stats();
+  ASSERT_EQ(grown.entries, kLevel1 + 2 * kLevel23);
+  EXPECT_LE(grown.bytes_per_entry(), 64.0)
+      << grown.bytes << " bytes over " << grown.entries << " entries";
+  verify_sample(e, 0x1A2B3);
+
+  // Misses at scale: the key generators are bijective, so any index
+  // past the programmed range maps to a key that is not in the base.
+  EXPECT_FALSE(e.lookup(1, l1_key(kLevel1 + 123)).has_value());
+  EXPECT_FALSE(e.lookup(2, l23_key(kLevel23 + 123)).has_value());
+  EXPECT_FALSE(e.lookup(3, l23_key(kLevel23 + 123)).has_value());
+
+  const auto epoch_before = e.epoch();
+  for (rtl::u32 round = 1; round <= 3; ++round) {
+    const rtl::u32 salt = 0x1A2B3 + round * 0x1111;
+    e.clear();
+    EXPECT_EQ(e.level_size(1), 0u);
+    program(e, salt);
+    verify_sample(e, salt);
+    EXPECT_EQ(e.memory_stats().bytes, grown.bytes)
+        << "churn round " << round << " grew the slabs";
+
+    // Randomized corruption bites mid-round and is visible exactly at
+    // the corrupted binding.
+    const std::size_t victim = (round * 131071u) % kLevel1;
+    ASSERT_TRUE(e.corrupt_entry(1, l1_key(victim), 0xBAD));
+    const auto hit = e.lookup(1, l1_key(victim));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->new_label, 0xBADu);
+    const std::size_t clean = (victim + 1) % kLevel1;
+    EXPECT_EQ(e.lookup(1, l1_key(clean))->new_label, label_of(clean, salt));
+  }
+  EXPECT_GT(e.epoch(), epoch_before)
+      << "every churn mutation advanced the epoch";
+}
+
+}  // namespace
+}  // namespace empls::sw

@@ -11,6 +11,7 @@
 #include "sw/hw_engine.hpp"
 #include "sw/linear_engine.hpp"
 #include "sw/simd_engine.hpp"
+#include "sw/trie_engine.hpp"
 
 namespace empls::sw {
 namespace {
@@ -19,7 +20,7 @@ using mpls::LabelEntry;
 using mpls::LabelOp;
 using mpls::LabelPair;
 
-enum class Kind { kLinear, kHash, kCam, kSimd, kHwRtl };
+enum class Kind { kLinear, kHash, kCam, kSimd, kTrie, kHwRtl };
 
 std::unique_ptr<LabelEngine> make(Kind kind, std::size_t capacity = 1024) {
   switch (kind) {
@@ -31,6 +32,8 @@ std::unique_ptr<LabelEngine> make(Kind kind, std::size_t capacity = 1024) {
       return std::make_unique<CamEngine>(capacity);
     case Kind::kSimd:
       return std::make_unique<SimdEngine>(capacity);
+    case Kind::kTrie:
+      return std::make_unique<TrieEngine>(capacity);
     case Kind::kHwRtl:
       return std::make_unique<HwEngine>();
   }
@@ -47,6 +50,8 @@ const char* kind_name(Kind k) {
       return "Cam";
     case Kind::kSimd:
       return "Simd";
+    case Kind::kTrie:
+      return "Trie";
     case Kind::kHwRtl:
       return "HwRtl";
   }
@@ -122,7 +127,7 @@ TEST_P(EveryEngine, ClearForgetsEverything) {
 INSTANTIATE_TEST_SUITE_P(Engines, EveryEngine,
                          ::testing::Values(Kind::kLinear, Kind::kHash,
                                            Kind::kCam, Kind::kSimd,
-                                           Kind::kHwRtl),
+                                           Kind::kTrie, Kind::kHwRtl),
                          [](const auto& info) {
                            return kind_name(info.param);
                          });

@@ -1,0 +1,250 @@
+// TrieEngine unit suite: the scalable FIB tier's own contract — exact
+// Table 6 cycles against LinearEngine on paper-sized bases, the
+// documented modelled-cost regime past the 1024-pair boundary,
+// longest-prefix-match classification via write_prefix, epoch
+// discipline, slab reuse across clear (the zero-steady-state-allocation
+// claim), and the bytes-per-entry accounting the bench gate consumes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "hw/cycle_model.hpp"
+#include "sw/linear_engine.hpp"
+#include "sw/trie_engine.hpp"
+
+namespace empls::sw {
+namespace {
+
+using mpls::LabelOp;
+using mpls::LabelPair;
+
+TEST(TrieEngine, NameAndCacheability) {
+  TrieEngine e;
+  EXPECT_EQ(e.name(), "trie");
+  EXPECT_TRUE(e.cacheable()) << "search/tail decomposition is exposed, the "
+                                "flow cache may serve its decisions";
+}
+
+// Below the paper boundary every lookup must charge exactly what the
+// linear hardware scan would: 3k+5 with k the 1-based position of the
+// first matching write, the full level length on a miss.
+TEST(TrieEngine, Table6CyclesMatchLinearAtEveryPosition) {
+  TrieEngine trie;
+  LinearEngine linear;
+  std::mt19937 rng(7);
+  std::vector<LabelPair> written;
+  for (int i = 0; i < 300; ++i) {
+    // Small key space: plenty of duplicate writes, which the linear
+    // engine appends (unreachably) and the trie must still count.
+    const LabelPair pair{static_cast<rtl::u32>(rng() % 64),
+                         static_cast<rtl::u32>(100 + rng() % 900),
+                         LabelOp::kSwap};
+    ASSERT_TRUE(trie.write_pair(2, pair));
+    ASSERT_TRUE(linear.write_pair(2, pair));
+    written.push_back(pair);
+  }
+  ASSERT_EQ(trie.level_size(2), linear.level_size(2));
+  for (rtl::u32 key = 0; key < 80; ++key) {
+    const auto got = trie.lookup(2, key);
+    const auto want = linear.lookup(2, key);
+    ASSERT_EQ(got, want) << "key " << key;
+    ASSERT_EQ(trie.last_lookup_cost_cycles(), linear.last_lookup_cost_cycles())
+        << "key " << key;
+    if (!got.has_value()) {
+      ASSERT_EQ(trie.last_entries_examined(), written.size())
+          << "a miss charges the full level, duplicates included";
+    }
+  }
+  // Exhaustive: every key either hits at the same cost or misses at the
+  // full level length, across all three levels' mask semantics.
+  for (unsigned level = 1; level <= 3; ++level) {
+    TrieEngine t;
+    LinearEngine l;
+    for (int i = 0; i < 200; ++i) {
+      const rtl::u32 key = level == 1 ? 0xC0A80000u + rng() % 48
+                                      : static_cast<rtl::u32>(rng() % 48);
+      const LabelPair pair{key, static_cast<rtl::u32>(rng() % 1000),
+                           static_cast<LabelOp>(rng() % 4)};
+      ASSERT_TRUE(t.write_pair(level, pair));
+      ASSERT_TRUE(l.write_pair(level, pair));
+    }
+    for (rtl::u32 probe = 0; probe < 64; ++probe) {
+      const rtl::u32 key =
+          level == 1 ? 0xC0A80000u + probe : static_cast<rtl::u32>(probe);
+      ASSERT_EQ(t.lookup(level, key), l.lookup(level, key))
+          << "level " << level << " key " << key;
+      ASSERT_EQ(t.last_lookup_cost_cycles(), l.last_lookup_cost_cycles())
+          << "level " << level << " key " << key;
+    }
+  }
+}
+
+TEST(TrieEngine, CapacityRefusalMatchesLinear) {
+  TrieEngine trie(4);
+  LinearEngine linear(4);
+  for (rtl::u32 i = 0; i < 4; ++i) {
+    ASSERT_TRUE(trie.write_pair(2, LabelPair{i, i, LabelOp::kSwap}));
+    ASSERT_TRUE(linear.write_pair(2, LabelPair{i, i, LabelOp::kSwap}));
+  }
+  EXPECT_FALSE(trie.write_pair(2, LabelPair{99, 1, LabelOp::kSwap}));
+  EXPECT_FALSE(linear.write_pair(2, LabelPair{99, 1, LabelOp::kSwap}));
+  EXPECT_EQ(trie.level_size(2), 4u);
+  // Duplicate writes consume capacity exactly as the linear append does.
+  TrieEngine dup(3);
+  ASSERT_TRUE(dup.write_pair(3, LabelPair{7, 1, LabelOp::kSwap}));
+  ASSERT_TRUE(dup.write_pair(3, LabelPair{7, 2, LabelOp::kSwap}));
+  ASSERT_TRUE(dup.write_pair(3, LabelPair{7, 3, LabelOp::kSwap}));
+  EXPECT_FALSE(dup.write_pair(3, LabelPair{8, 1, LabelOp::kSwap}));
+  const auto hit = dup.lookup(3, 7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->new_label, 1u) << "first binding wins";
+}
+
+TEST(TrieEngine, CorruptEntryGarblesTheReachableBinding) {
+  TrieEngine e;
+  ASSERT_TRUE(e.write_pair(2, LabelPair{40, 77, LabelOp::kSwap}));
+  const auto before = e.epoch();
+  EXPECT_FALSE(e.corrupt_entry(2, 41, 500)) << "no binding for 41";
+  EXPECT_TRUE(e.corrupt_entry(2, 40, 500));
+  EXPECT_EQ(e.epoch(), before + 2) << "even a failed corruption bumps";
+  const auto hit = e.lookup(2, 40);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->new_label, 500u);
+  EXPECT_EQ(hit->op, LabelOp::kSwap) << "only the label is garbled";
+}
+
+// write_prefix: real prefix routes, longest-prefix-match resolution.
+TEST(TrieEngine, LongestPrefixMatchAcrossNestedRoutes) {
+  TrieEngine e;
+  const rtl::u32 net8 = 0x0A000000;   // 10.0.0.0/8
+  const rtl::u32 net16 = 0x0A010000;  // 10.1.0.0/16
+  const rtl::u32 net24 = 0x0A010200;  // 10.1.2.0/24
+  const rtl::u32 host = 0x0A010203;   // 10.1.2.3/32
+  ASSERT_TRUE(e.write_prefix(0, LabelPair{0, 1, LabelOp::kPush}));
+  ASSERT_TRUE(e.write_prefix(8, LabelPair{net8, 8, LabelOp::kPush}));
+  ASSERT_TRUE(e.write_prefix(16, LabelPair{net16, 16, LabelOp::kPush}));
+  ASSERT_TRUE(e.write_prefix(24, LabelPair{net24, 24, LabelOp::kPush}));
+  ASSERT_TRUE(e.write_prefix(32, LabelPair{host, 32, LabelOp::kPush}));
+
+  const auto label_for = [&](rtl::u32 key) {
+    const auto hit = e.lookup(1, key);
+    return hit ? hit->new_label : 0xDEADu;
+  };
+  EXPECT_EQ(label_for(host), 32u);
+  EXPECT_EQ(label_for(0x0A010204), 24u) << "10.1.2.4 → /24";
+  EXPECT_EQ(label_for(0x0A01FFFF), 16u) << "10.1.255.255 → /16";
+  EXPECT_EQ(label_for(0x0AFFFFFF), 8u) << "10.255.255.255 → /8";
+  EXPECT_EQ(label_for(0x0B000000), 1u) << "11.0.0.0 → default route";
+  EXPECT_EQ(e.level_size(1), 5u);
+  EXPECT_FALSE(e.write_prefix(33, LabelPair{0, 1, LabelOp::kPush}));
+}
+
+TEST(TrieEngine, WritePrefixAdvancesTheEpoch) {
+  TrieEngine e;
+  const auto before = e.epoch();
+  ASSERT_TRUE(e.write_prefix(16, LabelPair{0x0A010000, 5, LabelOp::kPush}));
+  EXPECT_EQ(e.epoch(), before + 1)
+      << "cached forwarding decisions must go stale on a prefix install";
+}
+
+// Past the paper's 1024-pair boundary the linear hardware no longer
+// exists to mirror, and the cost model switches to the structural cost
+// of the scalable structures: probe slots at levels 2/3, trie nodes at
+// level 1 — orders of magnitude below the linear-equivalent position.
+TEST(TrieEngine, ScaledRegimeChargesStructuralCost) {
+  TrieEngine e;
+  std::mt19937 rng(11);
+  for (rtl::u32 i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(e.write_pair(
+        2, LabelPair{i, static_cast<rtl::u32>(rng() % 1000), LabelOp::kSwap}));
+  }
+  const auto hit = e.lookup(2, 3999);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_LT(e.last_entries_examined(), 64u)
+      << "a probe chain, not a 4000-entry scan";
+  EXPECT_GE(e.last_entries_examined(), 1u);
+  EXPECT_EQ(e.last_lookup_cost_cycles(),
+            hw::search_cycles(e.last_entries_examined()));
+
+  TrieEngine l1;
+  for (rtl::u32 i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(l1.write_pair(1, LabelPair{0x0A000000 + i * 7, 9,
+                                           LabelOp::kPush}));
+  }
+  ASSERT_TRUE(l1.lookup(1, 0x0A000000 + 1999 * 7).has_value());
+  EXPECT_LT(l1.last_entries_examined(), 40u)
+      << "bounded by the 32-bit key depth plus path compression, not by "
+         "the 2000-entry base";
+}
+
+// The regimes meet at the boundary: write 1024 pairs (paper cost),
+// write one more (structural cost) — the 1025th lookup may not charge a
+// 1025-entry scan.
+TEST(TrieEngine, RegimeBoundaryIsThePaperCapacity) {
+  TrieEngine e;
+  for (rtl::u32 i = 0; i < TrieEngine::kPaperLevelEntries; ++i) {
+    ASSERT_TRUE(e.write_pair(2, LabelPair{i, 1, LabelOp::kSwap}));
+  }
+  ASSERT_TRUE(e.lookup(2, TrieEngine::kPaperLevelEntries - 1).has_value());
+  EXPECT_EQ(e.last_entries_examined(), TrieEngine::kPaperLevelEntries)
+      << "at exactly 1024 writes the linear-equivalent position applies";
+  ASSERT_TRUE(e.write_pair(
+      2, LabelPair{TrieEngine::kPaperLevelEntries, 1, LabelOp::kSwap}));
+  ASSERT_TRUE(e.lookup(2, TrieEngine::kPaperLevelEntries - 1).has_value());
+  EXPECT_LT(e.last_entries_examined(), 64u)
+      << "one write past the boundary, structural cost";
+}
+
+// The zero-steady-state-allocation claim, made falsifiable: after the
+// slabs have grown to working size, a clear + identical reprogram cycle
+// must leave the capacity bytes exactly where they were.
+TEST(TrieEngine, ClearKeepsSlabCapacityAcrossReprogram) {
+  TrieEngine e;
+  const auto program = [&] {
+    for (rtl::u32 i = 0; i < 3000; ++i) {
+      ASSERT_TRUE(e.write_pair(1, LabelPair{0x0A000000 + i, 7,
+                                            LabelOp::kPush}));
+      ASSERT_TRUE(e.write_pair(2, LabelPair{i, 8, LabelOp::kSwap}));
+      ASSERT_TRUE(e.write_pair(3, LabelPair{i, 9, LabelOp::kPop}));
+    }
+  };
+  program();
+  const auto grown = e.memory_stats();
+  ASSERT_GT(grown.bytes, 0u);
+  ASSERT_EQ(grown.entries, 3u * 3000u);
+  for (int cycles = 0; cycles < 3; ++cycles) {
+    e.clear();
+    EXPECT_EQ(e.level_size(1), 0u);
+    EXPECT_FALSE(e.lookup(2, 5).has_value());
+    program();
+    EXPECT_EQ(e.memory_stats().bytes, grown.bytes)
+        << "reprogram cycle " << cycles << " allocated";
+  }
+}
+
+// reserve() pre-sizes the slabs so programming a known-size base never
+// rehashes mid-load; the bench uses this before the million sweep.
+TEST(TrieEngine, ReservePreSizesAndHoldsTheByteBudget) {
+  TrieEngine e;
+  constexpr std::size_t kEntries = 100000;
+  e.reserve(1, kEntries);
+  e.reserve(2, kEntries / 2);
+  const auto reserved = e.memory_stats().bytes;
+  for (rtl::u32 i = 0; i < kEntries; ++i) {
+    ASSERT_TRUE(e.write_pair(1, LabelPair{0x01000000 + i * 3, 7,
+                                          LabelOp::kPush}));
+  }
+  for (rtl::u32 i = 0; i < kEntries / 2; ++i) {
+    ASSERT_TRUE(e.write_pair(2, LabelPair{i, 8, LabelOp::kSwap}));
+  }
+  const auto stats = e.memory_stats();
+  EXPECT_EQ(stats.bytes, reserved) << "no growth after reserve";
+  EXPECT_EQ(stats.entries, kEntries + kEntries / 2);
+  EXPECT_LE(stats.bytes_per_entry(), 64.0)
+      << "the bench gate's budget, holding at 150k entries";
+}
+
+}  // namespace
+}  // namespace empls::sw
