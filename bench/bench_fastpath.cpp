@@ -13,10 +13,17 @@
 //      scheduler.  Wire validation is off in both modes so the
 //      comparison isolates the transport, not serialisation checks.
 //
-// The gate (Release builds only): the pooled fast path must deliver at
-// least 2x the legacy packets/sec on the line topology.  Results are
-// also written to BENCH_fastpath.json for CI artifacts; `--quick` runs
-// a smaller workload for the CI smoke job.
+//   3. Multi-core scaling (events/sec): 8 disconnected 8-node lines
+//      partitioned into 1/2/4/8 free-running event domains
+//      (net/domain.hpp) — the embarrassingly-parallel shape where the
+//      per-domain queues and pools should scale with cores.
+//
+// The gates (Release builds only): the pooled fast path must deliver at
+// least 2x the legacy packets/sec on the line topology, and 8 domains
+// must run at least 4x the events/sec of the unpartitioned run (skipped
+// when the host has fewer than 8 hardware threads).  Results are also
+// written to BENCH_fastpath.json for CI artifacts; `--quick` runs a
+// smaller workload for the CI smoke job.
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -24,10 +31,12 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/embedded_router.hpp"
+#include "net/domain.hpp"
 #include "net/ldp.hpp"
 #include "net/network.hpp"
 #include "net/traffic.hpp"
@@ -208,6 +217,85 @@ FastpathResult run_line(bool legacy, net::SchedulerBackend backend,
   return r;
 }
 
+// ---------------------------------------------------------------------
+// Part 3: multi-core scaling on 8 disconnected 8-node lines.
+
+struct DomainResult {
+  double wall_s = 0;
+  double events_per_sec = 0;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t heap_fallback_events = 0;
+  std::size_t pool_high_water = 0;  // summed over every domain pool
+};
+
+/// 64 routers in 8 disconnected lines, one LSP and 4 CBR flows per
+/// line.  The block partition aligns with the lines (8 nodes per line,
+/// 64/D per domain), so every domain is fully independent: no boundary
+/// links, infinite lookahead, one unbounded free-running window each.
+DomainResult run_disconnected_lines(std::size_t domains,
+                                    double sim_seconds) {
+  constexpr int kLines = 8;
+  constexpr int kPerLine = 8;
+  net::QosConfig qos;
+  qos.queue_capacity = 256;
+  net::Network net(qos);
+  net.events().set_scheduler(net::SchedulerBackend::kCalendar);
+  net::ControlPlane cp(net);
+
+  std::vector<std::vector<net::NodeId>> lines(kLines);
+  for (int l = 0; l < kLines; ++l) {
+    for (int i = 0; i < kPerLine; ++i) {
+      core::RouterConfig cfg;
+      cfg.type = (i == 0 || i == kPerLine - 1) ? hw::RouterType::kLer
+                                               : hw::RouterType::kLsr;
+      cfg.validate_wire = false;
+      std::string name = "L" + std::to_string(l) + "R" + std::to_string(i);
+      auto r = std::make_unique<core::EmbeddedRouter>(
+          name, std::make_unique<sw::LinearEngine>(), cfg);
+      auto* raw = r.get();
+      lines[l].push_back(net.add_node(std::move(r)));
+      cp.register_router(lines[l].back(), &raw->routing());
+    }
+    for (int i = 0; i + 1 < kPerLine; ++i) {
+      net.connect(lines[l][i], lines[l][i + 1], 1e9, 100e-6);
+    }
+  }
+  if (domains > 1 && !net.partition(domains, net::SyncMode::kFree)) {
+    std::printf("  partition(%zu) refused\n", domains);
+    return {};
+  }
+
+  std::vector<std::unique_ptr<net::CbrSource>> sources;
+  for (int l = 0; l < kLines; ++l) {
+    const std::string prefix = "10." + std::to_string(l + 1) + ".0.0/16";
+    cp.establish_lsp(lines[l], *mpls::Prefix::parse(prefix));
+    const auto dst = *mpls::Ipv4Address::parse(
+        "10." + std::to_string(l + 1) + ".0.9");
+    for (std::uint32_t f = 1; f <= 4; ++f) {
+      const std::uint32_t flow = static_cast<std::uint32_t>(l) * 8 + f;
+      net::FlowSpec spec{flow, lines[l].front(), {}, dst,
+                         static_cast<std::uint8_t>(f), 256,
+                         0.0,  sim_seconds};
+      sources.push_back(std::make_unique<net::CbrSource>(
+          net, spec, nullptr, /*interval=*/100e-6));
+      sources.back()->start();
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run();
+  DomainResult r;
+  r.wall_s = seconds_since(t0);
+  const net::SimStats sim = net.sim_stats();
+  r.events = sim.events_executed;
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_s;
+  r.delivered = net.delivered_count();
+  r.heap_fallback_events = sim.events_heap_fallback;
+  r.pool_high_water = sim.pool_high_water;
+  return r;
+}
+
 std::string human(double v) {
   char buf[32];
   if (v >= 1e6) {
@@ -287,6 +375,30 @@ int main(int argc, char** argv) {
   const double speedup = pooled.packets_per_sec / legacy.packets_per_sec;
   std::printf("\nfast-path speedup: %.2fx\n\n", speedup);
 
+  // Part 3: the domain sweep.
+  const double sweep_seconds = quick ? 0.25 : 1.0;
+  const std::size_t sweep[] = {1, 2, 4, 8};
+  std::vector<DomainResult> scaled;
+  for (const std::size_t d : sweep) {
+    scaled.push_back(run_disconnected_lines(d, sweep_seconds));
+  }
+
+  bench::Table sweep_table({"8x8 lines", "events/sec", "wall s",
+                            "delivered", "pool hw", "vs 1 domain"});
+  for (std::size_t i = 0; i < std::size(sweep); ++i) {
+    const DomainResult& r = scaled[i];
+    sweep_table.add_row(
+        {std::to_string(sweep[i]) + (sweep[i] == 1 ? " domain" : " domains"),
+         human(r.events_per_sec), std::to_string(r.wall_s),
+         std::to_string(r.delivered), std::to_string(r.pool_high_water),
+         ratio(r.events_per_sec, scaled[0].events_per_sec)});
+  }
+  sweep_table.print();
+  const double domain_speedup =
+      scaled.back().events_per_sec / scaled.front().events_per_sec;
+  std::printf("\n8-domain scaling: %.2fx on %u hardware threads\n\n",
+              domain_speedup, std::thread::hardware_concurrency());
+
   // JSON artifact for CI.
   bench::BenchJson json("fastpath");
   json.set("quick", quick);
@@ -303,6 +415,15 @@ int main(int argc, char** argv) {
   line8("pooled_heap", pooled_heap);
   line8("pooled", pooled);
   json.set("line8.speedup", speedup);
+  for (std::size_t i = 0; i < std::size(sweep); ++i) {
+    const std::string key = "domains.d" + std::to_string(sweep[i]);
+    json.set(key + ".events_per_sec", scaled[i].events_per_sec);
+    json.set(key + ".wall_s", scaled[i].wall_s);
+    json.set(key + ".delivered", scaled[i].delivered);
+    json.set(key + ".pool_high_water", scaled[i].pool_high_water);
+  }
+  json.set("domains.speedup_8", domain_speedup);
+  json.set("domains.hardware_threads", std::thread::hardware_concurrency());
   json.write();
   std::printf("\n");
 
@@ -313,12 +434,33 @@ int main(int argc, char** argv) {
                      pooled.heap_fallback_events == 0);
   checks.expect_true("pool high water is bounded (line depth, not load)",
                      pooled.pool_high_water < 4096);
+  bool sweep_delivered_equal = true;
+  bool sweep_no_heap_fallback = true;
+  bool sweep_pools_bounded = true;
+  for (const DomainResult& r : scaled) {
+    sweep_delivered_equal &= r.delivered == scaled.front().delivered;
+    sweep_no_heap_fallback &= r.heap_fallback_events == 0;
+    sweep_pools_bounded &= r.pool_high_water < 4096;
+  }
+  checks.expect_true("every domain count delivers the same packets",
+                     sweep_delivered_equal);
+  checks.expect_true("partitioned runs schedule no heap-fallback events",
+                     sweep_no_heap_fallback);
+  checks.expect_true("domain pool high water stays bounded",
+                     sweep_pools_bounded);
 #ifdef NDEBUG
-  // The headline gate, meaningful only with optimisation on.
+  // The headline gates, meaningful only with optimisation on.
   checks.expect_true("pooled+calendar >= 2x legacy packets/sec",
                      speedup >= 2.0);
+  if (std::thread::hardware_concurrency() >= 8) {
+    checks.expect_true("8 domains >= 4x events/sec vs 1 domain",
+                       domain_speedup >= 4.0);
+  } else {
+    std::printf("  [SKIP] 4x domain gate (fewer than 8 hardware threads)\n");
+  }
 #else
   std::printf("  [SKIP] 2x gate (debug build; run Release to enforce)\n");
+  std::printf("  [SKIP] 4x domain gate (debug build; run Release to enforce)\n");
 #endif
   return checks.exit_code();
 }

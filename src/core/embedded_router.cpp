@@ -7,6 +7,7 @@
 
 #include "core/egress.hpp"
 #include "core/ingress.hpp"
+#include "net/mix.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -46,15 +47,10 @@ void EmbeddedRouter::set_guard(const net::GuardConfig& config) {
 
 std::size_t EmbeddedRouter::cache_slot(unsigned level,
                                        rtl::u32 key) const noexcept {
-  // splitmix64 finalizer over (level, key) — same spreading hash the
-  // sharded engine uses, so adjacent labels do not collide in lockstep.
-  rtl::u64 x = (rtl::u64{level} << 32) | rtl::u64{key};
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return static_cast<std::size_t>(x % flow_cache_.size());
+  // mix64 over (level, key) — same spreading hash the sharded engine
+  // uses, so adjacent labels do not collide in lockstep.
+  return static_cast<std::size_t>(net::mix64_pair(level, key) %
+                                  flow_cache_.size());
 }
 
 const EmbeddedRouter::CacheEntry* EmbeddedRouter::cache_probe(unsigned level,

@@ -1,11 +1,14 @@
 #include "core/scenario_runner.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "net/attack.hpp"
+#include "net/domain.hpp"
 #include "net/failure_detector.hpp"
 #include "net/fault_injector.hpp"
 #include "net/loadgen.hpp"
@@ -96,6 +99,54 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     net.connect(id_of(decl.a), id_of(decl.b), decl.bandwidth_bps,
                 decl.delay);
   }
+
+  // Event-domain partitioning (net/domain.hpp), before anything is
+  // scheduled so every first event can anchor on its node's queue.
+  // Some directives force a downgrade: anything that schedules
+  // control-plane work onto the main queue mid-run (faults, OAM,
+  // autorepair, protection, attacks) touches other domains' links and
+  // nodes, which only the deterministic merge's synchronised clocks
+  // make safe; and the hop tracer keys journeys by packet address,
+  // which a boundary handoff changes, so tracing forces one domain.
+  std::size_t domains = scenario.domains;
+  net::SyncMode sync = scenario.sync;
+  std::string domain_note;
+  if (domains == 0) {  // domains=auto
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    domains = std::min<std::size_t>(hw, scenario.routers.size());
+  }
+  if (domains > 1 && !scenario.trace_path.empty()) {
+    domains = 1;
+    domain_note = "single domain forced: trace armed";
+  }
+  const bool needs_deterministic =
+      !scenario.link_events.empty() || !scenario.flaps.empty() ||
+      !scenario.crashes.empty() || !scenario.corruptions.empty() ||
+      !scenario.oam_probes.empty() || !scenario.attacks.empty() ||
+      scenario.autorepair_hello.has_value() || scenario.protect;
+  if (domains > 1 && sync == net::SyncMode::kFree && needs_deterministic) {
+    sync = net::SyncMode::kDeterministic;
+    domain_note =
+        "sync downgraded to deterministic: control-plane directives";
+  }
+  if (domains > 1 && !net.partition(domains, sync)) {
+    if (sync == net::SyncMode::kFree &&
+        net.partition(domains, net::SyncMode::kDeterministic)) {
+      sync = net::SyncMode::kDeterministic;
+      domain_note =
+          "sync downgraded to deterministic: zero-lookahead boundary link";
+    } else {
+      domains = 1;
+      if (domain_note.empty()) {
+        domain_note = "single domain forced: partition refused";
+      }
+    }
+  }
+  if (const net::DomainRuntime* drt = net.domain_runtime()) {
+    report.domains = drt->domain_count();
+    report.sync_mode = std::string(net::to_string(drt->mode()));
+  }
+  report.domain_note = std::move(domain_note);
 
   // Telemetry: the registry is always live (the report carries its
   // snapshot); the hop tracer is armed only by a `trace=` directive, so
@@ -424,6 +475,10 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
   }
   report.duration = net.now();
   report.sim = net.sim_stats();
+  if (const net::DomainRuntime* drt = net.domain_runtime()) {
+    report.domain_handoffs = drt->handoffs_in_sum();
+    report.domain_windows = drt->windows_sum();
+  }
   if (detector) {
     report.failures_detected = detector->events().size();
     for (const auto& event : detector->events()) {
@@ -558,6 +613,17 @@ std::string ScenarioRunner::Report::to_string() const {
   out << "simulated " << duration << " s, " << lsps_established << " LSPs, "
       << tunnels_established << " tunnels\n";
   out << "simulator: " << sim.summary() << '\n';
+  if (domains > 1) {
+    out << "domains: " << domains << " sync=" << sync_mode
+        << " handoffs=" << domain_handoffs;
+    if (domain_windows > 0) {
+      out << " windows=" << domain_windows;
+    }
+    out << '\n';
+  }
+  if (!domain_note.empty()) {
+    out << "domains: " << domain_note << '\n';
+  }
   if (backups_installed > 0 || protection_switches > 0) {
     out << "protection: backups=" << backups_installed
         << " switches=" << protection_switches

@@ -90,6 +90,16 @@ class ScenarioRunner {
     net::SimTime duration = 0;
     /// Simulator fast-path counters (event queue + packet pool).
     net::SimStats sim;
+    /// Partitioned execution (net/domain.hpp): the domain count the run
+    /// actually used (1 = unpartitioned), the sync mode, and why the
+    /// runner downgraded the scenario's request, if it did.  Handoffs
+    /// count packets that crossed a domain boundary; windows count
+    /// lookahead windows entered (free-running mode only).
+    std::size_t domains = 1;
+    std::string sync_mode;
+    std::string domain_note;
+    std::uint64_t domain_handoffs = 0;
+    std::uint64_t domain_windows = 0;
     /// Per-reason drop totals (router discards + link-level drops),
     /// indexed by obs::DropReason.
     obs::DropCounts drops{};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace empls::net {
 
@@ -89,6 +90,52 @@ std::uint64_t EventQueue::run() {
     now_ = ev.time;
     ev.fn();
     ++executed;
+  }
+  stats_.executed += executed;
+  return executed;
+}
+
+SimTime EventQueue::next_time() {
+  if (size_ == 0) {
+    return std::numeric_limits<SimTime>::infinity();
+  }
+  if (backend_ == SchedulerBackend::kHeap) {
+    return heap_.front().time;
+  }
+  // Calendar: pop the minimum and re-push it.  The event keeps its
+  // sequence number so execution order is unchanged; the cursor pull-back
+  // in calendar_insert restores the scan position.
+  Event ev = pop();
+  const SimTime t = ev.time;
+  push(std::move(ev));
+  return t;
+}
+
+bool EventQueue::step() {
+  if (size_ == 0) {
+    return false;
+  }
+  Event ev = pop();
+  now_ = ev.time;
+  ev.fn();
+  ++stats_.executed;
+  return true;
+}
+
+std::uint64_t EventQueue::run_window(SimTime end, bool inclusive) {
+  std::uint64_t executed = 0;
+  while (size_ > 0) {
+    Event ev = pop();
+    if (ev.time > end || (!inclusive && ev.time == end)) {
+      push(std::move(ev));  // keeps its sequence number: order unchanged
+      break;
+    }
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < end) {
+    now_ = end;
   }
   stats_.executed += executed;
   return executed;
@@ -221,6 +268,7 @@ EventQueue::Event EventQueue::calendar_pop() {
 }
 
 void EventQueue::calendar_rebuild(std::size_t nbuckets) {
+  ++stats_.calendar_rebuilds;
   std::vector<Event> pending;
   pending.reserve(size_);
   for (auto& bucket : buckets_) {

@@ -60,6 +60,34 @@ class EventQueue {
   /// Run until the queue drains.
   std::uint64_t run();
 
+  /// Earliest pending event time, or +inf when the queue is empty.
+  /// Non-const: the calendar backend peeks by popping and re-pushing
+  /// (the event keeps its sequence number, so order is unchanged).
+  [[nodiscard]] SimTime next_time();
+
+  /// Execute exactly one event (the global (time, seq) minimum).
+  /// Returns false if the queue was empty.  Used by the deterministic
+  /// cross-domain merge, which interleaves single events from several
+  /// domain queues in global (time, domain) order.
+  bool step();
+
+  /// Run events with time strictly before `end` (or <= `end` when
+  /// `inclusive`), then advance now() to `end`.  This is the conservative
+  /// lookahead window primitive: strict `<` keeps window boundaries
+  /// exclusive so a handoff arriving exactly at the window edge executes
+  /// in the *next* window on its destination domain.
+  std::uint64_t run_window(SimTime end, bool inclusive);
+
+  /// Advance the clock without running events (now() is monotone; a
+  /// target in the past is a no-op).  Domains that idle through a window
+  /// still need their clock at the barrier edge so late schedules clamp
+  /// consistently.
+  void advance_to(SimTime t) noexcept {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
   /// Select the scheduling backend.  Pending events migrate, so this may
   /// be called at any point; execution order is unaffected (both
   /// backends pop the global (time, seq) minimum).
@@ -74,6 +102,7 @@ class EventQueue {
     std::uint64_t clamped = 0;        // schedule_at(at < now()) fixups
     std::uint64_t events_inline = 0;  // closures in the 64-byte buffer
     std::uint64_t events_heap_fallback = 0;  // oversized closures
+    std::uint64_t calendar_rebuilds = 0;  // bucket-array resizes
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

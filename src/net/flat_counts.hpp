@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "net/mix.hpp"
+
 namespace empls::net {
 
 class FlatCounts {
@@ -47,7 +49,7 @@ class FlatCounts {
   /// Count for `key`; 0 when never seen.
   [[nodiscard]] std::uint64_t get(std::uint32_t key) const {
     const std::size_t mask = keys_.size() - 1;
-    std::size_t i = hash(key) & mask;
+    std::size_t i = mix32(key) & mask;
     while (keys_[i] != kEmptyKey) {
       if (keys_[i] == key) {
         return vals_[i];
@@ -79,20 +81,11 @@ class FlatCounts {
   }
 
  private:
-  // splitmix32 finalizer: full-avalanche spread so sequential flow ids
-  // do not cluster into one probe chain.
-  [[nodiscard]] static std::uint32_t hash(std::uint32_t x) noexcept {
-    x ^= x >> 16;
-    x *= 0x7feb352dU;
-    x ^= x >> 15;
-    x *= 0x846ca68bU;
-    x ^= x >> 16;
-    return x;
-  }
-
   [[nodiscard]] std::size_t probe(std::uint32_t key) const noexcept {
+    // mix32 spreads sequential flow ids so they do not cluster into one
+    // probe chain.
     const std::size_t mask = keys_.size() - 1;
-    std::size_t i = hash(key) & mask;
+    std::size_t i = mix32(key) & mask;
     while (keys_[i] != kEmptyKey && keys_[i] != key) {
       i = (i + 1) & mask;
     }

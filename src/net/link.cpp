@@ -124,10 +124,16 @@ void Link::begin_tx(PacketHandle packet) {
   // The wire is cut at the transmitter: once serialisation starts the
   // packet arrives even if the link is taken down meanwhile, so the
   // arrival can be scheduled up front.
-  events_->schedule_at(busy_until_ + prop_delay_,
-                       [this, p = std::move(packet)]() mutable {
-                         dst_->receive(std::move(p), dst_in_if_);
-                       });
+  const SimTime arrive_at = busy_until_ + prop_delay_;
+  if (handoff_hook_) {
+    // Domain-boundary link: the destination's event queue belongs to
+    // another domain, so the runtime carries the arrival across.
+    handoff_hook_(arrive_at, std::move(packet));
+    return;
+  }
+  events_->schedule_at(arrive_at, [this, p = std::move(packet)]() mutable {
+    dst_->receive(std::move(p), dst_in_if_);
+  });
 }
 
 void Link::drain() {

@@ -70,6 +70,23 @@ class Link {
   using DropHook = std::function<void(const mpls::Packet&, std::string_view)>;
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Partitioned execution support (net/domain.hpp).  A link belongs to
+  /// its *source* node's domain: rebind_events points the transmitter at
+  /// that domain's queue.  When the destination lives in another domain
+  /// the handoff hook replaces the arrival event — the fast-path
+  /// transmitter calls it with the computed arrival time and the packet,
+  /// and the domain runtime carries both across the boundary.
+  void rebind_events(EventQueue& events) noexcept { events_ = &events; }
+  using HandoffHook = std::function<void(SimTime arrive_at, PacketHandle)>;
+  void set_handoff_hook(HandoffHook hook) { handoff_hook_ = std::move(hook); }
+  [[nodiscard]] bool has_handoff_hook() const noexcept {
+    return static_cast<bool>(handoff_hook_);
+  }
+  [[nodiscard]] Node* destination() const noexcept { return dst_; }
+  [[nodiscard]] mpls::InterfaceId dst_interface() const noexcept {
+    return dst_in_if_;
+  }
+
   /// Telemetry wiring (Network::set_telemetry).  `link_id` is this
   /// link's index in the network's link table — the trace lane it
   /// renders on; `transit_hist` records per-packet transit time
@@ -106,6 +123,7 @@ class Link {
   SimTime busy_until_ = 0.0;  // fast path: transmitter serialising until
   LinkStats stats_;
   DropHook drop_hook_;
+  HandoffHook handoff_hook_;  // set only on domain-boundary links
   obs::HopTracer* tracer_ = nullptr;
   obs::Histogram* transit_hist_ = nullptr;
   std::uint32_t link_id_ = 0;

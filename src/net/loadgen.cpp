@@ -18,9 +18,13 @@ OpenLoopGenerator::OpenLoopGenerator(Network& net, const LoadGenConfig& cfg,
 }
 
 void OpenLoopGenerator::start() {
-  net_->events().schedule_at(cfg_.start, [this] { arrival(); });
+  // Anchor on the ingress node's domain queue so a partitioned run
+  // executes the generator in that node's domain; self-reschedules go
+  // through events(), which follows the executing domain.
+  EventQueue& q = net_->events_for(cfg_.ingress);
+  q.schedule_at(cfg_.start, [this] { arrival(); });
   if (cfg_.arrivals == LoadGenConfig::Arrivals::kMmpp) {
-    net_->events().schedule_at(cfg_.start, [this] { toggle_state(); });
+    q.schedule_at(cfg_.start, [this] { toggle_state(); });
   }
 }
 
@@ -88,6 +92,8 @@ void OpenLoopGenerator::arrival() {
   p->created_at = net_->now();
   ++stats_.packets_sent;
   if (ledger_ != nullptr) {
+    // No-op guard unless free-running partitioned (shared ledger).
+    const auto lock = net_->books_lock();
     ledger_->on_sent(slot_flow_[slot]);
   }
   net_->inject(cfg_.ingress, std::move(p));

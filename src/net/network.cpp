@@ -1,12 +1,172 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
+#include <utility>
 
+#include "net/domain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace empls::net {
+
+namespace detail {
+namespace {
+
+// The execution context of the current thread during a partitioned run:
+// which network's domain it is driving, and that domain's queue/pool.
+// Unset (net == nullptr) everywhere else, including the main thread
+// between runs, so the accessors fall back to the network's own.
+struct ActiveDomain {
+  const Network* net = nullptr;
+  EventQueue* events = nullptr;
+  PacketPool* pool = nullptr;
+  std::uint32_t index = 0;
+};
+thread_local ActiveDomain g_active_domain;
+
+}  // namespace
+
+void set_active_domain(const Network* net, EventQueue* events,
+                       PacketPool* pool, std::uint32_t index) noexcept {
+  g_active_domain = ActiveDomain{net, events, pool, index};
+}
+
+void clear_active_domain() noexcept { g_active_domain = ActiveDomain{}; }
+
+std::uint32_t active_domain_index(const Network* net) noexcept {
+  return g_active_domain.net == net ? g_active_domain.index : 0;
+}
+
+}  // namespace detail
+
+Network::Network(QosConfig default_qos)
+    : default_qos_(std::move(default_qos)) {}
+
+Network::~Network() = default;
+
+EventQueue& Network::events() noexcept {
+  if (detail::g_active_domain.net == this) {
+    return *detail::g_active_domain.events;
+  }
+  return events_;
+}
+
+const EventQueue& Network::events() const noexcept {
+  if (detail::g_active_domain.net == this) {
+    return *detail::g_active_domain.events;
+  }
+  return events_;
+}
+
+PacketPool& Network::pool() noexcept {
+  if (detail::g_active_domain.net == this) {
+    return *detail::g_active_domain.pool;
+  }
+  return pool_;
+}
+
+const PacketPool& Network::pool() const noexcept {
+  if (detail::g_active_domain.net == this) {
+    return *detail::g_active_domain.pool;
+  }
+  return pool_;
+}
+
+EventQueue& Network::events_for(NodeId id) {
+  return domains_ != nullptr ? domains_->events(domains_->domain_of(id))
+                             : events_;
+}
+
+PacketPool& Network::pool_for(NodeId id) {
+  return domains_ != nullptr ? domains_->pool(domains_->domain_of(id))
+                             : pool_;
+}
+
+bool Network::partition(std::size_t domains, SyncMode mode) {
+  const std::size_t n = nodes_.size();
+  const std::size_t count = std::min(domains, n);
+  if (count < 2) {
+    return false;
+  }
+  std::vector<std::uint32_t> map(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>(i * count / n);
+  }
+  return partition(std::move(map), static_cast<std::uint32_t>(count), mode);
+}
+
+bool Network::partition(std::vector<std::uint32_t> node_domain,
+                        std::uint32_t domain_count, SyncMode mode) {
+  if (domains_ != nullptr || legacy_fastpath_ || domain_count < 2 ||
+      node_domain.size() != nodes_.size()) {
+    return false;
+  }
+  for (const std::uint32_t d : node_domain) {
+    if (d >= domain_count) {
+      return false;
+    }
+  }
+  // Free-running progress needs strictly positive lookahead on every
+  // boundary link; check before wiring so a refusal leaves no trace.
+  if (mode == SyncMode::kFree) {
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      for (const Adjacency& adj : adjacency_[id]) {
+        if (node_domain[id] != node_domain[adj.neighbor] &&
+            adj.prop_delay <= 0.0) {
+          return false;
+        }
+      }
+    }
+  }
+  domains_ = std::make_unique<DomainRuntime>(*this, std::move(node_domain),
+                                             domain_count, mode);
+  return true;
+}
+
+bool Network::books_locked() const noexcept {
+  return domains_ != nullptr && domains_->mode() == SyncMode::kFree;
+}
+
+std::unique_lock<std::mutex> Network::books_lock() {
+  if (books_locked()) {
+    return std::unique_lock<std::mutex>(books_mutex_);
+  }
+  return {};
+}
+
+std::uint64_t Network::run_until(SimTime until) {
+  return domains_ != nullptr ? domains_->run_until(until)
+                             : events_.run_until(until);
+}
+
+std::uint64_t Network::run() {
+  return domains_ != nullptr ? domains_->run() : events_.run();
+}
+
+std::uint64_t Network::delivered_count() const noexcept {
+  return delivered_ + (domains_ != nullptr ? domains_->delivered_sum() : 0);
+}
+
+SimStats Network::sim_stats() const noexcept {
+  EventQueue::Stats ev = events_.stats();
+  PacketPool::Stats pool = pool_.stats();
+  if (domains_ != nullptr) {
+    ev = domains_->queue_stats();
+    pool = domains_->pool_stats();
+  }
+  SimStats s;
+  s.events_executed = ev.executed;
+  s.events_inline = ev.events_inline;
+  s.events_heap_fallback = ev.events_heap_fallback;
+  s.clamped_schedules = ev.clamped;
+  s.calendar_rebuilds = ev.calendar_rebuilds;
+  s.packets_acquired = pool.acquired;
+  s.packets_recycled = pool.recycled;
+  s.pool_high_water = pool.high_water;
+  return s;
+}
 
 void Node::send(PacketHandle packet, mpls::InterfaceId out_if) {
   assert(out_if < ports_.size() && "send on unknown port");
@@ -60,6 +220,7 @@ Network::PortPair Network::connect(NodeId a, NodeId b, double bandwidth_bps,
     for (auto it = links_.end() - 2; it != links_.end(); ++it) {
       (*it)->set_drop_hook([this](const mpls::Packet& p,
                                   std::string_view r) {
+        const auto lock = books_lock();
         for (const auto& h : link_drops_) {
           h(p, r);
         }
@@ -118,6 +279,7 @@ void Network::add_link_drop_handler(LinkDropHandler handler) {
   // installing it lazily keeps the no-audit hot path copy-free.
   for (const auto& link : links_) {
     link->set_drop_hook([this](const mpls::Packet& p, std::string_view r) {
+      const auto lock = books_lock();
       for (const auto& h : link_drops_) {
         h(p, r);
       }
@@ -127,26 +289,48 @@ void Network::add_link_drop_handler(LinkDropHandler handler) {
 
 void Network::inject(NodeId id, PacketHandle packet) {
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->begin(packet.get(), packet->flow_id, packet->id, id,
-                   events_.now());
+    tracer_->begin(packet.get(), packet->flow_id, packet->id, id, now());
   }
   node(id).receive(std::move(packet), kInjectInterface);
 }
 
 void Network::deliver_local(NodeId egress, const mpls::Packet& packet) {
+  if (books_locked()) {
+    // Free-running partitioned run: the per-domain counter keeps the
+    // hot no-handler path off the mutex; handlers share the books.
+    // (The tracer is pointer-keyed and incompatible with partitioned
+    // runs — the scenario runner forces a single domain when tracing.)
+    domains_->count_delivery(detail::active_domain_index(this));
+    if (!delivery_.empty()) {
+      const std::lock_guard<std::mutex> lock(books_mutex_);
+      for (const auto& handler : delivery_) {
+        handler(egress, packet);
+      }
+    }
+    return;
+  }
   ++delivered_;
   for (const auto& handler : delivery_) {
     handler(egress, packet);
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->record(tracer_->id_of(&packet), obs::SpanKind::kDeliver, egress,
-                    events_.now(), 0.0);
+                    now(), 0.0);
     tracer_->end(&packet);
   }
 }
 
 void Network::notify_discard(NodeId where, const mpls::Packet& packet,
                              std::string_view reason) {
+  if (books_locked()) {
+    const std::lock_guard<std::mutex> lock(books_mutex_);
+    for (const auto& handler : discard_) {
+      handler(where, packet, reason);
+    }
+    const obs::DropReason locked_r = obs::drop_reason_from_string(reason);
+    ++router_drops_[static_cast<std::size_t>(locked_r)];
+    return;
+  }
   for (const auto& handler : discard_) {
     handler(where, packet, reason);
   }
@@ -154,7 +338,7 @@ void Network::notify_discard(NodeId where, const mpls::Packet& packet,
   ++router_drops_[static_cast<std::size_t>(r)];
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->record(tracer_->id_of(&packet), obs::SpanKind::kDrop, where,
-                    events_.now(), 0.0, static_cast<std::uint16_t>(r));
+                    now(), 0.0, static_cast<std::uint16_t>(r));
     tracer_->end(&packet);
   }
 }
@@ -213,6 +397,10 @@ void Network::export_metrics(obs::MetricsRegistry& metrics) const {
   metrics.counter("empls_sim_events_heap_total").set(s.events_heap_fallback);
   metrics.counter("empls_sim_clamped_schedules_total")
       .set(s.clamped_schedules);
+  metrics
+      .counter("empls_sim_calendar_rebuilds_total", "",
+               "calendar-queue bucket-array resizes")
+      .set(s.calendar_rebuilds);
   metrics.counter("empls_sim_packets_acquired_total")
       .set(s.packets_acquired);
   metrics.counter("empls_sim_packets_recycled_total")
@@ -222,7 +410,36 @@ void Network::export_metrics(obs::MetricsRegistry& metrics) const {
   metrics
       .counter("empls_delivered_total", "",
                "packets delivered out of the MPLS domain")
-      .set(delivered_);
+      .set(delivered_count());
+
+  if (domains_ != nullptr) {
+    metrics
+        .gauge("empls_domain_count", "",
+               "event domains in the partitioned runtime")
+        .set(static_cast<double>(domains_->domain_count()));
+    for (std::uint32_t d = 0; d < domains_->domain_count(); ++d) {
+      const DomainRuntime::Counters& c = domains_->counters(d);
+      const std::string label = "domain=\"" + std::to_string(d) + "\"";
+      metrics
+          .counter("empls_domain_events_total", label,
+                   "events executed by the domain")
+          .set(c.executed);
+      metrics
+          .counter("empls_domain_windows_total", label,
+                   "lookahead windows entered (free-running mode)")
+          .set(c.windows);
+      metrics
+          .counter("empls_domain_idle_windows_total", label,
+                   "windows that executed zero events")
+          .set(c.idle_windows);
+      metrics.counter("empls_domain_handoffs_out_total", label)
+          .set(c.handoffs_out);
+      metrics.counter("empls_domain_handoffs_in_total", label)
+          .set(c.handoffs_in);
+      metrics.counter("empls_domain_ring_overflows_total", label)
+          .set(c.ring_overflows);
+    }
+  }
 
   for (const auto& n : nodes_) {
     n->export_metrics(metrics);

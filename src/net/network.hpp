@@ -7,6 +7,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -26,20 +27,34 @@ class HopTracer;
 
 namespace empls::net {
 
+class DomainRuntime;
+enum class SyncMode : std::uint8_t;
+
 class Network {
  public:
-  explicit Network(QosConfig default_qos = {})
-      : default_qos_(std::move(default_qos)) {}
+  explicit Network(QosConfig default_qos = {});
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+  ~Network();
 
-  EventQueue& events() noexcept { return events_; }
-  [[nodiscard]] const EventQueue& events() const noexcept { return events_; }
-  [[nodiscard]] SimTime now() const noexcept { return events_.now(); }
+  /// Event queue for the calling context.  Unpartitioned this is the
+  /// network's own queue; under a partitioned run (see partition()) the
+  /// runtime routes each domain's execution to that domain's queue, so
+  /// self-rescheduling components keep working untouched.
+  [[nodiscard]] EventQueue& events() noexcept;
+  [[nodiscard]] const EventQueue& events() const noexcept;
+  [[nodiscard]] SimTime now() const noexcept { return events().now(); }
 
-  /// Shared packet arena; traffic sources and OAM acquire from here.
-  [[nodiscard]] PacketPool& pool() noexcept { return pool_; }
-  [[nodiscard]] const PacketPool& pool() const noexcept { return pool_; }
+  /// Packet arena for the calling context (routed like events()).
+  [[nodiscard]] PacketPool& pool() noexcept;
+  [[nodiscard]] const PacketPool& pool() const noexcept;
+
+  /// The queue / pool that owns node `id` — where the *first* event for
+  /// work anchored at a node (a traffic source's start, a generator's
+  /// first arrival) must be scheduled so it executes in that node's
+  /// domain.  Unpartitioned these are the network's own.
+  [[nodiscard]] EventQueue& events_for(NodeId id);
+  [[nodiscard]] PacketPool& pool_for(NodeId id);
 
   /// Take ownership of `node`; returns its id.
   NodeId add_node(std::unique_ptr<Node> node);
@@ -157,9 +172,7 @@ class Network {
   void notify_discard(NodeId where, const mpls::Packet& packet,
                       std::string_view reason);
 
-  [[nodiscard]] std::uint64_t delivered_count() const noexcept {
-    return delivered_;
-  }
+  [[nodiscard]] std::uint64_t delivered_count() const noexcept;
 
   /// Wire the telemetry layer through the topology: every node gets
   /// on_telemetry(), every directed link gets its trace lane and a
@@ -186,31 +199,54 @@ class Network {
   /// resolved from the topology.  No-op when no tracer is wired.
   void write_chrome_trace(std::ostream& out) const;
 
-  /// Run the event loop (forwards to the event queue).
-  std::uint64_t run_until(SimTime until) { return events_.run_until(until); }
-  std::uint64_t run() { return events_.run(); }
-
-  /// Snapshot of the simulator's own fast-path counters (event queue +
-  /// packet pool); the scenario report includes it.
-  [[nodiscard]] SimStats sim_stats() const noexcept {
-    const auto& ev = events_.stats();
-    const auto& pool = pool_.stats();
-    SimStats s;
-    s.events_executed = ev.executed;
-    s.events_inline = ev.events_inline;
-    s.events_heap_fallback = ev.events_heap_fallback;
-    s.clamped_schedules = ev.clamped;
-    s.packets_acquired = pool.acquired;
-    s.packets_recycled = pool.recycled;
-    s.pool_high_water = pool.high_water;
-    return s;
+  /// Partition the topology into `domains` event domains (see
+  /// net/domain.hpp) with block node assignment: node ids are split
+  /// into `domains` equal contiguous ranges.  The second overload takes
+  /// an explicit node→domain map.  Call after the topology is built and
+  /// before scheduling any traffic — events already queued stay on
+  /// domain 0.  Returns false and leaves the network unpartitioned when
+  /// the configuration cannot run partitioned: fewer than 2 domains
+  /// after clamping to the node count, an existing partition, the
+  /// legacy fastpath (its transmitter bypasses the handoff hook), or
+  /// free-running mode with a zero-delay boundary link (zero lookahead
+  /// cannot make progress).
+  bool partition(std::size_t domains, SyncMode mode);
+  bool partition(std::vector<std::uint32_t> node_domain,
+                 std::uint32_t domain_count, SyncMode mode);
+  [[nodiscard]] DomainRuntime* domain_runtime() noexcept {
+    return domains_.get();
+  }
+  [[nodiscard]] const DomainRuntime* domain_runtime() const noexcept {
+    return domains_.get();
   }
 
+  /// Guard for shared accounting (flow stats, ledgers, delivery
+  /// handlers) that worker threads touch during free-running
+  /// partitioned execution.  Everywhere else it returns an empty
+  /// (unlocked) guard, so single-threaded runs stay lock-free.
+  [[nodiscard]] std::unique_lock<std::mutex> books_lock();
+
+  /// Run the event loop (the partitioned runtime when present,
+  /// otherwise the network's own queue).
+  std::uint64_t run_until(SimTime until);
+  std::uint64_t run();
+
+  /// Snapshot of the simulator's own fast-path counters (event queue +
+  /// packet pool, summed across domains when partitioned); the scenario
+  /// report includes it.
+  [[nodiscard]] SimStats sim_stats() const noexcept;
+
  private:
+  [[nodiscard]] bool books_locked() const noexcept;
+
   // Declared first so it is destroyed last: pending events, queues and
   // nodes all hold PacketHandles that release into this pool.
   PacketPool pool_;
   QosConfig default_qos_;
+  // Between pool_ and events_: destroyed after events_ (whose pending
+  // events may hold handles from per-domain pools) and before pool_
+  // (the per-domain queues hold handles from the network pool).
+  std::unique_ptr<DomainRuntime> domains_;
   EventQueue events_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
@@ -226,6 +262,10 @@ class Network {
   obs::HopTracer* tracer_ = nullptr;
   obs::DropCounts router_drops_{};       // notify_discard, by reason
   std::vector<std::string> link_names_;  // "src->dst", by link index
+
+  // Serialises the shared books (delivery handlers, flow stats fed by
+  // them, drop accounting) under free-running partitioned execution.
+  std::mutex books_mutex_;
 };
 
 }  // namespace empls::net

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "net/domain.hpp"
+
 namespace empls::net {
 
 namespace {
@@ -160,6 +162,51 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
         s.scheduler = SchedulerBackend::kCalendar;
       } else {
         return error("unknown scheduler: " + value + " (heap|calendar)");
+      }
+    } else if (cmd == "domains" || cmd.rfind("domains=", 0) == 0) {
+      // Event-domain partitioning; both spellings, like `scheduler`.
+      std::string value;
+      if (cmd == "domains") {
+        if (tokens.size() != 2) {
+          return error("domains needs: domains <N>|auto");
+        }
+        value = tokens[1];
+      } else {
+        if (tokens.size() != 1) {
+          return error("domains=<N>|auto takes no further tokens");
+        }
+        value = cmd.substr(std::string_view("domains=").size());
+      }
+      if (value == "auto") {
+        s.domains = 0;  // resolved to the hardware thread count at run
+      } else {
+        const std::optional<double> n = parse_number(value);
+        if (!n || *n < 1 || *n > 256 ||
+            *n != static_cast<double>(static_cast<std::size_t>(*n))) {
+          return error("domains must be an integer in [1,256] or auto");
+        }
+        s.domains = static_cast<std::size_t>(*n);
+      }
+    } else if (cmd == "sync" || cmd.rfind("sync=", 0) == 0) {
+      std::string value;
+      if (cmd == "sync") {
+        if (tokens.size() != 2) {
+          return error("sync needs: sync deterministic|free");
+        }
+        value = tokens[1];
+      } else {
+        if (tokens.size() != 1) {
+          return error("sync=<mode> takes no further tokens");
+        }
+        value = cmd.substr(std::string_view("sync=").size());
+      }
+      if (value == "deterministic") {
+        s.sync = SyncMode::kDeterministic;
+      } else if (value == "free") {
+        s.sync = SyncMode::kFree;
+      } else {
+        return error("unknown sync mode: " + value +
+                     " (deterministic|free)");
       }
     } else if (cmd == "trace" || cmd.rfind("trace=", 0) == 0 ||
                cmd == "metrics" || cmd.rfind("metrics=", 0) == 0) {

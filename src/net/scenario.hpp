@@ -6,6 +6,8 @@
 //   # comments and blank lines are ignored
 //   qos strict|fifo|wrr [capacity=64] [red]
 //   scheduler heap|calendar       # event-queue backend (also scheduler=..)
+//   domains <N>|auto              # event domains, 1 = off (also domains=..)
+//   sync deterministic|free       # domain sync mode (also sync=..)
 //   router <name> ler|lsr [engine=linear|hash|cam|simd|trie|hw
 //          |sharded:<N>[:simd|:trie]]
 //          [clock=50M] [batch=K] [cache=<entries>|off]
@@ -57,6 +59,10 @@
 #include "net/qos.hpp"
 
 namespace empls::net {
+
+// Fixed-underlying-type forward declaration; the full enum (and the
+// runtime it configures) lives in net/domain.hpp.
+enum class SyncMode : std::uint8_t;
 
 struct ScenarioError {
   int line = 0;
@@ -218,6 +224,17 @@ class Scenario {
   /// `scheduler heap|calendar` (or `scheduler=..`): event-queue backend.
   /// Both produce identical event order; calendar is the O(1) fast path.
   SchedulerBackend scheduler = SchedulerBackend::kHeap;
+  /// `domains <N>|auto` (or `domains=..`): partition the topology into
+  /// N event domains (net/domain.hpp).  1 (the default) runs the plain
+  /// single-queue simulator; 0 means "auto" — one domain per hardware
+  /// thread, capped by the node count.  The runner may downgrade (see
+  /// Report::domain_note) when a directive requires it.
+  std::size_t domains = 1;
+  /// `sync deterministic|free` (or `sync=..`): how partitioned domains
+  /// synchronise.  Deterministic merges events in global (time, domain)
+  /// order — books identical to the unpartitioned run; free runs one
+  /// thread per domain under conservative-lookahead windows.
+  SyncMode sync = SyncMode{0};  // kDeterministic
   std::vector<RouterDecl> routers;
   std::vector<LinkDecl> links;
   std::vector<LspDecl> lsps;

@@ -17,13 +17,21 @@ void TrafficSource::emit() {
   p->created_at = net_->now();
   ++sent_;
   if (stats_ != nullptr) {
+    // No-op guard unless the run is free-running partitioned, where
+    // several domains feed one FlowStats.
+    const auto lock = net_->books_lock();
     stats_->on_sent(*p);
   }
   net_->inject(spec_.ingress, std::move(p));
 }
 
+// start() anchors the first event on the ingress node's domain queue
+// (events_for); every later self-reschedule goes through events(), which
+// the partitioned runtime routes to the executing domain.
+
 void CbrSource::start() {
-  net_->events().schedule_at(spec_.start, [this] { tick(); });
+  net_->events_for(spec_.ingress)
+      .schedule_at(spec_.start, [this] { tick(); });
 }
 
 void CbrSource::tick() {
@@ -35,7 +43,8 @@ void CbrSource::tick() {
 }
 
 void PoissonSource::start() {
-  net_->events().schedule_at(spec_.start, [this] { tick(); });
+  net_->events_for(spec_.ingress)
+      .schedule_at(spec_.start, [this] { tick(); });
 }
 
 void PoissonSource::tick() {
@@ -48,7 +57,8 @@ void PoissonSource::tick() {
 }
 
 void VideoSource::start() {
-  net_->events().schedule_at(spec_.start, [this] { frame(); });
+  net_->events_for(spec_.ingress)
+      .schedule_at(spec_.start, [this] { frame(); });
 }
 
 void VideoSource::frame() {
@@ -64,7 +74,8 @@ void VideoSource::frame() {
 }
 
 void OnOffSource::start() {
-  net_->events().schedule_at(spec_.start, [this] { begin_burst(); });
+  net_->events_for(spec_.ingress)
+      .schedule_at(spec_.start, [this] { begin_burst(); });
 }
 
 void OnOffSource::begin_burst() {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <ostream>
 
+#include "net/mix.hpp"
 #include "obs/drop_reason.hpp"
 
 namespace empls::obs {
@@ -42,15 +43,14 @@ constexpr std::size_t round_up_pow2(std::size_t n) noexcept {
   return p;
 }
 
-// splitmix64 finalizer over the address bits: slab addresses share
-// low-bit structure (fixed slot stride), so a strong mix is needed for
-// the open-addressing table to probe well.
+// mix64 over the address bits: slab addresses share low-bit structure
+// (fixed slot stride), so a strong mix is needed for the
+// open-addressing table to probe well.  The golden-gamma pre-add keeps
+// the null pointer off the finalizer's 0 → 0 fixed point.
 std::size_t hash_ptr(const void* p) noexcept {
-  auto x = reinterpret_cast<std::uintptr_t>(p);
-  std::uint64_t z = static_cast<std::uint64_t>(x) + 0x9e3779b97f4a7c15ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return static_cast<std::size_t>(z ^ (z >> 31));
+  const auto x = reinterpret_cast<std::uintptr_t>(p);
+  return static_cast<std::size_t>(
+      net::mix64(static_cast<std::uint64_t>(x) + net::kGoldenGamma));
 }
 
 }  // namespace

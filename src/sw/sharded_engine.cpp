@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/mix.hpp"
 #include "sw/semantics.hpp"
 #include "sw/simd_engine.hpp"
 
@@ -40,15 +41,10 @@ ShardedEngine::~ShardedEngine() {
 
 std::size_t ShardedEngine::shard_index(unsigned level,
                                        rtl::u32 key) const noexcept {
-  // splitmix64 finalizer over (level, key): an RSS-style spreading hash
-  // so adjacent labels / addresses do not pile onto one shard.
-  rtl::u64 x = (rtl::u64{level} << 32) | rtl::u64{key};
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return static_cast<std::size_t>(x % shards_.size());
+  // mix64 over (level, key): an RSS-style spreading hash so adjacent
+  // labels / addresses do not pile onto one shard.
+  return static_cast<std::size_t>(net::mix64_pair(level, key) %
+                                  shards_.size());
 }
 
 std::size_t ShardedEngine::shard_of(unsigned level, rtl::u32 key) const {

@@ -6,6 +6,7 @@
 
 #include "hw/cycle_model.hpp"
 #include "mpls/label.hpp"
+#include "net/mix.hpp"
 #include "sw/semantics.hpp"
 
 namespace empls::sw {
@@ -27,15 +28,9 @@ TrieEngine::TrieEngine(std::size_t level_capacity)
 }
 
 std::size_t TrieEngine::table_hash(rtl::u32 key) noexcept {
-  // splitmix32 finalizer, as in net::FlatCounts: full-avalanche spread
-  // so sequentially allocated labels do not chain into one probe run.
-  rtl::u32 x = key;
-  x ^= x >> 16;
-  x *= 0x7feb352dU;
-  x ^= x >> 15;
-  x *= 0x846ca68bU;
-  x ^= x >> 16;
-  return x;
+  // mix32, as in net::FlatCounts: full-avalanche spread so sequentially
+  // allocated labels do not chain into one probe run.
+  return net::mix32(key);
 }
 
 TrieEngine::OpenTable& TrieEngine::table_ref(unsigned level) {

@@ -1,0 +1,237 @@
+// Partitioned-execution differential: under the deterministic merge
+// (sync=deterministic), every aggregate the scenario report books —
+// per-flow statistics, router and link rows, the per-reason drop
+// partition, protection and fault counters, loadgen/attack ledgers —
+// must be bit-identical to the unpartitioned (domains=1) golden run,
+// across seeded scenarios that include fault campaigns and adversarial
+// load.  Free-running mode is checked on an independent-domains
+// topology, where it too must reproduce the golden books.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <variant>
+
+#include "core/scenario_runner.hpp"
+#include "net/scenario.hpp"
+
+namespace empls::core {
+namespace {
+
+ScenarioRunner::Report run_report(const std::string& text) {
+  auto result = ScenarioRunner::run_text(text);
+  if (const auto* err = std::get_if<net::ScenarioError>(&result)) {
+    ADD_FAILURE() << "line " << err->line << ": " << err->message;
+    return {};
+  }
+  return std::move(std::get<ScenarioRunner::Report>(result));
+}
+
+/// Everything the run *books*, and nothing about how it executed: the
+/// simulator counters and the domain lines legitimately differ between
+/// a partitioned run and the golden one (separate queues, handoff
+/// events), so the full report text cannot be the fingerprint.
+std::string books_fingerprint(const ScenarioRunner::Report& r) {
+  std::ostringstream out;
+  out << r.flows.summary();
+  for (const auto& row : r.routers) {
+    out << row.name << " rx=" << row.received << " fwd=" << row.forwarded
+        << " dlv=" << row.delivered << " disc=" << row.discarded
+        << " cyc=" << row.engine_cycles << '\n';
+  }
+  for (const auto& row : r.links) {
+    out << row.from << "->" << row.to << " util=" << row.utilization
+        << " tx=" << row.tx_packets << " qdrop=" << row.queue_drops << '\n';
+  }
+  out << "lsps=" << r.lsps_established << " tun=" << r.tunnels_established
+      << " fail=" << r.failures_detected << " reroute=" << r.lsps_rerouted
+      << " bkup=" << r.backups_installed << " sw=" << r.protection_switches
+      << " rev=" << r.protection_reverts << " corr=" << r.corruptions_injected
+      << " resync=" << r.resyncs_repaired << '\n';
+  out << "drops:";
+  for (const auto d : r.drops) {
+    out << ' ' << d;
+  }
+  out << '\n';
+  for (const auto& line : r.oam_results) {
+    out << line << '\n';
+  }
+  if (r.loadgen) {
+    out << "loadgen sent=" << r.loadgen->sent
+        << " dlv=" << r.loadgen->delivered << " drop=" << r.loadgen->drops
+        << " started=" << r.loadgen->flows_started
+        << " done=" << r.loadgen->flows_completed
+        << " conserved=" << r.loadgen->conserved << '\n';
+  }
+  for (const auto& a : r.attacks) {
+    out << "attack " << a.kind << " inj=" << a.injected
+        << " dlv=" << a.delivered << " drop=" << a.drops << '\n';
+  }
+  out << "guard res=" << r.guard.reserved_drops
+      << " spoof=" << r.guard.spoof_drops << " ttl=" << r.guard.ttl_limited
+      << " reprog=" << r.guard.reprogram_refusals
+      << " dem=" << r.guard.demoted << " shed=" << r.guard.shed
+      << " adm=" << r.guard.admitted << '\n';
+  return out.str();
+}
+
+/// Golden (domains=1) vs partitioned deterministic run of `body`.
+void expect_partitioned_books_identical(const std::string& body,
+                                        std::size_t domains) {
+  const auto golden = run_report(body);
+  const auto part = run_report("domains " + std::to_string(domains) +
+                               "\nsync deterministic\n" + body);
+  ASSERT_EQ(part.domains, domains)
+      << "partition downgraded: " << part.domain_note;
+  EXPECT_EQ(part.sync_mode, "deterministic");
+  EXPECT_EQ(books_fingerprint(part), books_fingerprint(golden));
+  EXPECT_GT(part.sim.events_executed, 0u);
+}
+
+TEST(DomainDifferential, PlainForwardingOneDomainPerRouter) {
+  expect_partitioned_books_identical(R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 cos=5 interval=3ms stop=0.25
+flow poisson 2 A 10.1.0.6 rate=400 seed=9 stop=0.25
+run 0.4
+)",
+                                     3);
+}
+
+TEST(DomainDifferential, FaultCampaignWithAutorepair) {
+  expect_partitioned_books_identical(R"(
+router A ler
+router B lsr
+router C lsr
+router D ler
+link A B 10M 1ms
+link B D 10M 1ms
+link A C 10M 2ms
+link C D 10M 2ms
+lsp 10.1.0.0/16 A B D
+autorepair 10ms dead=3
+flow cbr 1 A 10.1.0.5 interval=4ms stop=0.4
+flap 0.08 B D 20ms
+crash 0.15 B for=50ms
+corrupt 0.25 B salt=3 resync=30ms
+ping 0.05 A 10.1.0.5
+ping 0.35 A 10.1.0.5
+run 0.5
+)",
+                                     2);
+}
+
+TEST(DomainDifferential, ProtectionSwitchingUnderCutAndRestore) {
+  expect_partitioned_books_identical(R"(
+qos strict capacity=32
+router A ler
+router B lsr
+router C lsr
+router D ler
+link A B 10M 1ms
+link B D 10M 1ms
+link B C 10M 1ms
+link C D 10M 1ms
+lsp 10.1.0.0/16 A B D
+protect
+flow cbr 1 A 10.1.0.5 cos=6 interval=2ms stop=0.3
+fail 0.1 B D
+restore 0.2 B D
+run 0.4
+)",
+                                     2);
+}
+
+TEST(DomainDifferential, QosCongestionWithRedDrops) {
+  expect_partitioned_books_identical(R"(
+qos wrr capacity=16 red
+router A ler
+router B lsr
+router C ler
+link A B 100M 1ms
+link B C 2M 1ms
+lsp 10.1.0.0/16 A B C
+flow video 1 A 10.1.0.5 cos=4 fps=25 ppf=6 size=1200 stop=0.3
+flow poisson 2 A 10.1.0.6 cos=1 rate=900 seed=4 size=600 stop=0.3
+run 0.5
+)",
+                                     3);
+}
+
+TEST(DomainDifferential, OverloadCampaignWithGuardAndAttack) {
+  expect_partitioned_books_identical(R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+guard * ttl=500 reprogram=100 demote=0.4 shed=0.8
+loadgen poisson A 10.1.0.0 rate=4k flows=128 seed=7 stop=0.2
+attack spoof 0.05 A rate=2k for=100ms seed=3
+run 0.3
+)",
+                                     2);
+}
+
+TEST(DomainDifferential, FreeRunningIndependentLinesMatchGolden) {
+  // Two disjoint forwarding lines: a block partition over the
+  // declaration order puts one line per domain, there are no boundary
+  // links (infinite lookahead), and free-running execution must still
+  // reproduce the golden books exactly — each domain's event sequence
+  // is the sequential one.
+  const std::string body = R"(
+router A ler
+router B lsr
+router C ler
+router D ler
+router E lsr
+router F ler
+link A B 10M 1ms
+link B C 10M 1ms
+link D E 10M 1ms
+link E F 10M 1ms
+lsp 10.1.0.0/16 A B C
+lsp 10.2.0.0/16 D E F
+flow cbr 1 A 10.1.0.5 interval=3ms stop=0.2
+flow cbr 2 D 10.2.0.5 interval=5ms stop=0.2
+run 0.3
+)";
+  const auto golden = run_report(body);
+  const auto part = run_report("domains 2\nsync free\n" + body);
+  ASSERT_EQ(part.domains, 2u) << part.domain_note;
+  EXPECT_EQ(part.sync_mode, "free");
+  EXPECT_EQ(books_fingerprint(part), books_fingerprint(golden));
+  EXPECT_GT(part.domain_windows, 0u);
+}
+
+TEST(DomainDifferential, FreeModeDowngradesUnderControlPlaneDirectives) {
+  // A fault campaign schedules control-plane work that touches other
+  // domains' links; the runner must downgrade free to deterministic —
+  // and the books must still match the golden run.
+  const std::string body = R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 interval=4ms stop=0.2
+flap 0.05 B C 20ms
+run 0.3
+)";
+  const auto golden = run_report(body);
+  const auto part = run_report("domains 2\nsync free\n" + body);
+  ASSERT_EQ(part.domains, 2u) << part.domain_note;
+  EXPECT_EQ(part.sync_mode, "deterministic");
+  EXPECT_NE(part.domain_note.find("downgraded"), std::string::npos);
+  EXPECT_EQ(books_fingerprint(part), books_fingerprint(golden));
+}
+
+}  // namespace
+}  // namespace empls::core

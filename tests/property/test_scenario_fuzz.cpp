@@ -38,6 +38,8 @@ TEST_P(ScenarioFuzz, MutatedValidScenariosNeverCrash) {
   // mutate just like the originals.
   const std::string base = R"(
 qos strict capacity=16
+domains 2
+sync deterministic
 router A ler engine=hw
 router B lsr engine=sharded:4 batch=8
 router C ler
@@ -102,7 +104,7 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
       "flow",    "fail",   "restore", "flap",     "crash",    "corrupt",
       "protect", "police", "ping",    "traceroute", "autorepair", "run",
       "loadgen", "attack", "attack=spoof", "attack=exhaust",
-      "attack=melt", "guard"};
+      "attack=melt", "guard", "domains", "sync", "domains=4", "sync=free"};
   const std::vector<std::string> words = {
       "A",        "B",          "C",       "ler",        "lsr",
       "strict",   "cbr",        "10M",     "1ms",        "0.2",
@@ -111,6 +113,7 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
       "batch=8",  "batch=0",    "batch=-1", "cos=5",      "bw=1M",
       "for=50ms", "salt=9",     "resync=20ms", "down-for", "seed=1",
       "=",        "sharded:",   "1e99",    "-3",
+      "auto",     "deterministic", "free", "0",  "257",     "2.5",
       "poisson",  "mmpp",       "spoof",   "ttl_flood",  "reserved",
       "exhaust",  "*",          "rate=5k", "rate=0",     "burst-rate=20k",
       "flows=256", "flows=0",   "alpha=1.5", "alpha=-1", "minpkts=4",
@@ -164,6 +167,10 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
         EXPECT_LE(g.config.shed_occupancy, 1.0);
         EXPECT_LE(g.config.demote_cos_max, 7);
       }
+      // Partitioning contract: the runner hands `domains` to
+      // Network::partition unchecked, so an accepted value is either
+      // the auto sentinel (0) or inside the validated [1, 256] range.
+      EXPECT_LE(s.domains, 256u);
     }
   }
 }
