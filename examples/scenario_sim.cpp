@@ -77,5 +77,10 @@ int main(int argc, char** argv) {
   }
   const auto& report = std::get<empls::core::ScenarioRunner::Report>(result);
   std::printf("%s", report.to_string().c_str());
+  if (!report.expects_passed()) {
+    std::fprintf(stderr, "SLO violated: one or more expect directives "
+                         "failed (see the slo: section above)\n");
+    return 1;
+  }
   return 0;
 }

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "core/egress.hpp"
 #include "core/ingress.hpp"
+#include "net/domain.hpp"
 #include "net/mix.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -14,6 +16,36 @@
 #include "sw/semantics.hpp"
 
 namespace empls::core {
+
+namespace {
+
+/// Engine-search span for the domain profiler: adds the host-clock
+/// nanoseconds between construction and destruction to the executing
+/// thread's armed accumulator (net::detail::search_accumulator()).
+/// A disarmed thread — the default — pays one TLS load per engine call.
+class SearchSpan {
+ public:
+  SearchSpan() noexcept
+      : acc_(net::detail::search_accumulator()),
+        t0_(acc_ != nullptr ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{}) {}
+  ~SearchSpan() {
+    if (acc_ != nullptr) {
+      *acc_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count());
+    }
+  }
+  SearchSpan(const SearchSpan&) = delete;
+  SearchSpan& operator=(const SearchSpan&) = delete;
+
+ private:
+  std::uint64_t* acc_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
 
 EmbeddedRouter::EmbeddedRouter(std::string name,
                                std::unique_ptr<sw::LabelEngine> engine,
@@ -346,9 +378,13 @@ void EmbeddedRouter::process(Pending work) {
   // below is naturally skipped).
   const CacheEntry* cached =
       flow_cache_.empty() ? nullptr : cache_probe(cls.level, cls.key);
-  auto outcome = cached
-                     ? cached_update(*work.packet, *cached)
-                     : engine_->update(*work.packet, cls.level, config_.type);
+  auto outcome = [&] {
+    if (cached != nullptr) {
+      return cached_update(*work.packet, *cached);
+    }
+    SearchSpan span;
+    return engine_->update(*work.packet, cls.level, config_.type);
+  }();
   double latency = outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
                                          : config_.sw_update_latency_s;
   stats_.engine_cycles += outcome.hw_cycles;
@@ -368,7 +404,10 @@ void EmbeddedRouter::process(Pending work) {
           obs::to_string(obs::DropReason::kReprogramRateLimited);
     } else if (routing_.slow_path_install(cls.key)) {
       ++stats_.slow_path_retries;
-      outcome = engine_->update(*work.packet, cls.level, config_.type);
+      {
+        SearchSpan span;
+        outcome = engine_->update(*work.packet, cls.level, config_.type);
+      }
       latency += outcome.hw_cycles > 0 ? clock_.seconds(outcome.hw_cycles)
                                        : config_.sw_update_latency_s;
       stats_.engine_cycles += outcome.hw_cycles;
@@ -469,7 +508,10 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
     for (const std::size_t i : miss_idx) {
       miss_packets.push_back(packets[i]);
     }
-    auto miss_outcomes = engine_->update_batch(miss_packets, config_.type);
+    auto miss_outcomes = [&] {
+      SearchSpan span;
+      return engine_->update_batch(miss_packets, config_.type);
+    }();
     miss_makespan = engine_->last_batch_makespan_cycles();
     ++stats_.engine_batches;
     stats_.engine_batched_packets += miss_idx.size();
@@ -515,8 +557,11 @@ void EmbeddedRouter::process_batch(std::vector<Pending> work) {
     }
     if (routing_.slow_path_install(cls[i].key)) {
       ++stats_.slow_path_retries;
-      outcomes[i] = engine_->update(*work[i].packet, cls[i].level,
-                                    config_.type);
+      {
+        SearchSpan span;
+        outcomes[i] = engine_->update(*work[i].packet, cls[i].level,
+                                      config_.type);
+      }
       latency += outcomes[i].hw_cycles > 0
                      ? clock_.seconds(outcomes[i].hw_cycles)
                      : config_.sw_update_latency_s;

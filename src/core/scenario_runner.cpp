@@ -14,6 +14,7 @@
 #include "net/loadgen.hpp"
 #include "net/oam.hpp"
 #include "net/protection.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 #include "sw/cam_engine.hpp"
@@ -60,6 +61,91 @@ std::unique_ptr<sw::LabelEngine> make_engine(const std::string& kind) {
 
 net::ScenarioError semantic_error(std::string message) {
   return net::ScenarioError{0, std::move(message)};
+}
+
+bool check_op(double lhs, net::ExpectDecl::Op op, double rhs) {
+  switch (op) {
+    case net::ExpectDecl::Op::kLt:
+      return lhs < rhs;
+    case net::ExpectDecl::Op::kLe:
+      return lhs <= rhs;
+    case net::ExpectDecl::Op::kGt:
+      return lhs > rhs;
+    case net::ExpectDecl::Op::kGe:
+      return lhs >= rhs;
+    case net::ExpectDecl::Op::kEq:
+      return lhs == rhs;
+    case net::ExpectDecl::Op::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+/// An expect metric spec split into its registry coordinates:
+/// "name{labels}.p999" → {"name", "labels", ".p999"}.  The suffix
+/// (".p50" / ".p99" / ".p999" / ".count") selects a histogram facet.
+struct MetricSpec {
+  std::string name;
+  std::string labels;
+  std::string suffix;
+};
+
+MetricSpec split_metric_spec(const std::string& metric) {
+  MetricSpec out;
+  if (const auto brace = metric.find('{'); brace != std::string::npos) {
+    const auto close = metric.rfind('}');
+    if (close != std::string::npos && close > brace) {
+      out.name = metric.substr(0, brace);
+      out.labels = metric.substr(brace + 1, close - brace - 1);
+      out.suffix = metric.substr(close + 1);
+      return out;
+    }
+  }
+  out.name = metric;
+  // Longest suffix first: ".p999" would otherwise match ".p99"'s check.
+  for (const std::string_view sfx : {".p999", ".p50", ".p99", ".count"}) {
+    if (out.name.size() > sfx.size() &&
+        std::string_view(out.name).substr(out.name.size() - sfx.size()) ==
+            sfx) {
+      out.suffix = std::string(sfx);
+      out.name.resize(out.name.size() - sfx.size());
+      break;
+    }
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+/// End-of-run registry lookup for an unwindowed expect.  nullopt when
+/// the series does not exist (or a histogram is named without a facet).
+std::optional<double> registry_value(const obs::MetricsRegistry& metrics,
+                                     const MetricSpec& spec) {
+  if (spec.suffix.empty()) {
+    if (const obs::Counter* c =
+            metrics.find_counter(spec.name, spec.labels)) {
+      return static_cast<double>(c->value());
+    }
+    if (const obs::Gauge* g = metrics.find_gauge(spec.name, spec.labels)) {
+      return g->value();
+    }
+    return std::nullopt;
+  }
+  const obs::Histogram* h = metrics.find_histogram(spec.name, spec.labels);
+  if (h == nullptr) {
+    return std::nullopt;
+  }
+  if (spec.suffix == ".count") {
+    return static_cast<double>(h->count());
+  }
+  const double q = spec.suffix == ".p50" ? 0.50
+                   : spec.suffix == ".p99" ? 0.99
+                                           : 0.999;
+  return static_cast<double>(h->quantile(q));
 }
 
 }  // namespace
@@ -115,10 +201,12 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     domains = std::min<std::size_t>(hw, scenario.routers.size());
   }
-  if (domains > 1 && !scenario.trace_path.empty()) {
-    domains = 1;
-    domain_note = "single domain forced: trace armed";
-  }
+  auto add_note = [&domain_note](std::string_view note) {
+    if (!domain_note.empty()) {
+      domain_note += "; ";
+    }
+    domain_note += note;
+  };
   const bool needs_deterministic =
       !scenario.link_events.empty() || !scenario.flaps.empty() ||
       !scenario.crashes.empty() || !scenario.corruptions.empty() ||
@@ -126,19 +214,34 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
       scenario.autorepair_hello.has_value() || scenario.protect;
   if (domains > 1 && sync == net::SyncMode::kFree && needs_deterministic) {
     sync = net::SyncMode::kDeterministic;
-    domain_note =
-        "sync downgraded to deterministic: control-plane directives";
+    add_note("sync downgraded to deterministic: control-plane directives");
+  }
+  // Timeline ticks read every domain's counters mid-run; only the
+  // merge's synchronised clocks make that safe.
+  if (domains > 1 && sync == net::SyncMode::kFree &&
+      scenario.sample_interval) {
+    sync = net::SyncMode::kDeterministic;
+    add_note("sync downgraded to deterministic: timeline sampling");
+  }
+  // Tracing is safe under the deterministic merge (journeys are re-keyed
+  // across boundary handoffs on the single merge thread); only the
+  // free-running mode — concurrent journey-table access — still forces
+  // one domain.
+  if (domains > 1 && sync == net::SyncMode::kFree &&
+      !scenario.trace_path.empty()) {
+    domains = 1;
+    add_note("single domain forced: trace armed under sync=free");
   }
   if (domains > 1 && !net.partition(domains, sync)) {
     if (sync == net::SyncMode::kFree &&
         net.partition(domains, net::SyncMode::kDeterministic)) {
       sync = net::SyncMode::kDeterministic;
-      domain_note =
-          "sync downgraded to deterministic: zero-lookahead boundary link";
+      add_note(
+          "sync downgraded to deterministic: zero-lookahead boundary link");
     } else {
       domains = 1;
       if (domain_note.empty()) {
-        domain_note = "single domain forced: partition refused";
+        add_note("single domain forced: partition refused");
       }
     }
   }
@@ -158,6 +261,24 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
     tracer->set_enabled(true);
   }
   net.set_telemetry(metrics.get(), tracer ? &*tracer : nullptr);
+  report.domain_traced = tracer.has_value() && report.domains > 1;
+
+  // Timeline sampling (the `sample` directive): delta-encoded series
+  // over the registry, fed by ticks pre-scheduled over the run window.
+  std::optional<obs::Timeline> timeline;
+  if (scenario.sample_interval) {
+    obs::Timeline::Config tc;
+    tc.interval_s = *scenario.sample_interval;
+    timeline.emplace(tc);
+    net.set_timeline(&*timeline);
+  }
+
+  // The per-domain execution profiler (the `profile` directive).
+  if (scenario.profile) {
+    if (net::DomainRuntime* drt = net.domain_runtime()) {
+      drt->enable_profiling(true);
+    }
+  }
 
   // Tunnels first (tunnel LSPs reference them), then LSPs.
   std::map<std::string, net::TunnelId> tunnels;
@@ -270,6 +391,14 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
   }
   if (!scenario.loadgens.empty()) {
     ledger.emplace();
+    if (timeline) {
+      // The ledger's HDR histogram lives outside the registry (it is
+      // per-run state); track it directly so windowed latency quantiles
+      // land in the timeline — the series the saturation-knee and SLO
+      // checks read.
+      timeline->track_histogram("empls_loadgen_latency_ns",
+                                &ledger->latency_ns());
+    }
   }
 
   // Delivery accounting.  Reserved flow-id blocks keep the scripted
@@ -467,6 +596,25 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
         *scenario.autorepair_hello * 1000));
   }
 
+  // Timeline ticks: pre-scheduled at every multiple of the interval
+  // inside the run window (multiplication, not accumulation, so long
+  // runs don't drift).  Pre-scheduling — rather than self-rescheduling —
+  // keeps the post-window drain (`net.run()` to idle) from being held
+  // open forever by the sampler itself.  Each tick refreshes the
+  // registry from the live simulation, then samples the deltas.
+  if (timeline) {
+    const net::SimTime dt = *scenario.sample_interval;
+    const net::SimTime dur = *scenario.run_duration;  // parser-guaranteed
+    const auto ticks = static_cast<std::uint64_t>(dur / dt + 1e-9);
+    for (std::uint64_t k = 1; k <= ticks; ++k) {
+      net.events().schedule_at(
+          dt * static_cast<double>(k), [&net, m = metrics.get(), tl = &*timeline] {
+            net.export_metrics(*m);
+            tl->sample(*m, net.now());
+          });
+    }
+  }
+
   if (scenario.run_duration) {
     net.run_until(*scenario.run_duration);
     net.run();  // drain in-flight packets
@@ -580,6 +728,72 @@ std::variant<ScenarioRunner::Report, net::ScenarioError> ScenarioRunner::run(
   report.drops = net.drop_totals();
   report.metrics = metrics;
 
+  if (timeline) {
+    report.timeline_samples = timeline->sample_count();
+    report.timeline_series = timeline->column_count();
+  }
+
+  // `expect` verdicts: windowed assertions check every timeline sample
+  // inside [t0, t1]; unwindowed ones the end-of-run registry value.
+  for (const net::ExpectDecl& e : scenario.expects) {
+    ExpectRow row;
+    row.text = e.source;
+    if (e.windowed) {
+      // Parser guarantees a sample interval, so `timeline` is engaged.
+      const auto col = timeline->column_index(e.metric);
+      if (!col) {
+        row.detail = "unknown timeline series: " + e.metric;
+      } else {
+        std::size_t checked = 0;
+        row.passed = true;
+        for (std::size_t r = 0; r < timeline->sample_count(); ++r) {
+          const double t = timeline->time_at(r);
+          if (t < e.t0 - 1e-9 || t > e.t1 + 1e-9) {
+            continue;
+          }
+          ++checked;
+          const double v = timeline->value_at(r, *col);
+          if (!check_op(v, e.op, e.value)) {
+            row.passed = false;
+            row.detail = "violated at t=" + format_value(t) +
+                         "s: value=" + format_value(v);
+            break;
+          }
+        }
+        if (checked == 0) {
+          row.passed = false;
+          row.detail = "no samples in window";
+        } else if (row.passed) {
+          row.detail = std::to_string(checked) + " samples";
+        }
+      }
+    } else {
+      const MetricSpec spec = split_metric_spec(e.metric);
+      const auto v = registry_value(*metrics, spec);
+      if (!v) {
+        row.detail = "metric not found: " + e.metric;
+      } else {
+        row.passed = check_op(*v, e.op, e.value);
+        row.detail = "value=" + format_value(*v);
+      }
+    }
+    report.expects.push_back(std::move(row));
+  }
+
+  if (timeline && !scenario.timeline_path.empty()) {
+    std::ofstream out(scenario.timeline_path);
+    if (!out) {
+      return semantic_error("cannot write timeline file: " +
+                            scenario.timeline_path);
+    }
+    const std::string& path = scenario.timeline_path;
+    if (path.size() > 5 && path.substr(path.size() - 5) == ".json") {
+      timeline->write_json(out);
+    } else {
+      timeline->write_csv(out);
+    }
+  }
+
   if (!scenario.metrics_path.empty()) {
     std::ofstream out(scenario.metrics_path);
     if (!out) {
@@ -619,10 +833,27 @@ std::string ScenarioRunner::Report::to_string() const {
     if (domain_windows > 0) {
       out << " windows=" << domain_windows;
     }
+    if (domain_traced) {
+      out << " trace=merged";
+    }
     out << '\n';
   }
   if (!domain_note.empty()) {
     out << "domains: " << domain_note << '\n';
+  }
+  if (timeline_samples > 0) {
+    out << "timeline: " << timeline_samples << " samples x "
+        << timeline_series << " series\n";
+  }
+  if (!expects.empty()) {
+    out << "slo:\n";
+    for (const auto& e : expects) {
+      out << "  " << (e.passed ? "PASS" : "FAIL") << " expect " << e.text;
+      if (!e.detail.empty()) {
+        out << " (" << e.detail << ')';
+      }
+      out << '\n';
+    }
   }
   if (backups_installed > 0 || protection_switches > 0) {
     out << "protection: backups=" << backups_installed

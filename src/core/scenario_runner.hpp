@@ -65,6 +65,15 @@ class ScenarioRunner {
     std::uint64_t drops = 0;      // attributed to the attack's flow id
   };
 
+  /// One `expect` directive's verdict: the echoed directive text, the
+  /// pass/fail bit, and a detail line (observed value, or the violating
+  /// sample for windowed assertions).
+  struct ExpectRow {
+    std::string text;
+    bool passed = false;
+    std::string detail;
+  };
+
   struct Report {
     net::FlowStats flows;
     std::vector<RouterRow> routers;
@@ -100,6 +109,24 @@ class ScenarioRunner {
     std::string domain_note;
     std::uint64_t domain_handoffs = 0;
     std::uint64_t domain_windows = 0;
+    /// Hop tracing ran alongside the partitioned run (deterministic
+    /// merge re-keys journeys across boundaries; see the downgrade
+    /// matrix in run()).
+    bool domain_traced = false;
+    /// Timeline sampling (the `sample` directive): rows recorded and
+    /// series tracked; zero when unarmed.
+    std::size_t timeline_samples = 0;
+    std::size_t timeline_series = 0;
+    /// `expect` verdicts, declaration order; empty when none declared.
+    std::vector<ExpectRow> expects;
+    [[nodiscard]] bool expects_passed() const {
+      for (const auto& e : expects) {
+        if (!e.passed) {
+          return false;
+        }
+      }
+      return true;
+    }
     /// Per-reason drop totals (router discards + link-level drops),
     /// indexed by obs::DropReason.
     obs::DropCounts drops{};

@@ -8,8 +8,37 @@
 
 #include "net/link.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 
 namespace empls::net {
+
+namespace detail {
+namespace {
+thread_local std::uint64_t* t_search_acc = nullptr;
+}  // namespace
+
+void set_search_accumulator(std::uint64_t* acc) noexcept {
+  t_search_acc = acc;
+}
+
+std::uint64_t* search_accumulator() noexcept { return t_search_acc; }
+}  // namespace detail
+
+namespace {
+
+using ProfClock = std::chrono::steady_clock;
+
+inline std::uint64_t ns_between(ProfClock::time_point a,
+                                ProfClock::time_point b) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+inline ProfClock::time_point prof_now(bool armed) noexcept {
+  return armed ? ProfClock::now() : ProfClock::time_point{};
+}
+
+}  // namespace
 
 std::string_view to_string(SyncMode mode) noexcept {
   switch (mode) {
@@ -43,6 +72,7 @@ DomainRuntime::DomainRuntime(Network& net,
     queues_[d] = owned_queues_.back().get();
   }
   counters_.resize(domain_count);
+  profiles_.resize(domain_count);
   ring_table_.assign(static_cast<std::size_t>(domain_count) * domain_count,
                      nullptr);
 
@@ -102,6 +132,16 @@ void DomainRuntime::push_handoff(Ring& r, SimTime at, NodeId dst_node,
   h.at = at;
   h.dst_node = dst_node;
   h.dst_if = dst_if;
+  h.trace_id = 0;
+  if (mode_ == SyncMode::kDeterministic) {
+    // The copy across the boundary changes the address the tracer keys
+    // journeys on; carry the id through the ring so the far side can
+    // re-bind it.  kFree never does this: the journey table is
+    // single-threaded, so tracing forces a single domain there.
+    if (obs::HopTracer* t = net_.tracer(); t != nullptr && t->enabled()) {
+      h.trace_id = t->detach(&packet);
+    }
+  }
   h.packet = packet;  // copy assignment: scratch buffers keep capacity
   if (!r.ring.try_push(h)) {
     // Burst larger than the ring.  The overflow vector is only ever
@@ -117,6 +157,11 @@ void DomainRuntime::push_handoff(Ring& r, SimTime at, NodeId dst_node,
 void DomainRuntime::deliver_handoff(Ring& r, const Handoff& h) {
   PacketHandle p = pools_[r.dst]->acquire();
   *p = h.packet;  // recycled packets keep their buffer capacity
+  if (h.trace_id != 0) {
+    if (obs::HopTracer* t = net_.tracer(); t != nullptr) {
+      t->attach(p.get(), h.trace_id);
+    }
+  }
   Node* node = &net_.node(h.dst_node);
   queues_[r.dst]->schedule_at(
       h.at, [node, dst_if = h.dst_if, p = std::move(p)]() mutable {
@@ -148,7 +193,10 @@ std::uint64_t DomainRuntime::run() {
 std::uint64_t DomainRuntime::run_deterministic(SimTime until) {
   const std::size_t count = queues_.size();
   std::uint64_t executed = 0;
+  const bool prof = profiling_;
+  const ProfClock::time_point wall0 = prof_now(prof);
   for (;;) {
+    const ProfClock::time_point t0 = prof_now(prof);
     SimTime best = std::numeric_limits<SimTime>::infinity();
     std::size_t which = count;
     for (std::size_t d = 0; d < count; ++d) {
@@ -169,17 +217,40 @@ std::uint64_t DomainRuntime::run_deterministic(SimTime until) {
     for (EventQueue* q : queues_) {
       q->advance_to(best);
     }
+    PhaseProfile& p = profiles_[which].p;
+    const ProfClock::time_point t1 = prof_now(prof);
+    std::uint64_t search0 = 0;
+    if (prof) {
+      // The merge scan + clock advance is this mode's analogue of the
+      // barrier wait, attributed to the domain about to execute.
+      p.barrier_ns += ns_between(t0, t1);
+      search0 = p.search_ns;
+      detail::set_search_accumulator(&p.search_ns);
+    }
     detail::set_active_domain(&net_, queues_[which], pools_[which],
                               static_cast<std::uint32_t>(which));
     queues_[which]->step();
     detail::clear_active_domain();
     ++counters_[which].c.executed;
     ++executed;
+    const ProfClock::time_point t2 = prof_now(prof);
+    if (prof) {
+      detail::set_search_accumulator(nullptr);
+      const std::uint64_t raw = ns_between(t1, t2);
+      const std::uint64_t searched = p.search_ns - search0;
+      p.dispatch_ns += raw > searched ? raw - searched : 0;
+    }
     // Drain after every event so cross-domain arrivals join the global
     // (time, domain) merge immediately.
     for (const auto& r : rings_) {
       drain_ring(*r);
     }
+    if (prof) {
+      p.handoff_ns += ns_between(t2, ProfClock::now());
+    }
+  }
+  if (prof) {
+    profiles_[0].p.wall_ns += ns_between(wall0, ProfClock::now());
   }
   // Leave every clock where the single-queue run would: at `until` for a
   // bounded run, at the last executed event's time when draining.
@@ -251,11 +322,23 @@ std::uint64_t DomainRuntime::run_free(SimTime until) {
   auto worker = [this, &sync, &plan, until](std::uint32_t d) {
     EventQueue& q = *queues_[d];
     Counters& c = counters_[d].c;
+    PhaseProfile& p = profiles_[d].p;
+    const bool prof = profiling_;
+    const ProfClock::time_point w0 = prof_now(prof);
+    if (prof) {
+      detail::set_search_accumulator(&p.search_ns);
+    }
     for (;;) {
+      const ProfClock::time_point t0 = prof_now(prof);
       sync.arrive_and_wait();  // completion planned the window
+      const ProfClock::time_point t1 = prof_now(prof);
+      if (prof) {
+        p.barrier_ns += ns_between(t0, t1);
+      }
       if (plan.done) {
         break;
       }
+      const std::uint64_t search0 = p.search_ns;
       detail::set_active_domain(&net_, &q, pools_[d], d);
       const std::uint64_t n =
           plan.unbounded ? q.run() : q.run_window(plan.end, plan.inclusive);
@@ -265,7 +348,17 @@ std::uint64_t DomainRuntime::run_free(SimTime until) {
       if (n == 0) {
         ++c.idle_windows;
       }
+      const ProfClock::time_point t2 = prof_now(prof);
+      if (prof) {
+        const std::uint64_t raw = ns_between(t1, t2);
+        const std::uint64_t searched = p.search_ns - search0;
+        p.dispatch_ns += raw > searched ? raw - searched : 0;
+      }
       sync.arrive_and_wait();  // everyone out of their window
+      const ProfClock::time_point t3 = prof_now(prof);
+      if (prof) {
+        p.barrier_ns += ns_between(t2, t3);
+      }
       // Drain this domain's incoming rings: the consumer side of an
       // SPSC ring must stay on one thread, and dst == d pins it here.
       for (const auto& r : rings_) {
@@ -273,9 +366,16 @@ std::uint64_t DomainRuntime::run_free(SimTime until) {
           drain_ring(*r);
         }
       }
+      if (prof) {
+        p.handoff_ns += ns_between(t3, ProfClock::now());
+      }
     }
     if (std::isfinite(until)) {
       q.advance_to(until);
+    }
+    if (prof) {
+      detail::set_search_accumulator(nullptr);
+      p.wall_ns += ns_between(w0, ProfClock::now());
     }
   };
 

@@ -36,6 +36,7 @@
 // single-threaded and steady-state crossings allocate nothing.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -65,6 +66,14 @@ void set_active_domain(const Network* net, EventQueue* events,
                        PacketPool* pool, std::uint32_t index) noexcept;
 void clear_active_domain() noexcept;
 [[nodiscard]] std::uint32_t active_domain_index(const Network* net) noexcept;
+
+/// Thread-local engine-search accumulator for the domain profiler.
+/// When non-null, EmbeddedRouter adds the host-clock nanoseconds of
+/// every label-engine update/search call to it; the runtime points it
+/// at the executing domain's PhaseProfile::search_ns.  A disarmed
+/// thread (the default) costs one TLS load per engine call.
+void set_search_accumulator(std::uint64_t* acc) noexcept;
+[[nodiscard]] std::uint64_t* search_accumulator() noexcept;
 }  // namespace detail
 
 class DomainRuntime {
@@ -77,7 +86,32 @@ class DomainRuntime {
     SimTime at = 0.0;
     NodeId dst_node = 0;
     mpls::InterfaceId dst_if = 0;
+    /// Journey id carried across the boundary so the hop tracer can
+    /// re-key the packet's journey to its new pool address (the copy
+    /// changes the address the tracer keys on).  0 = untracked.  Only
+    /// the deterministic merge populates this — the tracer's journey
+    /// table is single-threaded.
+    std::uint64_t trace_id = 0;
     mpls::Packet packet;
+  };
+
+  /// Wall-clock phase accounting for one domain's execution context,
+  /// armed by enable_profiling().  Host (steady_clock) nanoseconds.
+  /// dispatch_ns excludes the engine-search time nested inside event
+  /// execution, so the four phases partition the measured time:
+  ///   kFree          — per worker thread: wall_ns covers the whole
+  ///     worker loop; barrier_ns both barrier waits, dispatch_ns the
+  ///     window execution, handoff_ns the quiesced ring drains.
+  ///   kDeterministic — one merge thread: the queue scan / clock
+  ///     advance (the merge's analogue of a barrier) and the ring
+  ///     drains land on the *executing* domain's profile along with
+  ///     dispatch/search; wall_ns accrues on domain 0 only.
+  struct PhaseProfile {
+    std::uint64_t dispatch_ns = 0;  // event execution minus engine search
+    std::uint64_t search_ns = 0;    // label-engine update/search calls
+    std::uint64_t handoff_ns = 0;   // draining boundary rings
+    std::uint64_t barrier_ns = 0;   // barrier waits / merge scan+advance
+    std::uint64_t wall_ns = 0;      // total wall inside run()
   };
 
   /// Per-domain execution counters (exported as empls_domain_* metrics).
@@ -132,6 +166,16 @@ class DomainRuntime {
     return counters_[domain].c;
   }
 
+  /// Arm (or disarm) per-domain phase profiling.  Costs a few
+  /// steady_clock reads per event (deterministic) or per window (free)
+  /// while armed; zero-cost branch when off.  Toggle only between
+  /// run() calls.
+  void enable_profiling(bool on) noexcept { profiling_ = on; }
+  [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+  [[nodiscard]] const PhaseProfile& profile(std::uint32_t domain) const {
+    return profiles_[domain].p;
+  }
+
   /// Run all domains up to and including `until` (run_until semantics of
   /// the single queue), or to quiescence.  Dispatches on mode().
   std::uint64_t run_until(SimTime until);
@@ -173,6 +217,10 @@ class DomainRuntime {
     Counters c;
   };
 
+  struct alignas(64) PaddedProfile {
+    PhaseProfile p;
+  };
+
   void push_handoff(Ring& r, SimTime at, NodeId dst_node,
                     mpls::InterfaceId dst_if, const mpls::Packet& packet);
   void drain_ring(Ring& r);
@@ -197,6 +245,8 @@ class DomainRuntime {
   std::vector<std::unique_ptr<Ring>> rings_;  // creation order = drain order
   std::vector<Ring*> ring_table_;             // D*D, nullptr when no boundary
   std::vector<PaddedCounters> counters_;
+  std::vector<PaddedProfile> profiles_;
+  bool profiling_ = false;
 };
 
 }  // namespace empls::net

@@ -280,20 +280,33 @@ void EventQueue::calendar_rebuild(std::size_t nbuckets) {
   buckets_.resize(std::max(nbuckets, kMinBuckets));  // stays a power of 2
   mask_ = buckets_.size() - 1;
 
-  // Re-estimate the width so the pending population spreads to about one
-  // event per bucket: width = span / count, clamped away from zero.  An
+  // Re-estimate the width so the pending population spreads to about
+  // one event per bucket.  The estimate is the *median* non-zero
+  // inter-event gap, not span/count: a handful of far-future outliers
+  // (pre-scheduled telemetry sample ticks, a link failure armed minutes
+  // ahead) would stretch a span-based width by orders of magnitude
+  // until the dense population collapsed into a single slot and every
+  // pop degenerated into a linear scan.  The median ignores them.  An
   // empty or single-time population keeps the current width.
   if (pending.size() >= 2) {
-    double lo = pending.front().time;
-    double hi = lo;
+    std::vector<double> times;
+    times.reserve(pending.size());
     for (const auto& ev : pending) {
-      lo = std::min(lo, ev.time);
-      hi = std::max(hi, ev.time);
+      times.push_back(ev.time);
     }
-    const double span = hi - lo;
-    if (span > 0.0) {
-      width_ = std::max(span / static_cast<double>(pending.size()),
-                        kMinWidth);
+    std::sort(times.begin(), times.end());
+    std::vector<double> gaps;
+    gaps.reserve(times.size() - 1);
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      const double gap = times[i] - times[i - 1];
+      if (gap > 0.0) {
+        gaps.push_back(gap);
+      }
+    }
+    if (!gaps.empty()) {
+      const auto mid = gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+      std::nth_element(gaps.begin(), mid, gaps.end());
+      width_ = std::max(*mid, kMinWidth);
       inv_width_ = 1.0 / width_;
     }
   }

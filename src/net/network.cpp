@@ -7,6 +7,7 @@
 
 #include "net/domain.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace empls::net {
@@ -408,6 +409,12 @@ void Network::export_metrics(obs::MetricsRegistry& metrics) const {
   metrics.gauge("empls_sim_pool_high_water")
       .set(static_cast<double>(s.pool_high_water));
   metrics
+      .gauge("empls_sim_pool_in_use", "",
+             "pooled packets currently live (summed across domains)")
+      .set(static_cast<double>(domains_ != nullptr
+                                   ? domains_->pool_stats().in_use
+                                   : pool_.stats().in_use));
+  metrics
       .counter("empls_delivered_total", "",
                "packets delivered out of the MPLS domain")
       .set(delivered_count());
@@ -438,6 +445,38 @@ void Network::export_metrics(obs::MetricsRegistry& metrics) const {
           .set(c.handoffs_in);
       metrics.counter("empls_domain_ring_overflows_total", label)
           .set(c.ring_overflows);
+      if (domains_->profiling()) {
+        const DomainRuntime::PhaseProfile& p = domains_->profile(d);
+        metrics
+            .counter("empls_domain_profile_dispatch_ns_total", label,
+                     "host ns executing events, engine search excluded")
+            .set(p.dispatch_ns);
+        metrics
+            .counter("empls_domain_profile_search_ns_total", label,
+                     "host ns in label-engine update/search calls")
+            .set(p.search_ns);
+        metrics
+            .counter("empls_domain_profile_handoff_ns_total", label,
+                     "host ns draining boundary handoff rings")
+            .set(p.handoff_ns);
+        metrics
+            .counter("empls_domain_profile_barrier_ns_total", label,
+                     "host ns in barrier waits / the merge scan")
+            .set(p.barrier_ns);
+        metrics
+            .counter("empls_domain_profile_wall_ns_total", label,
+                     "host ns inside run() (merge thread on domain 0)")
+            .set(p.wall_ns);
+        const std::uint64_t busy = p.dispatch_ns + p.search_ns;
+        metrics
+            .gauge("empls_domain_window_utilization", label,
+                   "fraction of the domain's wall clock spent "
+                   "dispatching or searching")
+            .set(p.wall_ns > 0
+                     ? static_cast<double>(busy) /
+                           static_cast<double>(p.wall_ns)
+                     : 0.0);
+      }
     }
   }
 
@@ -461,6 +500,10 @@ void Network::export_metrics(obs::MetricsRegistry& metrics) const {
         .gauge("empls_link_utilization", label,
                "fraction of sim time the transmitter was busy")
         .set(l.utilization());
+    metrics
+        .gauge("empls_link_queue_depth", label,
+               "packets waiting in the link's CoS queues")
+        .set(static_cast<double>(l.queue().size()));
   }
 
   const obs::DropCounts drops = drop_totals();
@@ -475,7 +518,22 @@ void Network::export_metrics(obs::MetricsRegistry& metrics) const {
 }
 
 void Network::write_chrome_trace(std::ostream& out) const {
+  if (tracer_ == nullptr && timeline_ == nullptr) {
+    return;
+  }
+  obs::HopTracer::ExtraEventsWriter counters;
+  if (timeline_ != nullptr) {
+    counters = [this](std::ostream& o, bool& first) {
+      timeline_->write_chrome_counters(o, first);
+    };
+  }
   if (tracer_ == nullptr) {
+    // Counter tracks only: same envelope the tracer writes, so the
+    // structural checks and Perfetto load both files identically.
+    out << "{\"traceEvents\":[\n";
+    bool first = true;
+    counters(out, first);
+    out << "\n],\"displayTimeUnit\":\"ns\"}\n";
     return;
   }
   std::vector<std::string> node_names;
@@ -483,7 +541,7 @@ void Network::write_chrome_trace(std::ostream& out) const {
   for (const auto& n : nodes_) {
     node_names.push_back(n->name());
   }
-  tracer_->write_chrome_trace(out, node_names, link_names_);
+  tracer_->write_chrome_trace(out, node_names, link_names_, counters);
 }
 
 }  // namespace empls::net

@@ -23,6 +23,7 @@
 namespace empls::obs {
 class MetricsRegistry;
 class HopTracer;
+class Timeline;
 }  // namespace empls::obs
 
 namespace empls::net {
@@ -195,8 +196,20 @@ class Network {
   /// drop totals, all into `metrics`.
   void export_metrics(obs::MetricsRegistry& metrics) const;
 
+  /// Timeline whose counter tracks merge into write_chrome_trace()'s
+  /// output (as the pid-3 "telemetry" process).  Not owned; the caller
+  /// keeps it alive until after the trace is written.
+  void set_timeline(const obs::Timeline* timeline) noexcept {
+    timeline_ = timeline;
+  }
+  [[nodiscard]] const obs::Timeline* timeline() const noexcept {
+    return timeline_;
+  }
+
   /// Chrome-trace JSON of the tracer's ring with node/link names
-  /// resolved from the topology.  No-op when no tracer is wired.
+  /// resolved from the topology, plus the timeline's counter tracks
+  /// when one is wired.  With only a timeline wired, writes a
+  /// counters-only trace; with neither, a no-op.
   void write_chrome_trace(std::ostream& out) const;
 
   /// Partition the topology into `domains` event domains (see
@@ -260,6 +273,7 @@ class Network {
 
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::HopTracer* tracer_ = nullptr;
+  const obs::Timeline* timeline_ = nullptr;
   obs::DropCounts router_drops_{};       // notify_discard, by reason
   std::vector<std::string> link_names_;  // "src->dst", by link index
 

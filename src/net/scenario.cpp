@@ -97,6 +97,24 @@ std::optional<SimTime> parse_time(std::string_view text) {
   return *v * scale;
 }
 
+std::string_view to_string(ExpectDecl::Op op) noexcept {
+  switch (op) {
+    case ExpectDecl::Op::kLt:
+      return "<";
+    case ExpectDecl::Op::kLe:
+      return "<=";
+    case ExpectDecl::Op::kGt:
+      return ">";
+    case ExpectDecl::Op::kGe:
+      return ">=";
+    case ExpectDecl::Op::kEq:
+      return "==";
+    case ExpectDecl::Op::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
 bool Scenario::has_router(const std::string& name) const {
   return std::any_of(routers.begin(), routers.end(),
                      [&](const RouterDecl& r) { return r.name == name; });
@@ -107,6 +125,8 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
   std::istringstream in{std::string(text)};
   std::string line;
   int line_no = 0;
+  int sample_line = 0;    // where `sample` was declared, for the
+  int timeline_line = 0;  // cross-directive diagnostics below the loop
 
   auto error = [&](const std::string& message) {
     return ScenarioError{line_no, message};
@@ -232,6 +252,102 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
         value.clear();
       }
       (is_trace ? s.trace_path : s.metrics_path) = std::move(value);
+    } else if (cmd == "timeline" || cmd.rfind("timeline=", 0) == 0) {
+      std::string value;
+      if (cmd == "timeline") {
+        if (tokens.size() != 2) {
+          return error("timeline needs: timeline <path>|off");
+        }
+        value = tokens[1];
+      } else {
+        if (tokens.size() != 1) {
+          return error("timeline=<path> takes no further tokens");
+        }
+        value = cmd.substr(std::string_view("timeline=").size());
+      }
+      if (value == "off") {
+        value.clear();
+      }
+      s.timeline_path = std::move(value);
+      timeline_line = line_no;
+    } else if (cmd == "sample" || cmd.rfind("sample=", 0) == 0) {
+      std::string value;
+      if (cmd == "sample") {
+        if (tokens.size() != 2) {
+          return error("sample needs: sample <interval>");
+        }
+        value = tokens[1];
+      } else {
+        if (tokens.size() != 1) {
+          return error("sample=<interval> takes no further tokens");
+        }
+        value = cmd.substr(std::string_view("sample=").size());
+      }
+      const auto v = parse_time(value);
+      if (!v || *v <= 0) {
+        return error("bad sample interval: " + value);
+      }
+      s.sample_interval = *v;
+      sample_line = line_no;
+    } else if (cmd == "profile") {
+      if (tokens.size() > 2 ||
+          (tokens.size() == 2 && tokens[1] != "on" && tokens[1] != "off")) {
+        return error("profile takes on|off");
+      }
+      s.profile = tokens.size() < 2 || tokens[1] == "on";
+    } else if (cmd == "expect") {
+      // expect <metric> <op> <value> [during <t0>..<t1>]
+      if (tokens.size() != 4 && tokens.size() != 6) {
+        return error("expect needs: expect <metric> <op> <value> "
+                     "[during <t0>..<t1>]");
+      }
+      ExpectDecl e;
+      e.metric = tokens[1];
+      if (tokens[2] == "<") {
+        e.op = ExpectDecl::Op::kLt;
+      } else if (tokens[2] == "<=") {
+        e.op = ExpectDecl::Op::kLe;
+      } else if (tokens[2] == ">") {
+        e.op = ExpectDecl::Op::kGt;
+      } else if (tokens[2] == ">=") {
+        e.op = ExpectDecl::Op::kGe;
+      } else if (tokens[2] == "==") {
+        e.op = ExpectDecl::Op::kEq;
+      } else if (tokens[2] == "!=") {
+        e.op = ExpectDecl::Op::kNe;
+      } else {
+        return error("expect op must be one of < <= > >= == !=, got " +
+                     tokens[2]);
+      }
+      const auto v = parse_number(tokens[3]);
+      if (!v) {
+        return error("bad expect value: " + tokens[3]);
+      }
+      e.value = *v;
+      if (tokens.size() == 6) {
+        if (tokens[4] != "during") {
+          return error("expect window needs: during <t0>..<t1>, got " +
+                       tokens[4]);
+        }
+        const auto dots = tokens[5].find("..");
+        if (dots == std::string::npos) {
+          return error("expect window needs <t0>..<t1>, got " + tokens[5]);
+        }
+        const auto t0 = parse_time(tokens[5].substr(0, dots));
+        const auto t1 = parse_time(tokens[5].substr(dots + 2));
+        if (!t0 || !t1 || *t1 < *t0) {
+          return error("bad expect window: " + tokens[5]);
+        }
+        e.windowed = true;
+        e.t0 = *t0;
+        e.t1 = *t1;
+      }
+      e.line = line_no;
+      e.source = tokens[1] + " " + tokens[2] + " " + tokens[3];
+      if (e.windowed) {
+        e.source += " during " + tokens[5];
+      }
+      s.expects.push_back(std::move(e));
     } else if (cmd == "router") {
       if (tokens.size() < 3) {
         return error("router needs: router <name> ler|lsr [options]");
@@ -934,6 +1050,23 @@ std::variant<Scenario, ScenarioError> Scenario::parse(std::string_view text) {
     } else {
       return error("unknown directive: " + cmd);
     }
+  }
+  // Cross-directive validation: the runner pre-schedules timeline ticks
+  // over the run window, so sampling needs a bounded run; windowed
+  // assertions read the timeline, so they need sampling.
+  if (s.sample_interval && !s.run_duration) {
+    return ScenarioError{sample_line, "sample requires a run duration"};
+  }
+  for (const ExpectDecl& e : s.expects) {
+    if (e.windowed && !s.sample_interval) {
+      return ScenarioError{
+          e.line, "expect ... during needs a sample interval (line " +
+                      std::to_string(e.line) + ")"};
+    }
+  }
+  if (!s.timeline_path.empty() && !s.sample_interval) {
+    return ScenarioError{timeline_line,
+                         "timeline output requires a sample interval"};
   }
   return s;
 }

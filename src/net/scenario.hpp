@@ -40,6 +40,22 @@
 //   traceroute <time> <ingress> <dst>  # OAM path mapping
 //   trace <path>|off           # per-hop Chrome-trace JSON (also trace=..)
 //   metrics <path>|off         # Prometheus snapshot (also metrics=..)
+//   sample <interval>          # arm the telemetry timeline at this
+//                              # sim-time cadence; needs `run` (also
+//                              # sample=..)
+//   timeline <path>|off        # write the sampled series there; .json
+//                              # switches to JSON, else CSV (also
+//                              # timeline=..)
+//   profile [on|off]           # per-domain execution profiler
+//   expect <metric> <op> <value> [during <t0>..<t1>]
+//                              # self-verifying SLO assertion, checked
+//                              # at run end; op is < <= > >= == !=.
+//                              # <metric> is name[{labels}] with an
+//                              # optional .p50/.p99/.p999/.count suffix
+//                              # for histograms.  `during` checks every
+//                              # timeline sample in [t0,t1] (needs
+//                              # `sample`); without it, the end-of-run
+//                              # registry value is checked.
 //   run <duration>             # optional; defaults to run-to-idle
 //
 // This header is the pure data model + parser; execution lives in
@@ -215,6 +231,28 @@ struct OamDecl {
   std::string dst;
 };
 
+/// `expect <metric> <op> <value> [during <t0>..<t1>]`: an SLO assertion
+/// the runner checks at run end.  Windowed assertions check every
+/// timeline sample whose time falls in [t0, t1] (and fail when the
+/// window holds no samples); unwindowed ones check the end-of-run
+/// registry value.  Violations mark the report failed (see
+/// Report::expects) and the scenario driver exits non-zero.
+struct ExpectDecl {
+  enum class Op : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+  /// name[{labels}] plus an optional .p50/.p99/.p999/.count suffix for
+  /// histogram series, matching the timeline's column names.
+  std::string metric;
+  Op op = Op::kLt;
+  double value = 0;
+  bool windowed = false;
+  SimTime t0 = 0;
+  SimTime t1 = 0;
+  int line = 0;        // source line, for diagnostics
+  std::string source;  // the directive text, echoed in the report
+};
+
+[[nodiscard]] std::string_view to_string(ExpectDecl::Op op) noexcept;
+
 class Scenario {
  public:
   /// Parse scenario text; ScenarioError carries the offending line.
@@ -275,6 +313,20 @@ class Scenario {
   /// `metrics <path>` (or `metrics=<path>`): write a Prometheus
   /// text-format snapshot of the metrics registry there after the run.
   std::string metrics_path;
+  /// `sample <interval>` (or `sample=..`): arm the telemetry timeline
+  /// (obs/timeline.hpp) at this sim-time cadence.  Requires a `run`
+  /// duration — the runner pre-schedules the ticks.  Unset = off.
+  std::optional<SimTime> sample_interval;
+  /// `timeline <path>` (or `timeline=..`): write the sampled series
+  /// there after the run; a ".json" suffix selects the column-major
+  /// JSON export, anything else CSV.  "off" / unset writes nothing
+  /// (the series still feed `expect during` checks).
+  std::string timeline_path;
+  /// `profile [on|off]`: arm the per-domain execution profiler
+  /// (DomainRuntime::PhaseProfile; needs domains > 1 to report).
+  bool profile = false;
+  /// `expect ...` assertions, in declaration order.
+  std::vector<ExpectDecl> expects;
 
   [[nodiscard]] bool has_router(const std::string& name) const;
 };

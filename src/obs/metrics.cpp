@@ -1,10 +1,10 @@
 #include "obs/metrics.hpp"
 
-#include <cassert>
 #include <cinttypes>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace empls::obs {
 
@@ -33,12 +33,60 @@ std::uint64_t Histogram::quantile(double q) const noexcept {
   return max_;
 }
 
+std::uint64_t Histogram::quantile_of(
+    const std::array<std::uint64_t, kBuckets>& counts, double q) noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      return bucket_upper(b);
+    }
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+namespace {
+
+const char* kind_name(std::uint8_t k) noexcept {
+  switch (k) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
 MetricsRegistry::Family& MetricsRegistry::family_of(std::string_view name,
                                                    Kind kind,
                                                    std::string_view help) {
   for (Family& f : families_) {
     if (f.name == name) {
-      assert(f.kind == kind && "metric family re-registered as another kind");
+      if (f.kind != kind) {
+        throw std::invalid_argument(
+            "metric family '" + f.name + "' already registered as " +
+            kind_name(static_cast<std::uint8_t>(f.kind)) +
+            ", cannot re-register as " +
+            kind_name(static_cast<std::uint8_t>(kind)));
+      }
       if (f.help.empty() && !help.empty()) {
         f.help = std::string(help);
       }
@@ -162,12 +210,28 @@ void write_double(std::ostream& out, double v) {
   out << buf;
 }
 
+// HELP text escaping per the exposition format: backslash and line
+// feed are the only characters a parser cannot take literally.
+void write_escaped_help(std::ostream& out, const std::string& help) {
+  for (const char c : help) {
+    if (c == '\\') {
+      out << "\\\\";
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+}
+
 }  // namespace
 
 void MetricsRegistry::write_prometheus(std::ostream& out) const {
   for (const Family& f : families_) {
     if (!f.help.empty()) {
-      out << "# HELP " << f.name << ' ' << f.help << '\n';
+      out << "# HELP " << f.name << ' ';
+      write_escaped_help(out, f.help);
+      out << '\n';
     }
     const char* type = f.kind == Kind::kCounter    ? "counter"
                        : f.kind == Kind::kGauge    ? "gauge"

@@ -92,6 +92,14 @@ class Histogram {
   /// the q-th sample (q in [0, 1]).  0 when empty.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 
+  /// Quantile over a caller-supplied bucket array — the timeline uses
+  /// this on *delta* snapshots (this interval's counts = now minus the
+  /// previous sample) to get windowed quantiles out of cumulative
+  /// buckets.  No observed-max clamp is possible for a window, so the
+  /// result is the raw bucket upper bound (same ~2x relative error).
+  [[nodiscard]] static std::uint64_t quantile_of(
+      const std::array<std::uint64_t, kBuckets>& counts, double q) noexcept;
+
  private:
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t count_ = 0;
@@ -102,7 +110,9 @@ class Histogram {
 
 /// Registry of named instruments.  Register with counter() / gauge() /
 /// histogram(); the same (name, labels) pair always returns the same
-/// instrument, so idempotent re-registration is safe.  Labels are a
+/// instrument, so idempotent re-registration is safe — but re-using a
+/// family name as a *different* kind throws std::invalid_argument (the
+/// exported text would be self-contradictory).  Labels are a
 /// pre-rendered Prometheus label body without braces, e.g.
 /// `router="R3"` or `link="A->B",dir="tx"`; empty for a bare series.
 class MetricsRegistry {
@@ -124,6 +134,42 @@ class MetricsRegistry {
 
   /// Total registered series across all families.
   [[nodiscard]] std::size_t series_count() const noexcept;
+
+  /// One series as seen by visit(): exactly one instrument pointer is
+  /// non-null, matching the family's kind.  `labels` is the raw label
+  /// body (no braces), empty for a bare series.
+  struct SeriesRef {
+    std::string_view name;
+    std::string_view labels;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Walk every registered series in registration order (the export
+  /// order).  The timeline sampler is built on this.
+  template <typename F>
+  void visit(F&& f) const {
+    for (const Family& fam : families_) {
+      for (const Series& s : fam.series) {
+        SeriesRef ref;
+        ref.name = fam.name;
+        ref.labels = s.labels;
+        switch (fam.kind) {
+          case Kind::kCounter:
+            ref.counter = &counters_[s.index];
+            break;
+          case Kind::kGauge:
+            ref.gauge = &gauges_[s.index];
+            break;
+          case Kind::kHistogram:
+            ref.histogram = &histograms_[s.index];
+            break;
+        }
+        f(ref);
+      }
+    }
+  }
 
   /// Prometheus text exposition format, families in registration order.
   void write_prometheus(std::ostream& out) const;

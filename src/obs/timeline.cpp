@@ -1,0 +1,278 @@
+#include "obs/timeline.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace empls::obs {
+
+namespace {
+
+// Fixed-format doubles keep the CSV/JSON byte-stable across runs of a
+// deterministic scenario (the golden tests diff these files).
+void write_num(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    v = 0.0;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out << buf;
+}
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string column_name(std::string_view name, std::string_view labels) {
+  std::string out(name);
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+Timeline::Timeline() : Timeline(Config{}) {}
+
+Timeline::Timeline(Config config) : config_(config) {
+  if (config_.capacity == 0) {
+    config_.capacity = 1;
+  }
+  times_.assign(config_.capacity, 0.0);
+}
+
+void Timeline::track_histogram(std::string name, const Histogram* h) {
+  tracked_.push_back(Tracked{std::move(name), h});
+}
+
+std::size_t Timeline::ensure_column(const void* key, std::string name) {
+  if (const auto it = column_of_.find(key); it != column_of_.end()) {
+    return it->second;
+  }
+  const std::size_t idx = columns_.size();
+  Column col;
+  col.name = name;
+  col.ring.assign(config_.capacity, 0.0);
+  columns_.push_back(std::move(col));
+  column_names_.push_back(name);
+  column_by_name_.emplace(std::move(name), idx);
+  column_of_.emplace(key, idx);
+  return idx;
+}
+
+std::size_t Timeline::ensure_hist(const void* key, std::string base) {
+  if (const auto it = column_of_.find(key); it != column_of_.end()) {
+    return it->second;
+  }
+  const std::size_t first = columns_.size();
+  for (const char* suffix : {".p50", ".p99", ".p999", ".count"}) {
+    const std::size_t idx = columns_.size();
+    Column col;
+    col.name = base + suffix;
+    col.ring.assign(config_.capacity, 0.0);
+    columns_.push_back(std::move(col));
+    column_names_.push_back(columns_.back().name);
+    column_by_name_.emplace(columns_.back().name, idx);
+  }
+  column_of_.emplace(key, first);
+  return first;
+}
+
+void Timeline::sample_histogram(const Histogram& h, std::size_t first_col) {
+  HistPrev& prev = prev_hist_[&h];
+  std::array<std::uint64_t, Histogram::kBuckets> delta{};
+  const auto& now_buckets = h.buckets();
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    delta[b] = now_buckets[b] - prev.buckets[b];
+  }
+  const std::uint64_t dcount = h.count() - prev.count;
+  columns_[first_col].pending =
+      static_cast<double>(Histogram::quantile_of(delta, 0.50));
+  columns_[first_col + 1].pending =
+      static_cast<double>(Histogram::quantile_of(delta, 0.99));
+  columns_[first_col + 2].pending =
+      static_cast<double>(Histogram::quantile_of(delta, 0.999));
+  columns_[first_col + 3].pending = static_cast<double>(dcount);
+  prev.buckets = now_buckets;
+  prev.count = h.count();
+}
+
+void Timeline::sample(const MetricsRegistry& registry, double now) {
+  for (Column& c : columns_) {
+    c.pending = 0.0;
+  }
+  registry.visit([this](const MetricsRegistry::SeriesRef& ref) {
+    if (ref.counter != nullptr) {
+      const std::size_t col =
+          ensure_column(ref.counter, column_name(ref.name, ref.labels));
+      std::uint64_t& prev = prev_counter_[ref.counter];
+      const std::uint64_t v = ref.counter->value();
+      columns_[col].pending = static_cast<double>(v - prev);
+      prev = v;
+    } else if (ref.gauge != nullptr) {
+      const std::size_t col =
+          ensure_column(ref.gauge, column_name(ref.name, ref.labels));
+      columns_[col].pending = ref.gauge->value();
+    } else if (ref.histogram != nullptr) {
+      const std::size_t first =
+          ensure_hist(ref.histogram, column_name(ref.name, ref.labels));
+      sample_histogram(*ref.histogram, first);
+    }
+  });
+  for (const Tracked& t : tracked_) {
+    const std::size_t first = ensure_hist(t.hist, t.name);
+    sample_histogram(*t.hist, first);
+  }
+
+  const std::size_t slot = total_rows_ % config_.capacity;
+  times_[slot] = now;
+  for (Column& c : columns_) {
+    c.ring[slot] = c.pending;
+  }
+  ++total_rows_;
+}
+
+std::size_t Timeline::sample_count() const noexcept {
+  return total_rows_ < config_.capacity ? total_rows_ : config_.capacity;
+}
+
+std::size_t Timeline::dropped_samples() const noexcept {
+  return total_rows_ > config_.capacity ? total_rows_ - config_.capacity : 0;
+}
+
+std::optional<std::size_t> Timeline::column_index(
+    std::string_view name) const {
+  const auto it = column_by_name_.find(std::string(name));
+  return it != column_by_name_.end() ? std::optional(it->second)
+                                     : std::nullopt;
+}
+
+double Timeline::time_at(std::size_t row) const {
+  const std::size_t held = sample_count();
+  return times_[(total_rows_ - held + row) % config_.capacity];
+}
+
+double Timeline::value_at(std::size_t row, std::size_t col) const {
+  const std::size_t held = sample_count();
+  return columns_[col].ring[(total_rows_ - held + row) % config_.capacity];
+}
+
+void Timeline::write_csv(std::ostream& out) const {
+  out << "time";
+  for (const Column& c : columns_) {
+    out << ",\"";
+    for (const char ch : c.name) {
+      if (ch == '"') {
+        out << "\"\"";
+      } else {
+        out << ch;
+      }
+    }
+    out << '"';
+  }
+  out << '\n';
+  for (std::size_t row = 0; row < sample_count(); ++row) {
+    write_num(out, time_at(row));
+    for (std::size_t col = 0; col < columns_.size(); ++col) {
+      out << ',';
+      write_num(out, value_at(row, col));
+    }
+    out << '\n';
+  }
+}
+
+void Timeline::write_json(std::ostream& out) const {
+  out << "{\"interval_s\":";
+  write_num(out, config_.interval_s);
+  out << ",\"dropped_samples\":" << dropped_samples();
+  out << ",\"time\":[";
+  for (std::size_t row = 0; row < sample_count(); ++row) {
+    if (row != 0) {
+      out << ',';
+    }
+    write_num(out, time_at(row));
+  }
+  out << "],\"series\":{";
+  for (std::size_t col = 0; col < columns_.size(); ++col) {
+    if (col != 0) {
+      out << ',';
+    }
+    write_json_string(out, columns_[col].name);
+    out << ":[";
+    for (std::size_t row = 0; row < sample_count(); ++row) {
+      if (row != 0) {
+        out << ',';
+      }
+      write_num(out, value_at(row, col));
+    }
+    out << ']';
+  }
+  out << "}}\n";
+}
+
+void Timeline::write_chrome_counters(std::ostream& out, bool& first) const {
+  if (sample_count() == 0 || columns_.empty()) {
+    return;
+  }
+  auto emit = [&](auto writer) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    writer();
+  };
+  emit([&] {
+    out << R"({"ph":"M","pid":3,"name":"process_name","args":{"name":)";
+    write_json_string(out, "telemetry");
+    out << "}}";
+  });
+  for (std::size_t col = 0; col < columns_.size(); ++col) {
+    bool any = false;
+    for (std::size_t row = 0; row < sample_count() && !any; ++row) {
+      any = value_at(row, col) != 0.0;
+    }
+    if (!any) {
+      continue;  // an all-zero track is visual noise in Perfetto
+    }
+    for (std::size_t row = 0; row < sample_count(); ++row) {
+      emit([&] {
+        out << "{\"name\":";
+        write_json_string(out, columns_[col].name);
+        out << R"(,"cat":"empls","ph":"C","pid":3,"tid":0,"ts":)";
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.4f", time_at(row) * 1e6);
+        out << buf << ",\"args\":{\"value\":";
+        write_num(out, value_at(row, col));
+        out << "}}";
+      });
+    }
+  }
+}
+
+}  // namespace empls::obs

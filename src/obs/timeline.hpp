@@ -1,0 +1,133 @@
+// Time-series telemetry: a sim-time-cadence sampler over the metrics
+// registry.
+//
+// End-of-run snapshots (PR 5) answer "how much, in total"; the dynamics
+// that matter under load — the saturation knee forming, guard drops
+// ramping, lookahead windows going idle — need "how much, *when*".  The
+// Timeline walks every registered series on each sample() call and
+// appends one row to a bounded flat ring (flight-recorder style: when
+// full, the oldest rows are overwritten and counted):
+//
+//   * counters record the per-interval *delta*, so a column reads as a
+//     rate curve instead of a monotone ramp;
+//   * gauges record the instantaneous value;
+//   * histograms record windowed p50/p99/p999 plus the interval's
+//     sample count, computed from bucket *deltas* against the previous
+//     tick — cumulative HDR buckets turned into per-window quantiles.
+//     This is what locates a saturation knee: the sample where windowed
+//     p999 first crosses the SLO, invisible in the whole-run quantile.
+//
+// Storage is per-column rings of doubles (capacity rows each); columns
+// appear on first sight of a series and read as zero for earlier rows.
+// Exports: CSV (one row per sample), JSON (column-major), and Chrome
+// trace counter events ("ph":"C") that merge into the hop tracer's
+// output so queue depths and drop rates render on one timeline next to
+// per-packet spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace empls::obs {
+
+class Timeline {
+ public:
+  struct Config {
+    /// Sampling cadence in sim seconds (the `sample <interval>`
+    /// directive); informational here — the caller owns the clock and
+    /// decides when to call sample().
+    double interval_s = 0.1;
+    /// Rows retained; older rows are overwritten ring-style.
+    std::size_t capacity = 4096;
+  };
+
+  Timeline();
+  explicit Timeline(Config config);
+
+  [[nodiscard]] double interval() const noexcept { return config_.interval_s; }
+
+  /// Track a histogram living outside the registry (the load
+  /// generator's latency HDR) under `name`; sampled like a registry
+  /// histogram (name.p50 / .p99 / .p999 / .count columns).
+  void track_histogram(std::string name, const Histogram* h);
+
+  /// Record one sample row at sim time `now`: walk `registry`, compute
+  /// deltas/quantiles against the previous tick, append to the ring.
+  void sample(const MetricsRegistry& registry, double now);
+
+  /// Rows currently retained (at most capacity).
+  [[nodiscard]] std::size_t sample_count() const noexcept;
+  /// Rows overwritten by ring wrap.
+  [[nodiscard]] std::size_t dropped_samples() const noexcept;
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return columns_.size();
+  }
+
+  /// Column names, creation order.  Counters/gauges are "name" or
+  /// "name{labels}"; histograms expand to four columns with .p50 /
+  /// .p99 / .p999 / .count suffixes after the label block.
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return column_names_;
+  }
+  [[nodiscard]] std::optional<std::size_t> column_index(
+      std::string_view name) const;
+
+  /// Row access, oldest retained row first (row < sample_count()).
+  [[nodiscard]] double time_at(std::size_t row) const;
+  [[nodiscard]] double value_at(std::size_t row, std::size_t col) const;
+
+  /// time,<col>,... header then one line per retained row.  Column
+  /// names are double-quoted (label bodies contain commas).
+  void write_csv(std::ostream& out) const;
+  /// Column-major JSON: {"interval_s":..,"time":[..],"series":{..}}.
+  void write_json(std::ostream& out) const;
+  /// Chrome trace counter events ("ph":"C", pid 3 = telemetry), one
+  /// per (row, column), all-zero columns skipped.  Appends into an
+  /// existing traceEvents array; `first` carries the comma state.
+  void write_chrome_counters(std::ostream& out, bool& first) const;
+
+ private:
+  struct Column {
+    std::string name;
+    std::vector<double> ring;  // capacity slots
+    double pending = 0.0;      // value computed for the row being built
+  };
+
+  std::size_t ensure_column(const void* key, std::string name);
+  std::size_t ensure_hist(const void* key, std::string base);
+  void sample_histogram(const Histogram& h, std::size_t first_col);
+
+  Config config_;
+  std::vector<Column> columns_;
+  std::vector<std::string> column_names_;  // mirrors columns_[i].name
+  std::vector<double> times_;              // capacity slots
+  std::size_t total_rows_ = 0;
+
+  // Instrument identity -> column (first column of the group for
+  // histograms) and delta state.  Instrument pointers are stable for
+  // the registry's lifetime (deque-backed).
+  std::unordered_map<const void*, std::size_t> column_of_;
+  std::unordered_map<std::string, std::size_t> column_by_name_;
+  std::unordered_map<const Counter*, std::uint64_t> prev_counter_;
+  struct HistPrev {
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<const Histogram*, HistPrev> prev_hist_;
+
+  struct Tracked {
+    std::string name;
+    const Histogram* hist = nullptr;
+  };
+  std::vector<Tracked> tracked_;
+};
+
+}  // namespace empls::obs

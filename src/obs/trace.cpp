@@ -197,6 +197,35 @@ void HopTracer::end(const void* packet) noexcept {
   }
 }
 
+std::uint64_t HopTracer::detach(const void* packet) noexcept {
+  if (!enabled_) {
+    return 0;
+  }
+  Slot* s = find(packet);
+  if (s == nullptr) {
+    return 0;
+  }
+  const std::uint64_t id = s->trace_id;
+  // The slot goes away but the journey stays live: live_ is not
+  // decremented, attach() re-binds the same id at the new address.
+  erase(s);
+  return id;
+}
+
+void HopTracer::attach(const void* packet, std::uint64_t trace_id) {
+  if (!enabled_ || trace_id == 0) {
+    return;
+  }
+  Slot& s = insert(packet);
+  if (s.trace_id != 0) {
+    // The destination pool re-issued an address whose journey never
+    // terminated; the newcomer wins, mirroring begin()'s self-healing.
+    --live_;
+  }
+  s.trace_id = trace_id;
+  s.mark = -1.0;
+}
+
 void HopTracer::mark(const void* packet, double ts) noexcept {
   if (!enabled_) {
     return;
@@ -321,7 +350,8 @@ void write_thread_meta(std::ostream& out, int pid, std::size_t tid,
 
 void HopTracer::write_chrome_trace(
     std::ostream& out, const std::vector<std::string>& node_names,
-    const std::vector<std::string>& link_names) const {
+    const std::vector<std::string>& link_names,
+    const ExtraEventsWriter& extra) const {
   out << "{\"traceEvents\":[\n";
   bool first = true;
   auto meta_process = [&](int pid, std::string_view name) {
@@ -426,6 +456,9 @@ void HopTracer::write_chrome_trace(
         break;
     }
     out << "}}";
+  }
+  if (extra) {
+    extra(out, first);
   }
   out << "\n],\"displayTimeUnit\":\"ns\"}\n";
 }

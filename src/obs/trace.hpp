@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -82,6 +83,15 @@ class HopTracer {
   /// Terminate the journey (delivered or dropped); frees the slot.
   void end(const void* packet) noexcept;
 
+  /// Re-key a live journey across a domain-boundary handoff, where the
+  /// packet is copied into another pool and its address changes.
+  /// detach() frees the table slot but keeps the journey live and
+  /// returns its id (0 when untracked); attach() binds that id to the
+  /// packet's new address on the far side.  Only the deterministic
+  /// merge may use these — the table is single-threaded.
+  std::uint64_t detach(const void* packet) noexcept;
+  void attach(const void* packet, std::uint64_t trace_id);
+
   /// Stash / consume a timestamp against the journey — used for spans
   /// whose start and end are observed at different call sites (link
   /// queue wait).  take_mark() returns a negative value when unset.
@@ -112,9 +122,15 @@ class HopTracer {
   /// in Perfetto / chrome://tracing.  Routers render as pid 1 with one
   /// thread per node, links as pid 2 with one thread per directed link;
   /// the name tables index by NodeId / link index respectively.
+  /// `extra`, when set, is called after the span events to append more
+  /// events into the same array (the timeline merges its counter
+  /// tracks this way); `first` carries the comma state.
+  using ExtraEventsWriter =
+      std::function<void(std::ostream& out, bool& first)>;
   void write_chrome_trace(std::ostream& out,
                           const std::vector<std::string>& node_names,
-                          const std::vector<std::string>& link_names) const;
+                          const std::vector<std::string>& link_names,
+                          const ExtraEventsWriter& extra = {}) const;
 
  private:
   struct Slot {

@@ -280,5 +280,175 @@ flow cbr 1 A 10.1.0.5 interval=20ms stop=0.0399
   EXPECT_NE(text.find("A: rx="), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// Timeline sampling, expect assertions and the downgrade matrix.
+
+constexpr char kSampledBase[] = R"(
+router A ler
+router B ler
+link A B 10M 1ms
+lsp 10.1.0.0/16 A B
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.0999
+sample 20ms
+run 0.2
+)";
+
+TEST(ScenarioRunner, TimelineSamplesAtTheDirectedCadence) {
+  const auto report = run_ok(kSampledBase);
+  // 0.2s run at a 20ms cadence: ticks at 0.02..0.2 inclusive.
+  EXPECT_EQ(report.timeline_samples, 10u);
+  EXPECT_GT(report.timeline_series, 5u);
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("timeline: 10 samples"), std::string::npos);
+}
+
+TEST(ScenarioRunner, ExpectPassesOnTheGoldenScenario) {
+  const auto report = run_ok(
+      std::string(kSampledBase) +
+      "expect empls_delivered_total == 10\n"
+      "expect empls_drops_total{reason=\"policer\"} == 0\n");
+  ASSERT_EQ(report.expects.size(), 2u);
+  EXPECT_TRUE(report.expects[0].passed) << report.expects[0].detail;
+  EXPECT_TRUE(report.expects[1].passed) << report.expects[1].detail;
+  EXPECT_TRUE(report.expects_passed());
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("slo:"), std::string::npos);
+  EXPECT_NE(text.find("PASS expect empls_delivered_total == 10"),
+            std::string::npos);
+}
+
+TEST(ScenarioRunner, FailedExpectCarriesTheObservedValue) {
+  const auto report = run_ok(std::string(kSampledBase) +
+                             "expect empls_delivered_total < 5\n");
+  ASSERT_EQ(report.expects.size(), 1u);
+  EXPECT_FALSE(report.expects[0].passed);
+  EXPECT_NE(report.expects[0].detail.find("value=10"), std::string::npos);
+  EXPECT_FALSE(report.expects_passed());
+  EXPECT_NE(report.to_string().find("FAIL expect"), std::string::npos);
+}
+
+TEST(ScenarioRunner, UnknownMetricInExpectFailsWithDiagnostic) {
+  const auto report = run_ok(std::string(kSampledBase) +
+                             "expect empls_no_such_metric > 0\n");
+  ASSERT_EQ(report.expects.size(), 1u);
+  EXPECT_FALSE(report.expects[0].passed);
+  EXPECT_NE(report.expects[0].detail.find("not found"), std::string::npos);
+}
+
+TEST(ScenarioRunner, WindowedExpectChecksPerIntervalDeltas) {
+  // CBR at 10ms through a 20ms sampling cadence: every mid-run window
+  // delivers exactly 2 packets (the timeline column is the delta).
+  const auto report = run_ok(
+      std::string(kSampledBase) +
+      "expect empls_delivered_total <= 2 during 0s..0.2s\n"
+      "expect empls_delivered_total == 2 during 0.04s..0.08s\n"
+      "expect empls_delivered_total > 0 during 0.15s..0.2s\n");
+  ASSERT_EQ(report.expects.size(), 3u);
+  EXPECT_TRUE(report.expects[0].passed) << report.expects[0].detail;
+  EXPECT_TRUE(report.expects[1].passed) << report.expects[1].detail;
+  // The flow stopped at 0.1s: late windows deliver nothing, and the
+  // violation names the exact sample.
+  EXPECT_FALSE(report.expects[2].passed);
+  EXPECT_NE(report.expects[2].detail.find("violated at t="),
+            std::string::npos);
+}
+
+TEST(ScenarioRunner, SaturationKneeLocatedByWindowedQuantile) {
+  // Open-loop overload of a 2M link: ~1700 pps of 160-byte packets
+  // offered against ~1560 pps of service, a deep queue so nothing
+  // drops — delay grows linearly, and the windowed p999 of the
+  // load-generator latency crosses the 10ms SLO mid-run.  The early
+  // window passes, the saturated window fails, and the violating
+  // sample the report names IS the knee.
+  const auto report = run_ok(R"(
+qos fifo capacity=4096
+router A ler
+router B ler
+link A B 2M 1ms
+lsp 10.1.0.0/16 A B
+loadgen poisson A 10.1.0.0 rate=1700 flows=64 seed=3 stop=0.4
+sample 25ms
+expect empls_loadgen_latency_ns.p999 < 1e7 during 0s..0.03s
+expect empls_loadgen_latency_ns.p999 < 1e7 during 0s..0.4s
+run 0.45
+)");
+  ASSERT_EQ(report.expects.size(), 2u);
+  EXPECT_TRUE(report.expects[0].passed)
+      << "pre-knee window: " << report.expects[0].detail;
+  ASSERT_FALSE(report.expects[1].passed)
+      << "the saturated run must cross the SLO";
+  const auto& detail = report.expects[1].detail;
+  const auto pos = detail.find("violated at t=");
+  ASSERT_NE(pos, std::string::npos) << detail;
+  const double knee = std::stod(detail.substr(pos + 14));
+  EXPECT_GT(knee, 0.03) << "knee cannot predate the passing window";
+  EXPECT_LE(knee, 0.4);
+}
+
+TEST(ScenarioRunner, SampleUnderFreeSyncDowngradesToDeterministic) {
+  const auto report = run_ok(R"(
+domains 2
+sync free
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.0999
+sample 20ms
+run 0.2
+)");
+  EXPECT_EQ(report.domains, 2u);
+  EXPECT_EQ(report.sync_mode, "deterministic");
+  EXPECT_NE(report.domain_note.find("timeline sampling"),
+            std::string::npos);
+  EXPECT_EQ(report.timeline_samples, 10u);
+}
+
+TEST(ScenarioRunner, TraceUnderFreeSyncForcesOneDomain) {
+  const auto report = run_ok(R"(
+domains 2
+sync free
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.0999
+trace runner_dg_free.json
+run 0.2
+)");
+  EXPECT_EQ(report.domains, 1u);
+  EXPECT_FALSE(report.domain_traced);
+  EXPECT_NE(report.domain_note.find("single domain forced"),
+            std::string::npos);
+}
+
+TEST(ScenarioRunner, TraceUnderDeterministicSyncKeepsTheDomains) {
+  const auto report = run_ok(R"(
+domains 2
+sync deterministic
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 1ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 interval=10ms stop=0.0999
+trace runner_dg_det.json
+run 0.2
+)");
+  EXPECT_EQ(report.domains, 2u);
+  EXPECT_EQ(report.sync_mode, "deterministic");
+  EXPECT_TRUE(report.domain_traced);
+  EXPECT_EQ(report.domain_note.find("single domain forced"),
+            std::string::npos)
+      << report.domain_note;
+  EXPECT_EQ(report.flows.flow(1).delivered, 10u);
+  EXPECT_NE(report.to_string().find("trace=merged"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace empls::core

@@ -10,12 +10,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "core/scenario_runner.hpp"
 #include "net/domain.hpp"
 #include "net/network.hpp"
+#include "net/scenario.hpp"
 #include "obs/metrics.hpp"
 
 namespace empls::net {
@@ -282,6 +287,114 @@ TEST(DomainPartition, SteadyStateCrossingsDoNotGrowThePools) {
   rig.net.run();
   EXPECT_EQ(rig.net.domain_runtime()->pool_stats().high_water, first);
   EXPECT_EQ(rig.sink().times.size(), 8u);
+}
+
+// --- observability: trace golden & phase profiler ---------------------
+
+// The hop tracer promises deterministic serialization: only sim-times,
+// deterministic trace ids, and topology indices appear in the output.
+// Under the deterministic merge the partitioned run executes the same
+// events in the same global order as the unpartitioned simulator, so
+// the merged multi-domain trace must be byte-identical to the golden
+// single-queue trace — not merely equivalent.
+TEST(DomainPartition, DeterministicTraceMatchesUnpartitionedByteForByte) {
+  const char* kBody = R"(
+router A ler
+router B lsr
+router C ler
+link A B 10M 1ms
+link B C 10M 2ms
+lsp 10.1.0.0/16 A B C
+flow cbr 1 A 10.1.0.5 interval=7ms stop=0.0699
+flow cbr 2 A 10.1.0.9 size=300 interval=11ms stop=0.0659
+run 0.2
+)";
+  auto run_traced = [&](const std::string& prefix,
+                        const std::string& path) {
+    const auto result = core::ScenarioRunner::run_text(
+        prefix + "trace " + path + "\n" + kBody);
+    EXPECT_TRUE(
+        std::holds_alternative<core::ScenarioRunner::Report>(result))
+        << std::get<ScenarioError>(result).message;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+
+  const std::string golden = run_traced("", "dp_trace_golden.json");
+  const std::string merged = run_traced("domains 2\nsync deterministic\n",
+                                        "dp_trace_merged.json");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_NE(golden.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(merged, golden);
+}
+
+// Free-running workers bracket every loop phase with the same clock
+// reads that bound wall_ns, so dispatch + search + handoff + barrier
+// must tile the worker's wall time: anything the profiler cannot
+// attribute is loop bookkeeping between adjacent timestamps.  The
+// acceptance bar is >= 95% attribution on every domain of an 8-way
+// free-mode run.
+TEST(DomainPartition, FreeModeProfilerAttributesTheWallTime) {
+  Network net;
+  constexpr std::uint32_t kDomains = 8;
+  constexpr NodeId kNodes = 16;  // two per domain under the block map
+  std::vector<NodeId> chain;
+  for (NodeId i = 0; i < kNodes - 1; ++i) {
+    chain.push_back(net.add_node(std::make_unique<RelayNode>(
+        "R" + std::to_string(i), i == 0 ? 0 : 1)));
+  }
+  chain.push_back(net.add_node(std::make_unique<SinkNode>("S")));
+  for (NodeId i = 0; i + 1 < kNodes; ++i) {
+    net.connect(chain[i], chain[i + 1], 1e6, 1e-3);
+  }
+  ASSERT_TRUE(net.partition(kDomains, SyncMode::kFree));
+  DomainRuntime* drt = net.domain_runtime();
+  drt->enable_profiling(true);
+  ASSERT_TRUE(drt->profiling());
+
+  const int kPackets = 64;
+  for (int i = 0; i < kPackets; ++i) {
+    net.inject(chain[0], sized_packet(64 + (i % 7) * 16));
+  }
+  net.run();
+  ASSERT_EQ(net.node_as<SinkNode>(chain.back()).times.size(),
+            static_cast<std::size_t>(kPackets));
+
+  for (std::uint32_t d = 0; d < kDomains; ++d) {
+    const DomainRuntime::PhaseProfile& p = drt->profile(d);
+    ASSERT_GT(p.wall_ns, 0u) << "domain " << d;
+    const std::uint64_t attributed =
+        p.dispatch_ns + p.search_ns + p.handoff_ns + p.barrier_ns;
+    EXPECT_GE(static_cast<double>(attributed),
+              0.95 * static_cast<double>(p.wall_ns))
+        << "domain " << d << ": dispatch=" << p.dispatch_ns
+        << " search=" << p.search_ns << " handoff=" << p.handoff_ns
+        << " barrier=" << p.barrier_ns << " wall=" << p.wall_ns;
+  }
+
+  // The profile surfaces as empls_domain_profile_* counters plus a
+  // utilization gauge, one label set per domain, only while armed.
+  obs::MetricsRegistry reg;
+  net.export_metrics(reg);
+  const auto* wall3 =
+      reg.find_counter("empls_domain_profile_wall_ns_total", "domain=\"3\"");
+  ASSERT_NE(wall3, nullptr);
+  EXPECT_EQ(wall3->value(), drt->profile(3).wall_ns);
+  const auto* util0 =
+      reg.find_gauge("empls_domain_window_utilization", "domain=\"0\"");
+  ASSERT_NE(util0, nullptr);
+  EXPECT_GE(util0->value(), 0.0);
+  EXPECT_LE(util0->value(), 1.0);
+
+  drt->enable_profiling(false);
+  obs::MetricsRegistry off;
+  net.export_metrics(off);
+  EXPECT_EQ(off.find_counter("empls_domain_profile_wall_ns_total",
+                             "domain=\"3\""),
+            nullptr);
 }
 
 // --- satellite: sim-counter snapshot consolidation --------------------

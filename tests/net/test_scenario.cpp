@@ -272,5 +272,100 @@ TEST(ScenarioParse, TrailingCommentsIgnored) {
   ASSERT_EQ(s.routers.size(), 1u);
 }
 
+TEST(ScenarioParse, TelemetryDirectives) {
+  const auto s = parse_ok(
+      "router A ler\n"
+      "sample 50ms\n"
+      "timeline out.csv\n"
+      "profile\n"
+      "run 1\n");
+  ASSERT_TRUE(s.sample_interval.has_value());
+  EXPECT_DOUBLE_EQ(*s.sample_interval, 0.05);
+  EXPECT_EQ(s.timeline_path, "out.csv");
+  EXPECT_TRUE(s.profile);
+}
+
+TEST(ScenarioParse, TelemetryDirectivesEqualsSpellingAndOff) {
+  const auto s = parse_ok(
+      "router A ler\n"
+      "sample=0.1s\n"
+      "timeline=off\n"
+      "profile off\n"
+      "run 1\n");
+  ASSERT_TRUE(s.sample_interval.has_value());
+  EXPECT_DOUBLE_EQ(*s.sample_interval, 0.1);
+  EXPECT_TRUE(s.timeline_path.empty());
+  EXPECT_FALSE(s.profile);
+}
+
+TEST(ScenarioParse, ExpectDirectives) {
+  const auto s = parse_ok(
+      "router A ler\n"
+      "sample 100ms\n"
+      "expect empls_delivered_total > 100\n"
+      "expect empls_loadgen_latency_ns.p999 <= 2e6 during 0.2s..0.8s\n"
+      "expect empls_drops_total{reason=\"policer\"} == 0\n"
+      "run 1\n");
+  ASSERT_EQ(s.expects.size(), 3u);
+
+  EXPECT_EQ(s.expects[0].metric, "empls_delivered_total");
+  EXPECT_EQ(s.expects[0].op, ExpectDecl::Op::kGt);
+  EXPECT_DOUBLE_EQ(s.expects[0].value, 100.0);
+  EXPECT_FALSE(s.expects[0].windowed);
+  EXPECT_EQ(s.expects[0].line, 3);
+
+  EXPECT_EQ(s.expects[1].metric, "empls_loadgen_latency_ns.p999");
+  EXPECT_EQ(s.expects[1].op, ExpectDecl::Op::kLe);
+  EXPECT_TRUE(s.expects[1].windowed);
+  EXPECT_DOUBLE_EQ(s.expects[1].t0, 0.2);
+  EXPECT_DOUBLE_EQ(s.expects[1].t1, 0.8);
+
+  // A braced label body survives tokenisation as one token.
+  EXPECT_EQ(s.expects[2].metric, "empls_drops_total{reason=\"policer\"}");
+  EXPECT_EQ(s.expects[2].op, ExpectDecl::Op::kEq);
+}
+
+TEST(ScenarioParse, TelemetryDirectiveErrors) {
+  // sample needs a positive interval and a run duration.
+  EXPECT_GT(parse_err("router A ler\nsample 0\nrun 1\n").line, 0);
+  EXPECT_EQ(parse_err("router A ler\nsample 10ms\n").message,
+            "sample requires a run duration");
+  EXPECT_EQ(parse_err("router A ler\nsample 10ms\n").line, 2);
+  // timeline output is meaningless without sampling.
+  EXPECT_EQ(parse_err("router A ler\ntimeline x.csv\nrun 1\n").message,
+            "timeline output requires a sample interval");
+  EXPECT_EQ(parse_err("router A ler\ntimeline x.csv\nrun 1\n").line, 2);
+  // expect wants <metric> <op> <value>, a known operator, and a sane
+  // window.
+  EXPECT_EQ(parse_err("router A ler\nexpect empls_x >\nrun 1\n").line, 2);
+  EXPECT_EQ(parse_err("router A ler\nexpect empls_x ~ 3\nrun 1\n").line, 2);
+  EXPECT_EQ(
+      parse_err("router A ler\nexpect empls_x < umpteen\nrun 1\n").line, 2);
+  EXPECT_EQ(parse_err("router A ler\nsample 10ms\n"
+                      "expect empls_x < 1 during 0.5s..0.2s\nrun 1\n")
+                .line,
+            3);
+  // A windowed expect without a sample cadence has nothing to check.
+  const auto err = parse_err(
+      "router A ler\nexpect empls_x < 1 during 0s..1s\nrun 1\n");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("sample interval"), std::string::npos);
+}
+
+TEST(ScenarioParse, ExpectOperatorSpellings) {
+  const auto s = parse_ok(
+      "router A ler\n"
+      "expect m1 < 1\nexpect m2 <= 1\nexpect m3 > 1\n"
+      "expect m4 >= 1\nexpect m5 == 1\nexpect m6 != 1\n"
+      "run 1\n");
+  ASSERT_EQ(s.expects.size(), 6u);
+  EXPECT_EQ(s.expects[0].op, ExpectDecl::Op::kLt);
+  EXPECT_EQ(s.expects[1].op, ExpectDecl::Op::kLe);
+  EXPECT_EQ(s.expects[2].op, ExpectDecl::Op::kGt);
+  EXPECT_EQ(s.expects[3].op, ExpectDecl::Op::kGe);
+  EXPECT_EQ(s.expects[4].op, ExpectDecl::Op::kEq);
+  EXPECT_EQ(s.expects[5].op, ExpectDecl::Op::kNe);
+}
+
 }  // namespace
 }  // namespace empls::net

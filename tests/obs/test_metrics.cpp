@@ -2,8 +2,11 @@
 // histogram bucketing/quantiles, and the Prometheus text snapshot.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -126,6 +129,65 @@ TEST(MetricsRegistry, ExportOrderIsRegistrationOrder) {
   reg.counter("empls_aa_total").inc();
   const std::string text = reg.prometheus_text();
   EXPECT_LT(text.find("empls_zz_total"), text.find("empls_aa_total"));
+}
+
+TEST(MetricsRegistry, HelpTextIsEscaped) {
+  MetricsRegistry reg;
+  reg.counter("empls_esc_total", {}, "line one\nback\\slash").inc();
+  const std::string text = reg.prometheus_text();
+  // Newline becomes the two characters \n, backslash doubles — the HELP
+  // line must stay a single line or the exposition format breaks.
+  EXPECT_NE(text.find("# HELP empls_esc_total line one\\nback\\\\slash\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, DuplicateKindRegistrationThrows) {
+  MetricsRegistry reg;
+  reg.counter("empls_dup");
+  EXPECT_THROW(reg.gauge("empls_dup"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("empls_dup"), std::invalid_argument);
+  reg.histogram("empls_h");
+  EXPECT_THROW(reg.counter("empls_h"), std::invalid_argument);
+  // Same name + same kind stays fine (it is the same family).
+  EXPECT_NO_THROW(reg.counter("empls_dup", R"(x="1")"));
+}
+
+TEST(MetricsRegistry, VisitWalksEverySeriesInOrder) {
+  MetricsRegistry reg;
+  reg.counter("empls_c_total", R"(k="v")").inc(2);
+  reg.gauge("empls_g").set(1.5);
+  reg.histogram("empls_h").record(9);
+
+  std::vector<std::string> names;
+  reg.visit([&](const MetricsRegistry::SeriesRef& s) {
+    names.emplace_back(s.name);
+    if (s.counter != nullptr) {
+      EXPECT_EQ(s.name, "empls_c_total");
+      EXPECT_EQ(s.labels, R"(k="v")");
+      EXPECT_EQ(s.counter->value(), 2u);
+    } else if (s.gauge != nullptr) {
+      EXPECT_DOUBLE_EQ(s.gauge->value(), 1.5);
+    } else {
+      ASSERT_NE(s.histogram, nullptr);
+      EXPECT_EQ(s.histogram->count(), 1u);
+    }
+  });
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "empls_c_total");
+  EXPECT_EQ(names[1], "empls_g");
+  EXPECT_EQ(names[2], "empls_h");
+}
+
+TEST(Histogram, QuantileOfBucketDeltas) {
+  // quantile_of computes quantiles over an arbitrary bucket-count
+  // array — the timeline uses it on per-window deltas.
+  std::array<std::uint64_t, Histogram::kBuckets> counts{};
+  counts[3] = 90;   // upper bound 7
+  counts[10] = 10;  // upper bound 1023
+  EXPECT_EQ(Histogram::quantile_of(counts, 0.5), 7u);
+  EXPECT_EQ(Histogram::quantile_of(counts, 0.99), 1023u);
+  std::array<std::uint64_t, Histogram::kBuckets> empty{};
+  EXPECT_EQ(Histogram::quantile_of(empty, 0.5), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,201 @@
+// Unit tests for the telemetry timeline: delta encoding, the bounded
+// ring, windowed histogram quantiles, and the CSV / JSON / Chrome
+// counter exports.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace empls::obs {
+namespace {
+
+TEST(Timeline, CountersRecordPerIntervalDeltas) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("empls_x_total");
+  Timeline tl;
+
+  c.inc(5);
+  tl.sample(reg, 0.1);
+  c.inc(3);
+  tl.sample(reg, 0.2);
+  tl.sample(reg, 0.3);  // no change: delta 0
+
+  const auto col = tl.column_index("empls_x_total");
+  ASSERT_TRUE(col.has_value());
+  ASSERT_EQ(tl.sample_count(), 3u);
+  EXPECT_DOUBLE_EQ(tl.value_at(0, *col), 5.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(1, *col), 3.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(2, *col), 0.0);
+  EXPECT_DOUBLE_EQ(tl.time_at(1), 0.2);
+}
+
+TEST(Timeline, GaugesRecordInstantaneousValues) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("empls_depth");
+  Timeline tl;
+
+  g.set(4.0);
+  tl.sample(reg, 1.0);
+  g.set(1.5);
+  tl.sample(reg, 2.0);
+
+  const auto col = tl.column_index("empls_depth");
+  ASSERT_TRUE(col.has_value());
+  EXPECT_DOUBLE_EQ(tl.value_at(0, *col), 4.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(1, *col), 1.5);
+}
+
+TEST(Timeline, LabelledSeriesKeepDistinctColumns) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("empls_d_total", R"(reason="ttl")");
+  Counter& b = reg.counter("empls_d_total", R"(reason="policer")");
+  Timeline tl;
+  a.inc(1);
+  b.inc(2);
+  tl.sample(reg, 0.1);
+
+  const auto ca = tl.column_index(R"(empls_d_total{reason="ttl"})");
+  const auto cb = tl.column_index(R"(empls_d_total{reason="policer"})");
+  ASSERT_TRUE(ca.has_value());
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_NE(*ca, *cb);
+  EXPECT_DOUBLE_EQ(tl.value_at(0, *ca), 1.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(0, *cb), 2.0);
+}
+
+TEST(Timeline, HistogramsExpandToWindowedQuantileColumns) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("empls_lat");
+  Timeline tl;
+
+  for (int i = 0; i < 100; ++i) {
+    h.record(7);  // bucket upper bound 7
+  }
+  tl.sample(reg, 0.1);
+  // Second window: a very different population.  The windowed quantile
+  // must reflect only this interval's samples, not the cumulative mix.
+  for (int i = 0; i < 100; ++i) {
+    h.record(1000);  // bucket upper bound 1023
+  }
+  tl.sample(reg, 0.2);
+
+  const auto p99 = tl.column_index("empls_lat.p99");
+  const auto cnt = tl.column_index("empls_lat.count");
+  ASSERT_TRUE(p99.has_value());
+  ASSERT_TRUE(cnt.has_value());
+  EXPECT_DOUBLE_EQ(tl.value_at(0, *p99), 7.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(1, *p99), 1023.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(0, *cnt), 100.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(1, *cnt), 100.0);
+  EXPECT_TRUE(tl.column_index("empls_lat.p50").has_value());
+  EXPECT_TRUE(tl.column_index("empls_lat.p999").has_value());
+}
+
+TEST(Timeline, TrackedHistogramOutsideTheRegistry) {
+  MetricsRegistry reg;
+  Histogram h;  // e.g. the load generator's private latency HDR
+  Timeline tl;
+  tl.track_histogram("empls_ext", &h);
+  h.record(3);
+  tl.sample(reg, 0.1);
+  const auto cnt = tl.column_index("empls_ext.count");
+  ASSERT_TRUE(cnt.has_value());
+  EXPECT_DOUBLE_EQ(tl.value_at(0, *cnt), 1.0);
+}
+
+TEST(Timeline, RingWrapKeepsNewestRowsAndCountsDropped) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("empls_x_total");
+  Timeline::Config cfg;
+  cfg.capacity = 4;
+  Timeline tl(cfg);
+
+  for (int k = 1; k <= 10; ++k) {
+    c.inc(1);
+    tl.sample(reg, 0.1 * k);
+  }
+  EXPECT_EQ(tl.sample_count(), 4u);
+  EXPECT_EQ(tl.dropped_samples(), 6u);
+  // Oldest retained row is tick 7.
+  EXPECT_NEAR(tl.time_at(0), 0.7, 1e-9);
+  EXPECT_NEAR(tl.time_at(3), 1.0, 1e-9);
+  const auto col = tl.column_index("empls_x_total");
+  ASSERT_TRUE(col.has_value());
+  EXPECT_DOUBLE_EQ(tl.value_at(3, *col), 1.0);
+}
+
+TEST(Timeline, ColumnsAppearingMidRunReadZeroForEarlierRows) {
+  MetricsRegistry reg;
+  reg.counter("empls_a_total").inc();
+  Timeline tl;
+  tl.sample(reg, 0.1);
+  reg.counter("empls_late_total").inc(9);
+  tl.sample(reg, 0.2);
+
+  const auto col = tl.column_index("empls_late_total");
+  ASSERT_TRUE(col.has_value());
+  EXPECT_DOUBLE_EQ(tl.value_at(0, *col), 0.0);
+  EXPECT_DOUBLE_EQ(tl.value_at(1, *col), 9.0);
+}
+
+TEST(Timeline, CsvHasHeaderAndOneLinePerRow) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("empls_x_total");
+  Timeline tl;
+  c.inc(2);
+  tl.sample(reg, 0.1);
+  c.inc(1);
+  tl.sample(reg, 0.2);
+
+  std::ostringstream out;
+  tl.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("time,\"empls_x_total\""), std::string::npos);
+  EXPECT_NE(csv.find("\n0.1,2"), std::string::npos);
+  EXPECT_NE(csv.find("\n0.2,1"), std::string::npos);
+}
+
+TEST(Timeline, JsonIsColumnMajor) {
+  MetricsRegistry reg;
+  reg.counter("empls_x_total").inc(3);
+  Timeline tl;
+  tl.sample(reg, 0.5);
+
+  std::ostringstream out;
+  tl.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"interval_s\":0.1"), std::string::npos);
+  EXPECT_NE(json.find("\"time\":[0.5]"), std::string::npos);
+  EXPECT_NE(json.find("\"empls_x_total\":[3]"), std::string::npos);
+}
+
+TEST(Timeline, ChromeCountersSkipAllZeroColumns) {
+  MetricsRegistry reg;
+  reg.counter("empls_hot_total").inc(4);
+  reg.counter("empls_cold_total");  // never incremented: all-zero column
+  Timeline tl;
+  tl.sample(reg, 0.25);
+
+  std::ostringstream out;
+  bool first = true;
+  tl.write_chrome_counters(out, first);
+  const std::string events = out.str();
+  EXPECT_FALSE(first);  // something was emitted
+  EXPECT_NE(events.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(events.find("\"empls_hot_total\""), std::string::npos);
+  EXPECT_EQ(events.find("empls_cold_total"), std::string::npos);
+  // Counter rows land on pid 3 (the telemetry track).
+  EXPECT_NE(events.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(Timeline, UnknownColumnIndexIsEmpty) {
+  Timeline tl;
+  EXPECT_FALSE(tl.column_index("empls_absent").has_value());
+}
+
+}  // namespace
+}  // namespace empls::obs

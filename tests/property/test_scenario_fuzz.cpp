@@ -56,6 +56,12 @@ guard * ttl=500 reprogram=100 demote=0.4 shed=0.8
 loadgen mmpp A 10.1.0.0 rate=5k flows=256 alpha=1.5 stop=0.5
 attack spoof 0.1 A rate=2k for=100ms seed=3
 attack=exhaust 0.2 A dst=10.1.0.1
+sample 50ms
+timeline out.csv
+profile on
+expect empls_delivered_total > 0
+expect empls_loadgen_latency_ns.p999 <= 2e6 during 0.2s..0.8s
+expect empls_drops_total{reason="policer"} == 0
 run 1
 )";
   std::mt19937 rng(GetParam() * 7919);
@@ -104,7 +110,9 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
       "flow",    "fail",   "restore", "flap",     "crash",    "corrupt",
       "protect", "police", "ping",    "traceroute", "autorepair", "run",
       "loadgen", "attack", "attack=spoof", "attack=exhaust",
-      "attack=melt", "guard", "domains", "sync", "domains=4", "sync=free"};
+      "attack=melt", "guard", "domains", "sync", "domains=4", "sync=free",
+      "sample",  "sample=100ms", "timeline", "timeline=off", "profile",
+      "expect"};
   const std::vector<std::string> words = {
       "A",        "B",          "C",       "ler",        "lsr",
       "strict",   "cbr",        "10M",     "1ms",        "0.2",
@@ -118,7 +126,11 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
       "exhaust",  "*",          "rate=5k", "rate=0",     "burst-rate=20k",
       "flows=256", "flows=0",   "alpha=1.5", "alpha=-1", "minpkts=4",
       "sojourn=50ms", "ttl=500", "reprogram=100", "demote=0.4",
-      "shed=2",   "maxcos=9",   "reserved=on", "spoof=off", "dst=10.1.0.1"};
+      "shed=2",   "maxcos=9",   "reserved=on", "spoof=off", "dst=10.1.0.1",
+      "empls_delivered_total", "empls_lat.p999", "<=", ">", "==", "!=",
+      "during",   "0.2s..0.8s", "0.8s..0.2s", "during=x", "..",
+      "1e6",      "off",        "on",      "out.csv",
+      R"(empls_drops_total{reason="ttl"})"};
   std::mt19937 rng(GetParam() * 104729);
   for (int trial = 0; trial < 300; ++trial) {
     std::string text;
@@ -171,6 +183,25 @@ TEST_P(ScenarioFuzz, DirectiveSoupNeverCrashes) {
       // Network::partition unchecked, so an accepted value is either
       // the auto sentinel (0) or inside the validated [1, 256] range.
       EXPECT_LE(s.domains, 256u);
+      // Telemetry contract: the runner schedules sample ticks at the
+      // parsed cadence and replays windowed expects against timeline
+      // rows, so an accepted scenario must have a positive interval
+      // behind any timeline output or windowed assertion, and every
+      // window must be well-ordered.
+      if (s.sample_interval) {
+        EXPECT_GT(*s.sample_interval, 0.0);
+      }
+      if (!s.timeline_path.empty()) {
+        EXPECT_TRUE(s.sample_interval.has_value());
+      }
+      for (const auto& e : s.expects) {
+        EXPECT_FALSE(e.metric.empty());
+        EXPECT_GE(e.line, 1);
+        if (e.windowed) {
+          EXPECT_LE(e.t0, e.t1);
+          EXPECT_TRUE(s.sample_interval.has_value());
+        }
+      }
     }
   }
 }
